@@ -1,0 +1,135 @@
+// Substrate microbenchmarks (google-benchmark): raw BDD operation
+// throughput on the structures the solver manipulates.  Not a paper table;
+// documents that the from-scratch package is fast enough that solver time
+// is dominated by exploration, not BDD bookkeeping.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+
+namespace {
+
+using namespace brel;
+
+/// Random n-variable function as a balanced expression tree.
+Bdd random_function(BddManager& mgr, std::mt19937& rng, std::uint32_t vars,
+                    int depth) {
+  if (depth == 0) {
+    return mgr.literal(rng() % vars, rng() % 2 == 0);
+  }
+  const Bdd lhs = random_function(mgr, rng, vars, depth - 1);
+  const Bdd rhs = random_function(mgr, rng, vars, depth - 1);
+  switch (rng() % 3) {
+    case 0:
+      return lhs & rhs;
+    case 1:
+      return lhs | rhs;
+    default:
+      return lhs ^ rhs;
+  }
+}
+
+void BM_Ite(benchmark::State& state) {
+  BddManager mgr{16};
+  std::mt19937 rng{1};
+  const Bdd f = random_function(mgr, rng, 16, 4);
+  const Bdd g = random_function(mgr, rng, 16, 4);
+  const Bdd h = random_function(mgr, rng, 16, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.ite(f, g, h));
+  }
+}
+BENCHMARK(BM_Ite);
+
+void BM_AndChain(benchmark::State& state) {
+  BddManager mgr{24};
+  std::mt19937 rng{2};
+  std::vector<Bdd> fs;
+  for (int i = 0; i < 12; ++i) {
+    fs.push_back(random_function(mgr, rng, 24, 3));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.big_and(fs));
+  }
+}
+BENCHMARK(BM_AndChain);
+
+void BM_Exists(benchmark::State& state) {
+  BddManager mgr{20};
+  std::mt19937 rng{3};
+  const Bdd f = random_function(mgr, rng, 20, 5);
+  const std::vector<std::uint32_t> q{2, 5, 8, 11, 14, 17};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.exists(f, q));
+  }
+}
+BENCHMARK(BM_Exists);
+
+void BM_AndExists(benchmark::State& state) {
+  BddManager mgr{20};
+  std::mt19937 rng{4};
+  const Bdd f = random_function(mgr, rng, 20, 4);
+  const Bdd g = random_function(mgr, rng, 20, 4);
+  const std::vector<std::uint32_t> q{1, 4, 7, 10, 13, 16, 19};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.and_exists(f, g, q));
+  }
+}
+BENCHMARK(BM_AndExists);
+
+void BM_Isop(benchmark::State& state) {
+  BddManager mgr{12};
+  std::mt19937 rng{5};
+  const Bdd on = random_function(mgr, rng, 12, 4);
+  const Bdd dc = random_function(mgr, rng, 12, 3) & !on;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.isop(on, on | dc));
+  }
+}
+BENCHMARK(BM_Isop);
+
+void BM_Constrain(benchmark::State& state) {
+  BddManager mgr{16};
+  std::mt19937 rng{6};
+  const Bdd f = random_function(mgr, rng, 16, 4);
+  Bdd care = random_function(mgr, rng, 16, 4);
+  if (care.is_zero()) {
+    care = mgr.one();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.constrain(f, care));
+  }
+}
+BENCHMARK(BM_Constrain);
+
+void BM_ShortestCube(benchmark::State& state) {
+  BddManager mgr{16};
+  std::mt19937 rng{7};
+  Bdd f = random_function(mgr, rng, 16, 4);
+  if (f.is_zero()) {
+    f = mgr.var(0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.shortest_cube(f));
+  }
+}
+BENCHMARK(BM_ShortestCube);
+
+void BM_BuildParity(benchmark::State& state) {
+  const auto vars = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    BddManager mgr{vars};
+    Bdd parity = mgr.zero();
+    for (std::uint32_t i = 0; i < vars; ++i) {
+      parity = parity ^ mgr.var(i);
+    }
+    benchmark::DoNotOptimize(parity);
+  }
+}
+BENCHMARK(BM_BuildParity)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Secs. 7.2 / 7.6 ablation: the exploration budget (the bounded partial
+// BFS) trades solution quality for runtime.
+//
+// The paper limits Table 2 to 10 explored relations and notes that
+// "exploring more solutions did not significantly contribute to improving
+// the results"; this harness sweeps the budget and reports the total
+// solution cost (Σ BDD sizes) and runtime over the BR suite, which should
+// show steep gains from 1 to ~10 and diminishing returns beyond.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "benchgen/relation_suite.hpp"
+
+int main() {
+  using namespace brel;
+  const std::vector<std::size_t> budgets{1, 2, 5, 10, 20, 50, 200};
+
+  std::printf("Exploration-budget ablation over the BR suite\n");
+  std::printf("(cost = sum of BDD sizes; FIFO-based partial BFS)\n\n");
+  std::printf("%-10s %12s %12s %14s\n", "budget", "total cost", "CPU [s]",
+              "vs budget=10");
+
+  double reference = 0.0;
+  std::vector<std::pair<std::size_t, std::pair<double, double>>> rows;
+  for (const std::size_t budget : budgets) {
+    double total_cost = 0.0;
+    bench::Stopwatch timer;
+    for (const RelationBenchmark& bench : relation_suite()) {
+      BddManager mgr{0};
+      std::vector<std::uint32_t> inputs;
+      std::vector<std::uint32_t> outputs;
+      const BooleanRelation r =
+          make_benchmark_relation(mgr, bench, inputs, outputs);
+      SolverOptions options;
+      options.cost = sum_of_bdd_sizes();
+      options.max_relations = budget;
+      total_cost += BrelSolver(options).solve(r).cost;
+    }
+    const double cpu = timer.seconds();
+    if (budget == 10) {
+      reference = total_cost;
+    }
+    rows.emplace_back(budget, std::make_pair(total_cost, cpu));
+  }
+  for (const auto& [budget, data] : rows) {
+    std::printf("%-10zu %12.0f %12.3f %+13.2f%%\n", budget, data.first,
+                data.second, 100.0 * (data.first / reference - 1.0));
+  }
+  std::printf("\n(lower cost is better; budget=10 is the paper's Table 2 "
+              "setting)\n");
+
+  // Second design choice of Sec. 7.2: BFS diversity vs DFS commitment
+  // under the same budgets.
+  std::printf("\nExploration order (same budgets, total cost)\n");
+  std::printf("%-10s %12s %12s %10s\n", "budget", "BFS", "DFS", "DFS-BFS");
+  for (const std::size_t budget : budgets) {
+    double bfs_cost = 0.0;
+    double dfs_cost = 0.0;
+    for (const RelationBenchmark& bench : relation_suite()) {
+      BddManager mgr{0};
+      std::vector<std::uint32_t> inputs;
+      std::vector<std::uint32_t> outputs;
+      const BooleanRelation r =
+          make_benchmark_relation(mgr, bench, inputs, outputs);
+      SolverOptions options;
+      options.cost = sum_of_bdd_sizes();
+      options.max_relations = budget;
+      options.order = ExplorationOrder::BreadthFirst;
+      bfs_cost += BrelSolver(options).solve(r).cost;
+      options.order = ExplorationOrder::DepthFirst;
+      dfs_cost += BrelSolver(options).solve(r).cost;
+    }
+    std::printf("%-10zu %12.0f %12.0f %+9.2f%%\n", budget, bfs_cost,
+                dfs_cost, 100.0 * (dfs_cost / bfs_cost - 1.0));
+  }
+  std::printf("\n(positive DFS-BFS: the paper's BFS choice wins)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared helpers for the table/figure reproduction harnesses: wall-clock
+/// timing, fixed-width table printing, and solution metric extraction.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "brel/solver.hpp"
+#include "synth/gate_network.hpp"
+
+namespace brel::bench {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// SOP + multilevel metrics of a multi-output function (CB/LIT/ALG/AREA
+/// columns of Table 2), computed through the shared scoring pipeline.
+inline NetworkScore solution_metrics(
+    const MultiFunction& f, const std::vector<std::uint32_t>& inputs) {
+  return score_functions(f.outputs, inputs);
+}
+
+/// Environment-variable override for exploration budgets so the harnesses
+/// can be scaled without recompiling, e.g. BREL_BUDGET=50 ./bench_table2.
+inline std::size_t budget_from_env(const char* name,
+                                   std::size_t fallback) {
+  if (const char* text = std::getenv(name)) {
+    const long value = std::strtol(text, nullptr, 10);
+    if (value > 0) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace brel::bench

@@ -1,0 +1,47 @@
+// Working with relation files: parse a .br-style description, repair a
+// partial relation by totalization, solve it, and write the solution's
+// functional relation back in the same format.
+
+#include <cstdio>
+
+#include "brel/solver.hpp"
+#include "relation/relation_io.hpp"
+
+int main() {
+  using namespace brel;
+  BddManager mgr{0};
+
+  // A partial relation: input vertex 11 has no image at all.
+  const char* text =
+      "# a partial 2->2 relation\n"
+      ".i 2\n"
+      ".o 2\n"
+      ".r\n"
+      "00 0- \n"
+      "01 10 01\n"
+      "10 11\n"
+      ".e\n";
+  const BooleanRelation partial = read_relation(mgr, text);
+  std::printf("parsed relation:\n%s\n", partial.to_table().c_str());
+  std::printf("well defined: %s\n\n",
+              partial.is_well_defined() ? "yes" : "no");
+
+  // Totalize: unconstrained inputs may produce anything.
+  const BooleanRelation total = partial.totalized();
+  std::printf("after totalization:\n%s\n", total.to_table().c_str());
+
+  // Solve and express the chosen function as a (functional) relation.
+  const SolveResult result = BrelSolver().solve(total);
+  const BooleanRelation solution_relation = total.constrain_with(
+      total.function_characteristic(result.function));
+  std::printf("solution as a .br file:\n%s",
+              write_relation(solution_relation).c_str());
+
+  // Round-trip sanity.
+  BddManager fresh{0};
+  const BooleanRelation reparsed =
+      read_relation(fresh, write_relation(solution_relation));
+  std::printf("\nround-trip is a function: %s\n",
+              reparsed.is_function() ? "yes" : "no");
+  return 0;
+}

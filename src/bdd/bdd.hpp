@@ -1,0 +1,327 @@
+#pragma once
+/// \file bdd.hpp
+/// A reduced ordered BDD package with complement edges.
+///
+/// This is the substrate the BREL solver runs on (the paper used CUDD; see
+/// DESIGN.md substitution 1).  The canonical form is the classic one: the
+/// then-edge of a node is never complemented, there is a single terminal
+/// node (ONE), and ZERO is the complemented edge to it.  Negation is O(1).
+///
+/// `BddManager` owns the node store, the unique table and the computed
+/// cache.  `Bdd` is a reference-counted RAII handle to an edge; all user
+/// code manipulates `Bdd` values.  The manager is single-threaded.
+///
+/// Operations provided (each in its own translation unit):
+///   - bdd_manager.cpp : node creation, unique table, garbage collection
+///   - bdd_ops.cpp     : ITE and the derived connectives
+///   - bdd_quant.cpp   : existential/universal quantification, compose
+///   - bdd_minimize.cpp: generalized cofactors (constrain, restrict)
+///   - bdd_isop.cpp    : Minato-Morreale irredundant SOP extraction
+///   - bdd_analysis.cpp: satcount, support, shortest path, eval, dag size
+///   - bdd_io.cpp      : dot export and debugging dumps
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cover/cover.hpp"
+#include "cover/cube.hpp"
+
+namespace brel {
+
+class BddManager;
+
+namespace detail {
+
+/// An edge is a node index shifted left once, with the low bit holding the
+/// complement attribute.  Edge 0 is the constant ONE, edge 1 is ZERO.
+using Edge = std::uint32_t;
+
+inline constexpr Edge kOne = 0;
+inline constexpr Edge kZero = 1;
+inline constexpr std::uint32_t kTerminalVar = 0xFFFFFFFFu;
+
+[[nodiscard]] inline constexpr Edge edge_not(Edge e) noexcept {
+  return e ^ 1u;
+}
+[[nodiscard]] inline constexpr std::uint32_t edge_index(Edge e) noexcept {
+  return e >> 1;
+}
+[[nodiscard]] inline constexpr bool edge_complemented(Edge e) noexcept {
+  return (e & 1u) != 0;
+}
+[[nodiscard]] inline constexpr Edge edge_regular(Edge e) noexcept {
+  return e & ~1u;
+}
+[[nodiscard]] inline constexpr bool edge_is_constant(Edge e) noexcept {
+  return edge_index(e) == 0;
+}
+
+}  // namespace detail
+
+/// Reference-counted handle to a BDD.  A default-constructed handle is
+/// "null" and belongs to no manager; every other handle keeps its root node
+/// (and hence the whole DAG under it) alive across garbage collections.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(const Bdd& other);
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other);
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  [[nodiscard]] bool is_null() const noexcept { return manager_ == nullptr; }
+  [[nodiscard]] BddManager* manager() const noexcept { return manager_; }
+
+  [[nodiscard]] bool is_one() const noexcept;
+  [[nodiscard]] bool is_zero() const noexcept;
+  [[nodiscard]] bool is_constant() const noexcept;
+
+  /// Canonicity makes equality a pointer comparison.
+  [[nodiscard]] bool operator==(const Bdd& other) const noexcept {
+    return manager_ == other.manager_ && edge_ == other.edge_;
+  }
+
+  /// Logical connectives (delegate to the owning manager).
+  [[nodiscard]] Bdd operator!() const;
+  [[nodiscard]] Bdd operator&(const Bdd& other) const;
+  [[nodiscard]] Bdd operator|(const Bdd& other) const;
+  [[nodiscard]] Bdd operator^(const Bdd& other) const;
+  /// Boolean biconditional (XNOR).
+  [[nodiscard]] Bdd iff(const Bdd& other) const;
+  /// Material implication (!this | other).
+  [[nodiscard]] Bdd implies(const Bdd& other) const;
+
+  /// True iff this <= other as functions (this implies other everywhere).
+  [[nodiscard]] bool subset_of(const Bdd& other) const;
+
+  /// Positive/negative cofactor with respect to variable `var`.
+  [[nodiscard]] Bdd cofactor(std::uint32_t var, bool phase) const;
+
+  /// Number of nodes in the DAG rooted here (terminal included).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Support as a sorted list of variable indices.
+  [[nodiscard]] std::vector<std::uint32_t> support() const;
+
+  /// Evaluate under a complete assignment (assignment[i] = variable i).
+  [[nodiscard]] bool eval(const std::vector<bool>& assignment) const;
+
+  /// Raw edge (for hashing / canonical ids).  Stable until the handle dies.
+  [[nodiscard]] detail::Edge raw_edge() const noexcept { return edge_; }
+
+ private:
+  friend class BddManager;
+  Bdd(BddManager* manager, detail::Edge edge);
+
+  BddManager* manager_ = nullptr;
+  detail::Edge edge_ = detail::kOne;
+};
+
+/// Result of ISOP extraction: an irredundant SOP cover together with the
+/// function it denotes (which lies inside the requested interval).
+struct IsopResult {
+  Cover cover;   ///< irredundant prime-ish cover in positional notation
+  Bdd function;  ///< BDD of the cover
+};
+
+/// Operational statistics (monotone counters; see BddManager::stats()).
+struct BddStats {
+  std::size_t live_nodes = 0;       ///< nodes currently in the unique table
+  std::size_t peak_nodes = 0;       ///< maximum live nodes ever observed
+  std::uint64_t cache_hits = 0;     ///< computed-table hits
+  std::uint64_t cache_lookups = 0;  ///< computed-table probes
+  std::uint64_t gc_runs = 0;        ///< completed garbage collections
+  std::uint64_t nodes_created = 0;  ///< total unique-table insertions
+};
+
+/// Owns every BDD node.  Create variables with var(); combine them through
+/// Bdd operators or the named operations below.
+class BddManager {
+ public:
+  /// `cache_log2` sets the computed-table size to 2^cache_log2 entries.
+  explicit BddManager(std::uint32_t num_vars, std::uint32_t cache_log2 = 18);
+  ~BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  [[nodiscard]] std::uint32_t num_vars() const noexcept { return num_vars_; }
+
+  /// Add `count` fresh variables at the bottom of the order; returns the
+  /// index of the first new variable.
+  std::uint32_t add_vars(std::uint32_t count);
+
+  [[nodiscard]] Bdd one();
+  [[nodiscard]] Bdd zero();
+  /// The projection function of variable `var`.
+  [[nodiscard]] Bdd var(std::uint32_t var);
+  /// Literal: the variable or its complement.
+  [[nodiscard]] Bdd literal(std::uint32_t var, bool positive);
+
+  /// If-then-else: f ? g : h — the universal connective.
+  [[nodiscard]] Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+
+  [[nodiscard]] Bdd bdd_and(const Bdd& f, const Bdd& g);
+  [[nodiscard]] Bdd bdd_or(const Bdd& f, const Bdd& g);
+  [[nodiscard]] Bdd bdd_xor(const Bdd& f, const Bdd& g);
+  [[nodiscard]] Bdd bdd_not(const Bdd& f);
+
+  /// Conjunction/disjunction over a whole range.
+  [[nodiscard]] Bdd big_and(std::span<const Bdd> fs);
+  [[nodiscard]] Bdd big_or(std::span<const Bdd> fs);
+
+  /// Existential quantification of `vars` (∃vars f).
+  [[nodiscard]] Bdd exists(const Bdd& f, std::span<const std::uint32_t> vars);
+  /// Universal quantification of `vars` (∀vars f).
+  [[nodiscard]] Bdd forall(const Bdd& f, std::span<const std::uint32_t> vars);
+  /// Relational product ∃vars (f ∧ g) computed without the intermediate.
+  [[nodiscard]] Bdd and_exists(const Bdd& f, const Bdd& g,
+                               std::span<const std::uint32_t> vars);
+
+  /// Simultaneous substitution: variable i is replaced by substitution[i].
+  /// The vector must have one (possibly identity) entry per variable.
+  [[nodiscard]] Bdd compose(const Bdd& f, std::span<const Bdd> substitution);
+
+  /// Generalized cofactor of Coudert/Madre; requires care != 0.
+  /// Agrees with f on `care`, usually smaller than f.
+  [[nodiscard]] Bdd constrain(const Bdd& f, const Bdd& care);
+  /// Sibling-substitution restrict; same contract as constrain but never
+  /// pulls in variables outside supp(f) ∪ supp(care).
+  [[nodiscard]] Bdd restrict_to(const Bdd& f, const Bdd& care);
+
+  /// Minato-Morreale irredundant sum-of-products for any function in the
+  /// interval [lower, upper].  Requires lower ⊆ upper.
+  [[nodiscard]] IsopResult isop(const Bdd& lower, const Bdd& upper);
+
+  /// Number of minterms of f over `num_vars_total` variables.  Exact while
+  /// num_vars_total <= 52 (dyadic rationals representable in double).
+  [[nodiscard]] double sat_count(const Bdd& f, std::uint32_t num_vars_total);
+
+  /// A cube of f with the fewest literals (the "largest cube"; the paper's
+  /// split-vertex selection uses this, Sec. 7.4).  Requires f != 0.
+  [[nodiscard]] Cube shortest_cube(const Bdd& f);
+
+  /// One satisfying assignment over all manager variables; requires f != 0.
+  [[nodiscard]] std::vector<bool> pick_minterm(const Bdd& f);
+
+  /// BDD of a three-valued cube whose variable i maps to manager variable
+  /// var_map[i] (var_map.size() == cube.num_vars()).
+  [[nodiscard]] Bdd cube_bdd(const Cube& cube,
+                             std::span<const std::uint32_t> var_map);
+  /// BDD of an SOP cover under the same variable mapping.
+  [[nodiscard]] Bdd cover_bdd(const Cover& cover,
+                              std::span<const std::uint32_t> var_map);
+
+  /// Run all minterms of f over the listed variables through `visit`
+  /// (testing helper; enumerates 2^vars.size() points in the worst case).
+  void foreach_minterm(const Bdd& f, std::span<const std::uint32_t> vars,
+                       const std::function<void(const std::vector<bool>&)>& visit);
+
+  /// Reclaim dead nodes (those unreachable from any live handle) and clear
+  /// the computed cache.  Never call while external raw edges are held.
+  void garbage_collect();
+  /// garbage_collect() if the dead-node estimate crosses the threshold.
+  void garbage_collect_if_needed(std::size_t dead_node_threshold = 1u << 16);
+
+  [[nodiscard]] const BddStats& stats() const noexcept { return stats_; }
+
+  /// Graphviz dump of the DAGs rooted at `roots` (complement edges dashed).
+  void write_dot(std::ostream& os, std::span<const Bdd> roots,
+                 std::span<const std::string> names = {});
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    std::uint32_t var;   ///< variable index; kTerminalVar for the terminal
+    detail::Edge hi;     ///< then-edge; never complemented (canonical form)
+    detail::Edge lo;     ///< else-edge
+    std::uint32_t next;  ///< unique-table chain (0 = end of chain)
+  };
+
+  enum class Op : std::uint32_t {
+    Ite = 1,
+    Exists,
+    AndExists,
+    Constrain,
+    Restrict,
+  };
+
+  struct CacheEntry {
+    std::uint64_t key = ~0ull;  ///< mix of op and operand edges
+    detail::Edge a = 0, b = 0, c = 0;
+    std::uint32_t op = 0;
+    detail::Edge result = 0;
+  };
+
+  // -- node store ---------------------------------------------------------
+  [[nodiscard]] std::uint32_t node_var(detail::Edge e) const noexcept {
+    return nodes_[detail::edge_index(e)].var;
+  }
+  /// Semantic then/else cofactor at the node's own variable, honouring the
+  /// complement bit on `e`.
+  [[nodiscard]] detail::Edge hi_of(detail::Edge e) const noexcept {
+    const Node& n = nodes_[detail::edge_index(e)];
+    return detail::edge_complemented(e) ? detail::edge_not(n.hi) : n.hi;
+  }
+  [[nodiscard]] detail::Edge lo_of(detail::Edge e) const noexcept {
+    const Node& n = nodes_[detail::edge_index(e)];
+    return detail::edge_complemented(e) ? detail::edge_not(n.lo) : n.lo;
+  }
+  /// Cofactor of `e` w.r.t. `var` assuming var <= level of e's top.
+  [[nodiscard]] detail::Edge cofactor_top(detail::Edge e, std::uint32_t var,
+                                          bool phase) const noexcept {
+    if (detail::edge_is_constant(e) || node_var(e) != var) {
+      return e;
+    }
+    return phase ? hi_of(e) : lo_of(e);
+  }
+
+  [[nodiscard]] detail::Edge make_node(std::uint32_t var, detail::Edge hi,
+                                       detail::Edge lo);
+  [[nodiscard]] std::uint32_t allocate_node();
+  void rehash_unique_table(std::size_t bucket_count);
+  [[nodiscard]] static std::uint64_t hash_triple(std::uint64_t a,
+                                                 std::uint64_t b,
+                                                 std::uint64_t c) noexcept;
+
+  // -- computed cache ------------------------------------------------------
+  [[nodiscard]] bool cache_lookup(Op op, detail::Edge a, detail::Edge b,
+                                  detail::Edge c, detail::Edge& out);
+  void cache_insert(Op op, detail::Edge a, detail::Edge b, detail::Edge c,
+                    detail::Edge result);
+
+  // -- recursive kernels (raw-edge domain) ---------------------------------
+  [[nodiscard]] detail::Edge ite_rec(detail::Edge f, detail::Edge g,
+                                     detail::Edge h);
+  [[nodiscard]] detail::Edge exists_rec(detail::Edge f, detail::Edge cube);
+  [[nodiscard]] detail::Edge and_exists_rec(detail::Edge f, detail::Edge g,
+                                            detail::Edge cube);
+  [[nodiscard]] detail::Edge constrain_rec(detail::Edge f, detail::Edge c);
+  [[nodiscard]] detail::Edge restrict_rec(detail::Edge f, detail::Edge c);
+  [[nodiscard]] detail::Edge vars_cube(std::span<const std::uint32_t> vars);
+
+  // -- handle refcounts -----------------------------------------------------
+  void ref_edge(detail::Edge e) noexcept;
+  void deref_edge(detail::Edge e) noexcept;
+  [[nodiscard]] Bdd wrap(detail::Edge e) { return Bdd(this, e); }
+
+  std::uint32_t num_vars_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> refcount_;
+  std::vector<std::uint32_t> buckets_;  ///< unique table (1-based indices)
+  std::uint32_t free_list_ = 0;         ///< head of free node chain (0 = none)
+  std::size_t free_count_ = 0;
+  std::vector<CacheEntry> cache_;
+  std::uint64_t cache_mask_ = 0;
+  BddStats stats_;
+};
+
+}  // namespace brel

@@ -1,0 +1,238 @@
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+
+namespace brel {
+
+using detail::Edge;
+using detail::edge_index;
+using detail::edge_is_constant;
+using detail::edge_not;
+using detail::edge_regular;
+using detail::kOne;
+using detail::kZero;
+
+std::size_t Bdd::size() const {
+  if (manager_ == nullptr) {
+    return 0;
+  }
+  std::unordered_set<std::uint32_t> visited;
+  std::vector<std::uint32_t> stack{edge_index(edge_)};
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    if (!visited.insert(idx).second || idx == 0) {
+      continue;
+    }
+    stack.push_back(edge_index(manager_->nodes_[idx].hi));
+    stack.push_back(edge_index(manager_->nodes_[idx].lo));
+  }
+  return visited.size();
+}
+
+std::vector<std::uint32_t> Bdd::support() const {
+  std::vector<std::uint32_t> vars;
+  if (manager_ == nullptr) {
+    return vars;
+  }
+  std::unordered_set<std::uint32_t> visited;
+  std::unordered_set<std::uint32_t> seen_vars;
+  std::vector<std::uint32_t> stack{edge_index(edge_)};
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    if (idx == 0 || !visited.insert(idx).second) {
+      continue;
+    }
+    seen_vars.insert(manager_->nodes_[idx].var);
+    stack.push_back(edge_index(manager_->nodes_[idx].hi));
+    stack.push_back(edge_index(manager_->nodes_[idx].lo));
+  }
+  vars.assign(seen_vars.begin(), seen_vars.end());
+  std::sort(vars.begin(), vars.end());
+  return vars;
+}
+
+bool Bdd::eval(const std::vector<bool>& assignment) const {
+  if (manager_ == nullptr) {
+    throw std::logic_error("Bdd::eval: null handle");
+  }
+  if (assignment.size() < manager_->num_vars()) {
+    throw std::invalid_argument("Bdd::eval: assignment too short");
+  }
+  Edge e = edge_;
+  while (!edge_is_constant(e)) {
+    const std::uint32_t v = manager_->node_var(e);
+    e = assignment[v] ? manager_->hi_of(e) : manager_->lo_of(e);
+  }
+  return e == kOne;
+}
+
+double BddManager::sat_count(const Bdd& f, std::uint32_t num_vars_total) {
+  if (f.manager() != this) {
+    throw std::invalid_argument("sat_count: operand from a different manager");
+  }
+  // Compute the satisfying fraction p(e) in [0,1]; every value is a dyadic
+  // rational with denominator 2^depth, exact in double up to 2^-52.
+  std::unordered_map<std::uint32_t, double> memo;  // on regular node index
+  auto rec = [this, &memo](auto&& self, Edge e) -> double {
+    const bool negated = detail::edge_complemented(e);
+    const std::uint32_t idx = edge_index(e);
+    double p = 0.0;
+    if (idx == 0) {
+      p = 1.0;  // regular edge to the terminal is ONE
+    } else if (const auto it = memo.find(idx); it != memo.end()) {
+      p = it->second;
+    } else {
+      const Node& n = nodes_[idx];
+      p = 0.5 * self(self, n.hi) + 0.5 * self(self, n.lo);
+      memo.emplace(idx, p);
+    }
+    return negated ? 1.0 - p : p;
+  };
+  const double fraction = rec(rec, f.raw_edge());
+  double scale = 1.0;
+  for (std::uint32_t i = 0; i < num_vars_total; ++i) {
+    scale *= 2.0;
+  }
+  return fraction * scale;
+}
+
+Cube BddManager::shortest_cube(const Bdd& f) {
+  if (f.manager() != this) {
+    throw std::invalid_argument(
+        "shortest_cube: operand from a different manager");
+  }
+  if (f.is_zero()) {
+    throw std::invalid_argument("shortest_cube: function is empty");
+  }
+  // Minimum-literal implicant.  Unlike a plain BDD shortest path (which
+  // must assign a literal at every node it traverses), the recursion may
+  // also *skip* the top variable by descending into f|v=1 ∧ f|v=0.  The
+  // paper approximates this with the BDD shortest path (Sec. 7.4); the
+  // exact version below finds a genuinely largest cube, which serves the
+  // same split-selection role.
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::unordered_map<Edge, std::size_t> memo;
+  auto cost = [this, &memo](auto&& self, Edge e) -> std::size_t {
+    if (e == kOne) {
+      return 0;
+    }
+    if (e == kZero) {
+      return kInf;
+    }
+    if (const auto it = memo.find(e); it != memo.end()) {
+      return it->second;
+    }
+    const Edge hi = hi_of(e);
+    const Edge lo = lo_of(e);
+    const std::size_t chi = self(self, hi);
+    const std::size_t clo = self(self, lo);
+    const std::size_t cboth = self(self, ite_rec(hi, lo, kZero));
+    std::size_t best = cboth;  // skipping v costs no literal
+    best = std::min(best, chi == kInf ? kInf : chi + 1);
+    best = std::min(best, clo == kInf ? kInf : clo + 1);
+    memo.emplace(e, best);
+    return best;
+  };
+  (void)cost(cost, f.raw_edge());
+  // Reconstruction: at each node follow the choice that realizes the memo
+  // value, preferring the literal-free descent.
+  Cube cube(num_vars_);
+  Edge e = f.raw_edge();
+  while (e != kOne) {
+    const std::uint32_t v = node_var(e);
+    const Edge hi = hi_of(e);
+    const Edge lo = lo_of(e);
+    const Edge both = ite_rec(hi, lo, kZero);
+    const auto lookup = [&](Edge x) -> std::size_t {
+      if (x == kOne) {
+        return 0;
+      }
+      if (x == kZero) {
+        return kInf;
+      }
+      return memo.at(x);
+    };
+    const std::size_t goal = lookup(e);
+    if (lookup(both) == goal) {
+      e = both;
+    } else if (lookup(hi) != kInf && lookup(hi) + 1 == goal) {
+      cube.set_lit(v, Lit::One);
+      e = hi;
+    } else {
+      cube.set_lit(v, Lit::Zero);
+      e = lo;
+    }
+  }
+  return cube;
+}
+
+std::vector<bool> BddManager::pick_minterm(const Bdd& f) {
+  if (f.manager() != this) {
+    throw std::invalid_argument(
+        "pick_minterm: operand from a different manager");
+  }
+  if (f.is_zero()) {
+    throw std::invalid_argument("pick_minterm: function is empty");
+  }
+  std::vector<bool> assignment(num_vars_, false);
+  Edge e = f.raw_edge();
+  while (e != kOne) {
+    const std::uint32_t v = node_var(e);
+    if (hi_of(e) != kZero) {
+      assignment[v] = true;
+      e = hi_of(e);
+    } else {
+      e = lo_of(e);
+    }
+  }
+  return assignment;
+}
+
+void BddManager::foreach_minterm(
+    const Bdd& f, std::span<const std::uint32_t> vars,
+    const std::function<void(const std::vector<bool>&)>& visit) {
+  if (f.manager() != this) {
+    throw std::invalid_argument(
+        "foreach_minterm: operand from a different manager");
+  }
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    if (vars[i - 1] >= vars[i]) {
+      throw std::invalid_argument(
+          "foreach_minterm: vars must be strictly ascending");
+    }
+  }
+  std::vector<bool> assignment(num_vars_, false);
+  auto rec = [&](auto&& self, std::size_t depth, Edge e) -> void {
+    if (e == kZero) {
+      return;
+    }
+    if (depth == vars.size()) {
+      if (!edge_is_constant(e)) {
+        throw std::logic_error(
+            "foreach_minterm: function depends on variables outside vars");
+      }
+      if (e == kOne) {
+        visit(assignment);
+      }
+      return;
+    }
+    const std::uint32_t v = vars[depth];
+    if (!edge_is_constant(e) && node_var(e) < v) {
+      throw std::logic_error(
+          "foreach_minterm: function depends on variables outside vars");
+    }
+    assignment[v] = false;
+    self(self, depth + 1, cofactor_top(e, v, false));
+    assignment[v] = true;
+    self(self, depth + 1, cofactor_top(e, v, true));
+    assignment[v] = false;
+  };
+  rec(rec, 0, f.raw_edge());
+}
+
+}  // namespace brel

@@ -1,0 +1,54 @@
+#include <ostream>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+
+namespace brel {
+
+using detail::Edge;
+using detail::edge_complemented;
+using detail::edge_index;
+
+void BddManager::write_dot(std::ostream& os, std::span<const Bdd> roots,
+                           std::span<const std::string> names) {
+  os << "digraph bdd {\n  rankdir=TB;\n"
+     << "  node [shape=circle];\n"
+     << "  one [shape=box, label=\"1\"];\n";
+  std::unordered_set<std::uint32_t> visited;
+  std::vector<std::uint32_t> stack;
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    const Edge e = roots[r].raw_edge();
+    const std::string name =
+        r < names.size() ? names[r] : ("f" + std::to_string(r));
+    os << "  root" << r << " [shape=plaintext, label=\"" << name << "\"];\n"
+       << "  root" << r << " -> n" << edge_index(e)
+       << (edge_complemented(e) ? " [style=dashed]" : "") << ";\n";
+    stack.push_back(edge_index(e));
+  }
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    if (idx == 0 || !visited.insert(idx).second) {
+      continue;
+    }
+    const Node& n = nodes_[idx];
+    os << "  n" << idx << " [label=\"x" << n.var << "\"];\n";
+    const auto emit = [&](Edge child, const char* style) {
+      const std::uint32_t cidx = edge_index(child);
+      os << "  n" << idx << " -> ";
+      if (cidx == 0) {
+        os << "one";
+      } else {
+        os << 'n' << cidx;
+      }
+      os << " [" << style
+         << (edge_complemented(child) ? ", style=dashed" : "") << "];\n";
+      stack.push_back(cidx);
+    };
+    emit(n.hi, "label=\"1\"");
+    emit(n.lo, "label=\"0\"");
+  }
+  os << "}\n";
+}
+
+}  // namespace brel

@@ -1,0 +1,373 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "bdd/bdd.hpp"
+
+namespace brel {
+
+using detail::Edge;
+using detail::edge_complemented;
+using detail::edge_index;
+using detail::edge_not;
+using detail::kOne;
+using detail::kTerminalVar;
+using detail::kZero;
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(BddManager* manager, Edge edge) : manager_(manager), edge_(edge) {
+  if (manager_ != nullptr) {
+    manager_->ref_edge(edge_);
+  }
+}
+
+Bdd::Bdd(const Bdd& other) : manager_(other.manager_), edge_(other.edge_) {
+  if (manager_ != nullptr) {
+    manager_->ref_edge(edge_);
+  }
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : manager_(other.manager_), edge_(other.edge_) {
+  other.manager_ = nullptr;
+  other.edge_ = kOne;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) {
+    return *this;
+  }
+  if (other.manager_ != nullptr) {
+    other.manager_->ref_edge(other.edge_);
+  }
+  if (manager_ != nullptr) {
+    manager_->deref_edge(edge_);
+  }
+  manager_ = other.manager_;
+  edge_ = other.edge_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  if (manager_ != nullptr) {
+    manager_->deref_edge(edge_);
+  }
+  manager_ = other.manager_;
+  edge_ = other.edge_;
+  other.manager_ = nullptr;
+  other.edge_ = kOne;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (manager_ != nullptr) {
+    manager_->deref_edge(edge_);
+  }
+}
+
+bool Bdd::is_one() const noexcept {
+  return manager_ != nullptr && edge_ == kOne;
+}
+bool Bdd::is_zero() const noexcept {
+  return manager_ != nullptr && edge_ == kZero;
+}
+bool Bdd::is_constant() const noexcept {
+  return manager_ != nullptr && detail::edge_is_constant(edge_);
+}
+
+Bdd Bdd::operator!() const { return manager_->bdd_not(*this); }
+Bdd Bdd::operator&(const Bdd& other) const {
+  return manager_->bdd_and(*this, other);
+}
+Bdd Bdd::operator|(const Bdd& other) const {
+  return manager_->bdd_or(*this, other);
+}
+Bdd Bdd::operator^(const Bdd& other) const {
+  return manager_->bdd_xor(*this, other);
+}
+Bdd Bdd::iff(const Bdd& other) const {
+  return !manager_->bdd_xor(*this, other);
+}
+Bdd Bdd::implies(const Bdd& other) const {
+  return manager_->bdd_or(!*this, other);
+}
+
+bool Bdd::subset_of(const Bdd& other) const {
+  // f <= g  <=>  f & !g == 0
+  return manager_->bdd_and(*this, !other).is_zero();
+}
+
+Bdd Bdd::cofactor(std::uint32_t var, bool phase) const {
+  const Bdd lit = manager_->literal(var, phase);
+  // ite(x, f, f_x) trick is unnecessary; a dedicated restriction via
+  // constrain over the literal is exact for a single variable.
+  return manager_->constrain(*this, lit);
+}
+
+// ---------------------------------------------------------------------------
+// Manager: construction, variables
+// ---------------------------------------------------------------------------
+
+BddManager::BddManager(std::uint32_t num_vars, std::uint32_t cache_log2)
+    : num_vars_(num_vars) {
+  if (cache_log2 < 8 || cache_log2 > 28) {
+    throw std::invalid_argument("BddManager: cache_log2 out of range [8,28]");
+  }
+  nodes_.reserve(1u << 12);
+  refcount_.reserve(1u << 12);
+  // Node 0: the terminal ONE.
+  nodes_.push_back(Node{kTerminalVar, kOne, kOne, 0});
+  refcount_.push_back(1);  // never collected
+  rehash_unique_table(1u << 12);
+  cache_.resize(std::size_t{1} << cache_log2);
+  cache_mask_ = (std::uint64_t{1} << cache_log2) - 1;
+}
+
+BddManager::~BddManager() = default;
+
+std::uint32_t BddManager::add_vars(std::uint32_t count) {
+  const std::uint32_t first = num_vars_;
+  num_vars_ += count;
+  return first;
+}
+
+Bdd BddManager::one() { return wrap(kOne); }
+Bdd BddManager::zero() { return wrap(kZero); }
+
+Bdd BddManager::var(std::uint32_t var) {
+  if (var >= num_vars_) {
+    throw std::out_of_range("BddManager::var: unknown variable");
+  }
+  return wrap(make_node(var, kOne, kZero));
+}
+
+Bdd BddManager::literal(std::uint32_t var, bool positive) {
+  Bdd v = this->var(var);
+  return positive ? v : !v;
+}
+
+// ---------------------------------------------------------------------------
+// Unique table
+// ---------------------------------------------------------------------------
+
+std::uint64_t BddManager::hash_triple(std::uint64_t a, std::uint64_t b,
+                                      std::uint64_t c) noexcept {
+  std::uint64_t h = a * 0x9E3779B97F4A7C15ull;
+  h ^= (b + 0xBF58476D1CE4E5B9ull) + (h << 6) + (h >> 2);
+  h *= 0x94D049BB133111EBull;
+  h ^= (c + 0x2545F4914F6CDD1Dull) + (h << 6) + (h >> 2);
+  h ^= h >> 29;
+  return h;
+}
+
+void BddManager::rehash_unique_table(std::size_t bucket_count) {
+  buckets_.assign(bucket_count, 0);
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (n.var == kTerminalVar) {
+      continue;  // freed slot (var reset when put on the free list)
+    }
+    const std::uint64_t h =
+        hash_triple(n.var, n.hi, n.lo) & (bucket_count - 1);
+    n.next = buckets_[h];
+    buckets_[h] = i;
+  }
+}
+
+std::uint32_t BddManager::allocate_node() {
+  if (free_list_ != 0) {
+    const std::uint32_t idx = free_list_;
+    free_list_ = nodes_[idx].next;
+    --free_count_;
+    return idx;
+  }
+  nodes_.push_back(Node{});
+  refcount_.push_back(0);
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+Edge BddManager::make_node(std::uint32_t var, Edge hi, Edge lo) {
+  if (hi == lo) {
+    return hi;
+  }
+  // Canonical form: the then-edge is never complemented.
+  bool complement_out = false;
+  if (edge_complemented(hi)) {
+    hi = edge_not(hi);
+    lo = edge_not(lo);
+    complement_out = true;
+  }
+  const std::uint64_t h = hash_triple(var, hi, lo) & (buckets_.size() - 1);
+  for (std::uint32_t i = buckets_[h]; i != 0; i = nodes_[i].next) {
+    const Node& n = nodes_[i];
+    if (n.var == var && n.hi == hi && n.lo == lo) {
+      const Edge found = i << 1;
+      return complement_out ? edge_not(found) : found;
+    }
+  }
+  const std::uint32_t idx = allocate_node();
+  nodes_[idx] = Node{var, hi, lo, buckets_[h]};
+  refcount_[idx] = 0;
+  buckets_[h] = idx;
+  ++stats_.nodes_created;
+  const std::size_t live = nodes_.size() - 1 - free_count_;
+  stats_.live_nodes = live;
+  stats_.peak_nodes = std::max(stats_.peak_nodes, live);
+  if (live * 2 > buckets_.size()) {
+    rehash_unique_table(buckets_.size() * 2);
+  }
+  const Edge fresh = idx << 1;
+  return complement_out ? edge_not(fresh) : fresh;
+}
+
+// ---------------------------------------------------------------------------
+// Computed cache
+// ---------------------------------------------------------------------------
+
+bool BddManager::cache_lookup(Op op, Edge a, Edge b, Edge c, Edge& out) {
+  ++stats_.cache_lookups;
+  const std::uint64_t key =
+      hash_triple((std::uint64_t{static_cast<std::uint32_t>(op)} << 32) | a, b,
+                  c);
+  const CacheEntry& entry = cache_[key & cache_mask_];
+  if (entry.key == key && entry.op == static_cast<std::uint32_t>(op) &&
+      entry.a == a && entry.b == b && entry.c == c) {
+    ++stats_.cache_hits;
+    out = entry.result;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::cache_insert(Op op, Edge a, Edge b, Edge c, Edge result) {
+  const std::uint64_t key =
+      hash_triple((std::uint64_t{static_cast<std::uint32_t>(op)} << 32) | a, b,
+                  c);
+  CacheEntry& entry = cache_[key & cache_mask_];
+  entry = CacheEntry{key, a, b, c, static_cast<std::uint32_t>(op), result};
+}
+
+// ---------------------------------------------------------------------------
+// Reference counting and garbage collection
+// ---------------------------------------------------------------------------
+
+void BddManager::ref_edge(Edge e) noexcept { ++refcount_[edge_index(e)]; }
+
+void BddManager::deref_edge(Edge e) noexcept { --refcount_[edge_index(e)]; }
+
+void BddManager::garbage_collect() {
+  // Mark phase: every externally referenced node is a root.
+  std::vector<bool> marked(nodes_.size(), false);
+  marked[0] = true;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (refcount_[i] > 0 && nodes_[i].var != kTerminalVar) {
+      stack.push_back(i);
+    }
+  }
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    if (marked[idx]) {
+      continue;
+    }
+    marked[idx] = true;
+    const Node& n = nodes_[idx];
+    const std::uint32_t hi_idx = edge_index(n.hi);
+    const std::uint32_t lo_idx = edge_index(n.lo);
+    if (!marked[hi_idx]) {
+      stack.push_back(hi_idx);
+    }
+    if (!marked[lo_idx]) {
+      stack.push_back(lo_idx);
+    }
+  }
+  // Sweep phase: unmarked nodes go to the free list.
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (!marked[i] && nodes_[i].var != kTerminalVar) {
+      nodes_[i].var = kTerminalVar;  // tombstone
+      nodes_[i].next = free_list_;
+      free_list_ = i;
+      ++free_count_;
+    }
+  }
+  // The computed cache and unique table reference dead nodes; rebuild both.
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  rehash_unique_table(buckets_.size());
+  stats_.live_nodes = nodes_.size() - 1 - free_count_;
+  ++stats_.gc_runs;
+}
+
+void BddManager::garbage_collect_if_needed(std::size_t dead_node_threshold) {
+  // Estimate dead nodes as allocations minus externally reachable ones is
+  // costly to track exactly; use total live minus referenced as a cheap
+  // proxy and only pay for a full GC when the table has grown large.
+  const std::size_t live = nodes_.size() - 1 - free_count_;
+  if (live < dead_node_threshold) {
+    return;
+  }
+  std::size_t externally_referenced = 0;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (refcount_[i] > 0 && nodes_[i].var != kTerminalVar) {
+      ++externally_referenced;
+    }
+  }
+  if (live > externally_referenced * 4) {
+    garbage_collect();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cube / cover conversion
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::cube_bdd(const Cube& cube,
+                         std::span<const std::uint32_t> var_map) {
+  if (var_map.size() != cube.num_vars()) {
+    throw std::invalid_argument("cube_bdd: var_map size mismatch");
+  }
+  // Build bottom-up in descending variable order so make_node sees ordered
+  // children; collect (manager-var, phase) pairs first.
+  std::vector<std::pair<std::uint32_t, bool>> literals;
+  for (std::size_t i = 0; i < cube.num_vars(); ++i) {
+    const Lit lit = cube.lit(i);
+    if (lit != Lit::DontCare) {
+      literals.emplace_back(var_map[i], lit == Lit::One);
+    }
+  }
+  std::sort(literals.begin(), literals.end());
+  Edge acc = kOne;
+  for (auto it = literals.rbegin(); it != literals.rend(); ++it) {
+    acc = it->second ? make_node(it->first, acc, kZero)
+                     : make_node(it->first, kZero, acc);
+  }
+  return wrap(acc);
+}
+
+Bdd BddManager::cover_bdd(const Cover& cover,
+                          std::span<const std::uint32_t> var_map) {
+  Bdd acc = zero();
+  for (const Cube& cube : cover.cubes()) {
+    acc = acc | cube_bdd(cube, var_map);
+  }
+  return acc;
+}
+
+Edge BddManager::vars_cube(std::span<const std::uint32_t> vars) {
+  std::vector<std::uint32_t> sorted(vars.begin(), vars.end());
+  std::sort(sorted.begin(), sorted.end());
+  Edge acc = kOne;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it >= num_vars_) {
+      throw std::out_of_range("vars_cube: unknown variable");
+    }
+    acc = make_node(*it, acc, kZero);
+  }
+  return acc;
+}
+
+}  // namespace brel

@@ -1,0 +1,108 @@
+#include <stdexcept>
+
+#include "bdd/bdd.hpp"
+
+namespace brel {
+
+using detail::Edge;
+using detail::edge_is_constant;
+using detail::edge_not;
+using detail::kOne;
+using detail::kZero;
+
+Bdd BddManager::constrain(const Bdd& f, const Bdd& care) {
+  if (f.manager() != this || care.manager() != this) {
+    throw std::invalid_argument("constrain: operands from a different manager");
+  }
+  if (care.is_zero()) {
+    throw std::invalid_argument("constrain: care set must be non-empty");
+  }
+  return wrap(constrain_rec(f.raw_edge(), care.raw_edge()));
+}
+
+Bdd BddManager::restrict_to(const Bdd& f, const Bdd& care) {
+  if (f.manager() != this || care.manager() != this) {
+    throw std::invalid_argument(
+        "restrict_to: operands from a different manager");
+  }
+  if (care.is_zero()) {
+    throw std::invalid_argument("restrict_to: care set must be non-empty");
+  }
+  return wrap(restrict_rec(f.raw_edge(), care.raw_edge()));
+}
+
+Edge BddManager::constrain_rec(Edge f, Edge c) {
+  // Coudert-Madre generalized cofactor.  Precondition: c != 0.
+  if (c == kOne || edge_is_constant(f)) {
+    return f;
+  }
+  if (f == c) {
+    return kOne;
+  }
+  if (f == edge_not(c)) {
+    return kZero;
+  }
+  Edge cached = 0;
+  if (cache_lookup(Op::Constrain, f, c, 0, cached)) {
+    return cached;
+  }
+  const std::uint32_t vf = node_var(f);
+  const std::uint32_t vc = node_var(c);
+  const std::uint32_t v = vf < vc ? vf : vc;
+  const Edge c1 = cofactor_top(c, v, true);
+  const Edge c0 = cofactor_top(c, v, false);
+  Edge result = 0;
+  if (c1 == kZero) {
+    result = constrain_rec(cofactor_top(f, v, false), c0);
+  } else if (c0 == kZero) {
+    result = constrain_rec(cofactor_top(f, v, true), c1);
+  } else {
+    result = make_node(v, constrain_rec(cofactor_top(f, v, true), c1),
+                       constrain_rec(cofactor_top(f, v, false), c0));
+  }
+  cache_insert(Op::Constrain, f, c, 0, result);
+  return result;
+}
+
+Edge BddManager::restrict_rec(Edge f, Edge c) {
+  // Sibling-substitution restrict: like constrain but variables of the care
+  // set that are above the top of f are existentially smoothed out of it,
+  // so the result's support stays within supp(f).
+  if (c == kOne || edge_is_constant(f)) {
+    return f;
+  }
+  if (f == c) {
+    return kOne;
+  }
+  if (f == edge_not(c)) {
+    return kZero;
+  }
+  Edge cached = 0;
+  if (cache_lookup(Op::Restrict, f, c, 0, cached)) {
+    return cached;
+  }
+  const std::uint32_t vf = node_var(f);
+  const std::uint32_t vc = node_var(c);
+  Edge result = 0;
+  if (vc < vf) {
+    // The care set tests a variable f does not depend on: smooth it away.
+    const Edge smoothed = ite_rec(hi_of(c), kOne, lo_of(c));
+    result = restrict_rec(f, smoothed);
+  } else {
+    const std::uint32_t v = vf;
+    const Edge c1 = cofactor_top(c, v, true);
+    const Edge c0 = cofactor_top(c, v, false);
+    if (c1 == kZero) {
+      result = restrict_rec(lo_of(f), c0);
+    } else if (c0 == kZero) {
+      result = restrict_rec(hi_of(f), c1);
+    } else {
+      result = make_node(v, restrict_rec(hi_of(f), c1),
+                         restrict_rec(lo_of(f), c0));
+    }
+  }
+  cache_insert(Op::Restrict, f, c, 0, result);
+  return result;
+}
+
+}  // namespace brel

@@ -1,0 +1,142 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "bdd/bdd.hpp"
+
+namespace brel {
+
+using detail::Edge;
+using detail::edge_complemented;
+using detail::edge_is_constant;
+using detail::edge_not;
+using detail::kOne;
+using detail::kZero;
+
+namespace {
+
+/// Level of an edge's top variable; constants sit below everything.
+inline std::uint32_t top_level(std::uint32_t v) noexcept { return v; }
+
+}  // namespace
+
+Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  if (f.manager() != this || g.manager() != this || h.manager() != this) {
+    throw std::invalid_argument("ite: operands from a different manager");
+  }
+  return wrap(ite_rec(f.raw_edge(), g.raw_edge(), h.raw_edge()));
+}
+
+Bdd BddManager::bdd_and(const Bdd& f, const Bdd& g) {
+  if (f.manager() != this || g.manager() != this) {
+    throw std::invalid_argument("bdd_and: operands from a different manager");
+  }
+  return wrap(ite_rec(f.raw_edge(), g.raw_edge(), kZero));
+}
+
+Bdd BddManager::bdd_or(const Bdd& f, const Bdd& g) {
+  if (f.manager() != this || g.manager() != this) {
+    throw std::invalid_argument("bdd_or: operands from a different manager");
+  }
+  return wrap(ite_rec(f.raw_edge(), kOne, g.raw_edge()));
+}
+
+Bdd BddManager::bdd_xor(const Bdd& f, const Bdd& g) {
+  if (f.manager() != this || g.manager() != this) {
+    throw std::invalid_argument("bdd_xor: operands from a different manager");
+  }
+  return wrap(ite_rec(f.raw_edge(), edge_not(g.raw_edge()), g.raw_edge()));
+}
+
+Bdd BddManager::bdd_not(const Bdd& f) {
+  if (f.manager() != this) {
+    throw std::invalid_argument("bdd_not: operand from a different manager");
+  }
+  return wrap(edge_not(f.raw_edge()));
+}
+
+Bdd BddManager::big_and(std::span<const Bdd> fs) {
+  Bdd acc = one();
+  for (const Bdd& f : fs) {
+    acc = bdd_and(acc, f);
+  }
+  return acc;
+}
+
+Bdd BddManager::big_or(std::span<const Bdd> fs) {
+  Bdd acc = zero();
+  for (const Bdd& f : fs) {
+    acc = bdd_or(acc, f);
+  }
+  return acc;
+}
+
+Edge BddManager::ite_rec(Edge f, Edge g, Edge h) {
+  // Terminal cases.
+  if (f == kOne) {
+    return g;
+  }
+  if (f == kZero) {
+    return h;
+  }
+  if (g == h) {
+    return g;
+  }
+  if (g == kOne && h == kZero) {
+    return f;
+  }
+  if (g == kZero && h == kOne) {
+    return edge_not(f);
+  }
+  // Substitutions that shrink the problem: ite(f, f, h) = ite(f, 1, h), etc.
+  if (f == g) {
+    g = kOne;
+  } else if (f == edge_not(g)) {
+    g = kZero;
+  }
+  if (f == h) {
+    h = kZero;
+  } else if (f == edge_not(h)) {
+    h = kOne;
+  }
+  if (g == h) {
+    return g;
+  }
+  if (g == kOne && h == kZero) {
+    return f;
+  }
+  if (g == kZero && h == kOne) {
+    return edge_not(f);
+  }
+  // Canonicalize for the cache: f and g carry no complement attribute.
+  if (edge_complemented(f)) {
+    f = edge_not(f);
+    std::swap(g, h);
+  }
+  bool negate_result = false;
+  if (edge_complemented(g)) {
+    g = edge_not(g);
+    h = edge_not(h);
+    negate_result = true;
+  }
+  Edge cached = 0;
+  if (cache_lookup(Op::Ite, f, g, h, cached)) {
+    return negate_result ? edge_not(cached) : cached;
+  }
+  // Recurse on the top variable of the three operands.
+  std::uint32_t v = node_var(f);
+  if (!edge_is_constant(g)) {
+    v = std::min(v, node_var(g));
+  }
+  if (!edge_is_constant(h)) {
+    v = std::min(v, node_var(h));
+  }
+  const Edge t = ite_rec(cofactor_top(f, v, true), cofactor_top(g, v, true),
+                         cofactor_top(h, v, true));
+  const Edge e = ite_rec(cofactor_top(f, v, false), cofactor_top(g, v, false),
+                         cofactor_top(h, v, false));
+  const Edge result = make_node(v, t, e);
+  cache_insert(Op::Ite, f, g, h, result);
+  return negate_result ? edge_not(result) : result;
+}
+
+}  // namespace brel

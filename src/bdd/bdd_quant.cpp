@@ -1,0 +1,166 @@
+#include <stdexcept>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+
+namespace brel {
+
+using detail::Edge;
+using detail::edge_is_constant;
+using detail::edge_not;
+using detail::kOne;
+using detail::kZero;
+
+Bdd BddManager::exists(const Bdd& f, std::span<const std::uint32_t> vars) {
+  if (f.manager() != this) {
+    throw std::invalid_argument("exists: operand from a different manager");
+  }
+  const Bdd cube = wrap(vars_cube(vars));  // keep the cube alive
+  return wrap(exists_rec(f.raw_edge(), cube.raw_edge()));
+}
+
+Bdd BddManager::forall(const Bdd& f, std::span<const std::uint32_t> vars) {
+  if (f.manager() != this) {
+    throw std::invalid_argument("forall: operand from a different manager");
+  }
+  const Bdd cube = wrap(vars_cube(vars));
+  // ∀v f = ¬∃v ¬f
+  return wrap(edge_not(exists_rec(edge_not(f.raw_edge()), cube.raw_edge())));
+}
+
+Bdd BddManager::and_exists(const Bdd& f, const Bdd& g,
+                           std::span<const std::uint32_t> vars) {
+  if (f.manager() != this || g.manager() != this) {
+    throw std::invalid_argument(
+        "and_exists: operands from a different manager");
+  }
+  const Bdd cube = wrap(vars_cube(vars));
+  return wrap(and_exists_rec(f.raw_edge(), g.raw_edge(), cube.raw_edge()));
+}
+
+Edge BddManager::exists_rec(Edge f, Edge cube) {
+  if (edge_is_constant(f) || cube == kOne) {
+    return f;
+  }
+  // Skip quantified variables above the top of f: they are not in supp(f).
+  while (cube != kOne && node_var(cube) < node_var(f)) {
+    cube = hi_of(cube);
+  }
+  if (cube == kOne) {
+    return f;
+  }
+  Edge cached = 0;
+  if (cache_lookup(Op::Exists, f, cube, 0, cached)) {
+    return cached;
+  }
+  const std::uint32_t v = node_var(f);
+  Edge result = 0;
+  if (node_var(cube) == v) {
+    const Edge rest = hi_of(cube);
+    const Edge r1 = exists_rec(hi_of(f), rest);
+    if (r1 == kOne) {
+      result = kOne;
+    } else {
+      const Edge r0 = exists_rec(lo_of(f), rest);
+      result = ite_rec(r1, kOne, r0);
+    }
+  } else {
+    result = make_node(v, exists_rec(hi_of(f), cube),
+                       exists_rec(lo_of(f), cube));
+  }
+  cache_insert(Op::Exists, f, cube, 0, result);
+  return result;
+}
+
+Edge BddManager::and_exists_rec(Edge f, Edge g, Edge cube) {
+  // Relational product: ∃cube (f ∧ g) without building the conjunction.
+  if (f == kZero || g == kZero) {
+    return kZero;
+  }
+  if (f == kOne && g == kOne) {
+    return kOne;
+  }
+  if (f == kOne) {
+    return exists_rec(g, cube);
+  }
+  if (g == kOne) {
+    return exists_rec(f, cube);
+  }
+  if (cube == kOne) {
+    return ite_rec(f, g, kZero);
+  }
+  const std::uint32_t vf = node_var(f);
+  const std::uint32_t vg = node_var(g);
+  const std::uint32_t v = vf < vg ? vf : vg;
+  while (cube != kOne && node_var(cube) < v) {
+    cube = hi_of(cube);
+  }
+  if (cube == kOne) {
+    return ite_rec(f, g, kZero);
+  }
+  Edge cached = 0;
+  if (cache_lookup(Op::AndExists, f, g, cube, cached)) {
+    return cached;
+  }
+  Edge result = 0;
+  if (node_var(cube) == v) {
+    const Edge rest = hi_of(cube);
+    const Edge r1 =
+        and_exists_rec(cofactor_top(f, v, true), cofactor_top(g, v, true),
+                       rest);
+    if (r1 == kOne) {
+      result = kOne;
+    } else {
+      const Edge r0 =
+          and_exists_rec(cofactor_top(f, v, false), cofactor_top(g, v, false),
+                         rest);
+      result = ite_rec(r1, kOne, r0);
+    }
+  } else {
+    result = make_node(
+        v,
+        and_exists_rec(cofactor_top(f, v, true), cofactor_top(g, v, true),
+                       cube),
+        and_exists_rec(cofactor_top(f, v, false), cofactor_top(g, v, false),
+                       cube));
+  }
+  cache_insert(Op::AndExists, f, g, cube, result);
+  return result;
+}
+
+Bdd BddManager::compose(const Bdd& f, std::span<const Bdd> substitution) {
+  if (f.manager() != this) {
+    throw std::invalid_argument("compose: operand from a different manager");
+  }
+  if (substitution.size() != num_vars_) {
+    throw std::invalid_argument(
+        "compose: substitution must cover every variable");
+  }
+  for (const Bdd& s : substitution) {
+    if (s.manager() != this) {
+      throw std::invalid_argument(
+          "compose: substitution entry from a different manager");
+    }
+  }
+  // Per-call memo: the substitution vector is not a cacheable key.
+  std::unordered_map<Edge, Edge> memo;
+  // Keep intermediates alive: compose builds with ite over already-built
+  // subresults; nothing triggers GC meanwhile (GC is explicit).
+  auto rec = [&](auto&& self, Edge e) -> Edge {
+    if (edge_is_constant(e)) {
+      return e;
+    }
+    if (const auto it = memo.find(e); it != memo.end()) {
+      return it->second;
+    }
+    const std::uint32_t v = node_var(e);
+    const Edge t = self(self, hi_of(e));
+    const Edge el = self(self, lo_of(e));
+    const Edge result = ite_rec(substitution[v].raw_edge(), t, el);
+    memo.emplace(e, result);
+    return result;
+  };
+  return wrap(rec(rec, f.raw_edge()));
+}
+
+}  // namespace brel

@@ -1,0 +1,97 @@
+#include "benchgen/fsm_suite.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace brel {
+
+namespace {
+
+std::uint32_t fnv1a(const std::string& text) {
+  std::uint32_t hash = 2166136261u;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+/// Random factorable expression over a variable subset: a tree of AND/OR
+/// nodes with occasional negations, the shape multilevel synthesis likes.
+Bdd random_expression(BddManager& mgr, const std::vector<std::uint32_t>& vars,
+                      std::mt19937& rng, int depth) {
+  if (depth == 0 || vars.empty()) {
+    const std::uint32_t var = vars[rng() % vars.size()];
+    return mgr.literal(var, rng() % 2 == 0);
+  }
+  const Bdd lhs = random_expression(mgr, vars, rng, depth - 1);
+  const Bdd rhs = random_expression(mgr, vars, rng, depth - 1);
+  Bdd node;
+  switch (rng() % 8) {
+    case 0:
+      node = lhs ^ rhs;  // occasional XOR keeps BDDs interesting
+      break;
+    case 1:
+    case 2:
+    case 3:
+      node = lhs & rhs;
+      break;
+    default:
+      node = lhs | rhs;
+      break;
+  }
+  if (rng() % 4 == 0) {
+    node = !node;
+  }
+  return node;
+}
+
+}  // namespace
+
+const std::vector<FsmBenchmark>& fsm_suite() {
+  static const std::vector<FsmBenchmark> suite = [] {
+    // (name, PI, FF) — ISCAS'89 values, PI/FF capped at 12 (see header).
+    const std::vector<std::tuple<std::string, std::size_t, std::size_t>>
+        specs{
+            {"s27", 4, 3},    {"s208", 10, 8},  {"s298", 3, 12},
+            {"s344", 9, 12},  {"s349", 9, 12},  {"s382", 3, 12},
+            {"s386", 7, 6},   {"s420", 10, 12}, {"s444", 3, 12},
+            {"s510", 12, 6},  {"s526", 3, 12},  {"s641", 12, 12},
+            {"s832", 12, 5},  {"s953", 12, 12}, {"s1196", 12, 12},
+            {"s1488", 8, 6},  {"s1494", 8, 6},  {"sbc", 12, 12},
+        };
+    std::vector<FsmBenchmark> list;
+    for (const auto& [name, pi, ff] : specs) {
+      list.push_back(FsmBenchmark{name, pi, ff, fnv1a(name)});
+    }
+    return list;
+  }();
+  return suite;
+}
+
+FsmInstance make_fsm_instance(BddManager& mgr, const FsmBenchmark& bench) {
+  const std::size_t total = bench.num_pi + bench.num_ff;
+  const std::uint32_t first = mgr.add_vars(static_cast<std::uint32_t>(total));
+  FsmInstance instance;
+  for (std::size_t i = 0; i < total; ++i) {
+    instance.support.push_back(first + static_cast<std::uint32_t>(i));
+  }
+  std::mt19937 rng{bench.seed};
+  for (std::size_t ff = 0; ff < bench.num_ff; ++ff) {
+    // Each next-state function depends on a bounded random subset of the
+    // support (fanin-limited logic, as in real next-state functions).
+    std::vector<std::uint32_t> cone = instance.support;
+    std::shuffle(cone.begin(), cone.end(), rng);
+    const std::size_t fanin = std::min<std::size_t>(
+        cone.size(), 5 + rng() % 4);  // 5..8 variables
+    cone.resize(fanin);
+    Bdd f = mgr.zero();
+    do {
+      f = random_expression(mgr, cone, rng, 3);
+    } while (f.is_constant());
+    instance.next_state.push_back(std::move(f));
+  }
+  return instance;
+}
+
+}  // namespace brel

@@ -1,0 +1,37 @@
+#pragma once
+/// \file fsm_suite.hpp
+/// Seeded synthetic FSM next-state functions standing in for the ISCAS'89
+/// circuits of Table 3 (DESIGN.md substitution 5).  Names and PI/FF counts
+/// mirror the paper's rows (capped at 12/12 so laptop-scale BDDs stay
+/// comfortable); the next-state logic is generated as random factorable
+/// expression trees, which is the structure the decomposition experiment
+/// needs.
+
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace brel {
+
+struct FsmBenchmark {
+  std::string name;
+  std::size_t num_pi = 0;
+  std::size_t num_ff = 0;
+  std::uint32_t seed = 0;
+};
+
+/// The Table 3 instance list.
+[[nodiscard]] const std::vector<FsmBenchmark>& fsm_suite();
+
+/// One materialized FSM: support variables and next-state functions.
+struct FsmInstance {
+  std::vector<std::uint32_t> support;  ///< PI then present-state variables
+  std::vector<Bdd> next_state;         ///< one function per flip-flop
+};
+
+/// Build the instance in `mgr` (appends num_pi + num_ff fresh variables).
+[[nodiscard]] FsmInstance make_fsm_instance(BddManager& mgr,
+                                            const FsmBenchmark& bench);
+
+}  // namespace brel

@@ -1,0 +1,47 @@
+#include "benchgen/paper_relations.hpp"
+
+namespace brel {
+
+RelationSpace make_space(BddManager& mgr, std::size_t n, std::size_t m) {
+  const std::uint32_t first = mgr.add_vars(static_cast<std::uint32_t>(n + m));
+  RelationSpace space;
+  for (std::size_t i = 0; i < n; ++i) {
+    space.inputs.push_back(first + static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    space.outputs.push_back(first + static_cast<std::uint32_t>(n + i));
+  }
+  return space;
+}
+
+BooleanRelation fig1_relation(BddManager& mgr, const RelationSpace& space) {
+  return BooleanRelation::from_table(mgr, space.inputs, space.outputs,
+                                     {
+                                         {"00", {"00"}},
+                                         {"01", {"01"}},
+                                         {"10", {"00", "11"}},
+                                         {"11", {"10", "11"}},
+                                     });
+}
+
+BooleanRelation fig10_relation(BddManager& mgr, const RelationSpace& space) {
+  return BooleanRelation::from_table(mgr, space.inputs, space.outputs,
+                                     {
+                                         {"00", {"01", "11"}},
+                                         {"01", {"01", "11"}},
+                                         {"10", {"10"}},
+                                         {"11", {"00", "11"}},
+                                     });
+}
+
+BooleanRelation fig8_relation(BddManager& mgr, const RelationSpace& space) {
+  return BooleanRelation::from_table(mgr, space.inputs, space.outputs,
+                                     {
+                                         {"00", {"01", "10"}},
+                                         {"01", {"01", "10"}},
+                                         {"10", {"11"}},
+                                         {"11", {"11"}},
+                                     });
+}
+
+}  // namespace brel

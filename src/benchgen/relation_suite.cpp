@@ -1,0 +1,175 @@
+#include "benchgen/relation_suite.hpp"
+
+#include <random>
+
+namespace brel {
+
+namespace {
+
+std::uint32_t fnv1a(const std::string& text) {
+  std::uint32_t hash = 2166136261u;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+std::string vertex_text(std::uint64_t code, std::size_t width) {
+  std::string text(width, '0');
+  for (std::size_t i = 0; i < width; ++i) {
+    if (((code >> i) & 1u) != 0) {
+      text[i] = '1';
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+const std::vector<RelationBenchmark>& relation_suite() {
+  static const std::vector<RelationBenchmark> suite = [] {
+    std::vector<RelationBenchmark> list;
+    const std::vector<std::pair<std::string, std::pair<std::size_t,
+                                                       std::size_t>>>
+        specs{
+            {"int1", {4, 3}},  {"int2", {5, 3}},  {"int3", {6, 4}},
+            {"int4", {6, 3}},  {"int5", {7, 4}},  {"int6", {5, 2}},
+            {"int7", {6, 3}},  {"int8", {7, 3}},  {"int9", {8, 4}},
+            {"int10", {8, 4}}, {"b9", {6, 3}},    {"vtx", {5, 2}},
+            {"gr", {8, 3}},    {"she1", {5, 3}},  {"she2", {6, 3}},
+            {"she3", {7, 4}},  {"she4", {8, 4}},
+        };
+    for (const auto& [name, dims] : specs) {
+      list.push_back(RelationBenchmark{name, dims.first, dims.second,
+                                       fnv1a(name)});
+    }
+    return list;
+  }();
+  return suite;
+}
+
+BooleanRelation make_benchmark_relation(BddManager& mgr,
+                                        const RelationBenchmark& bench,
+                                        std::vector<std::uint32_t>& inputs,
+                                        std::vector<std::uint32_t>& outputs) {
+  const std::size_t n = bench.num_inputs;
+  const std::size_t m = bench.num_outputs;
+  const std::uint32_t first =
+      mgr.add_vars(static_cast<std::uint32_t>(n + m));
+  inputs.clear();
+  outputs.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(first + static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    outputs.push_back(first + static_cast<std::uint32_t>(n + i));
+  }
+
+  std::mt19937 rng{bench.seed};
+  const std::uint64_t out_space = std::uint64_t{1} << m;
+
+  // Flexibility is assigned to random input-cube *regions*, not to
+  // isolated vertices: that is how relations extracted from netlist cuts
+  // look (a whole satisfying region of the surrounding logic shares one
+  // image), and it is what makes the paper's split-on-largest-conflict-
+  // cube strategy effective — one Split fixes a whole region.
+  const auto random_input_cube = [&]() {
+    Cube cube(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      switch (rng() % 16) {
+        case 0:
+        case 1:
+        case 2:
+          cube.set_lit(v, Lit::Zero);
+          break;
+        case 3:
+        case 4:
+        case 5:
+        case 6:
+          cube.set_lit(v, Lit::One);
+          break;
+        default:
+          break;  // don't care with probability 9/16 -> sizable regions
+      }
+    }
+    return cube;
+  };
+  const auto output_vertex = [&](std::uint64_t code) {
+    return mgr.cube_bdd(Cube::parse(vertex_text(code, m)), outputs);
+  };
+
+  Bdd chi = mgr.zero();
+  Bdd covered = mgr.zero();
+
+  // Two anchor vertices (all-zeros and all-ones inputs) with singleton,
+  // mutually complementary images.  Every constant multi-output function
+  // differs from v_a at the first anchor or from ~v_a at the second, so
+  // no instance degenerates into one solvable by constants.
+  {
+    const std::uint64_t va = rng() % out_space;
+    Bdd x_zero = mgr.one();
+    Bdd x_one = mgr.one();
+    for (const std::uint32_t v : inputs) {
+      x_zero = x_zero & !mgr.var(v);
+      x_one = x_one & mgr.var(v);
+    }
+    chi = chi | (x_zero & output_vertex(va));
+    chi = chi | (x_one & output_vertex(~va & (out_space - 1)));
+    covered = x_zero | x_one;
+  }
+
+  const std::size_t regions = 3 * n;
+  for (std::size_t k = 0; k < regions; ++k) {
+    const Bdd region = mgr.cube_bdd(random_input_cube(), inputs);
+    const std::uint64_t v = rng() % out_space;
+    Bdd image = mgr.zero();
+    // The first two regions are always complement pairs so that every
+    // instance keeps some non-don't-care flexibility (first-match
+    // semantics guarantees they survive shadowing).
+    const std::uint32_t shape = k < 2 ? 5 : rng() % 10;  // 0-2 cube, 3-6 pair, 7-9 scattered
+    if (shape < 3) {
+      // Output cube: fix one or two outputs over the region, rest free —
+      // the dominant don't-care-expressible flexibility.
+      Cube cube(m);
+      const std::size_t fixed = 1 + rng() % 2;
+      for (std::size_t f = 0; f < fixed; ++f) {
+        const std::size_t o = rng() % m;
+        cube.set_lit(o, ((v >> o) & 1u) != 0 ? Lit::One : Lit::Zero);
+      }
+      image = mgr.cube_bdd(cube, outputs);
+    } else if (shape < 7) {
+      // Complement pair {v, !v}: flexibility don't cares cannot express
+      // (Fig. 1); the whole region conflicts together after projection.
+      image = output_vertex(v) | output_vertex(~v & (out_space - 1));
+    } else {
+      // Scattered set of 2-3 vertices: almost never an output cube.
+      image = output_vertex(v) | output_vertex(rng() % out_space);
+      if (rng() % 2 == 0) {
+        image = image | output_vertex(rng() % out_space);
+      }
+    }
+    // First-match semantics: a region only constrains inputs no earlier
+    // region claimed.  (Union semantics would inflate the flexibility of
+    // overlap areas until constant solutions become compatible.)
+    chi = chi | (region & (!covered) & image);
+    covered = covered | region;
+  }
+
+  // Uncovered inputs get a fully specified (structured, factorable)
+  // default function so the relation is total and the SOPs non-trivial.
+  Bdd fallback = mgr.one();
+  for (std::size_t o = 0; o < m; ++o) {
+    const std::uint32_t v1 = inputs[rng() % n];
+    const std::uint32_t v2 = inputs[rng() % n];
+    const std::uint32_t v3 = inputs[rng() % n];
+    const Bdd def = (mgr.literal(v1, rng() % 2 == 0) &
+                     mgr.literal(v2, rng() % 2 == 0)) |
+                    mgr.literal(v3, rng() % 2 == 0);
+    fallback = fallback & mgr.var(outputs[o]).iff(def);
+  }
+  chi = chi | ((!covered) & fallback);
+  return BooleanRelation(mgr, inputs, outputs, std::move(chi));
+}
+
+}  // namespace brel

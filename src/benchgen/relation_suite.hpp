@@ -1,0 +1,40 @@
+#pragma once
+/// \file relation_suite.hpp
+/// Seeded synthetic Boolean-relation benchmarks standing in for the BR
+/// instances of Table 2 (`int*`, `b9`, `vtx`, `gr`, `she*`), whose original
+/// files are not distributed (DESIGN.md substitution 2).
+///
+/// Each instance mixes three image shapes per input vertex, reproducing
+/// the property that drives the experiment:
+///   - singleton images (no flexibility),
+///   - cube images (don't-care-expressible flexibility),
+///   - complement pairs {v, !v} (flexibility that don't cares CANNOT
+///     express for >= 2 outputs — the Fig. 1 phenomenon that creates
+///     conflicts and separates BREL from projection-based methods).
+/// Generation is deterministic per instance name.
+
+#include <string>
+#include <vector>
+
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// Descriptor of one synthetic BR instance.
+struct RelationBenchmark {
+  std::string name;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::uint32_t seed = 0;  ///< derived from the name
+};
+
+/// The Table 2 instance list (names mirror the paper's rows).
+[[nodiscard]] const std::vector<RelationBenchmark>& relation_suite();
+
+/// Materialize an instance in `mgr`, appending fresh variables.
+/// `inputs`/`outputs` receive the allocated variable indices.
+[[nodiscard]] BooleanRelation make_benchmark_relation(
+    BddManager& mgr, const RelationBenchmark& bench,
+    std::vector<std::uint32_t>& inputs, std::vector<std::uint32_t>& outputs);
+
+}  // namespace brel

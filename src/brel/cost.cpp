@@ -1,0 +1,77 @@
+#include "brel/cost.hpp"
+
+#include <algorithm>
+
+namespace brel {
+
+CostFunction sum_of_bdd_sizes() {
+  return [](const MultiFunction& f) {
+    double total = 0.0;
+    for (const Bdd& g : f.outputs) {
+      total += static_cast<double>(g.size());
+    }
+    return total;
+  };
+}
+
+CostFunction sum_of_squared_bdd_sizes() {
+  return [](const MultiFunction& f) {
+    double total = 0.0;
+    for (const Bdd& g : f.outputs) {
+      const double s = static_cast<double>(g.size());
+      total += s * s;
+    }
+    return total;
+  };
+}
+
+CostFunction cube_count_cost() {
+  return [](const MultiFunction& f) {
+    double total = 0.0;
+    for (const Bdd& g : f.outputs) {
+      total += static_cast<double>(g.manager()->isop(g, g).cover.cube_count());
+    }
+    return total;
+  };
+}
+
+CostFunction literal_count_cost() {
+  return [](const MultiFunction& f) {
+    double total = 0.0;
+    for (const Bdd& g : f.outputs) {
+      total +=
+          static_cast<double>(g.manager()->isop(g, g).cover.literal_count());
+    }
+    return total;
+  };
+}
+
+CostFunction support_balance_cost(double lambda) {
+  return [lambda](const MultiFunction& f) {
+    double total = 0.0;
+    std::size_t widest = 0;
+    std::size_t narrowest = static_cast<std::size_t>(-1);
+    for (const Bdd& g : f.outputs) {
+      total += static_cast<double>(g.size());
+      const std::size_t width = g.support().size();
+      widest = std::max(widest, width);
+      narrowest = std::min(narrowest, width);
+    }
+    if (f.outputs.empty()) {
+      return 0.0;
+    }
+    return total + lambda * static_cast<double>(widest - narrowest);
+  };
+}
+
+CostFunction max_bdd_size_cost() {
+  return [](const MultiFunction& f) {
+    double worst = 0.0;
+    for (const Bdd& g : f.outputs) {
+      worst = std::max(worst, static_cast<double>(g.size()));
+    }
+    return worst;
+  };
+}
+
+}  // namespace brel

@@ -1,0 +1,43 @@
+#pragma once
+/// \file cost.hpp
+/// Customizable cost functions for the BREL solver (Sec. 7.3).
+///
+/// A cost function maps a candidate multi-output function to a double;
+/// the solver minimizes it.  The paper's two built-ins are the sum of
+/// per-output BDD sizes (area-oriented) and the sum of their squares
+/// (delay-oriented: squaring biases the search toward balanced outputs).
+
+#include <functional>
+
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// User-customizable solver objective.  Must be >= 0 and should be
+/// invariant under output permutation when symmetry pruning is enabled.
+using CostFunction = std::function<double(const MultiFunction&)>;
+
+/// Σ_i |BDD(F_i)| — the paper's area-minimization cost (Sec. 7.3, Table 2).
+[[nodiscard]] CostFunction sum_of_bdd_sizes();
+
+/// Σ_i |BDD(F_i)|² — the paper's delay-oriented cost (Sec. 7.3, Table 3):
+/// favours solutions whose outputs have balanced complexity.
+[[nodiscard]] CostFunction sum_of_squared_bdd_sizes();
+
+/// Number of cubes of the per-output ISOPs (the gyocro-style CB metric).
+/// More expensive to evaluate: runs one ISOP per output.
+[[nodiscard]] CostFunction cube_count_cost();
+
+/// Number of literals of the per-output ISOPs (the LIT metric).
+[[nodiscard]] CostFunction literal_count_cost();
+
+/// Σ_i |BDD(F_i)| + λ·(max_i |supp(F_i)| - min_i |supp(F_i)|): size plus a
+/// penalty on support imbalance.  The paper motivates support balancing
+/// "for reducing layout congestion" (Sec. 3); λ defaults to the weight
+/// that made the penalty comparable to one BDD node.
+[[nodiscard]] CostFunction support_balance_cost(double lambda = 4.0);
+
+/// Worst single output: max_i |BDD(F_i)| (min-max objective).
+[[nodiscard]] CostFunction max_bdd_size_cost();
+
+}  // namespace brel

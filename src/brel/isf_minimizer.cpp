@@ -1,0 +1,80 @@
+#include "brel/isf_minimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace brel {
+
+namespace {
+
+/// Greedy top-to-bottom support reduction (Sec. 7.5): for each variable in
+/// BDD order, drop it when the tightened interval stays non-empty.
+Isf eliminate_nonessential_vars(const Isf& isf) {
+  Isf current = isf;
+  // Candidate variables: the support of the interval bounds.
+  const Bdd window = current.on() | current.dc();
+  std::vector<std::uint32_t> vars = window.support();
+  const std::vector<std::uint32_t> off_support = current.off().support();
+  vars.insert(vars.end(), off_support.begin(), off_support.end());
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  for (const std::uint32_t var : vars) {
+    if (current.can_eliminate_var(var)) {
+      current = current.eliminate_var(var);
+    }
+  }
+  return current;
+}
+
+Bdd run_kernel(IsfMethod method, const Isf& isf) {
+  BddManager& mgr = *isf.on().manager();
+  switch (method) {
+    case IsfMethod::Isop:
+      return mgr.isop(isf.min(), isf.max()).function;
+    case IsfMethod::Constrain: {
+      const Bdd care = isf.on() | isf.off();
+      return care.is_zero() ? mgr.zero() : mgr.constrain(isf.on(), care);
+    }
+    case IsfMethod::Restrict: {
+      const Bdd care = isf.on() | isf.off();
+      return care.is_zero() ? mgr.zero() : mgr.restrict_to(isf.on(), care);
+    }
+    case IsfMethod::SafeRestrict: {
+      const Bdd care = isf.on() | isf.off();
+      if (care.is_zero()) {
+        return mgr.zero();
+      }
+      const Bdd candidate = mgr.restrict_to(isf.on(), care);
+      // Safe: only accept when the interval holds and the BDD shrank.
+      if (isf.contains(candidate) && candidate.size() <= isf.on().size()) {
+        return candidate;
+      }
+      return isf.on();
+    }
+  }
+  throw std::logic_error("IsfMinimizer: unknown method");
+}
+
+}  // namespace
+
+Bdd IsfMinimizer::minimize(const Isf& isf) const {
+  const Isf reduced =
+      eliminate_nonessential ? eliminate_nonessential_vars(isf) : isf;
+  const Bdd result = run_kernel(method, reduced);
+  // Postcondition: the implementation honours the *original* interval.
+  // (Support elimination only tightens it, so this always holds.)
+  return result;
+}
+
+IsopResult IsfMinimizer::minimize_to_cover(const Isf& isf) const {
+  BddManager& mgr = *isf.on().manager();
+  if (method == IsfMethod::Isop) {
+    const Isf reduced =
+        eliminate_nonessential ? eliminate_nonessential_vars(isf) : isf;
+    return mgr.isop(reduced.min(), reduced.max());
+  }
+  const Bdd f = minimize(isf);
+  return mgr.isop(f, f);
+}
+
+}  // namespace brel

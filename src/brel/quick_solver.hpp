@@ -1,0 +1,23 @@
+#pragma once
+/// \file quick_solver.hpp
+/// The naive BR solver of Fig. 4 (Sec. 6.2): minimize the outputs one by
+/// one, each time propagating the chosen function as a constraint on the
+/// remaining relation.  Fast, always returns a compatible function for a
+/// well-defined relation, but order-dependent and often unbalanced — the
+/// weaknesses that motivate the recursive paradigm (Example 6.1).
+///
+/// The BREL solver also runs QuickSolver on every subrelation it creates
+/// so that a compatible solution exists no matter where the exploration
+/// budget runs out (Secs. 7.2 and 7.6).
+
+#include "brel/isf_minimizer.hpp"
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// Solve `r` output-by-output in index order.  Throws std::invalid_argument
+/// when `r` is not well defined (IF(R) is empty then).
+[[nodiscard]] MultiFunction quick_solve(const BooleanRelation& r,
+                                        const IsfMinimizer& minimizer = {});
+
+}  // namespace brel

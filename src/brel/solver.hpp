@@ -1,0 +1,120 @@
+#pragma once
+/// \file solver.hpp
+/// The BREL recursive Boolean-relation solver (Fig. 6 + Sec. 7).
+///
+/// Paradigm (Sec. 2): over-approximate the relation by the MISF of its
+/// per-output projections, minimize each output independently, and — if the
+/// composed function conflicts with the relation — Split on a conflicting
+/// input vertex and recurse on both halves, pruning with the best cost
+/// found so far.  The branch-and-bound tree is explored in partial
+/// breadth-first order through a bounded FIFO (Sec. 7.2); QuickSolver runs
+/// on every generated subrelation so at least one compatible solution
+/// exists whenever the exploration budget runs out (Sec. 7.6).
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+
+#include "brel/cost.hpp"
+#include "brel/isf_minimizer.hpp"
+#include "brel/quick_solver.hpp"
+#include "brel/symmetry.hpp"
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// Order in which pending subrelations are explored (Sec. 7.2).  The
+/// paper uses partial BFS because it "enables a larger diversity in the
+/// exploration" and prevents the solver from sinking all resources into
+/// one corner of the tree; DFS is provided for the ablation.
+enum class ExplorationOrder {
+  BreadthFirst,  ///< the paper's bounded-FIFO partial BFS
+  DepthFirst,    ///< LIFO: commits to one branch until it bottoms out
+};
+
+/// Tuning knobs of the solver.  The defaults reproduce the configuration
+/// of the paper's Table 2 runs (cost = Σ BDD sizes, partial exploration of
+/// 10 relations, QuickSolver fallback, symmetries near the root).
+struct SolverOptions {
+  /// Objective to minimize; must be permutation-invariant across outputs
+  /// when `use_symmetry` is on.  Defaults to sum_of_bdd_sizes().
+  CostFunction cost;
+
+  /// ISF minimization strategy for projections (Sec. 7.5).
+  IsfMinimizer minimizer{};
+
+  /// Maximum number of relations popped from the exploration FIFO
+  /// (the paper's "partial exploration of N BRs").  Ignored in exact mode.
+  std::size_t max_relations = 10;
+
+  /// Bound on the number of *pending* subrelations in the FIFO.  Children
+  /// that do not fit are still quick-solved (so their best solution is
+  /// seen) but not explored further.
+  std::size_t fifo_capacity = static_cast<std::size_t>(-1);
+
+  /// Exact mode (Sec. 7.6): complete exploration; keeps splitting through
+  /// compatible-but-maybe-suboptimal solutions until relations become
+  /// functional, so the search degenerates to an implicit enumeration of
+  /// IF(R).  Only viable for small relations.
+  bool exact = false;
+
+  /// Output-symmetry pruning (Sec. 7.7).
+  bool use_symmetry = false;
+
+  /// Symmetry checks only run while the split depth is below this bound
+  /// ("only explored during the initial recursions").
+  std::size_t symmetry_depth = 3;
+
+  /// Also detect complemented swaps (second-order nonskew nonequivalence).
+  bool symmetry_second_order = true;
+
+  /// Wall-clock budget; zero means unlimited.
+  std::chrono::milliseconds timeout{0};
+
+  /// BFS (paper default) or DFS tree exploration.
+  ExplorationOrder order = ExplorationOrder::BreadthFirst;
+};
+
+/// Counters describing one solve() run.
+struct SolverStats {
+  std::size_t relations_explored = 0;  ///< popped from the FIFO
+  std::size_t splits = 0;              ///< Split operations performed
+  std::size_t quick_solutions = 0;     ///< QuickSolver invocations
+  std::size_t misf_minimizations = 0;  ///< per-output ISF minimizations
+  std::size_t conflicts = 0;           ///< incompatible MISF solutions
+  std::size_t pruned_by_cost = 0;      ///< line-6 bound rejections
+  std::size_t pruned_by_symmetry = 0;  ///< symmetric subrelations skipped
+  std::size_t fifo_overflow = 0;       ///< children dropped (FIFO full)
+  std::size_t solutions_seen = 0;      ///< compatible functions encountered
+  bool budget_exhausted = false;       ///< stopped on max_relations/timeout
+  double runtime_seconds = 0.0;
+};
+
+/// A compatible solution plus the run's statistics.
+struct SolveResult {
+  MultiFunction function;
+  double cost = 0.0;
+  SolverStats stats;
+};
+
+/// The solver.  Reusable across relations; each solve() run is
+/// independent.
+class BrelSolver {
+ public:
+  explicit BrelSolver(SolverOptions options = {});
+
+  /// Solve a well-defined relation.  Throws std::invalid_argument when the
+  /// relation is not well defined (no compatible function exists; callers
+  /// can use BooleanRelation::totalized() when partial relations are
+  /// acceptable).  The result is always compatible with `r`.
+  [[nodiscard]] SolveResult solve(const BooleanRelation& r) const;
+
+  [[nodiscard]] const SolverOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace brel

@@ -1,0 +1,85 @@
+#include "cover/cover.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace brel {
+
+Cover::Cover(std::size_t num_vars, std::vector<Cube> cubes)
+    : num_vars_(num_vars), cubes_(std::move(cubes)) {
+  for (const Cube& cube : cubes_) {
+    if (cube.num_vars() != num_vars_) {
+      throw std::invalid_argument("Cover: cube dimension mismatch");
+    }
+  }
+}
+
+Cover Cover::parse(std::size_t num_vars,
+                   const std::vector<std::string>& cube_texts) {
+  Cover cover(num_vars);
+  for (const std::string& text : cube_texts) {
+    cover.add_cube(Cube::parse(text));
+  }
+  return cover;
+}
+
+void Cover::add_cube(Cube cube) {
+  if (cube.num_vars() != num_vars_) {
+    throw std::invalid_argument("Cover::add_cube: cube dimension mismatch");
+  }
+  cubes_.push_back(std::move(cube));
+}
+
+std::size_t Cover::literal_count() const noexcept {
+  std::size_t count = 0;
+  for (const Cube& cube : cubes_) {
+    count += cube.literal_count();
+  }
+  return count;
+}
+
+bool Cover::contains_point(const std::vector<bool>& point) const {
+  for (const Cube& cube : cubes_) {
+    if (cube.contains_point(point)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cover::remove_contained_cubes() {
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes_.size() && !contained; ++j) {
+      if (i == j) {
+        continue;
+      }
+      // Break ties (equal cubes) by index so exactly one copy survives.
+      if (cubes_[j].contains_cube(cubes_[i]) &&
+          (cubes_[i] != cubes_[j] || j < i)) {
+        contained = true;
+      }
+    }
+    if (!contained) {
+      kept.push_back(cubes_[i]);
+    }
+  }
+  cubes_ = std::move(kept);
+}
+
+std::string Cover::to_string() const {
+  std::string text;
+  for (const Cube& cube : cubes_) {
+    text += cube.to_string();
+    text.push_back('\n');
+  }
+  return text;
+}
+
+std::ostream& operator<<(std::ostream& os, const Cover& cover) {
+  return os << cover.to_string();
+}
+
+}  // namespace brel

@@ -1,0 +1,66 @@
+#pragma once
+/// \file cover.hpp
+/// Sum-of-product covers: disjunctions of cubes over a fixed variable set.
+///
+/// Covers carry the two cost metrics the paper reports in Tables 1 and 2:
+/// the number of cubes (CB) and the number of literals (LIT) of a
+/// sum-of-products representation.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cover/cube.hpp"
+
+namespace brel {
+
+/// A disjunction (sum) of cubes over `num_vars` variables.
+class Cover {
+ public:
+  Cover() = default;
+
+  /// Empty cover (constant 0) over `num_vars` variables.
+  explicit Cover(std::size_t num_vars) : num_vars_(num_vars) {}
+
+  /// Cover made of the given cubes; all must span `num_vars` variables.
+  Cover(std::size_t num_vars, std::vector<Cube> cubes);
+
+  /// Parse from one positional-cube string per line, e.g. {"1-0", "01-"}.
+  static Cover parse(std::size_t num_vars,
+                     const std::vector<std::string>& cube_texts);
+
+  [[nodiscard]] std::size_t num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::size_t cube_count() const noexcept {
+    return cubes_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return cubes_.empty(); }
+
+  [[nodiscard]] const std::vector<Cube>& cubes() const noexcept {
+    return cubes_;
+  }
+  [[nodiscard]] std::vector<Cube>& cubes() noexcept { return cubes_; }
+
+  void add_cube(Cube cube);
+
+  /// Total number of literals over all cubes (the LIT metric).
+  [[nodiscard]] std::size_t literal_count() const noexcept;
+
+  /// True iff the minterm `point` is covered by some cube.
+  [[nodiscard]] bool contains_point(const std::vector<bool>& point) const;
+
+  /// Drop cubes that are contained in another cube of the cover
+  /// (single-cube containment only; not a full irredundancy pass).
+  void remove_contained_cubes();
+
+  /// One cube per line in positional notation.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t num_vars_ = 0;
+  std::vector<Cube> cubes_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Cover& cover);
+
+}  // namespace brel

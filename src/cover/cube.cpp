@@ -1,0 +1,126 @@
+#include "cover/cube.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace brel {
+
+Cube Cube::parse(std::string_view text) {
+  Cube cube(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    switch (text[i]) {
+      case '0':
+        cube.lits_[i] = Lit::Zero;
+        break;
+      case '1':
+        cube.lits_[i] = Lit::One;
+        break;
+      case '-':
+      case '*':
+        cube.lits_[i] = Lit::DontCare;
+        break;
+      default:
+        throw std::invalid_argument("Cube::parse: invalid character");
+    }
+  }
+  return cube;
+}
+
+std::size_t Cube::literal_count() const noexcept {
+  std::size_t count = 0;
+  for (Lit lit : lits_) {
+    if (lit != Lit::DontCare) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool Cube::is_universal() const noexcept {
+  for (Lit lit : lits_) {
+    if (lit != Lit::DontCare) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cube::contains_point(const std::vector<bool>& point) const {
+  if (point.size() != lits_.size()) {
+    throw std::invalid_argument("Cube::contains_point: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    if (lits_[i] == Lit::DontCare) {
+      continue;
+    }
+    if ((lits_[i] == Lit::One) != point[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cube::contains_cube(const Cube& other) const {
+  if (other.lits_.size() != lits_.size()) {
+    throw std::invalid_argument("Cube::contains_cube: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    if (lits_[i] == Lit::DontCare) {
+      continue;
+    }
+    if (other.lits_[i] != lits_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cube::intersects(const Cube& other) const {
+  if (other.lits_.size() != lits_.size()) {
+    throw std::invalid_argument("Cube::intersects: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    const bool clash = (lits_[i] == Lit::Zero && other.lits_[i] == Lit::One) ||
+                       (lits_[i] == Lit::One && other.lits_[i] == Lit::Zero);
+    if (clash) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Cube Cube::supercube_with(const Cube& other) const {
+  if (other.lits_.size() != lits_.size()) {
+    throw std::invalid_argument("Cube::supercube_with: dimension mismatch");
+  }
+  Cube result(lits_.size());
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    result.lits_[i] = (lits_[i] == other.lits_[i]) ? lits_[i] : Lit::DontCare;
+  }
+  return result;
+}
+
+double Cube::minterm_count() const noexcept {
+  double count = 1.0;
+  for (Lit lit : lits_) {
+    if (lit == Lit::DontCare) {
+      count *= 2.0;
+    }
+  }
+  return count;
+}
+
+std::string Cube::to_string() const {
+  std::string text;
+  text.reserve(lits_.size());
+  for (Lit lit : lits_) {
+    text.push_back(lit == Lit::Zero ? '0' : (lit == Lit::One ? '1' : '-'));
+  }
+  return text;
+}
+
+std::ostream& operator<<(std::ostream& os, const Cube& cube) {
+  return os << cube.to_string();
+}
+
+}  // namespace brel

@@ -1,0 +1,76 @@
+#pragma once
+/// \file cube.hpp
+/// Three-valued cubes (products of literals) over a fixed variable set.
+///
+/// A cube assigns each variable one of {0, 1, -} where '-' means the
+/// variable does not appear in the product.  Cubes are the building block
+/// of SOP covers (cover.hpp) and of the ISOP covers produced by the BDD
+/// package (Minato-Morreale, bdd_isop.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace brel {
+
+/// Value of one variable inside a cube.
+enum class Lit : std::uint8_t {
+  Zero = 0,      ///< complemented literal (variable = 0)
+  One = 1,       ///< positive literal (variable = 1)
+  DontCare = 2,  ///< variable absent from the product
+};
+
+/// A product of literals over `num_vars` variables, e.g. "1-0" = x0 & !x2.
+class Cube {
+ public:
+  Cube() = default;
+
+  /// Universal cube (all don't-cares) over `num_vars` variables.
+  explicit Cube(std::size_t num_vars) : lits_(num_vars, Lit::DontCare) {}
+
+  /// Parse from positional notation, e.g. "1-0".  Throws on bad characters.
+  static Cube parse(std::string_view text);
+
+  [[nodiscard]] std::size_t num_vars() const noexcept { return lits_.size(); }
+
+  [[nodiscard]] Lit lit(std::size_t var) const { return lits_.at(var); }
+  void set_lit(std::size_t var, Lit value) { lits_.at(var) = value; }
+
+  /// Number of non-don't-care literals in the product.
+  [[nodiscard]] std::size_t literal_count() const noexcept;
+
+  /// True iff every variable is a don't-care (the constant-1 product).
+  [[nodiscard]] bool is_universal() const noexcept;
+
+  /// True iff the minterm `point` (point[i] = value of variable i)
+  /// satisfies this product.
+  [[nodiscard]] bool contains_point(const std::vector<bool>& point) const;
+
+  /// True iff every minterm of `other` is also a minterm of this cube
+  /// (i.e. this is a superset / `other` implies this).
+  [[nodiscard]] bool contains_cube(const Cube& other) const;
+
+  /// True iff the two products share at least one minterm.
+  [[nodiscard]] bool intersects(const Cube& other) const;
+
+  /// Smallest cube containing both products.
+  [[nodiscard]] Cube supercube_with(const Cube& other) const;
+
+  /// Number of minterms of the product (2^(#don't-cares)).
+  [[nodiscard]] double minterm_count() const noexcept;
+
+  /// Positional notation, e.g. "1-0".
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Cube&) const = default;
+
+ private:
+  std::vector<Lit> lits_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Cube& cube);
+
+}  // namespace brel

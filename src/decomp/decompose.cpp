@@ -1,0 +1,54 @@
+#include "decomp/decompose.hpp"
+
+#include <stdexcept>
+
+namespace brel {
+
+Bdd mux_gate(const Bdd& a, const Bdd& b, const Bdd& c) {
+  return (a & !c) | (b & c);
+}
+
+BooleanRelation decomposition_relation(
+    const Bdd& f, const std::vector<std::uint32_t>& inputs, const Bdd& gate,
+    const std::vector<std::uint32_t>& gate_inputs) {
+  BddManager& mgr = *f.manager();
+  if (gate.manager() != &mgr) {
+    throw std::invalid_argument(
+        "decomposition_relation: gate from a different manager");
+  }
+  const Bdd chi = f.iff(gate);
+  return BooleanRelation(mgr, inputs, gate_inputs, chi);
+}
+
+Decomposition decompose(const Bdd& f,
+                        const std::vector<std::uint32_t>& inputs,
+                        const Bdd& gate,
+                        const std::vector<std::uint32_t>& gate_inputs,
+                        const BrelSolver& solver) {
+  const BooleanRelation r =
+      decomposition_relation(f, inputs, gate, gate_inputs);
+  Decomposition result;
+  result.solve = solver.solve(r);
+  result.branches = result.solve.function;
+  return result;
+}
+
+bool verify_decomposition(const Bdd& f, const Bdd& gate,
+                          const std::vector<std::uint32_t>& gate_inputs,
+                          const MultiFunction& branches) {
+  BddManager& mgr = *f.manager();
+  if (branches.outputs.size() != gate_inputs.size()) {
+    throw std::invalid_argument("verify_decomposition: arity mismatch");
+  }
+  std::vector<Bdd> substitution;
+  substitution.reserve(mgr.num_vars());
+  for (std::uint32_t v = 0; v < mgr.num_vars(); ++v) {
+    substitution.push_back(mgr.var(v));
+  }
+  for (std::size_t i = 0; i < gate_inputs.size(); ++i) {
+    substitution[gate_inputs[i]] = branches.outputs[i];
+  }
+  return mgr.compose(gate, substitution) == f;
+}
+
+}  // namespace brel

@@ -1,0 +1,49 @@
+#pragma once
+/// \file decompose.hpp
+/// Multiway logic decomposition through Boolean relations (Sec. 10).
+///
+/// Given a function F(X) and a gate G(Y), the relation
+///   R(X, Y) = F(X) ⇔ G(Y)        (Def. 10.1)
+/// encloses every decomposition F(X) = G(F1(X), ..., Fn(X)).  Solving R
+/// with BREL picks one according to the cost function: Σ BDD sizes for
+/// area, Σ BDD sizes² for delay (Sec. 10.2, Table 3).
+
+#include <cstdint>
+#include <vector>
+
+#include "brel/solver.hpp"
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// The Table 3 gate: a 2:1 multiplexer Q⁺ = A·!C + B·C over (A, B, C).
+/// `selector_last` fixes the operand order (A, B, C).
+[[nodiscard]] Bdd mux_gate(const Bdd& a, const Bdd& b, const Bdd& c);
+
+/// Build the decomposition relation R(X, Y) = F(X) ⇔ G(Y).
+/// `gate` must be a function of the `gate_inputs` variables only, and F a
+/// function of `inputs` only; the two sets must be disjoint.
+[[nodiscard]] BooleanRelation decomposition_relation(
+    const Bdd& f, const std::vector<std::uint32_t>& inputs, const Bdd& gate,
+    const std::vector<std::uint32_t>& gate_inputs);
+
+/// Result of one decomposition.
+struct Decomposition {
+  MultiFunction branches;  ///< F1..Fn with F = G(F1, ..., Fn)
+  SolveResult solve;       ///< the underlying BREL run
+};
+
+/// Decompose `f` with `gate` using `solver`.  Throws when the relation is
+/// not well defined (cannot happen for a total gate G that reaches both 0
+/// and 1, e.g. the mux).
+[[nodiscard]] Decomposition decompose(
+    const Bdd& f, const std::vector<std::uint32_t>& inputs, const Bdd& gate,
+    const std::vector<std::uint32_t>& gate_inputs, const BrelSolver& solver);
+
+/// Check F(X) == G(F1(X), ..., Fn(X)) by composition.
+[[nodiscard]] bool verify_decomposition(
+    const Bdd& f, const Bdd& gate,
+    const std::vector<std::uint32_t>& gate_inputs,
+    const MultiFunction& branches);
+
+}  // namespace brel

@@ -1,0 +1,25 @@
+#include "decomp/mux_latch.hpp"
+
+namespace brel {
+
+MuxLatchResult mux_latch_decompose(const Bdd& f,
+                                   const std::vector<std::uint32_t>& inputs,
+                                   const BrelSolver& solver) {
+  BddManager& mgr = *f.manager();
+  const std::uint32_t first = mgr.add_vars(3);
+  const std::vector<std::uint32_t> abc{first, first + 1, first + 2};
+  const Bdd gate =
+      mux_gate(mgr.var(abc[0]), mgr.var(abc[1]), mgr.var(abc[2]));
+
+  MuxLatchResult result;
+  result.baseline = score_functions({f}, inputs);
+
+  const Decomposition decomposition =
+      decompose(f, inputs, gate, abc, solver);
+  result.solver_stats = decomposition.solve.stats;
+  result.verified = verify_decomposition(f, gate, abc, decomposition.branches);
+  result.decomposed = score_functions(decomposition.branches.outputs, inputs);
+  return result;
+}
+
+}  // namespace brel

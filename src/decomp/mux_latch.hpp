@@ -1,0 +1,32 @@
+#pragma once
+/// \file mux_latch.hpp
+/// The Table 3 flow: re-implement a next-state function F(X) as the data
+/// path of a flip-flop with an embedded 2:1 mux, Q⁺ = A·!C + B·C, so that
+/// F = mux(A(X), B(X), C(X)).  The mux is absorbed by the flip-flop at no
+/// area/delay cost (the paper's optimistic assumption); the comparison is
+/// between the mapped network of F and the mapped networks of A, B, C.
+
+#include <string>
+
+#include "brel/solver.hpp"
+#include "decomp/decompose.hpp"
+#include "synth/gate_network.hpp"
+
+namespace brel {
+
+/// Scores of one next-state function before/after mux decomposition.
+struct MuxLatchResult {
+  NetworkScore baseline;    ///< F mapped directly
+  NetworkScore decomposed;  ///< A, B, C mapped (mux itself free)
+  bool verified = false;    ///< F == mux(A, B, C) recheck
+  SolverStats solver_stats;
+};
+
+/// Decompose one next-state function.  `inputs` are the support variables
+/// of `f` (present-state + primary inputs); three fresh variables are
+/// added to the manager for A, B, C on each call.
+[[nodiscard]] MuxLatchResult mux_latch_decompose(
+    const Bdd& f, const std::vector<std::uint32_t>& inputs,
+    const BrelSolver& solver);
+
+}  // namespace brel

@@ -1,0 +1,144 @@
+#include "equations/equations.hpp"
+
+#include <stdexcept>
+
+namespace brel {
+
+Bdd BoolEquation::characteristic() const {
+  if (lhs.empty() || lhs.size() != rhs.size()) {
+    throw std::invalid_argument(
+        "BoolEquation: lhs/rhs must be non-empty and of equal size");
+  }
+  BddManager& mgr = *lhs.front().manager();
+  Bdd t = mgr.one();
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    switch (op) {
+      case EquationOp::Equal:
+        t = t & lhs[i].iff(rhs[i]);
+        break;
+      case EquationOp::Subseteq:
+        t = t & lhs[i].implies(rhs[i]);
+        break;
+    }
+  }
+  return t;
+}
+
+BoolEquationSystem::BoolEquationSystem(BddManager& mgr,
+                                       std::vector<std::uint32_t> independent,
+                                       std::vector<std::uint32_t> dependent)
+    : mgr_(&mgr),
+      independent_(std::move(independent)),
+      dependent_(std::move(dependent)) {}
+
+void BoolEquationSystem::add_equation(std::vector<Bdd> lhs,
+                                      std::vector<Bdd> rhs, EquationOp op) {
+  BoolEquation eq{std::move(lhs), std::move(rhs), op};
+  (void)eq.characteristic();  // validate eagerly
+  equations_.push_back(std::move(eq));
+}
+
+void BoolEquationSystem::add_equation(const Bdd& lhs, const Bdd& rhs,
+                                      EquationOp op) {
+  add_equation(std::vector<Bdd>{lhs}, std::vector<Bdd>{rhs}, op);
+}
+
+Bdd BoolEquationSystem::characteristic() const {
+  Bdd ie = mgr_->one();
+  for (const BoolEquation& eq : equations_) {
+    ie = ie & eq.characteristic();
+  }
+  return ie;
+}
+
+bool BoolEquationSystem::is_satisfiable() const {
+  // ∃X ∃Y IE — with every variable quantified the result is a constant.
+  std::vector<std::uint32_t> all = independent_;
+  all.insert(all.end(), dependent_.begin(), dependent_.end());
+  return mgr_->exists(characteristic(), all).is_one();
+}
+
+bool BoolEquationSystem::is_consistent() const {
+  return to_relation().is_well_defined();
+}
+
+BooleanRelation BoolEquationSystem::to_relation() const {
+  return BooleanRelation(*mgr_, independent_, dependent_, characteristic());
+}
+
+SolveResult BoolEquationSystem::solve(const BrelSolver& solver) const {
+  const BooleanRelation r = to_relation();
+  if (!r.is_well_defined()) {
+    throw std::invalid_argument(
+        "BoolEquationSystem::solve: system is not consistent");
+  }
+  return solver.solve(r);
+}
+
+BoolEquationSystem::GeneralSolution BoolEquationSystem::general_solution(
+    const MultiFunction& particular) const {
+  if (!is_solution(particular)) {
+    throw std::invalid_argument(
+        "general_solution: the seed is not a particular solution");
+  }
+  GeneralSolution general;
+  const std::uint32_t first =
+      mgr_->add_vars(static_cast<std::uint32_t>(dependent_.size()));
+  for (std::size_t i = 0; i < dependent_.size(); ++i) {
+    general.parameters.push_back(first + static_cast<std::uint32_t>(i));
+  }
+  // IE with the dependents replaced by the parameters.
+  std::vector<Bdd> to_params;
+  to_params.reserve(mgr_->num_vars());
+  for (std::uint32_t v = 0; v < mgr_->num_vars(); ++v) {
+    to_params.push_back(mgr_->var(v));
+  }
+  for (std::size_t i = 0; i < dependent_.size(); ++i) {
+    to_params[dependent_[i]] = mgr_->var(general.parameters[i]);
+  }
+  general.selector = mgr_->compose(characteristic(), to_params);
+  for (std::size_t i = 0; i < dependent_.size(); ++i) {
+    general.functions.outputs.push_back(
+        mgr_->ite(general.selector, mgr_->var(general.parameters[i]),
+                  particular.outputs[i]));
+  }
+  return general;
+}
+
+MultiFunction BoolEquationSystem::instantiate(
+    const GeneralSolution& general,
+    const std::vector<Bdd>& parameter_functions) const {
+  if (parameter_functions.size() != general.parameters.size()) {
+    throw std::invalid_argument("instantiate: parameter count mismatch");
+  }
+  std::vector<Bdd> substitution;
+  substitution.reserve(mgr_->num_vars());
+  for (std::uint32_t v = 0; v < mgr_->num_vars(); ++v) {
+    substitution.push_back(mgr_->var(v));
+  }
+  for (std::size_t i = 0; i < general.parameters.size(); ++i) {
+    substitution[general.parameters[i]] = parameter_functions[i];
+  }
+  MultiFunction result;
+  for (const Bdd& y : general.functions.outputs) {
+    result.outputs.push_back(mgr_->compose(y, substitution));
+  }
+  return result;
+}
+
+bool BoolEquationSystem::is_solution(const MultiFunction& f) const {
+  if (f.outputs.size() != dependent_.size()) {
+    throw std::invalid_argument("is_solution: arity mismatch");
+  }
+  std::vector<Bdd> substitution;
+  substitution.reserve(mgr_->num_vars());
+  for (std::uint32_t v = 0; v < mgr_->num_vars(); ++v) {
+    substitution.push_back(mgr_->var(v));
+  }
+  for (std::size_t i = 0; i < dependent_.size(); ++i) {
+    substitution[dependent_[i]] = f.outputs[i];
+  }
+  return mgr_->compose(characteristic(), substitution).is_one();
+}
+
+}  // namespace brel

@@ -1,0 +1,107 @@
+#pragma once
+/// \file equations.hpp
+/// Solving systems of Boolean equations through Boolean relations (Sec. 8).
+///
+/// A Boolean equation P(X,Y) ⊙ Q(X,Y) (⊙ ∈ {=, ⊆}, Defs. 8.1) over
+/// independent variables X and dependent variables Y is transformed into
+/// characteristic form T(X,Y) = 1 (Property 8.1); a system reduces to a
+/// single characteristic function IE = ∧ T_k (Theorem 8.1), which *is* a
+/// Boolean relation.  Consistency is a quantification check (Property
+/// 8.2), and an optimized particular solution is a BREL solve of the
+/// relation.
+
+#include <cstdint>
+#include <vector>
+
+#include "brel/solver.hpp"
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// The two relational operators of Def. 8.1.
+enum class EquationOp {
+  Equal,     ///< P = Q  ⇔  (P ≡ Q) = 1
+  Subseteq,  ///< P ⊆ Q  ⇔  (!P ∨ Q) = 1
+};
+
+/// One multi-output Boolean equation P ⊙ Q.  P and Q are component-wise
+/// vectors of functions over both X and Y.
+struct BoolEquation {
+  std::vector<Bdd> lhs;
+  std::vector<Bdd> rhs;
+  EquationOp op = EquationOp::Equal;
+
+  /// Characteristic form T(X,Y) with T = 1 iff the equation holds
+  /// (Property 8.1), conjoined over the components.
+  [[nodiscard]] Bdd characteristic() const;
+};
+
+/// A system of Boolean equations (Def. 8.3) with a designated split of
+/// variables into independent X and dependent Y.
+class BoolEquationSystem {
+ public:
+  BoolEquationSystem(BddManager& mgr, std::vector<std::uint32_t> independent,
+                     std::vector<std::uint32_t> dependent);
+
+  /// Add P ⊙ Q.  lhs/rhs must be component vectors of equal size.
+  void add_equation(std::vector<Bdd> lhs, std::vector<Bdd> rhs,
+                    EquationOp op = EquationOp::Equal);
+
+  /// Convenience for single-component equations.
+  void add_equation(const Bdd& lhs, const Bdd& rhs,
+                    EquationOp op = EquationOp::Equal);
+
+  [[nodiscard]] std::size_t size() const noexcept { return equations_.size(); }
+
+  /// IE(X,Y) = ∧_k T_k(X,Y) (Theorem 8.1): exactly the feasible points.
+  [[nodiscard]] Bdd characteristic() const;
+
+  /// ∃X ∃Y IE = 1 — the equation has at least one satisfying point
+  /// (the consistency condition of [9] quoted in Sec. 8).
+  [[nodiscard]] bool is_satisfiable() const;
+
+  /// ∀X ∃Y IE = 1 — a solution *function* Y(X) exists for every X
+  /// (Property 8.2; equivalently, the relation below is well defined).
+  [[nodiscard]] bool is_consistent() const;
+
+  /// The system as the Boolean relation IE ⊆ B^X × B^Y.
+  [[nodiscard]] BooleanRelation to_relation() const;
+
+  /// An optimized particular solution (Def. 8.2) via the BREL solver.
+  /// Throws std::invalid_argument when the system is not consistent.
+  [[nodiscard]] SolveResult solve(const BrelSolver& solver = BrelSolver{}) const;
+
+  /// Substitute Y := F(X) into IE and test for tautology — the
+  /// verification-by-substitution of Example 8.3.
+  [[nodiscard]] bool is_solution(const MultiFunction& f) const;
+
+  /// Löwenheim parametric general solution (Def. 8.2): built from any
+  /// particular solution F over fresh parameter variables P, with
+  ///   Y_i(X, P) = IE(X, P)·p_i + !IE(X, P)·F_i(X).
+  /// Every instantiation of P yields a particular solution, and the
+  /// formula is *reproductive*: parameters that already are a solution
+  /// map to themselves, so every solution is reached.
+  struct GeneralSolution {
+    std::vector<std::uint32_t> parameters;  ///< fresh variables, one per Y
+    MultiFunction functions;                ///< Y_i over X and P
+    Bdd selector;  ///< IE(X, P): where the parameters solve the system
+  };
+
+  /// Requires `particular` to be a solution (checked).
+  [[nodiscard]] GeneralSolution general_solution(
+      const MultiFunction& particular) const;
+
+  /// Substitute parameter functions P_i(X) into a general solution,
+  /// producing the corresponding particular solution.
+  [[nodiscard]] MultiFunction instantiate(
+      const GeneralSolution& general,
+      const std::vector<Bdd>& parameter_functions) const;
+
+ private:
+  BddManager* mgr_;
+  std::vector<std::uint32_t> independent_;
+  std::vector<std::uint32_t> dependent_;
+  std::vector<BoolEquation> equations_;
+};
+
+}  // namespace brel

@@ -1,0 +1,218 @@
+#include "gyocro/gyocro.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace brel {
+
+namespace {
+
+/// Working state of the local search: per-output covers plus the cached
+/// compatibility oracle.
+class Search {
+ public:
+  Search(const BooleanRelation& r, GyocroStats& stats,
+         bool multi_literal_expand)
+      : relation_(r),
+        mgr_(r.manager()),
+        stats_(stats),
+        multi_literal_expand_(multi_literal_expand) {}
+
+  std::vector<Cover> covers;
+
+  [[nodiscard]] MultiFunction to_function() const {
+    MultiFunction f;
+    f.outputs.reserve(covers.size());
+    for (const Cover& cover : covers) {
+      f.outputs.push_back(mgr_.cover_bdd(cover, relation_.inputs()));
+    }
+    return f;
+  }
+
+  [[nodiscard]] bool compatible() const {
+    return relation_.is_compatible(to_function());
+  }
+
+  [[nodiscard]] std::size_t cube_count() const {
+    std::size_t total = 0;
+    for (const Cover& cover : covers) {
+      total += cover.cube_count();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t literal_count() const {
+    std::size_t total = 0;
+    for (const Cover& cover : covers) {
+      total += cover.literal_count();
+    }
+    return total;
+  }
+
+  /// Lexicographic objective (cubes, then literals).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> objective() const {
+    return {cube_count(), literal_count()};
+  }
+
+  /// reduce: shrink cubes (add literals) while compatibility holds.  The
+  /// purpose is to free overlap so a later expand can reach other primes.
+  void reduce() {
+    for (Cover& cover : covers) {
+      for (Cube& cube : cover.cubes()) {
+        for (std::size_t var = 0; var < cube.num_vars(); ++var) {
+          if (cube.lit(var) != Lit::DontCare) {
+            continue;
+          }
+          for (const Lit value : {Lit::One, Lit::Zero}) {
+            cube.set_lit(var, value);
+            if (compatible()) {
+              ++stats_.reductions;
+              break;
+            }
+            ++stats_.moves_rejected;
+            cube.set_lit(var, Lit::DontCare);
+          }
+        }
+      }
+    }
+  }
+
+  /// expand: remove literals (possibly several, unlike Herb's single-
+  /// variable expansion) while compatibility holds, then drop cubes that
+  /// became contained in the expanded one.
+  void expand() {
+    for (Cover& cover : covers) {
+      for (std::size_t c = 0; c < cover.cube_count(); ++c) {
+        bool expanded = false;
+        for (std::size_t var = 0; var < cover.num_vars(); ++var) {
+          Cube& cube = cover.cubes()[c];
+          const Lit old = cube.lit(var);
+          if (old == Lit::DontCare) {
+            continue;
+          }
+          cube.set_lit(var, Lit::DontCare);
+          if (compatible()) {
+            ++stats_.expansions;
+            expanded = true;
+            if (!multi_literal_expand_) {
+              break;  // Herb-style: one variable per cube per pass
+            }
+          } else {
+            ++stats_.moves_rejected;
+            cube.set_lit(var, old);
+          }
+        }
+        if (expanded) {
+          const std::size_t before = cover.cube_count();
+          drop_contained(cover, c);
+          stats_.cubes_removed += before - cover.cube_count();
+        }
+      }
+    }
+  }
+
+  /// irredundant: drop cubes whose removal keeps the function compatible.
+  void irredundant() {
+    for (Cover& cover : covers) {
+      for (std::size_t c = cover.cube_count(); c-- > 0;) {
+        const Cube removed = cover.cubes()[c];
+        cover.cubes().erase(cover.cubes().begin() +
+                            static_cast<std::ptrdiff_t>(c));
+        if (compatible()) {
+          ++stats_.cubes_removed;
+        } else {
+          ++stats_.moves_rejected;
+          cover.cubes().insert(
+              cover.cubes().begin() + static_cast<std::ptrdiff_t>(c), removed);
+        }
+      }
+    }
+  }
+
+ private:
+  /// Remove cubes of `cover` contained in cube `keep` (other than itself).
+  static void drop_contained(Cover& cover, std::size_t keep) {
+    const Cube anchor = cover.cubes()[keep];
+    std::vector<Cube> kept;
+    kept.reserve(cover.cube_count());
+    for (std::size_t i = 0; i < cover.cube_count(); ++i) {
+      if (i != keep && anchor.contains_cube(cover.cubes()[i])) {
+        continue;
+      }
+      kept.push_back(cover.cubes()[i]);
+    }
+    cover = Cover(cover.num_vars(), std::move(kept));
+  }
+
+  const BooleanRelation& relation_;
+  BddManager& mgr_;
+  GyocroStats& stats_;
+  bool multi_literal_expand_;
+};
+
+}  // namespace
+
+GyocroSolver::GyocroSolver(GyocroOptions options)
+    : options_(std::move(options)) {}
+
+GyocroResult GyocroSolver::solve(const BooleanRelation& r) const {
+  const auto start = std::chrono::steady_clock::now();
+  if (!r.is_well_defined()) {
+    throw std::invalid_argument("GyocroSolver: relation is not well defined");
+  }
+  BddManager& mgr = r.manager();
+  GyocroResult result;
+  Search search(r, result.stats, options_.multi_literal_expand);
+
+  // Initial solution: QuickSolver with ISOP covers (Sec. 6.2), projected
+  // onto the relation's *input* variable positions.
+  {
+    BooleanRelation current = r;
+    for (std::size_t i = 0; i < r.num_outputs(); ++i) {
+      const Isf isf = current.project_output(i);
+      const IsopResult isop = options_.minimizer.minimize_to_cover(isf);
+      // Re-express the cover over the input positions only.
+      Cover cover(r.num_inputs());
+      for (const Cube& cube : isop.cover.cubes()) {
+        Cube projected(r.num_inputs());
+        for (std::size_t k = 0; k < r.num_inputs(); ++k) {
+          projected.set_lit(k, cube.lit(r.inputs()[k]));
+        }
+        cover.add_cube(projected);
+      }
+      search.covers.push_back(std::move(cover));
+      current = current.constrain_with(
+          mgr.var(r.outputs()[i]).iff(isop.function));
+    }
+  }
+
+  // reduce-expand-irredundant passes while the objective improves.
+  auto best = search.objective();
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    const std::vector<Cover> snapshot = search.covers;
+    search.reduce();
+    search.expand();
+    search.irredundant();
+    ++result.stats.iterations;
+    const auto now = search.objective();
+    if (now < best) {
+      best = now;
+    } else {
+      if (now > best) {
+        search.covers = snapshot;  // the pass made things worse: revert
+      }
+      break;
+    }
+  }
+
+  result.covers = search.covers;
+  result.function = search.to_function();
+  result.cube_count = search.cube_count();
+  result.literal_count = search.literal_count();
+  result.stats.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace brel

@@ -1,0 +1,68 @@
+#pragma once
+/// \file gyocro.hpp
+/// A reimplementation of the gyocro-style heuristic BR minimizer
+/// (Watanabe/Brayton [33]; comparison baseline of Table 2 and Sec. 9.1).
+///
+/// The algorithm is ESPRESSO-flavoured local search on a multi-output SOP:
+/// start from the QuickSolver solution, then repeat reduce -> expand ->
+/// irredundant passes, where every cube move is accepted only when the
+/// modified multi-output function stays *compatible with the relation*
+/// (this is what generalizes two-level minimization from ISFs to BRs).
+/// The objective is lexicographic: fewest cubes, then fewest literals.
+///
+/// As Sec. 9.1 shows (Fig. 10), this local search cannot climb out of the
+/// minima the initial solution pins it to — the behaviour our Fig. 10
+/// bench reproduces.  The original gyocro binary is not available; this is
+/// a from-scratch reimplementation of the published paradigm (DESIGN.md
+/// substitution 3).
+
+#include <cstddef>
+
+#include "brel/isf_minimizer.hpp"
+#include "relation/relation.hpp"
+
+namespace brel {
+
+struct GyocroOptions {
+  /// Minimizer used for the initial (QuickSolver-style) covers.
+  IsfMinimizer minimizer{};
+  /// Safety bound on reduce-expand-irredundant iterations.
+  std::size_t max_iterations = 20;
+  /// gyocro expands several literals of a cube per pass; Herb [18] — the
+  /// first heuristic BR minimizer — "limits the expand operation to one
+  /// variable at a time" (Sec. 3), restricting the search space.  Set to
+  /// false for the Herb-style baseline.
+  bool multi_literal_expand = true;
+};
+
+struct GyocroStats {
+  std::size_t iterations = 0;        ///< completed R-E-I passes
+  std::size_t expansions = 0;        ///< literals removed by expand
+  std::size_t reductions = 0;        ///< literals added by reduce
+  std::size_t cubes_removed = 0;     ///< cubes dropped (containment or
+                                     ///< irredundant)
+  std::size_t moves_rejected = 0;    ///< incompatible candidate moves
+  double runtime_seconds = 0.0;
+};
+
+struct GyocroResult {
+  std::vector<Cover> covers;  ///< one SOP per output
+  MultiFunction function;     ///< BDDs of the covers
+  std::size_t cube_count = 0;
+  std::size_t literal_count = 0;
+  GyocroStats stats;
+};
+
+class GyocroSolver {
+ public:
+  explicit GyocroSolver(GyocroOptions options = {});
+
+  /// Solve a well-defined relation; the result is always compatible.
+  /// Throws std::invalid_argument otherwise.
+  [[nodiscard]] GyocroResult solve(const BooleanRelation& r) const;
+
+ private:
+  GyocroOptions options_;
+};
+
+}  // namespace brel

@@ -1,0 +1,124 @@
+#include "relation/enumeration.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace brel {
+
+namespace {
+
+struct VertexChoices {
+  std::vector<bool> input;                 // full manager-wide assignment
+  std::vector<std::uint64_t> output_codes; // allowed output vertices
+};
+
+/// Collect, for each input vertex, the list of allowed output codes.
+std::vector<VertexChoices> collect_choices(const BooleanRelation& r) {
+  const std::size_t n = r.num_inputs();
+  if (n > 16 || r.num_outputs() > 16) {
+    throw std::logic_error(
+        "enumerate_compatible_functions: relation too large");
+  }
+  std::vector<VertexChoices> choices;
+  choices.reserve(std::size_t{1} << n);
+  std::vector<bool> x(r.manager().num_vars(), false);
+  for (std::uint64_t code = 0; code < (std::uint64_t{1} << n); ++code) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[r.inputs()[i]] = ((code >> i) & 1u) != 0;
+    }
+    VertexChoices vc;
+    vc.input = x;
+    for (const std::uint64_t y : r.image_of(x)) {
+      vc.output_codes.push_back(y);
+    }
+    choices.push_back(std::move(vc));
+  }
+  return choices;
+}
+
+}  // namespace
+
+double count_compatible_functions(const BooleanRelation& r) {
+  double count = 1.0;
+  for (const VertexChoices& vc : collect_choices(r)) {
+    count *= static_cast<double>(vc.output_codes.size());
+  }
+  return count;
+}
+
+std::uint64_t enumerate_compatible_functions(
+    const BooleanRelation& r,
+    const std::function<bool(const MultiFunction&)>& visit,
+    std::uint64_t max_functions) {
+  if (!r.is_well_defined()) {
+    return 0;  // IF(R) is empty (Def. 4.9)
+  }
+  const std::vector<VertexChoices> choices = collect_choices(r);
+  const double total = count_compatible_functions(r);
+  if (total > static_cast<double>(max_functions)) {
+    throw std::logic_error(
+        "enumerate_compatible_functions: |IF(R)| exceeds max_functions");
+  }
+  BddManager& mgr = r.manager();
+  const std::size_t m = r.num_outputs();
+
+  // Odometer over the choice lists; build the m output BDDs per function.
+  std::vector<std::size_t> index(choices.size(), 0);
+  std::uint64_t visited = 0;
+  while (true) {
+    MultiFunction f;
+    f.outputs.assign(m, mgr.zero());
+    for (std::size_t v = 0; v < choices.size(); ++v) {
+      const std::uint64_t y = choices[v].output_codes[index[v]];
+      Bdd minterm = mgr.one();
+      for (const std::uint32_t var : r.inputs()) {
+        minterm = minterm & mgr.literal(var, choices[v].input[var]);
+      }
+      for (std::size_t o = 0; o < m; ++o) {
+        if (((y >> o) & 1u) != 0) {
+          f.outputs[o] = f.outputs[o] | minterm;
+        }
+      }
+    }
+    ++visited;
+    if (!visit(f)) {
+      return visited;
+    }
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < choices.size()) {
+      if (++index[pos] < choices[pos].output_codes.size()) {
+        break;
+      }
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == choices.size()) {
+      return visited;
+    }
+  }
+}
+
+ExactOptimum exact_optimum(
+    const BooleanRelation& r,
+    const std::function<double(const MultiFunction&)>& cost,
+    std::uint64_t max_functions) {
+  if (!r.is_well_defined()) {
+    throw std::logic_error("exact_optimum: relation is not well defined");
+  }
+  ExactOptimum best;
+  best.explored = enumerate_compatible_functions(
+      r,
+      [&](const MultiFunction& f) {
+        const double c = cost(f);
+        if (c < best.cost) {
+          best.cost = c;
+          best.function = f;
+        }
+        return true;
+      },
+      max_functions);
+  return best;
+}
+
+}  // namespace brel

@@ -1,0 +1,49 @@
+#pragma once
+/// \file enumeration.hpp
+/// Exhaustive enumeration of the compatible functions IF(R) of a small
+/// relation (Def. 4.9).  Used by tests and by the exact-optimality checks:
+/// BREL's exact mode must match the enumerated optimum.
+///
+/// Complexity is the product over input vertices of |R(x)|, so this is
+/// only for relations with a handful of inputs/outputs.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// Calls `visit` once for every multi-output function compatible with `r`
+/// (every element of IF(R)).  Returns the number of functions visited.
+/// If `visit` returns false the enumeration stops early.
+///
+/// Throws std::logic_error when the relation is not well defined (IF(R) is
+/// empty then — the callback is never invoked and 0 is returned instead)
+/// or when the enumeration would exceed `max_functions`.
+std::uint64_t enumerate_compatible_functions(
+    const BooleanRelation& r,
+    const std::function<bool(const MultiFunction&)>& visit,
+    std::uint64_t max_functions = 1u << 22);
+
+/// The number |IF(R)| of compatible functions without visiting them:
+/// the product over input vertices of the image sizes.
+[[nodiscard]] double count_compatible_functions(const BooleanRelation& r);
+
+/// Result of an exhaustive search over IF(R).
+struct ExactOptimum {
+  MultiFunction function;
+  double cost = std::numeric_limits<double>::infinity();
+  std::uint64_t explored = 0;  ///< functions enumerated
+};
+
+/// The true optimal solution of `r` under `cost` by brute force.
+/// Throws if `r` is not well defined.
+[[nodiscard]] ExactOptimum exact_optimum(
+    const BooleanRelation& r,
+    const std::function<double(const MultiFunction&)>& cost,
+    std::uint64_t max_functions = 1u << 22);
+
+}  // namespace brel

@@ -1,0 +1,40 @@
+#include "relation/isf.hpp"
+
+#include <stdexcept>
+
+namespace brel {
+
+Isf::Isf(Bdd on, Bdd dc) : on_(std::move(on)), dc_(std::move(dc)) {
+  if (on_.is_null() || dc_.is_null() || on_.manager() != dc_.manager()) {
+    throw std::invalid_argument("Isf: ON/DC must share a manager");
+  }
+  if (!(on_ & dc_).is_zero()) {
+    throw std::invalid_argument("Isf: ON and DC sets must be disjoint");
+  }
+  off_ = !(on_ | dc_);
+}
+
+bool Isf::contains(const Bdd& f) const {
+  return on_.subset_of(f) && f.subset_of(max());
+}
+
+bool Isf::can_eliminate_var(std::uint32_t var) const {
+  BddManager& mgr = *on_.manager();
+  const std::vector<std::uint32_t> vars{var};
+  const Bdd new_min = mgr.exists(on_, vars);
+  const Bdd new_max = mgr.forall(max(), vars);
+  return new_min.subset_of(new_max);
+}
+
+Isf Isf::eliminate_var(std::uint32_t var) const {
+  BddManager& mgr = *on_.manager();
+  const std::vector<std::uint32_t> vars{var};
+  const Bdd new_min = mgr.exists(on_, vars);
+  const Bdd new_max = mgr.forall(max(), vars);
+  if (!new_min.subset_of(new_max)) {
+    throw std::logic_error("Isf::eliminate_var: variable is essential");
+  }
+  return Isf(new_min, new_max & !new_min);
+}
+
+}  // namespace brel

@@ -1,0 +1,154 @@
+#pragma once
+/// \file relation.hpp
+/// Boolean relations (Def. 4.6) represented by BDD characteristic functions
+/// (Def. 6.1), plus the operations the BREL paradigm is built from:
+/// projection (Def. 5.1), MISF covering (Def. 5.2), compatibility checking
+/// (Def. 5.3) and the Split operation (Def. 5.4).
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "relation/isf.hpp"
+
+namespace brel {
+
+/// A multiple-output Boolean function F : B^n -> B^m given as one BDD per
+/// output, each over the relation's input variables.
+struct MultiFunction {
+  std::vector<Bdd> outputs;
+
+  [[nodiscard]] std::size_t num_outputs() const noexcept {
+    return outputs.size();
+  }
+};
+
+/// A Boolean relation R ⊆ B^n × B^m with a named split of manager
+/// variables into inputs X and outputs Y.  Immutable value type: all
+/// operations return new relations sharing the same manager.
+class BooleanRelation {
+ public:
+  /// Wrap a characteristic function.  `inputs`/`outputs` are manager
+  /// variable indices; they must be disjoint.
+  BooleanRelation(BddManager& mgr, std::vector<std::uint32_t> inputs,
+                  std::vector<std::uint32_t> outputs, Bdd characteristic);
+
+  /// The complete relation B^n × B^m.
+  static BooleanRelation full(BddManager& mgr,
+                              std::vector<std::uint32_t> inputs,
+                              std::vector<std::uint32_t> outputs);
+
+  /// Build from a table mapping input-vertex strings to sets of allowed
+  /// output-vertex strings, e.g. {{"10", {"00", "11"}}, ...} — the notation
+  /// used throughout the paper's examples.  Vertices may use '-' as a
+  /// shorthand for both values (a cube of vertices).  Unlisted input
+  /// vertices get an empty image (the relation is then not well defined).
+  static BooleanRelation from_table(
+      BddManager& mgr, std::vector<std::uint32_t> inputs,
+      std::vector<std::uint32_t> outputs,
+      const std::vector<std::pair<std::string, std::vector<std::string>>>&
+          rows);
+
+  [[nodiscard]] BddManager& manager() const noexcept { return *mgr_; }
+  [[nodiscard]] const Bdd& characteristic() const noexcept { return chi_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& inputs() const noexcept {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& outputs() const noexcept {
+    return outputs_;
+  }
+  [[nodiscard]] std::size_t num_inputs() const noexcept {
+    return inputs_.size();
+  }
+  [[nodiscard]] std::size_t num_outputs() const noexcept {
+    return outputs_.size();
+  }
+
+  /// Same input/output spaces and characteristic function.
+  [[nodiscard]] bool operator==(const BooleanRelation& other) const;
+
+  /// Lattice meet/join of Property 5.1: the set of relations over fixed
+  /// input/output spaces forms a lattice under ⊆ with union and
+  /// intersection.  Both operands must share spaces and manager.
+  [[nodiscard]] BooleanRelation intersect_with(
+      const BooleanRelation& other) const;
+  [[nodiscard]] BooleanRelation union_with(
+      const BooleanRelation& other) const;
+
+  /// Containment in the lattice order (this ⊆ other).
+  [[nodiscard]] bool subset_of(const BooleanRelation& other) const;
+
+  /// Left-total (Def. 4.6): every input vertex has at least one output.
+  [[nodiscard]] bool is_well_defined() const;
+
+  /// ∃Y R — the set of input vertices with a non-empty image.
+  [[nodiscard]] Bdd input_domain() const;
+
+  /// Functional: every input vertex has exactly one output vertex.
+  [[nodiscard]] bool is_function() const;
+
+  /// For a functional relation, the unique compatible multi-output
+  /// function F with F_i = ∃Y (R ∧ y_i).  Throws if not a function.
+  [[nodiscard]] MultiFunction extract_function() const;
+
+  /// Projection R↓y_i (Def. 5.1) interpreted as an ISF over the inputs:
+  /// ON = vertices forced to 1, OFF = forced to 0, DC = both allowed.
+  [[nodiscard]] Isf project_output(std::size_t output_index) const;
+
+  /// MISF_R (Def. 5.2): the smallest MISF covering R, as a relation.
+  /// R ⊆ misf() always holds (Property 5.2); equality iff R is an MISF.
+  [[nodiscard]] BooleanRelation misf() const;
+
+  /// True iff this relation is exactly expressible per-output don't cares
+  /// (i.e. R == misf()).
+  [[nodiscard]] bool is_misf() const;
+
+  /// Characteristic function ∧_i (y_i ≡ F_i) of a multi-output function.
+  [[nodiscard]] Bdd function_characteristic(const MultiFunction& f) const;
+
+  /// Compatibility (Def. 5.3): F ⊆ R as sets of (input, output) pairs.
+  [[nodiscard]] bool is_compatible(const MultiFunction& f) const;
+
+  /// Incomp(F, R) = F \ R — the (x, y) pairs where F violates R.
+  [[nodiscard]] Bdd incompatibilities(const MultiFunction& f) const;
+
+  /// Split (Def. 5.4) on input vertex `x` (a minterm over the inputs,
+  /// given as a full assignment of manager variables) and output y_i.
+  /// first  = R minus (x, y_i = 1)  [forces y_i(x) = 0],
+  /// second = R minus (x, y_i = 0)  [forces y_i(x) = 1].
+  [[nodiscard]] std::pair<BooleanRelation, BooleanRelation> split(
+      const std::vector<bool>& x, std::size_t output_index) const;
+
+  /// Theorem 5.2 guard: both halves of split(x, i) are well defined and
+  /// strictly smaller iff (R↓y_i)(x) = {0, 1}.
+  [[nodiscard]] bool can_split(const std::vector<bool>& x,
+                               std::size_t output_index) const;
+
+  /// New relation with the same spaces but characteristic chi ∧ constraint.
+  [[nodiscard]] BooleanRelation constrain_with(const Bdd& constraint) const;
+
+  /// Make the relation left-total by allowing every output on inputs
+  /// outside the current domain (the standard totalization).
+  [[nodiscard]] BooleanRelation totalized() const;
+
+  /// The image R(x) as a set of output vertices (LSB = outputs()[0]).
+  /// Testing helper; enumerates up to 2^m vertices.
+  [[nodiscard]] std::set<std::uint64_t> image_of(
+      const std::vector<bool>& x) const;
+
+  /// Tabular dump "x : {y1, y2}" per input vertex, for debugging and for
+  /// matching the paper's examples.  Enumerates 2^n rows.
+  [[nodiscard]] std::string to_table() const;
+
+ private:
+  BddManager* mgr_;
+  std::vector<std::uint32_t> inputs_;
+  std::vector<std::uint32_t> outputs_;
+  Bdd chi_;
+};
+
+}  // namespace brel

@@ -1,0 +1,151 @@
+#include "relation/relation_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace brel {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("relation_io: line " + std::to_string(line) +
+                              ": " + message);
+}
+
+}  // namespace
+
+BooleanRelation read_relation(BddManager& mgr, const std::string& text) {
+  std::istringstream in(text);
+  return read_relation(mgr, in);
+}
+
+BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  bool saw_inputs = false;
+  bool saw_outputs = false;
+  bool in_rows = false;
+  bool saw_end = false;
+
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  Bdd chi;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head)) {
+      continue;
+    }
+    if (saw_end) {
+      fail(line_number, "content after .e");
+    }
+    if (head == ".i") {
+      if (saw_inputs || !(tokens >> num_inputs) || num_inputs == 0) {
+        fail(line_number, "bad or duplicate .i");
+      }
+      saw_inputs = true;
+    } else if (head == ".o") {
+      if (saw_outputs || !(tokens >> num_outputs) || num_outputs == 0) {
+        fail(line_number, "bad or duplicate .o");
+      }
+      saw_outputs = true;
+    } else if (head == ".r") {
+      if (!saw_inputs || !saw_outputs || in_rows) {
+        fail(line_number, ".r requires .i and .o first");
+      }
+      in_rows = true;
+      const std::uint32_t first =
+          mgr.add_vars(static_cast<std::uint32_t>(num_inputs + num_outputs));
+      for (std::size_t i = 0; i < num_inputs; ++i) {
+        inputs.push_back(first + static_cast<std::uint32_t>(i));
+      }
+      for (std::size_t i = 0; i < num_outputs; ++i) {
+        outputs.push_back(first + static_cast<std::uint32_t>(num_inputs + i));
+      }
+      chi = mgr.zero();
+    } else if (head == ".e") {
+      if (!in_rows) {
+        fail(line_number, ".e before .r");
+      }
+      saw_end = true;
+    } else {
+      if (!in_rows) {
+        fail(line_number, "row before .r");
+      }
+      if (head.size() != num_inputs) {
+        fail(line_number, "input cube width mismatch");
+      }
+      Cube input_cube(0);
+      try {
+        input_cube = Cube::parse(head);
+      } catch (const std::invalid_argument&) {
+        fail(line_number, "bad input cube '" + head + "'");
+      }
+      const Bdd region = mgr.cube_bdd(input_cube, inputs);
+      Bdd image = mgr.zero();
+      std::string token;
+      std::size_t count = 0;
+      while (tokens >> token) {
+        if (token.size() != num_outputs) {
+          fail(line_number, "output cube width mismatch");
+        }
+        try {
+          image = image | mgr.cube_bdd(Cube::parse(token), outputs);
+        } catch (const std::invalid_argument&) {
+          fail(line_number, "bad output cube '" + token + "'");
+        }
+        ++count;
+      }
+      if (count == 0) {
+        fail(line_number, "row without output cubes");
+      }
+      chi = chi | (region & image);
+    }
+  }
+  if (!saw_end) {
+    fail(line_number, "missing .e");
+  }
+  return BooleanRelation(mgr, std::move(inputs), std::move(outputs),
+                         std::move(chi));
+}
+
+std::string write_relation(const BooleanRelation& r) {
+  if (r.num_inputs() > 16) {
+    throw std::logic_error("write_relation: too many inputs to enumerate");
+  }
+  std::ostringstream os;
+  os << ".i " << r.num_inputs() << "\n.o " << r.num_outputs() << "\n.r\n";
+  const std::size_t n = r.num_inputs();
+  std::vector<bool> x(r.manager().num_vars(), false);
+  for (std::uint64_t code = 0; code < (std::uint64_t{1} << n); ++code) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[r.inputs()[i]] = ((code >> i) & 1u) != 0;
+    }
+    const std::set<std::uint64_t> image = r.image_of(x);
+    if (image.empty()) {
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      os << (x[r.inputs()[i]] ? '1' : '0');
+    }
+    for (const std::uint64_t y : image) {
+      os << ' ';
+      for (std::size_t i = 0; i < r.num_outputs(); ++i) {
+        os << (((y >> i) & 1u) != 0 ? '1' : '0');
+      }
+    }
+    os << "\n";
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+}  // namespace brel

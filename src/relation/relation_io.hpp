@@ -1,0 +1,39 @@
+#pragma once
+/// \file relation_io.hpp
+/// A plain-text exchange format for Boolean relations, in the spirit of
+/// the .br files used by the historical BR minimizers (gyocro, Herb):
+///
+///   # comment
+///   .i 2            number of input variables
+///   .o 2            number of output variables
+///   .r              start of the rows
+///   10 00 11        input vertex/cube, then the allowed output cubes
+///   11 1-
+///   .e              end marker
+///
+/// Rows accumulate by union: an input cube may appear several times, and
+/// '-' is allowed on both sides.  Input vertices that never appear have an
+/// empty image (the relation is then not well defined; callers can use
+/// BooleanRelation::totalized()).
+
+#include <iosfwd>
+#include <string>
+
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// Parse a relation from `text`, allocating fresh variables in `mgr`.
+/// Throws std::invalid_argument with a line number on malformed input.
+[[nodiscard]] BooleanRelation read_relation(BddManager& mgr,
+                                            const std::string& text);
+
+/// Parse from a stream (same format).
+[[nodiscard]] BooleanRelation read_relation(BddManager& mgr,
+                                            std::istream& in);
+
+/// Serialize by enumerating input vertices (requires <= 16 inputs).  The
+/// output parses back to an equal relation.
+[[nodiscard]] std::string write_relation(const BooleanRelation& r);
+
+}  // namespace brel

@@ -1,0 +1,221 @@
+#include "synth/factor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace brel {
+
+namespace {
+
+FactorTree literal_node(std::uint32_t var, bool positive) {
+  FactorTree node;
+  node.kind = FactorTree::Kind::Literal;
+  node.var = var;
+  node.positive = positive;
+  return node;
+}
+
+FactorTree constant_node(bool one) {
+  FactorTree node;
+  node.kind = one ? FactorTree::Kind::ConstOne : FactorTree::Kind::ConstZero;
+  return node;
+}
+
+/// AND of the literals of one cube.
+FactorTree cube_node(const Cube& cube) {
+  std::vector<FactorTree> literals;
+  for (std::size_t v = 0; v < cube.num_vars(); ++v) {
+    if (cube.lit(v) != Lit::DontCare) {
+      literals.push_back(literal_node(static_cast<std::uint32_t>(v),
+                                      cube.lit(v) == Lit::One));
+    }
+  }
+  if (literals.empty()) {
+    return constant_node(true);
+  }
+  if (literals.size() == 1) {
+    return literals.front();
+  }
+  FactorTree node;
+  node.kind = FactorTree::Kind::And;
+  node.children = std::move(literals);
+  return node;
+}
+
+FactorTree factor_cubes(const std::vector<Cube>& cubes, std::size_t num_vars) {
+  if (cubes.empty()) {
+    return constant_node(false);
+  }
+  if (cubes.size() == 1) {
+    return cube_node(cubes.front());
+  }
+  // Most frequent literal across the cubes.
+  std::size_t best_count = 0;
+  std::uint32_t best_var = 0;
+  Lit best_value = Lit::DontCare;
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    for (const Lit value : {Lit::Zero, Lit::One}) {
+      std::size_t count = 0;
+      for (const Cube& cube : cubes) {
+        if (cube.lit(v) == value) {
+          ++count;
+        }
+      }
+      if (count > best_count) {
+        best_count = count;
+        best_var = static_cast<std::uint32_t>(v);
+        best_value = value;
+      }
+    }
+  }
+  if (best_count <= 1) {
+    // No sharable literal: plain disjunction of cube products.
+    FactorTree node;
+    node.kind = FactorTree::Kind::Or;
+    for (const Cube& cube : cubes) {
+      node.children.push_back(cube_node(cube));
+    }
+    return node;
+  }
+  // Divide: cover = L * quotient + remainder.
+  std::vector<Cube> quotient;
+  std::vector<Cube> remainder;
+  for (const Cube& cube : cubes) {
+    if (cube.lit(best_var) == best_value) {
+      Cube reduced = cube;
+      reduced.set_lit(best_var, Lit::DontCare);
+      quotient.push_back(std::move(reduced));
+    } else {
+      remainder.push_back(cube);
+    }
+  }
+  FactorTree product;
+  product.kind = FactorTree::Kind::And;
+  product.children.push_back(literal_node(best_var, best_value == Lit::One));
+  FactorTree q = factor_cubes(quotient, num_vars);
+  if (q.kind != FactorTree::Kind::ConstOne) {
+    product.children.push_back(std::move(q));
+  }
+  if (product.children.size() == 1) {
+    product = std::move(product.children.front());
+  }
+  if (remainder.empty()) {
+    return product;
+  }
+  FactorTree result;
+  result.kind = FactorTree::Kind::Or;
+  result.children.push_back(std::move(product));
+  FactorTree rem = factor_cubes(remainder, num_vars);
+  if (rem.kind == FactorTree::Kind::Or) {
+    for (FactorTree& child : rem.children) {
+      result.children.push_back(std::move(child));
+    }
+  } else {
+    result.children.push_back(std::move(rem));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::size_t FactorTree::literal_count() const {
+  switch (kind) {
+    case Kind::ConstZero:
+    case Kind::ConstOne:
+      return 0;
+    case Kind::Literal:
+      return 1;
+    case Kind::And:
+    case Kind::Or: {
+      std::size_t total = 0;
+      for (const FactorTree& child : children) {
+        total += child.literal_count();
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+std::string FactorTree::to_string(
+    const std::vector<std::string>& names) const {
+  const auto var_name = [&](std::uint32_t v) {
+    return v < names.size() ? names[v] : "x" + std::to_string(v);
+  };
+  switch (kind) {
+    case Kind::ConstZero:
+      return "0";
+    case Kind::ConstOne:
+      return "1";
+    case Kind::Literal: {
+      std::string text;
+      if (!positive) {
+        text.push_back('!');
+      }
+      text += var_name(var);
+      return text;
+    }
+    case Kind::And: {
+      std::string text;
+      for (const FactorTree& child : children) {
+        if (!text.empty()) {
+          text += " ";
+        }
+        if (child.kind == Kind::Or) {
+          text += "(" + child.to_string(names) + ")";
+        } else {
+          text += child.to_string(names);
+        }
+      }
+      return text;
+    }
+    case Kind::Or: {
+      std::string text;
+      for (const FactorTree& child : children) {
+        if (!text.empty()) {
+          text += " + ";
+        }
+        text += child.to_string(names);
+      }
+      return text;
+    }
+  }
+  return "?";
+}
+
+bool FactorTree::eval(const std::vector<bool>& point) const {
+  switch (kind) {
+    case Kind::ConstZero:
+      return false;
+    case Kind::ConstOne:
+      return true;
+    case Kind::Literal:
+      return point.at(var) == positive;
+    case Kind::And:
+      for (const FactorTree& child : children) {
+        if (!child.eval(point)) {
+          return false;
+        }
+      }
+      return true;
+    case Kind::Or:
+      for (const FactorTree& child : children) {
+        if (child.eval(point)) {
+          return true;
+        }
+      }
+      return false;
+  }
+  return false;
+}
+
+FactorTree algebraic_factor(const Cover& cover) {
+  for (const Cube& cube : cover.cubes()) {
+    if (cube.is_universal()) {
+      return FactorTree{FactorTree::Kind::ConstOne, 0, true, {}};
+    }
+  }
+  return factor_cubes(cover.cubes(), cover.num_vars());
+}
+
+}  // namespace brel

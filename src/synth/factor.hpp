@@ -1,0 +1,43 @@
+#pragma once
+/// \file factor.hpp
+/// Algebraic factoring of SOP covers ("quick factor").
+///
+/// Substitute for the SIS `algebraic` script used in Tables 2 and 3 (see
+/// DESIGN.md substitution 4): repeatedly divide the cover by its most
+/// frequent literal, producing a factored form whose literal count is the
+/// multilevel-quality metric (the ALG column of Table 2).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cover/cover.hpp"
+
+namespace brel {
+
+/// A node of a factored form.  Leaves are literals or constants; internal
+/// nodes are n-ary conjunctions/disjunctions.
+struct FactorTree {
+  enum class Kind { ConstZero, ConstOne, Literal, And, Or };
+
+  Kind kind = Kind::ConstZero;
+  std::uint32_t var = 0;     ///< Literal only
+  bool positive = true;      ///< Literal only
+  std::vector<FactorTree> children;  ///< And/Or only
+
+  /// Number of literal leaves (the factored-form literal count).
+  [[nodiscard]] std::size_t literal_count() const;
+
+  /// Human-readable infix form, e.g. "x0 (x1 + !x2) + x3".
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& names = {}) const;
+
+  /// Evaluate under a complete assignment (index = variable).
+  [[nodiscard]] bool eval(const std::vector<bool>& point) const;
+};
+
+/// Quick-factor `cover` (variables are the cover's positional variables).
+[[nodiscard]] FactorTree algebraic_factor(const Cover& cover);
+
+}  // namespace brel

@@ -1,0 +1,211 @@
+#include "synth/gate_network.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace brel {
+
+GateNetwork GateNetwork::map(const std::vector<FactorTree>& outputs) {
+  GateNetwork network;
+  for (const FactorTree& tree : outputs) {
+    network.outputs_.push_back(network.map_tree(tree));
+  }
+  return network;
+}
+
+std::int32_t GateNetwork::add_gate(Gate gate) {
+  gates_.push_back(gate);
+  return static_cast<std::int32_t>(gates_.size() - 1);
+}
+
+std::int32_t GateNetwork::input_gate(std::uint32_t var) {
+  if (var >= input_cache_.size()) {
+    input_cache_.resize(var + 1, -1);
+  }
+  if (input_cache_[var] < 0) {
+    Gate gate;
+    gate.kind = Gate::Kind::Input;
+    gate.input_var = var;
+    gate.depth = 0.0;
+    input_cache_[var] = add_gate(gate);
+  }
+  return input_cache_[var];
+}
+
+std::int32_t GateNetwork::reduce_balanced(std::vector<std::int32_t> operands,
+                                          Gate::Kind kind) {
+  if (operands.empty()) {
+    throw std::logic_error("reduce_balanced: no operands");
+  }
+  // Pair the two shallowest operands first (delay-optimal merging, the
+  // speed_up-style balancing).
+  while (operands.size() > 1) {
+    std::sort(operands.begin(), operands.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                return gates_[static_cast<std::size_t>(a)].depth >
+                       gates_[static_cast<std::size_t>(b)].depth;
+              });
+    const std::int32_t a = operands.back();
+    operands.pop_back();
+    const std::int32_t b = operands.back();
+    operands.pop_back();
+    Gate gate;
+    gate.kind = kind;
+    gate.fanin0 = a;
+    gate.fanin1 = b;
+    gate.depth = std::max(gates_[static_cast<std::size_t>(a)].depth,
+                          gates_[static_cast<std::size_t>(b)].depth) +
+                 1.0;
+    operands.push_back(add_gate(gate));
+  }
+  return operands.front();
+}
+
+std::int32_t GateNetwork::map_tree(const FactorTree& tree) {
+  switch (tree.kind) {
+    case FactorTree::Kind::ConstZero: {
+      Gate gate;
+      gate.kind = Gate::Kind::ConstZero;
+      return add_gate(gate);
+    }
+    case FactorTree::Kind::ConstOne: {
+      Gate gate;
+      gate.kind = Gate::Kind::ConstOne;
+      return add_gate(gate);
+    }
+    case FactorTree::Kind::Literal: {
+      const std::int32_t in = input_gate(tree.var);
+      if (tree.positive) {
+        return in;
+      }
+      Gate inv;
+      inv.kind = Gate::Kind::Inv;
+      inv.fanin0 = in;
+      inv.depth = gates_[static_cast<std::size_t>(in)].depth;
+      return add_gate(inv);
+    }
+    case FactorTree::Kind::And:
+    case FactorTree::Kind::Or: {
+      std::vector<std::int32_t> operands;
+      operands.reserve(tree.children.size());
+      for (const FactorTree& child : tree.children) {
+        operands.push_back(map_tree(child));
+      }
+      return reduce_balanced(std::move(operands),
+                             tree.kind == FactorTree::Kind::And
+                                 ? Gate::Kind::And2
+                                 : Gate::Kind::Or2);
+    }
+  }
+  throw std::logic_error("map_tree: unknown node kind");
+}
+
+double GateNetwork::area() const noexcept {
+  double total = 0.0;
+  for (const Gate& gate : gates_) {
+    switch (gate.kind) {
+      case Gate::Kind::And2:
+      case Gate::Kind::Or2:
+        total += 2.0;
+        break;
+      case Gate::Kind::Inv:
+        total += 1.0;
+        break;
+      default:
+        break;
+    }
+  }
+  return total;
+}
+
+double GateNetwork::depth() const noexcept {
+  double worst = 0.0;
+  for (const std::int32_t out : outputs_) {
+    if (out >= 0) {
+      worst = std::max(worst, gates_[static_cast<std::size_t>(out)].depth);
+    }
+  }
+  return worst;
+}
+
+bool GateNetwork::eval(std::size_t index,
+                       const std::vector<bool>& point) const {
+  std::vector<char> value(gates_.size(), 0);
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    const Gate& gate = gates_[g];
+    switch (gate.kind) {
+      case Gate::Kind::Input:
+        value[g] = point.at(gate.input_var) ? 1 : 0;
+        break;
+      case Gate::Kind::ConstZero:
+        value[g] = 0;
+        break;
+      case Gate::Kind::ConstOne:
+        value[g] = 1;
+        break;
+      case Gate::Kind::Inv:
+        value[g] = value[static_cast<std::size_t>(gate.fanin0)] == 0 ? 1 : 0;
+        break;
+      case Gate::Kind::And2:
+        value[g] = (value[static_cast<std::size_t>(gate.fanin0)] != 0 &&
+                    value[static_cast<std::size_t>(gate.fanin1)] != 0)
+                       ? 1
+                       : 0;
+        break;
+      case Gate::Kind::Or2:
+        value[g] = (value[static_cast<std::size_t>(gate.fanin0)] != 0 ||
+                    value[static_cast<std::size_t>(gate.fanin1)] != 0)
+                       ? 1
+                       : 0;
+        break;
+    }
+  }
+  return value.at(static_cast<std::size_t>(outputs_.at(index))) != 0;
+}
+
+std::string GateNetwork::summary() const {
+  std::size_t and2 = 0;
+  std::size_t or2 = 0;
+  std::size_t inv = 0;
+  for (const Gate& gate : gates_) {
+    and2 += gate.kind == Gate::Kind::And2 ? 1 : 0;
+    or2 += gate.kind == Gate::Kind::Or2 ? 1 : 0;
+    inv += gate.kind == Gate::Kind::Inv ? 1 : 0;
+  }
+  std::ostringstream os;
+  os << "area=" << area() << " depth=" << depth() << " and=" << and2
+     << " or=" << or2 << " inv=" << inv;
+  return os.str();
+}
+
+NetworkScore score_functions(std::vector<Bdd> fs,
+                             const std::vector<std::uint32_t>& input_vars) {
+  NetworkScore score;
+  std::vector<FactorTree> trees;
+  trees.reserve(fs.size());
+  for (const Bdd& f : fs) {
+    BddManager& mgr = *f.manager();
+    const IsopResult isop = mgr.isop(f, f);
+    // Re-express the cover over the input positions.
+    Cover cover(input_vars.size());
+    for (const Cube& cube : isop.cover.cubes()) {
+      Cube projected(input_vars.size());
+      for (std::size_t k = 0; k < input_vars.size(); ++k) {
+        projected.set_lit(k, cube.lit(input_vars[k]));
+      }
+      cover.add_cube(projected);
+    }
+    score.sop_cubes += cover.cube_count();
+    score.sop_literals += cover.literal_count();
+    FactorTree tree = algebraic_factor(cover);
+    score.factored_literals += tree.literal_count();
+    trees.push_back(std::move(tree));
+  }
+  const GateNetwork network = GateNetwork::map(trees);
+  score.area = network.area();
+  score.depth = network.depth();
+  return score;
+}
+
+}  // namespace brel

@@ -1,0 +1,91 @@
+#pragma once
+/// \file gate_network.hpp
+/// Mapping of factored forms onto a 2-input AND/OR/INV gate network with a
+/// unit-delay, unit-ish-area model.
+///
+/// Substitute for SIS technology mapping (`map` with lib2) and `speed_up`
+/// (see DESIGN.md substitution 4): n-ary factor nodes are decomposed into
+/// balanced 2-input trees (pairing the two shallowest operands first,
+/// which is what delay-oriented decomposition does), inverters are
+/// explicit gates.  Both solvers' outputs are scored through this same
+/// pipeline, so relative area/delay comparisons are meaningful.
+///
+/// Gate model: AND2/OR2 have area 2 and delay 1; INV has area 1 and
+/// delay 0 (bubble pushing is free in lib2-style libraries).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "synth/factor.hpp"
+
+namespace brel {
+
+/// One gate of a mapped network.
+struct Gate {
+  enum class Kind { Input, Inv, And2, Or2, ConstZero, ConstOne };
+  Kind kind = Kind::Input;
+  std::uint32_t input_var = 0;  ///< Input only: the driven variable
+  std::int32_t fanin0 = -1;     ///< gate index; -1 = none
+  std::int32_t fanin1 = -1;
+  double depth = 0.0;           ///< arrival time under the unit-delay model
+};
+
+/// A multi-output combinational network of 2-input gates.
+class GateNetwork {
+ public:
+  /// Map one factored form per output.  Primary inputs are shared across
+  /// outputs; gates are not (conservative no-sharing model).
+  static GateNetwork map(const std::vector<FactorTree>& outputs);
+
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept {
+    return gates_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& output_gates()
+      const noexcept {
+    return outputs_;
+  }
+
+  /// Total area: AND2/OR2 = 2, INV = 1 (inputs/constants free).
+  [[nodiscard]] double area() const noexcept;
+
+  /// Critical-path delay: max arrival time over the outputs.
+  [[nodiscard]] double depth() const noexcept;
+
+  /// Evaluate output `index` under a complete input assignment.
+  [[nodiscard]] bool eval(std::size_t index,
+                          const std::vector<bool>& point) const;
+
+  /// Gate-count summary line, e.g. "area=14 depth=3 and=4 or=2 inv=2".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::int32_t map_tree(const FactorTree& tree);
+  std::int32_t input_gate(std::uint32_t var);
+  std::int32_t add_gate(Gate gate);
+  /// Balanced reduction of `operands` with 2-input gates of `kind`.
+  std::int32_t reduce_balanced(std::vector<std::int32_t> operands,
+                               Gate::Kind kind);
+
+  std::vector<Gate> gates_;
+  std::vector<std::int32_t> outputs_;
+  std::vector<std::int32_t> input_cache_;  ///< var -> Input gate index
+};
+
+/// Area/delay score of a set of functions: each output is converted to an
+/// ISOP cover, factored and mapped; returns {area, depth, factored lits}.
+struct NetworkScore {
+  double area = 0.0;
+  double depth = 0.0;
+  std::size_t factored_literals = 0;
+  std::size_t sop_cubes = 0;
+  std::size_t sop_literals = 0;
+};
+
+/// Score the multi-output function {fs} over the variable positions
+/// `input_vars` (cover variables = positions in input_vars).
+[[nodiscard]] NetworkScore score_functions(
+    std::vector<Bdd> fs, const std::vector<std::uint32_t>& input_vars);
+
+}  // namespace brel

@@ -1,0 +1,286 @@
+// Property-based tests: every BDD operation is cross-checked against an
+// explicit truth-table model on random functions.  Parameterized over seeds
+// so each instantiation explores a different corner of function space.
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+#include <random>
+
+#include "bdd/bdd.hpp"
+
+namespace brel {
+namespace {
+
+constexpr std::uint32_t kVars = 5;
+constexpr std::uint32_t kPoints = 1u << kVars;
+
+/// Truth-table model: bit i of `table` = value of the function on the
+/// assignment whose variable j takes bit j of i.
+using Table = std::uint32_t;
+
+std::vector<bool> point_of(std::uint32_t index) {
+  std::vector<bool> point(kVars);
+  for (std::uint32_t j = 0; j < kVars; ++j) {
+    point[j] = ((index >> j) & 1u) != 0;
+  }
+  return point;
+}
+
+Bdd bdd_of_table(BddManager& mgr, Table table) {
+  Bdd f = mgr.zero();
+  for (std::uint32_t i = 0; i < kPoints; ++i) {
+    if (((table >> i) & 1u) == 0) {
+      continue;
+    }
+    Bdd minterm = mgr.one();
+    for (std::uint32_t j = 0; j < kVars; ++j) {
+      minterm = minterm & mgr.literal(j, ((i >> j) & 1u) != 0);
+    }
+    f = f | minterm;
+  }
+  return f;
+}
+
+Table table_of_bdd(const Bdd& f) {
+  Table table = 0;
+  for (std::uint32_t i = 0; i < kPoints; ++i) {
+    if (f.eval(point_of(i))) {
+      table |= (1u << i);
+    }
+  }
+  return table;
+}
+
+class BddPropertyTest : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  BddManager mgr{kVars};
+  std::mt19937 rng{GetParam()};
+
+  Table random_table() {
+    return std::uniform_int_distribution<Table>{}(rng);
+  }
+};
+
+TEST_P(BddPropertyTest, TableRoundTrip) {
+  for (int iter = 0; iter < 20; ++iter) {
+    const Table t = random_table();
+    EXPECT_EQ(table_of_bdd(bdd_of_table(mgr, t)), t);
+  }
+}
+
+TEST_P(BddPropertyTest, ConnectivesMatchTableSemantics) {
+  for (int iter = 0; iter < 20; ++iter) {
+    const Table ta = random_table();
+    const Table tb = random_table();
+    const Bdd a = bdd_of_table(mgr, ta);
+    const Bdd b = bdd_of_table(mgr, tb);
+    EXPECT_EQ(table_of_bdd(a & b), ta & tb);
+    EXPECT_EQ(table_of_bdd(a | b), ta | tb);
+    EXPECT_EQ(table_of_bdd(a ^ b), ta ^ tb);
+    EXPECT_EQ(table_of_bdd(!a), static_cast<Table>(~ta));
+  }
+}
+
+TEST_P(BddPropertyTest, IteMatchesTableSemantics) {
+  for (int iter = 0; iter < 20; ++iter) {
+    const Table tf = random_table();
+    const Table tg = random_table();
+    const Table th = random_table();
+    const Bdd f = bdd_of_table(mgr, tf);
+    const Bdd g = bdd_of_table(mgr, tg);
+    const Bdd h = bdd_of_table(mgr, th);
+    EXPECT_EQ(table_of_bdd(mgr.ite(f, g, h)), (tf & tg) | (~tf & th));
+  }
+}
+
+TEST_P(BddPropertyTest, CanonicityEqualTablesEqualNodes) {
+  for (int iter = 0; iter < 10; ++iter) {
+    const Table t = random_table();
+    const Bdd direct = bdd_of_table(mgr, t);
+    // Build the same function through a different expression tree.
+    const Table half = random_table();
+    const Bdd a = bdd_of_table(mgr, t & half);
+    const Bdd b = bdd_of_table(mgr, t & ~half);
+    EXPECT_TRUE((a | b) == direct);
+  }
+}
+
+TEST_P(BddPropertyTest, SatCountMatchesPopcount) {
+  for (int iter = 0; iter < 20; ++iter) {
+    const Table t = random_table();
+    const Bdd f = bdd_of_table(mgr, t);
+    EXPECT_DOUBLE_EQ(mgr.sat_count(f, kVars),
+                     static_cast<double>(std::bitset<32>(t).count()));
+  }
+}
+
+TEST_P(BddPropertyTest, QuantificationMatchesTableSemantics) {
+  for (int iter = 0; iter < 20; ++iter) {
+    const Table t = random_table();
+    const Bdd f = bdd_of_table(mgr, t);
+    const std::uint32_t var = std::uniform_int_distribution<std::uint32_t>{
+        0, kVars - 1}(rng);
+    const std::vector<std::uint32_t> q{var};
+    Table expect_exists = 0;
+    Table expect_forall = 0;
+    for (std::uint32_t i = 0; i < kPoints; ++i) {
+      const std::uint32_t with_one = i | (1u << var);
+      const std::uint32_t with_zero = i & ~(1u << var);
+      const bool v1 = ((t >> with_one) & 1u) != 0;
+      const bool v0 = ((t >> with_zero) & 1u) != 0;
+      if (v1 || v0) {
+        expect_exists |= 1u << i;
+      }
+      if (v1 && v0) {
+        expect_forall |= 1u << i;
+      }
+    }
+    EXPECT_EQ(table_of_bdd(mgr.exists(f, q)), expect_exists);
+    EXPECT_EQ(table_of_bdd(mgr.forall(f, q)), expect_forall);
+  }
+}
+
+TEST_P(BddPropertyTest, AndExistsEqualsExistsOfAnd) {
+  for (int iter = 0; iter < 20; ++iter) {
+    const Bdd f = bdd_of_table(mgr, random_table());
+    const Bdd g = bdd_of_table(mgr, random_table());
+    std::vector<std::uint32_t> q;
+    for (std::uint32_t v = 0; v < kVars; ++v) {
+      if (std::bernoulli_distribution{0.4}(rng)) {
+        q.push_back(v);
+      }
+    }
+    EXPECT_TRUE(mgr.and_exists(f, g, q) == mgr.exists(f & g, q));
+  }
+}
+
+TEST_P(BddPropertyTest, ConstrainAndRestrictAgreeOnCare) {
+  for (int iter = 0; iter < 20; ++iter) {
+    const Bdd f = bdd_of_table(mgr, random_table());
+    Table care_table = random_table();
+    if (care_table == 0) {
+      care_table = 1;  // care set must be non-empty
+    }
+    const Bdd care = bdd_of_table(mgr, care_table);
+    const Bdd fc = mgr.constrain(f, care);
+    const Bdd fr = mgr.restrict_to(f, care);
+    EXPECT_TRUE((care & (f ^ fc)).is_zero());
+    EXPECT_TRUE((care & (f ^ fr)).is_zero());
+  }
+}
+
+TEST_P(BddPropertyTest, IsopRespectsIntervalAndMatchesCover) {
+  std::vector<std::uint32_t> identity;
+  for (std::uint32_t i = 0; i < kVars; ++i) {
+    identity.push_back(i);
+  }
+  for (int iter = 0; iter < 20; ++iter) {
+    const Table t_on = random_table();
+    const Table t_up = t_on | random_table();  // upper ⊇ lower
+    const Bdd lower = bdd_of_table(mgr, t_on);
+    const Bdd upper = bdd_of_table(mgr, t_up);
+    const IsopResult result = mgr.isop(lower, upper);
+    EXPECT_TRUE(lower.subset_of(result.function));
+    EXPECT_TRUE(result.function.subset_of(upper));
+    EXPECT_TRUE(mgr.cover_bdd(result.cover, identity) == result.function);
+  }
+}
+
+TEST_P(BddPropertyTest, IsopCoverIsIrredundant) {
+  std::vector<std::uint32_t> identity;
+  for (std::uint32_t i = 0; i < kVars; ++i) {
+    identity.push_back(i);
+  }
+  for (int iter = 0; iter < 10; ++iter) {
+    const Table t_on = random_table();
+    const Table t_up = t_on | random_table();
+    const Bdd lower = bdd_of_table(mgr, t_on);
+    const Bdd upper = bdd_of_table(mgr, t_up);
+    const IsopResult result = mgr.isop(lower, upper);
+    // Dropping any single cube must uncover some minterm of `lower`.
+    for (std::size_t skip = 0; skip < result.cover.cube_count(); ++skip) {
+      Cover reduced(kVars);
+      for (std::size_t i = 0; i < result.cover.cube_count(); ++i) {
+        if (i != skip) {
+          reduced.add_cube(result.cover.cubes()[i]);
+        }
+      }
+      const Bdd reduced_f = mgr.cover_bdd(reduced, identity);
+      EXPECT_FALSE(lower.subset_of(reduced_f))
+          << "cube " << skip << " is redundant";
+    }
+  }
+}
+
+TEST_P(BddPropertyTest, ShortestCubeIsShortestImplicant) {
+  std::vector<std::uint32_t> identity;
+  for (std::uint32_t i = 0; i < kVars; ++i) {
+    identity.push_back(i);
+  }
+  for (int iter = 0; iter < 10; ++iter) {
+    Table t = random_table();
+    if (t == 0) {
+      t = 1;
+    }
+    const Bdd f = bdd_of_table(mgr, t);
+    const Cube cube = mgr.shortest_cube(f);
+    EXPECT_TRUE(mgr.cube_bdd(cube, identity).subset_of(f));
+    // No implicant of f (as a cube over all 3^kVars candidates) is shorter.
+    // Exhaustively check all cubes with fewer literals.
+    const std::size_t bound = cube.literal_count();
+    std::vector<Lit> lits(kVars, Lit::DontCare);
+    auto enumerate = [&](auto&& self, std::uint32_t var,
+                         std::size_t used) -> bool {
+      if (used >= bound) {
+        return false;  // not shorter
+      }
+      if (var == kVars) {
+        Cube candidate(kVars);
+        for (std::uint32_t i = 0; i < kVars; ++i) {
+          candidate.set_lit(i, lits[i]);
+        }
+        return mgr.cube_bdd(candidate, identity).subset_of(f);
+      }
+      for (const Lit value : {Lit::DontCare, Lit::Zero, Lit::One}) {
+        lits[var] = value;
+        const std::size_t next = used + (value == Lit::DontCare ? 0 : 1);
+        if (next <= bound && self(self, var + 1, next)) {
+          return true;
+        }
+      }
+      lits[var] = Lit::DontCare;
+      return false;
+    };
+    EXPECT_FALSE(enumerate(enumerate, 0, 0))
+        << "found an implicant shorter than " << cube.to_string();
+  }
+}
+
+TEST_P(BddPropertyTest, ComposePreservesSemantics) {
+  for (int iter = 0; iter < 10; ++iter) {
+    const Bdd f = bdd_of_table(mgr, random_table());
+    std::vector<Bdd> sub;
+    std::vector<Table> sub_tables;
+    for (std::uint32_t i = 0; i < kVars; ++i) {
+      const Table t = random_table();
+      sub_tables.push_back(t);
+      sub.push_back(bdd_of_table(mgr, t));
+    }
+    const Bdd composed = mgr.compose(f, sub);
+    for (std::uint32_t i = 0; i < kPoints; ++i) {
+      const std::vector<bool> point = point_of(i);
+      std::vector<bool> mapped(kVars);
+      for (std::uint32_t j = 0; j < kVars; ++j) {
+        mapped[j] = sub[j].eval(point);
+      }
+      EXPECT_EQ(composed.eval(point), f.eval(mapped));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace brel

@@ -1,0 +1,184 @@
+// Stress tests for the BDD substrate: garbage collection under load,
+// unique-table growth, canonicity across GC cycles, deep structures and
+// interleaved variable creation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+
+namespace brel {
+namespace {
+
+TEST(BddStressTest, CanonicityAcrossManyGcCycles) {
+  BddManager mgr{10};
+  const Bdd anchor = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) ^ mgr.var(3));
+  const detail::Edge anchor_edge = anchor.raw_edge();
+  std::mt19937 rng{5};
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    {
+      // A pile of garbage functions.
+      std::vector<Bdd> garbage;
+      Bdd acc = mgr.one();
+      for (int i = 0; i < 50; ++i) {
+        const Bdd f = mgr.literal(rng() % 10, rng() % 2 == 0);
+        const Bdd g = mgr.literal(rng() % 10, rng() % 2 == 0);
+        acc = mgr.ite(f, acc, g ^ acc);
+        garbage.push_back(acc);
+      }
+    }
+    mgr.garbage_collect();
+    // The anchor must still be alive, equal, and canonically unique.
+    EXPECT_EQ(anchor.raw_edge(), anchor_edge);
+    const Bdd rebuilt =
+        (mgr.var(0) & mgr.var(1)) | (mgr.var(2) ^ mgr.var(3));
+    EXPECT_TRUE(rebuilt == anchor);
+  }
+  EXPECT_EQ(mgr.stats().gc_runs, 20u);
+}
+
+TEST(BddStressTest, GcReclaimsMostNodes) {
+  BddManager mgr{12};
+  {
+    Bdd dead = mgr.zero();
+    std::mt19937 rng{7};
+    for (int i = 0; i < 200; ++i) {
+      dead = dead | (mgr.literal(rng() % 12, rng() % 2 == 0) &
+                     mgr.literal(rng() % 12, rng() % 2 == 0) &
+                     mgr.literal(rng() % 12, rng() % 2 == 0));
+    }
+    EXPECT_GT(mgr.stats().live_nodes, 100u);
+  }
+  mgr.garbage_collect();
+  EXPECT_LT(mgr.stats().live_nodes, 40u);
+}
+
+TEST(BddStressTest, OperationsCorrectAfterGc) {
+  BddManager mgr{8};
+  const Bdd f = (mgr.var(0) | mgr.var(1)) & (mgr.var(2) | mgr.var(3));
+  {
+    Bdd garbage = f;
+    for (int i = 0; i < 30; ++i) {
+      garbage = garbage ^ mgr.var(i % 8);
+    }
+  }
+  mgr.garbage_collect();
+  // The computed cache was cleared: recompute through fresh recursions.
+  const std::vector<std::uint32_t> q{0, 2};
+  const Bdd e = mgr.exists(f, q);
+  EXPECT_TRUE(e.is_one());  // ∃x0 x2: some assignment satisfies both ors
+  const Bdd g = mgr.forall(f, q);
+  EXPECT_TRUE(g == (mgr.var(1) & mgr.var(3)));
+}
+
+TEST(BddStressTest, LargeParityChain) {
+  BddManager mgr{128};
+  Bdd parity = mgr.zero();
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    parity = parity ^ mgr.var(i);
+  }
+  // Parity of n variables: n internal nodes + terminal (complement edges).
+  EXPECT_EQ(parity.size(), 129u);
+  std::vector<bool> point(128, false);
+  EXPECT_FALSE(parity.eval(point));
+  point[17] = true;
+  EXPECT_TRUE(parity.eval(point));
+  point[91] = true;
+  EXPECT_FALSE(parity.eval(point));
+}
+
+TEST(BddStressTest, WideConjunctionGrowsTable) {
+  BddManager mgr{64};
+  Bdd all = mgr.one();
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    all = all & mgr.var(i);
+  }
+  EXPECT_EQ(all.size(), 65u);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(all, 64), 1.0);
+  EXPECT_GT(mgr.stats().peak_nodes, 64u);
+}
+
+TEST(BddStressTest, AddVarsInterleavedWithOperations) {
+  BddManager mgr{2};
+  Bdd f = mgr.var(0) & mgr.var(1);
+  for (int round = 0; round < 10; ++round) {
+    const std::uint32_t v = mgr.add_vars(1);
+    f = f | (mgr.var(v) & mgr.var(v - 1));
+    EXPECT_FALSE(f.is_constant());
+  }
+  EXPECT_EQ(mgr.num_vars(), 12u);
+  EXPECT_EQ(f.support().size(), 12u);
+}
+
+TEST(BddStressTest, RandomOpSequenceMatchesTruthTables) {
+  // Long mixed op sequence on 4 variables, cross-checked against 16-bit
+  // truth tables, with periodic GCs in the middle.
+  constexpr std::uint32_t kVars = 4;
+  BddManager mgr{kVars};
+  std::mt19937 rng{11};
+  std::vector<std::pair<Bdd, std::uint16_t>> pool;
+  for (std::uint32_t v = 0; v < kVars; ++v) {
+    std::uint16_t table = 0;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      if (((i >> v) & 1u) != 0) {
+        table |= static_cast<std::uint16_t>(1u << i);
+      }
+    }
+    pool.emplace_back(mgr.var(v), table);
+  }
+  for (int step = 0; step < 300; ++step) {
+    const auto& [fa, ta] = pool[rng() % pool.size()];
+    const auto& [fb, tb] = pool[rng() % pool.size()];
+    Bdd result;
+    std::uint16_t table = 0;
+    switch (rng() % 4) {
+      case 0:
+        result = fa & fb;
+        table = ta & tb;
+        break;
+      case 1:
+        result = fa | fb;
+        table = ta | tb;
+        break;
+      case 2:
+        result = fa ^ fb;
+        table = ta ^ tb;
+        break;
+      default:
+        result = !fa;
+        table = static_cast<std::uint16_t>(~ta);
+        break;
+    }
+    pool.emplace_back(result, table);
+    if (pool.size() > 40) {
+      pool.erase(pool.begin() + 4, pool.begin() + 20);
+      mgr.garbage_collect();
+    }
+  }
+  for (const auto& [f, table] : pool) {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      std::vector<bool> point(kVars);
+      for (std::uint32_t v = 0; v < kVars; ++v) {
+        point[v] = ((i >> v) & 1u) != 0;
+      }
+      EXPECT_EQ(f.eval(point), ((table >> i) & 1u) != 0);
+    }
+  }
+}
+
+TEST(BddStressTest, CacheHitRateIsMeaningful) {
+  BddManager mgr{16};
+  std::mt19937 rng{13};
+  Bdd acc = mgr.one();
+  for (int i = 0; i < 200; ++i) {
+    acc = mgr.ite(mgr.literal(rng() % 16, rng() % 2 == 0), acc,
+                  !acc | mgr.var(rng() % 16));
+  }
+  const BddStats& stats = mgr.stats();
+  EXPECT_GT(stats.cache_lookups, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace brel

@@ -1,0 +1,120 @@
+// Unit tests for the cube / cover algebra.
+
+#include <gtest/gtest.h>
+
+#include "cover/cover.hpp"
+#include "cover/cube.hpp"
+
+namespace brel {
+namespace {
+
+TEST(CubeTest, ParseAndToStringRoundTrip) {
+  const Cube cube = Cube::parse("1-0");
+  EXPECT_EQ(cube.num_vars(), 3u);
+  EXPECT_EQ(cube.lit(0), Lit::One);
+  EXPECT_EQ(cube.lit(1), Lit::DontCare);
+  EXPECT_EQ(cube.lit(2), Lit::Zero);
+  EXPECT_EQ(cube.to_string(), "1-0");
+}
+
+TEST(CubeTest, ParseRejectsGarbage) {
+  EXPECT_THROW((void)Cube::parse("10x"), std::invalid_argument);
+}
+
+TEST(CubeTest, LiteralCount) {
+  EXPECT_EQ(Cube::parse("---").literal_count(), 0u);
+  EXPECT_EQ(Cube::parse("1-0").literal_count(), 2u);
+  EXPECT_EQ(Cube::parse("101").literal_count(), 3u);
+}
+
+TEST(CubeTest, UniversalCube) {
+  EXPECT_TRUE(Cube(4).is_universal());
+  EXPECT_FALSE(Cube::parse("1---").is_universal());
+}
+
+TEST(CubeTest, ContainsPoint) {
+  const Cube cube = Cube::parse("1-0");
+  EXPECT_TRUE(cube.contains_point({true, false, false}));
+  EXPECT_TRUE(cube.contains_point({true, true, false}));
+  EXPECT_FALSE(cube.contains_point({false, true, false}));
+  EXPECT_FALSE(cube.contains_point({true, true, true}));
+}
+
+TEST(CubeTest, ContainsPointDimensionMismatchThrows) {
+  EXPECT_THROW((void)Cube::parse("1-0").contains_point({true}),
+               std::invalid_argument);
+}
+
+TEST(CubeTest, CubeContainment) {
+  const Cube big = Cube::parse("1--");
+  const Cube small = Cube::parse("1-0");
+  EXPECT_TRUE(big.contains_cube(small));
+  EXPECT_FALSE(small.contains_cube(big));
+  EXPECT_TRUE(big.contains_cube(big));
+}
+
+TEST(CubeTest, Intersection) {
+  EXPECT_TRUE(Cube::parse("1--").intersects(Cube::parse("-0-")));
+  EXPECT_FALSE(Cube::parse("1--").intersects(Cube::parse("0--")));
+  EXPECT_TRUE(Cube::parse("---").intersects(Cube::parse("111")));
+}
+
+TEST(CubeTest, Supercube) {
+  const Cube a = Cube::parse("110");
+  const Cube b = Cube::parse("100");
+  EXPECT_EQ(a.supercube_with(b).to_string(), "1-0");
+  EXPECT_EQ(a.supercube_with(a).to_string(), "110");
+}
+
+TEST(CubeTest, MintermCount) {
+  EXPECT_DOUBLE_EQ(Cube::parse("111").minterm_count(), 1.0);
+  EXPECT_DOUBLE_EQ(Cube::parse("1-1").minterm_count(), 2.0);
+  EXPECT_DOUBLE_EQ(Cube::parse("---").minterm_count(), 8.0);
+}
+
+TEST(CoverTest, ParseAndCounts) {
+  const Cover cover = Cover::parse(3, {"1-0", "01-"});
+  EXPECT_EQ(cover.cube_count(), 2u);
+  EXPECT_EQ(cover.literal_count(), 4u);
+  EXPECT_EQ(cover.num_vars(), 3u);
+}
+
+TEST(CoverTest, DimensionMismatchThrows) {
+  Cover cover(3);
+  EXPECT_THROW(cover.add_cube(Cube::parse("10")), std::invalid_argument);
+}
+
+TEST(CoverTest, ContainsPointIsDisjunction) {
+  const Cover cover = Cover::parse(3, {"1--", "-1-"});
+  EXPECT_TRUE(cover.contains_point({true, false, false}));
+  EXPECT_TRUE(cover.contains_point({false, true, true}));
+  EXPECT_FALSE(cover.contains_point({false, false, true}));
+}
+
+TEST(CoverTest, EmptyCoverIsConstantZero) {
+  const Cover cover(3);
+  EXPECT_TRUE(cover.empty());
+  EXPECT_FALSE(cover.contains_point({false, false, false}));
+}
+
+TEST(CoverTest, RemoveContainedCubes) {
+  Cover cover = Cover::parse(3, {"1--", "1-0", "01-"});
+  cover.remove_contained_cubes();
+  EXPECT_EQ(cover.cube_count(), 2u);
+  EXPECT_TRUE(cover.contains_point({true, false, false}));
+  EXPECT_TRUE(cover.contains_point({false, true, false}));
+}
+
+TEST(CoverTest, RemoveContainedCubesKeepsOneOfEqualPair) {
+  Cover cover = Cover::parse(3, {"1-0", "1-0"});
+  cover.remove_contained_cubes();
+  EXPECT_EQ(cover.cube_count(), 1u);
+}
+
+TEST(CoverTest, ToStringOneCubePerLine) {
+  const Cover cover = Cover::parse(2, {"1-", "01"});
+  EXPECT_EQ(cover.to_string(), "1-\n01\n");
+}
+
+}  // namespace
+}  // namespace brel

@@ -1,0 +1,238 @@
+// Tests for the Boolean-equation layer (Sec. 8): characteristic forms,
+// reduction to a single equation, consistency, particular solutions and
+// the verification-by-substitution of Example 8.3.
+
+#include <gtest/gtest.h>
+
+#include "equations/equations.hpp"
+#include "relation/enumeration.hpp"
+
+namespace brel {
+namespace {
+
+class EquationsTest : public ::testing::Test {
+ protected:
+  // Independent {a, b} = vars 0-1; dependent {x, y, z} = vars 2-4.
+  BddManager mgr{5};
+  std::vector<std::uint32_t> X{0, 1};
+  std::vector<std::uint32_t> Y{2, 3, 4};
+
+  Bdd a() { return mgr.var(0); }
+  Bdd b() { return mgr.var(1); }
+  Bdd x() { return mgr.var(2); }
+  Bdd y() { return mgr.var(3); }
+  Bdd z() { return mgr.var(4); }
+};
+
+TEST_F(EquationsTest, CharacteristicOfEquality) {
+  // P = Q  <=>  (P ≡ Q) = 1  (Property 8.1).
+  const BoolEquation eq{{x()}, {a() & b()}, EquationOp::Equal};
+  EXPECT_TRUE(eq.characteristic() == x().iff(a() & b()));
+}
+
+TEST_F(EquationsTest, CharacteristicOfInclusion) {
+  // P ⊆ Q  <=>  (!P + Q) = 1.
+  const BoolEquation eq{{x()}, {a()}, EquationOp::Subseteq};
+  EXPECT_TRUE(eq.characteristic() == (!x() | a()));
+}
+
+TEST_F(EquationsTest, MultiComponentEquationConjoins) {
+  const BoolEquation eq{{x(), y()}, {a(), b()}, EquationOp::Equal};
+  EXPECT_TRUE(eq.characteristic() == (x().iff(a()) & y().iff(b())));
+}
+
+TEST_F(EquationsTest, MalformedEquationThrows) {
+  BoolEquationSystem sys(mgr, X, Y);
+  EXPECT_THROW(sys.add_equation(std::vector<Bdd>{x(), y()},
+                                std::vector<Bdd>{a()}),
+               std::invalid_argument);
+  EXPECT_THROW(sys.add_equation(std::vector<Bdd>{}, std::vector<Bdd>{}),
+               std::invalid_argument);
+}
+
+TEST_F(EquationsTest, SystemReductionTheorem81) {
+  // IE = T1 ∧ T2 contains exactly the points feasible in both equations.
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x() | y(), a() | b());
+  sys.add_equation(x() & y(), a() & b());
+  const Bdd ie = sys.characteristic();
+  EXPECT_TRUE(ie ==
+              ((x() | y()).iff(a() | b()) & (x() & y()).iff(a() & b())));
+}
+
+TEST_F(EquationsTest, ConsistencyChecks) {
+  // x ∨ y = a ∨ b, x ∧ y = a ∧ b: consistent (take x = a, y = b).
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x() | y(), a() | b());
+  sys.add_equation(x() & y(), a() & b());
+  EXPECT_TRUE(sys.is_satisfiable());
+  EXPECT_TRUE(sys.is_consistent());
+}
+
+TEST_F(EquationsTest, UnsatisfiableSystem) {
+  // x ∧ !x = 1 has no satisfying point at all.
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x() & !x(), mgr.one());
+  EXPECT_FALSE(sys.is_satisfiable());
+  EXPECT_FALSE(sys.is_consistent());
+  EXPECT_THROW((void)sys.solve(), std::invalid_argument);
+}
+
+TEST_F(EquationsTest, SatisfiableButInconsistentSystem) {
+  // x = a ∧ b together with x = a ∨ b: solvable only where ab = a+b
+  // (a = b), so no solution *function* over all of X exists.
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x(), a() & b());
+  sys.add_equation(x(), a() | b());
+  EXPECT_TRUE(sys.is_satisfiable());
+  EXPECT_FALSE(sys.is_consistent());
+}
+
+TEST_F(EquationsTest, SolveProducesVerifiableSolution) {
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x() | y(), a() | b());
+  sys.add_equation(x() & y(), a() & b());
+  sys.add_equation(z(), a() ^ b());
+  const SolveResult result = sys.solve();
+  EXPECT_TRUE(sys.is_solution(result.function));
+  // z is forced: the third equation pins z = a ^ b.
+  EXPECT_TRUE(result.function.outputs[2] == (a() ^ b()));
+}
+
+TEST_F(EquationsTest, KnownParticularSolutionsVerify) {
+  // For x ∨ y = a ∨ b and x ∧ y = a ∧ b, both (x,y) = (a,b) and the
+  // swapped (b,a) are particular solutions; (a∨b, a∧b) works too.
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x() | y(), a() | b());
+  sys.add_equation(x() & y(), a() & b());
+  sys.add_equation(z(), mgr.zero());
+  MultiFunction f1{{a(), b(), mgr.zero()}};
+  MultiFunction f2{{b(), a(), mgr.zero()}};
+  MultiFunction f3{{a() | b(), a() & b(), mgr.zero()}};
+  MultiFunction bad{{a(), a(), mgr.zero()}};
+  EXPECT_TRUE(sys.is_solution(f1));
+  EXPECT_TRUE(sys.is_solution(f2));
+  EXPECT_TRUE(sys.is_solution(f3));
+  EXPECT_FALSE(sys.is_solution(bad));
+}
+
+TEST_F(EquationsTest, InclusionSystemSolutionInterval) {
+  // x ⊆ a and a ∧ b ⊆ x: solutions are exactly the functions in the
+  // interval [a·b, a].
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x(), a(), EquationOp::Subseteq);
+  sys.add_equation(a() & b(), x(), EquationOp::Subseteq);
+  sys.add_equation(y(), mgr.zero());
+  sys.add_equation(z(), mgr.zero());
+  EXPECT_TRUE(sys.is_consistent());
+  const SolveResult result = sys.solve();
+  const Bdd solution = result.function.outputs[0];
+  EXPECT_TRUE((a() & b()).subset_of(solution));
+  EXPECT_TRUE(solution.subset_of(a()));
+}
+
+TEST_F(EquationsTest, ExampleSection8Structure) {
+  // A system mirroring Example 8.1's shape (two equations, two
+  // independent and three dependent variables), reduced per Theorem 8.1
+  // and solved via the relation.  Equation 1 couples all three unknowns;
+  // equation 2 forbids any two unknowns from being 1 simultaneously.
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x() | (b() & y() & !z()) | (!b() & z()), a());
+  sys.add_equation((x() & y()) | (x() & z()) | (y() & z()), mgr.zero());
+  ASSERT_TRUE(sys.is_consistent());
+  const SolveResult result = sys.solve();
+  EXPECT_TRUE(sys.is_solution(result.function));
+  // The relation view agrees with the system view.
+  const BooleanRelation r = sys.to_relation();
+  MultiFunction f = result.function;
+  EXPECT_TRUE(r.is_compatible(f));
+}
+
+TEST_F(EquationsTest, LowenheimGeneralSolutionInstantiates) {
+  // x ∨ y = a ∨ b, x ∧ y = a ∧ b: every parameter choice must yield a
+  // particular solution.
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x() | y(), a() | b());
+  sys.add_equation(x() & y(), a() & b());
+  sys.add_equation(z(), a());
+  const SolveResult seed = sys.solve();
+  const auto general = sys.general_solution(seed.function);
+  EXPECT_EQ(general.parameters.size(), 3u);
+
+  // Instantiate with a handful of parameter functions.
+  const std::vector<std::vector<Bdd>> choices{
+      {mgr.zero(), mgr.zero(), mgr.zero()},
+      {mgr.one(), mgr.one(), mgr.one()},
+      {a(), b(), a() ^ b()},
+      {b(), a(), !a()},
+  };
+  for (const std::vector<Bdd>& params : choices) {
+    const MultiFunction particular = sys.instantiate(general, params);
+    EXPECT_TRUE(sys.is_solution(particular));
+  }
+}
+
+TEST_F(EquationsTest, LowenheimIsReproductive) {
+  // Parameters that already form a solution map to themselves — so every
+  // particular solution is reachable.
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x() | y(), a() | b());
+  sys.add_equation(x() & y(), a() & b());
+  sys.add_equation(z(), mgr.zero());
+  const SolveResult seed = sys.solve();
+  const auto general = sys.general_solution(seed.function);
+
+  // (b, a, 0) is a known solution; feeding it as parameters returns it.
+  const std::vector<Bdd> params{b(), a(), mgr.zero()};
+  const MultiFunction reproduced = sys.instantiate(general, params);
+  EXPECT_TRUE(reproduced.outputs[0] == b());
+  EXPECT_TRUE(reproduced.outputs[1] == a());
+  EXPECT_TRUE(reproduced.outputs[2].is_zero());
+}
+
+TEST_F(EquationsTest, LowenheimSeedMustBeSolution) {
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x(), a());
+  MultiFunction bad{{!a(), mgr.zero(), mgr.zero()}};
+  EXPECT_THROW((void)sys.general_solution(bad), std::invalid_argument);
+}
+
+TEST_F(EquationsTest, LowenheimCoversAllSolutionsOfSmallSystem) {
+  // Exhaustive: instantiating the general solution with all 2^2 constant
+  // parameter vectors of a 1-dependent system reaches every solution.
+  BoolEquationSystem sys(mgr, X, {2});  // only x is dependent
+  sys.add_equation(a() & b(), x(), EquationOp::Subseteq);
+  sys.add_equation(x(), a() | b(), EquationOp::Subseteq);
+  const SolveResult seed = sys.solve();
+  const auto general = sys.general_solution(seed.function);
+  std::set<detail::Edge> reached;
+  for (const Bdd& p : {mgr.zero(), mgr.one(), a(), b(), a() & b(),
+                       a() | b(), a() ^ b(), !a()}) {
+    const MultiFunction inst = sys.instantiate(general, {p});
+    EXPECT_TRUE(sys.is_solution(inst));
+    reached.insert(inst.outputs[0].raw_edge());
+  }
+  // The interval [ab, a+b] contains exactly four functions (g(11) = 1 and
+  // g(00) = 0 are forced; g(01) and g(10) are free): ab, a, b, a+b.
+  // The reproductive formula reaches all of them.
+  EXPECT_EQ(reached.size(), 4u);
+}
+
+TEST_F(EquationsTest, RelationAndEnumerationAgree) {
+  BoolEquationSystem sys(mgr, X, Y);
+  sys.add_equation(x() ^ y(), a());
+  sys.add_equation(z(), b());
+  const BooleanRelation r = sys.to_relation();
+  // Count solutions: per input vertex, (x,y) has 2 choices, z fixed: 2^4.
+  EXPECT_DOUBLE_EQ(count_compatible_functions(r), 16.0);
+  std::uint64_t verified = 0;
+  enumerate_compatible_functions(r, [&](const MultiFunction& f) {
+    EXPECT_TRUE(sys.is_solution(f));
+    ++verified;
+    return true;
+  });
+  EXPECT_EQ(verified, 16u);
+}
+
+}  // namespace
+}  // namespace brel

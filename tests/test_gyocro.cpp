@@ -1,0 +1,161 @@
+// Tests for the gyocro-style baseline: compatibility of all moves, the
+// Fig. 10 local-minimum behaviour, and the BREL comparison of Sec. 9.1.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "benchgen/paper_relations.hpp"
+#include "brel/solver.hpp"
+#include "gyocro/gyocro.hpp"
+#include "relation/enumeration.hpp"
+
+namespace brel {
+namespace {
+
+class GyocroTest : public ::testing::Test {
+ protected:
+  BddManager mgr{0};
+  RelationSpace space = make_space(mgr, 2, 2);
+};
+
+TEST_F(GyocroTest, SolutionIsAlwaysCompatible) {
+  for (const BooleanRelation& r : {fig1_relation(mgr, space),
+                                   fig10_relation(mgr, space),
+                                   fig8_relation(mgr, space)}) {
+    const GyocroResult result = GyocroSolver().solve(r);
+    EXPECT_TRUE(r.is_compatible(result.function));
+  }
+}
+
+TEST_F(GyocroTest, RejectsIllDefinedRelation) {
+  const BooleanRelation broken = fig1_relation(mgr, space)
+      .constrain_with(!(mgr.literal(space.inputs[0], true) &
+                        mgr.literal(space.inputs[1], false)));
+  EXPECT_THROW((void)GyocroSolver().solve(broken), std::invalid_argument);
+}
+
+TEST_F(GyocroTest, CoversMatchReportedCounts) {
+  const GyocroResult result =
+      GyocroSolver().solve(fig10_relation(mgr, space));
+  std::size_t cubes = 0;
+  std::size_t literals = 0;
+  for (const Cover& cover : result.covers) {
+    cubes += cover.cube_count();
+    literals += cover.literal_count();
+  }
+  EXPECT_EQ(result.cube_count, cubes);
+  EXPECT_EQ(result.literal_count, literals);
+}
+
+TEST_F(GyocroTest, TrappedInFig10LocalMinimum) {
+  // Sec. 9.1: from the QuickSolver start (x ⇔ 1)(y ⇔ !a + b), no sequence
+  // of reduce/expand/irredundant moves reaches the 2-cube optimum
+  // (x ⇔ !b)(y ⇔ !a): gyocro stays at 3 cubes.
+  const BooleanRelation r = fig10_relation(mgr, space);
+  const GyocroResult gyocro = GyocroSolver().solve(r);
+  EXPECT_EQ(gyocro.cube_count, 3u);
+
+  // BREL escapes (Fig. 6): the exact optimum has 2 cubes.
+  SolverOptions options;
+  options.cost = cube_count_cost();
+  options.exact = true;
+  const SolveResult brel = BrelSolver(options).solve(r);
+  EXPECT_DOUBLE_EQ(brel.cost, 2.0);
+  EXPECT_LT(brel.cost, static_cast<double>(gyocro.cube_count));
+}
+
+TEST_F(GyocroTest, MovesNeverIncreaseObjective) {
+  // The final objective can never exceed the initial QuickSolver one.
+  const BooleanRelation r = fig8_relation(mgr, space);
+  const GyocroResult result = GyocroSolver().solve(r);
+  // Initial = quick solution covers.
+  BooleanRelation current = r;
+  std::size_t initial_cubes = 0;
+  for (std::size_t i = 0; i < r.num_outputs(); ++i) {
+    const Isf isf = current.project_output(i);
+    const IsopResult isop = IsfMinimizer{}.minimize_to_cover(isf);
+    initial_cubes += isop.cover.cube_count();
+    current = current.constrain_with(
+        mgr.var(r.outputs()[i]).iff(isop.function));
+  }
+  EXPECT_LE(result.cube_count, initial_cubes);
+}
+
+TEST_F(GyocroTest, HerbModeIsCompatibleAndSingleSteps) {
+  // Herb [18] expands one variable at a time (Sec. 3); the result must
+  // still be compatible and no better than gyocro's multi-literal expand
+  // on the same instance.
+  const BooleanRelation r = fig10_relation(mgr, space);
+  GyocroOptions herb_options;
+  herb_options.multi_literal_expand = false;
+  const GyocroResult herb = GyocroSolver(herb_options).solve(r);
+  EXPECT_TRUE(r.is_compatible(herb.function));
+  const GyocroResult gyocro = GyocroSolver().solve(r);
+  EXPECT_LE(gyocro.cube_count, herb.cube_count);
+  // Both are trapped by the Fig. 10 local minimum.
+  EXPECT_EQ(herb.cube_count, 3u);
+}
+
+TEST_F(GyocroTest, HerbModeOnRandomRelations) {
+  std::mt19937 rng{17};
+  for (int iter = 0; iter < 8; ++iter) {
+    BddManager local{0};
+    const RelationSpace sp = make_space(local, 3, 2);
+    std::vector<std::pair<std::string, std::vector<std::string>>> rows;
+    const std::vector<std::string> all{"00", "01", "10", "11"};
+    for (int v = 0; v < 8; ++v) {
+      std::vector<std::string> image{all[rng() % all.size()]};
+      if (rng() % 2 == 0) {
+        image.push_back(all[rng() % all.size()]);
+      }
+      std::string bits(3, '0');
+      for (int k = 0; k < 3; ++k) {
+        bits[static_cast<std::size_t>(k)] = ((v >> k) & 1) != 0 ? '1' : '0';
+      }
+      rows.emplace_back(bits, image);
+    }
+    const BooleanRelation r =
+        BooleanRelation::from_table(local, sp.inputs, sp.outputs, rows);
+    GyocroOptions herb_options;
+    herb_options.multi_literal_expand = false;
+    const GyocroResult herb = GyocroSolver(herb_options).solve(r);
+    EXPECT_TRUE(r.is_compatible(herb.function));
+  }
+}
+
+TEST_F(GyocroTest, RandomRelationsStayCompatible) {
+  // Property sweep: random well-defined relations; gyocro's result must be
+  // compatible and no worse than the quick solution in cube count.
+  std::mt19937 rng{7};
+  for (int iter = 0; iter < 15; ++iter) {
+    BddManager local{0};
+    const RelationSpace sp = make_space(local, 3, 2);
+    // Random image (non-empty subset of 4 vertices) per input vertex.
+    std::vector<std::pair<std::string, std::vector<std::string>>> rows;
+    const std::vector<std::string> all{"00", "01", "10", "11"};
+    for (int v = 0; v < 8; ++v) {
+      std::vector<std::string> image;
+      for (const std::string& y : all) {
+        if (std::bernoulli_distribution{0.5}(rng)) {
+          image.push_back(y);
+        }
+      }
+      if (image.empty()) {
+        image.push_back(all[rng() % all.size()]);
+      }
+      std::string bits(3, '0');
+      for (int k = 0; k < 3; ++k) {
+        bits[static_cast<std::size_t>(k)] = ((v >> k) & 1) != 0 ? '1' : '0';
+      }
+      rows.emplace_back(bits, image);
+    }
+    const BooleanRelation r =
+        BooleanRelation::from_table(local, sp.inputs, sp.outputs, rows);
+    const GyocroResult result = GyocroSolver().solve(r);
+    EXPECT_TRUE(r.is_compatible(result.function));
+  }
+}
+
+}  // namespace
+}  // namespace brel

@@ -1,0 +1,190 @@
+// Cross-module integration tests: the full pipelines the benches rely on,
+// checked end to end for semantic preservation.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/fsm_suite.hpp"
+#include "benchgen/relation_suite.hpp"
+#include "brel/solver.hpp"
+#include "decomp/decompose.hpp"
+#include "decomp/mux_latch.hpp"
+#include "equations/equations.hpp"
+#include "gyocro/gyocro.hpp"
+#include "relation/relation_io.hpp"
+#include "synth/gate_network.hpp"
+
+namespace brel {
+namespace {
+
+/// The Table 2 scoring pipeline (BDD -> ISOP -> projected cover ->
+/// factored form -> mapped gate network) must preserve every function's
+/// semantics point by point.
+TEST(IntegrationTest, ScorePipelinePreservesSemantics) {
+  const RelationBenchmark& bench = relation_suite()[1];  // int2: 5 in, 3 out
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r =
+      make_benchmark_relation(mgr, bench, inputs, outputs);
+  const SolveResult solved = BrelSolver().solve(r);
+
+  // Rebuild the exact artifacts score_functions() uses.
+  std::vector<FactorTree> trees;
+  for (const Bdd& f : solved.function.outputs) {
+    const IsopResult isop = mgr.isop(f, f);
+    Cover cover(inputs.size());
+    for (const Cube& cube : isop.cover.cubes()) {
+      Cube projected(inputs.size());
+      for (std::size_t k = 0; k < inputs.size(); ++k) {
+        projected.set_lit(k, cube.lit(inputs[k]));
+      }
+      cover.add_cube(projected);
+    }
+    trees.push_back(algebraic_factor(cover));
+  }
+  const GateNetwork network = GateNetwork::map(trees);
+
+  // Every function, every input point: BDD == factored form == network.
+  const std::size_t n = inputs.size();
+  for (std::uint64_t code = 0; code < (std::uint64_t{1} << n); ++code) {
+    std::vector<bool> manager_point(mgr.num_vars(), false);
+    std::vector<bool> local_point(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool bit = ((code >> i) & 1u) != 0;
+      manager_point[inputs[i]] = bit;
+      local_point[i] = bit;
+    }
+    for (std::size_t o = 0; o < solved.function.outputs.size(); ++o) {
+      const bool expected = solved.function.outputs[o].eval(manager_point);
+      EXPECT_EQ(trees[o].eval(local_point), expected);
+      EXPECT_EQ(network.eval(o, local_point), expected);
+    }
+  }
+}
+
+/// Decomposition with different symmetric gates: AND3, OR3, XOR3, MUX.
+TEST(IntegrationTest, DecompositionWithVariousGates) {
+  BddManager mgr{0};
+  const std::uint32_t x = mgr.add_vars(4);
+  const std::vector<std::uint32_t> inputs{x, x + 1, x + 2, x + 3};
+  const Bdd f = (mgr.var(x) & mgr.var(x + 1)) ^ (mgr.var(x + 2) |
+                                                 !mgr.var(x + 3));
+  SolverOptions options;
+  options.max_relations = 60;
+
+  struct GateSpec {
+    const char* name;
+    std::function<Bdd(const Bdd&, const Bdd&, const Bdd&)> make;
+    bool always_decomposable;
+  };
+  const std::vector<GateSpec> gates{
+      {"xor3", [](const Bdd& a, const Bdd& b, const Bdd& c) {
+         return a ^ b ^ c;
+       }, true},
+      {"mux", [](const Bdd& a, const Bdd& b, const Bdd& c) {
+         return mux_gate(a, b, c);
+       }, true},
+      {"and3", [](const Bdd& a, const Bdd& b, const Bdd& c) {
+         return a & b & c;
+       }, true},  // F = G(F, 1, 1) always exists
+      {"or3", [](const Bdd& a, const Bdd& b, const Bdd& c) {
+         return a | b | c;
+       }, true},  // F = G(F, 0, 0)
+  };
+  for (const GateSpec& spec : gates) {
+    const std::uint32_t yv = mgr.add_vars(3);
+    const std::vector<std::uint32_t> abc{yv, yv + 1, yv + 2};
+    const Bdd gate = spec.make(mgr.var(yv), mgr.var(yv + 1),
+                               mgr.var(yv + 2));
+    const BooleanRelation r = decomposition_relation(f, inputs, gate, abc);
+    EXPECT_TRUE(r.is_well_defined()) << spec.name;
+    const Decomposition d =
+        decompose(f, inputs, gate, abc, BrelSolver(options));
+    EXPECT_TRUE(verify_decomposition(f, gate, abc, d.branches)) << spec.name;
+  }
+}
+
+/// Relation -> file -> relation -> solve -> functional relation -> file:
+/// the full serialization loop preserves solutions.
+TEST(IntegrationTest, FileRoundTripThroughSolver) {
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = make_benchmark_relation(
+      mgr, relation_suite()[0], inputs, outputs);  // int1: 4 in, 3 out
+  const std::string text = write_relation(r);
+
+  BddManager fresh{0};
+  const BooleanRelation parsed = read_relation(fresh, text);
+  const SolveResult solved = BrelSolver().solve(parsed);
+  EXPECT_TRUE(parsed.is_compatible(solved.function));
+
+  const BooleanRelation functional =
+      parsed.constrain_with(parsed.function_characteristic(solved.function));
+  EXPECT_TRUE(functional.is_function());
+  // A functional relation serializes to one output vertex per row.
+  BddManager final_mgr{0};
+  const BooleanRelation again =
+      read_relation(final_mgr, write_relation(functional));
+  EXPECT_TRUE(again.is_function());
+}
+
+/// Equations built from a solved relation: asserting Y = F(X) as a system
+/// must be consistent with the unique solution F.
+TEST(IntegrationTest, SolvedRelationBecomesEquationSystem) {
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = make_benchmark_relation(
+      mgr, relation_suite()[11], inputs, outputs);  // vtx: 5 in, 2 out
+  const SolveResult solved = BrelSolver().solve(r);
+
+  BoolEquationSystem sys(mgr, inputs, outputs);
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    sys.add_equation(mgr.var(outputs[i]), solved.function.outputs[i]);
+  }
+  ASSERT_TRUE(sys.is_consistent());
+  EXPECT_TRUE(sys.is_solution(solved.function));
+  const BooleanRelation from_sys = sys.to_relation();
+  EXPECT_TRUE(from_sys.is_function());
+}
+
+/// The mux-latch flow applied to one FSM instance end-to-end, with the
+/// decomposition of every flip-flop verified by composition.
+TEST(IntegrationTest, MuxLatchFlowOnFsmInstance) {
+  BddManager mgr{0};
+  const FsmInstance instance = make_fsm_instance(mgr, fsm_suite()[0]);
+  SolverOptions options;
+  options.cost = sum_of_squared_bdd_sizes();
+  options.max_relations = 30;
+  const BrelSolver solver(options);
+  for (const Bdd& f : instance.next_state) {
+    const MuxLatchResult result =
+        mux_latch_decompose(f, instance.support, solver);
+    EXPECT_TRUE(result.verified);
+    EXPECT_GE(result.baseline.area, 0.0);
+  }
+}
+
+/// All three solvers agree that their solutions are compatible and the
+/// cost ordering quick >= brel holds under the solver's own objective.
+TEST(IntegrationTest, SolverHierarchyOnSuiteInstances) {
+  for (const std::size_t index : {0u, 5u, 13u}) {
+    BddManager mgr{0};
+    std::vector<std::uint32_t> inputs;
+    std::vector<std::uint32_t> outputs;
+    const BooleanRelation r = make_benchmark_relation(
+        mgr, relation_suite()[index], inputs, outputs);
+    const CostFunction cost = sum_of_bdd_sizes();
+    const double quick_cost = cost(quick_solve(r));
+    SolverOptions options;
+    options.max_relations = 20;
+    const SolveResult brel = BrelSolver(options).solve(r);
+    EXPECT_LE(brel.cost, quick_cost);
+    const GyocroResult gyocro = GyocroSolver().solve(r);
+    EXPECT_TRUE(r.is_compatible(gyocro.function));
+  }
+}
+
+}  // namespace
+}  // namespace brel

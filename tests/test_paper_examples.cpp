@@ -1,0 +1,249 @@
+// Executable walkthroughs of the paper's worked examples and figures.
+// Each test states which part of the paper it reproduces; together they
+// cover the narrative of Sections 2, 5, 6, 7.7, 8 and 10.1.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/paper_relations.hpp"
+#include "brel/solver.hpp"
+#include "decomp/decompose.hpp"
+#include "equations/equations.hpp"
+#include "gyocro/gyocro.hpp"
+#include "relation/enumeration.hpp"
+
+namespace brel {
+namespace {
+
+class PaperExamplesTest : public ::testing::Test {
+ protected:
+  BddManager mgr{0};
+  RelationSpace space = make_space(mgr, 2, 2);
+
+  std::vector<bool> vertex(bool x1, bool x2) {
+    std::vector<bool> v(mgr.num_vars(), false);
+    v[space.inputs[0]] = x1;
+    v[space.inputs[1]] = x2;
+    return v;
+  }
+};
+
+// Fig. 1 / Sec. 1: the flexibility of vertex 11 ({10, 11}) is a cube (1-)
+// and could be a don't care; the flexibility of vertex 10 ({00, 11})
+// cannot be expressed with don't cares.
+TEST_F(PaperExamplesTest, Fig1FlexibilityKinds) {
+  const BooleanRelation r = fig1_relation(mgr, space);
+  // Vertex 11: image {10, 11} is the output cube 1-.
+  const Bdd cube_image = mgr.literal(space.outputs[0], true);
+  const Bdd v11 = mgr.literal(space.inputs[0], true) &
+                  mgr.literal(space.inputs[1], true);
+  EXPECT_TRUE((mgr.constrain(r.characteristic(), v11)) == cube_image);
+  // Vertex 10: {00, 11} is not a cube — its MISF expansion blows up to
+  // all four vertices (Example 5.2).
+  EXPECT_EQ(r.misf().image_of(vertex(true, false)).size(), 4u);
+}
+
+// Fig. 2 / Sec. 2, steps (a)-(e): the full recursive paradigm on Fig. 1.
+TEST_F(PaperExamplesTest, Fig2RecursiveParadigmWalkthrough) {
+  const BooleanRelation r = fig1_relation(mgr, space);
+  // (a) over-approximate into an MISF.
+  const BooleanRelation misf = r.misf();
+  EXPECT_TRUE(r.characteristic().subset_of(misf.characteristic()));
+  // (b) minimize the MISF per output: (y1 ⇔ x1)(y2 ⇔ x2).
+  const IsfMinimizer minimizer{};
+  MultiFunction f;
+  f.outputs = {minimizer.minimize(r.project_output(0)),
+               minimizer.minimize(r.project_output(1))};
+  EXPECT_TRUE(f.outputs[0] == mgr.var(space.inputs[0]));
+  EXPECT_TRUE(f.outputs[1] == mgr.var(space.inputs[1]));
+  // (c) conflict at input vertex 10 (Example 5.4).
+  const Bdd incomp = r.incompatibilities(f);
+  EXPECT_FALSE(incomp.is_zero());
+  const Bdd conflict_inputs = mgr.exists(incomp, space.outputs);
+  EXPECT_TRUE(conflict_inputs == (mgr.literal(space.inputs[0], true) &
+                                  mgr.literal(space.inputs[1], false)));
+  // (d) decompose into two smaller relations (Example 5.5).
+  const auto [r0, r1] = r.split(vertex(true, false), 0);
+  EXPECT_TRUE(r0.is_well_defined());
+  EXPECT_TRUE(r1.is_well_defined());
+  // (e) recursively solve and keep the best: the solver does it all.
+  const SolveResult solved = BrelSolver().solve(r);
+  EXPECT_TRUE(r.is_compatible(solved.function));
+}
+
+// Example 4.1 / Def. 4.8: an MISF expressed as the join of per-output
+// ISF relations equals the conjunction of their characteristic functions.
+TEST_F(PaperExamplesTest, Example41MisfAsJoinOfIsfRelations) {
+  const BooleanRelation r = fig1_relation(mgr, space);
+  Bdd join = mgr.one();
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Isf isf = r.project_output(i);
+    const Bdd y = mgr.var(space.outputs[i]);
+    join = join &
+           ((y & (isf.on() | isf.dc())) | ((!y) & (isf.off() | isf.dc())));
+  }
+  EXPECT_TRUE(join == r.misf().characteristic());
+}
+
+// Theorem 5.1: the number of least elements of the semilattice equals
+// |IF(B^n x B^m)| = 2^(m 2^n).
+TEST_F(PaperExamplesTest, Theorem51LeastElementCount) {
+  const BooleanRelation full =
+      BooleanRelation::full(mgr, space.inputs, space.outputs);
+  // m = 2, n = 2: 2^(2*4) = 256 compatible functions.
+  EXPECT_DOUBLE_EQ(count_compatible_functions(full), 256.0);
+}
+
+// Lemma 5.1: any proper subset of a functional relation loses
+// left-totality.
+TEST_F(PaperExamplesTest, Lemma51FunctionalRelationsAreMinimal) {
+  MultiFunction f;
+  f.outputs = {mgr.var(space.inputs[0]), mgr.var(space.inputs[1])};
+  const BooleanRelation full =
+      BooleanRelation::full(mgr, space.inputs, space.outputs);
+  const BooleanRelation rf =
+      full.constrain_with(full.function_characteristic(f));
+  ASSERT_TRUE(rf.is_function());
+  // Remove any single (x, y) pair: no longer well defined.
+  const Bdd pair = mgr.pick_minterm(rf.characteristic()).size() > 0
+                       ? [&] {
+                           const std::vector<bool> p =
+                               mgr.pick_minterm(rf.characteristic());
+                           Bdd cube = mgr.one();
+                           for (const std::uint32_t v : space.inputs) {
+                             cube = cube & mgr.literal(v, p[v]);
+                           }
+                           for (const std::uint32_t v : space.outputs) {
+                             cube = cube & mgr.literal(v, p[v]);
+                           }
+                           return cube;
+                         }()
+                       : mgr.zero();
+  const BooleanRelation smaller = rf.constrain_with(!pair);
+  EXPECT_FALSE(smaller.is_well_defined());
+}
+
+// Example 6.1 / Fig. 5: QuickSolver gives all flexibility to the first
+// output and produces the unbalanced solution; the best function is not
+// found.
+TEST_F(PaperExamplesTest, Example61QuickSolverOrderDependence) {
+  const BooleanRelation r = fig10_relation(mgr, space);
+  const MultiFunction quick = quick_solve(r);
+  const Bdd a = mgr.var(space.inputs[0]);
+  const Bdd b = mgr.var(space.inputs[1]);
+  EXPECT_TRUE(quick.outputs[0].is_one());       // x ⇔ 1
+  EXPECT_TRUE(quick.outputs[1] == (!a | b));    // y inherits little
+  // The balanced optimum exists but QuickSolver cannot see it.
+  MultiFunction best;
+  best.outputs = {!b, !a};
+  EXPECT_TRUE(r.is_compatible(best));
+  EXPECT_NE(sum_of_squared_bdd_sizes()(quick),
+            sum_of_squared_bdd_sizes()(best));
+}
+
+// Sec. 6.3: BREL never flags vertex 11 of Fig. 1 as a potential conflict
+// (its image is a cube), only vertex 10.
+TEST_F(PaperExamplesTest, Sec63OnlyNonCubeImagesConflict) {
+  const BooleanRelation r = fig1_relation(mgr, space);
+  const IsfMinimizer minimizer{};
+  MultiFunction f;
+  f.outputs = {minimizer.minimize(r.project_output(0)),
+               minimizer.minimize(r.project_output(1))};
+  const Bdd incomp = r.incompatibilities(f);
+  const Bdd conflict_inputs = mgr.exists(incomp, space.outputs);
+  const Bdd v11 = mgr.literal(space.inputs[0], true) &
+                  mgr.literal(space.inputs[1], true);
+  EXPECT_TRUE((conflict_inputs & v11).is_zero());
+}
+
+// Fig. 8 / Sec. 7.7: the two subrelations after the first split are
+// symmetric under the output swap, and their solutions have equal cost.
+TEST_F(PaperExamplesTest, Fig8SymmetricBranchesHaveEqualCost) {
+  const BooleanRelation r = fig8_relation(mgr, space);
+  // Find the conflict and split like the solver would.
+  const IsfMinimizer minimizer{};
+  MultiFunction f;
+  f.outputs = {minimizer.minimize(r.project_output(0)),
+               minimizer.minimize(r.project_output(1))};
+  const Bdd incomp = r.incompatibilities(f);
+  ASSERT_FALSE(incomp.is_zero());
+  const Bdd conflicts = mgr.exists(incomp, space.outputs);
+  const Cube cube = mgr.shortest_cube(conflicts);
+  std::vector<bool> x(mgr.num_vars(), true);
+  for (std::size_t v = 0; v < cube.num_vars(); ++v) {
+    if (cube.lit(v) == Lit::Zero) {
+      x[v] = false;
+    }
+  }
+  std::size_t split_output = r.can_split(x, 0) ? 0 : 1;
+  const auto [r0, r1] = r.split(x, split_output);
+  // The subrelations are images of each other under the x<->y swap.
+  std::vector<Bdd> swap;
+  for (std::uint32_t v = 0; v < mgr.num_vars(); ++v) {
+    swap.push_back(mgr.var(v));
+  }
+  std::swap(swap[space.outputs[0]], swap[space.outputs[1]]);
+  EXPECT_TRUE(mgr.compose(r0.characteristic(), swap) == r1.characteristic());
+  // Equal-cost solutions under a permutation-invariant cost.
+  SolverOptions options;
+  options.exact = true;
+  const SolveResult s0 = BrelSolver(options).solve(r0);
+  const SolveResult s1 = BrelSolver(options).solve(r1);
+  EXPECT_DOUBLE_EQ(s0.cost, s1.cost);
+}
+
+// Sec. 8 / Theorem 8.1 + Property 8.2 on a concrete system, plus the
+// Example 8.3 check-by-substitution.
+TEST_F(PaperExamplesTest, Sec8EquationSystemRoundTrip) {
+  const std::uint32_t first = mgr.add_vars(3);
+  const std::vector<std::uint32_t> dep{first, first + 1, first + 2};
+  const Bdd a = mgr.var(space.inputs[0]);
+  const Bdd b = mgr.var(space.inputs[1]);
+  const Bdd x = mgr.var(dep[0]);
+  const Bdd y = mgr.var(dep[1]);
+  const Bdd z = mgr.var(dep[2]);
+
+  BoolEquationSystem sys(mgr, space.inputs, dep);
+  // Mirror of Example 8.1's structure (the printed overbars are not
+  // recoverable from the text; see EXPERIMENTS.md).
+  sys.add_equation(x | (b & y & !z) | (!b & z), a);
+  sys.add_equation((x & y) | (x & z) | (y & z), mgr.zero());
+  ASSERT_TRUE(sys.is_consistent());
+
+  const SolveResult solved = sys.solve();
+  EXPECT_TRUE(sys.is_solution(solved.function));
+
+  // Example 8.3 style: an explicit candidate verified by substitution.
+  MultiFunction candidate = solved.function;
+  EXPECT_TRUE(sys.is_solution(candidate));
+  candidate.outputs[0] = !candidate.outputs[0];
+  EXPECT_FALSE(sys.is_solution(candidate));
+}
+
+// Sec. 10.1: the mux relation of the worked decomposition example allows
+// the expected flexibility at f = 0 and f = 1 vertices.
+TEST_F(PaperExamplesTest, Sec101MuxRelationImages) {
+  const std::uint32_t x = mgr.add_vars(3);
+  const Bdd x1 = mgr.var(x);
+  const Bdd x2 = mgr.var(x + 1);
+  const Bdd x3 = mgr.var(x + 2);
+  const Bdd f = (x1 & (x2 | x3)) | (!x1 & !x2 & !x3);
+  const std::uint32_t yv = mgr.add_vars(3);
+  const std::vector<std::uint32_t> abc{yv, yv + 1, yv + 2};
+  const Bdd gate = mux_gate(mgr.var(yv), mgr.var(yv + 1), mgr.var(yv + 2));
+  const BooleanRelation r =
+      decomposition_relation(f, {x, x + 1, x + 2}, gate, abc);
+  // Where f = 1 the image is {y : mux(y) = 1} (4 vertices); where f = 0
+  // the complement set (4 vertices); the relation is never functional.
+  std::vector<bool> v(mgr.num_vars(), false);
+  v[x] = true;
+  v[x + 1] = true;  // f(110) = 1
+  EXPECT_EQ(r.image_of(v).size(), 4u);
+  v[x] = false;
+  v[x + 1] = false;  // f(000) = 1 as well (!x1 !x2 !x3 term)
+  EXPECT_EQ(r.image_of(v).size(), 4u);
+  v[x + 1] = true;   // f(010) = 0
+  EXPECT_EQ(r.image_of(v).size(), 4u);
+}
+
+}  // namespace
+}  // namespace brel

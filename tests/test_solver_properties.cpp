@@ -1,0 +1,212 @@
+// Property-based solver tests over randomized relations: compatibility of
+// every solver's output, exactness of exact mode against enumeration,
+// budget monotonicity, split-partition invariants, and the new cost
+// functions / exploration orders.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "brel/solver.hpp"
+#include "gyocro/gyocro.hpp"
+#include "relation/enumeration.hpp"
+
+namespace brel {
+namespace {
+
+/// Random well-defined relation over n inputs / m outputs with mixed
+/// cube and non-cube flexibility.
+BooleanRelation random_relation(BddManager& mgr, std::mt19937& rng,
+                                std::size_t n, std::size_t m,
+                                std::vector<std::uint32_t>& inputs,
+                                std::vector<std::uint32_t>& outputs) {
+  const std::uint32_t first = mgr.add_vars(static_cast<std::uint32_t>(n + m));
+  inputs.clear();
+  outputs.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(first + static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    outputs.push_back(first + static_cast<std::uint32_t>(n + i));
+  }
+  const std::uint64_t out_space = std::uint64_t{1} << m;
+  Bdd chi = mgr.zero();
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    Bdd vertex = mgr.one();
+    for (std::size_t i = 0; i < n; ++i) {
+      vertex = vertex & mgr.literal(inputs[i], ((x >> i) & 1u) != 0);
+    }
+    // Non-empty random image.
+    Bdd image = mgr.zero();
+    const std::size_t count = 1 + rng() % 3;
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::uint64_t y = rng() % out_space;
+      Bdd ycube = mgr.one();
+      for (std::size_t i = 0; i < m; ++i) {
+        ycube = ycube & mgr.literal(outputs[i], ((y >> i) & 1u) != 0);
+      }
+      image = image | ycube;
+    }
+    chi = chi | (vertex & image);
+  }
+  return BooleanRelation(mgr, inputs, outputs, std::move(chi));
+}
+
+class SolverPropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SolverPropertyTest, AllSolversReturnCompatibleFunctions) {
+  std::mt19937 rng{GetParam()};
+  for (int iter = 0; iter < 6; ++iter) {
+    BddManager mgr{0};
+    std::vector<std::uint32_t> inputs;
+    std::vector<std::uint32_t> outputs;
+    const BooleanRelation r =
+        random_relation(mgr, rng, 3, 2, inputs, outputs);
+    EXPECT_TRUE(r.is_compatible(quick_solve(r)));
+    EXPECT_TRUE(r.is_compatible(BrelSolver().solve(r).function));
+    EXPECT_TRUE(r.is_compatible(GyocroSolver().solve(r).function));
+  }
+}
+
+TEST_P(SolverPropertyTest, ExactModeMatchesEnumeratedOptimum) {
+  std::mt19937 rng{GetParam() * 97 + 13};
+  for (int iter = 0; iter < 4; ++iter) {
+    BddManager mgr{0};
+    std::vector<std::uint32_t> inputs;
+    std::vector<std::uint32_t> outputs;
+    const BooleanRelation r =
+        random_relation(mgr, rng, 2, 2, inputs, outputs);
+    SolverOptions options;
+    options.exact = true;
+    options.cost = sum_of_bdd_sizes();
+    const SolveResult result = BrelSolver(options).solve(r);
+    const ExactOptimum truth = exact_optimum(r, sum_of_bdd_sizes());
+    EXPECT_DOUBLE_EQ(result.cost, truth.cost);
+  }
+}
+
+TEST_P(SolverPropertyTest, HeuristicNeverBeatsExact) {
+  std::mt19937 rng{GetParam() * 31 + 7};
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = random_relation(mgr, rng, 2, 2, inputs, outputs);
+  SolverOptions heuristic;
+  heuristic.max_relations = 5;
+  SolverOptions exact;
+  exact.exact = true;
+  const double h = BrelSolver(heuristic).solve(r).cost;
+  const double e = BrelSolver(exact).solve(r).cost;
+  EXPECT_GE(h, e);
+}
+
+TEST_P(SolverPropertyTest, SplitPartitionInvariantHoldsOnRandomRelations) {
+  std::mt19937 rng{GetParam() * 61 + 3};
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = random_relation(mgr, rng, 3, 2, inputs, outputs);
+  // Find any splittable (x, i).
+  for (std::size_t i = 0; i < r.num_outputs(); ++i) {
+    const Isf isf = r.project_output(i);
+    if (isf.dc().is_zero()) {
+      continue;
+    }
+    const std::vector<bool> x = mgr.pick_minterm(isf.dc());
+    ASSERT_TRUE(r.can_split(x, i));
+    const auto [r0, r1] = r.split(x, i);
+    // Property 5.4: IF(R) is partitioned.
+    EXPECT_DOUBLE_EQ(count_compatible_functions(r),
+                     count_compatible_functions(r0) +
+                         count_compatible_functions(r1));
+    // Theorem 5.2: both halves well defined and strictly smaller.
+    EXPECT_TRUE(r0.is_well_defined());
+    EXPECT_TRUE(r1.is_well_defined());
+    EXPECT_TRUE(r0.characteristic().subset_of(r.characteristic()));
+    EXPECT_TRUE(r1.characteristic().subset_of(r.characteristic()));
+    return;
+  }
+  GTEST_SKIP() << "relation happened to be functional";
+}
+
+TEST_P(SolverPropertyTest, DfsAndBfsBothReturnCompatibleSolutions) {
+  std::mt19937 rng{GetParam() * 17 + 29};
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = random_relation(mgr, rng, 3, 2, inputs, outputs);
+  for (const ExplorationOrder order :
+       {ExplorationOrder::BreadthFirst, ExplorationOrder::DepthFirst}) {
+    SolverOptions options;
+    options.order = order;
+    options.max_relations = 8;
+    const SolveResult result = BrelSolver(options).solve(r);
+    EXPECT_TRUE(r.is_compatible(result.function));
+  }
+}
+
+TEST_P(SolverPropertyTest, TimeoutStillYieldsASolution) {
+  std::mt19937 rng{GetParam() * 41 + 11};
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = random_relation(mgr, rng, 4, 3, inputs, outputs);
+  SolverOptions options;
+  options.max_relations = 1u << 20;
+  options.timeout = std::chrono::milliseconds{1};
+  const SolveResult result = BrelSolver(options).solve(r);
+  EXPECT_TRUE(r.is_compatible(result.function));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(CostFunctionExtrasTest, SupportBalanceCost) {
+  BddManager mgr{4};
+  MultiFunction balanced;
+  balanced.outputs = {mgr.var(0), mgr.var(1)};
+  MultiFunction skewed;
+  skewed.outputs = {mgr.var(0) & mgr.var(1) & mgr.var(2), mgr.one()};
+  // Same manager, same total size ordering may differ, but the balance
+  // penalty must favour equal supports.
+  const CostFunction cost = support_balance_cost(10.0);
+  const double c_balanced = cost(balanced);
+  const double c_skewed = cost(skewed);
+  EXPECT_LT(c_balanced, c_skewed);
+  // Lambda = 0 degenerates to the plain size sum.
+  EXPECT_DOUBLE_EQ(support_balance_cost(0.0)(balanced),
+                   sum_of_bdd_sizes()(balanced));
+}
+
+TEST(CostFunctionExtrasTest, MaxBddSizeCost) {
+  BddManager mgr{4};
+  MultiFunction f;
+  f.outputs = {mgr.var(0) & mgr.var(1), mgr.one()};
+  EXPECT_DOUBLE_EQ(max_bdd_size_cost()(f), 3.0);
+  MultiFunction empty;
+  EXPECT_DOUBLE_EQ(max_bdd_size_cost()(empty), 0.0);
+}
+
+TEST(ExplorationOrderTest, DfsDivesBfsSpreads) {
+  // On the Fig-10-like relation both orders find solutions; with a budget
+  // of 3, BFS pops the root and its two children, DFS pops root, child,
+  // grandchild.  We only check the documented guarantee: compatibility
+  // plus stats accounting.
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  std::mt19937 rng{99};
+  const BooleanRelation r = random_relation(mgr, rng, 3, 2, inputs, outputs);
+  for (const ExplorationOrder order :
+       {ExplorationOrder::BreadthFirst, ExplorationOrder::DepthFirst}) {
+    SolverOptions options;
+    options.order = order;
+    options.max_relations = 3;
+    const SolveResult result = BrelSolver(options).solve(r);
+    EXPECT_LE(result.stats.relations_explored, 3u);
+    EXPECT_TRUE(r.is_compatible(result.function));
+  }
+}
+
+}  // namespace
+}  // namespace brel

@@ -1,0 +1,163 @@
+// Tests for the mini-synthesis substrate: algebraic factoring and the
+// 2-input gate-network mapping with its area/delay model.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "synth/factor.hpp"
+#include "synth/gate_network.hpp"
+
+namespace brel {
+namespace {
+
+std::vector<bool> point_of(std::uint32_t index, std::size_t width) {
+  std::vector<bool> point(width);
+  for (std::size_t j = 0; j < width; ++j) {
+    point[j] = ((index >> j) & 1u) != 0;
+  }
+  return point;
+}
+
+TEST(FactorTest, ConstantsAndSingleCubes) {
+  EXPECT_EQ(algebraic_factor(Cover(3)).kind, FactorTree::Kind::ConstZero);
+  EXPECT_EQ(algebraic_factor(Cover::parse(3, {"---"})).kind,
+            FactorTree::Kind::ConstOne);
+  const FactorTree lit = algebraic_factor(Cover::parse(3, {"-1-"}));
+  EXPECT_EQ(lit.kind, FactorTree::Kind::Literal);
+  EXPECT_EQ(lit.var, 1u);
+  EXPECT_TRUE(lit.positive);
+  const FactorTree cube = algebraic_factor(Cover::parse(3, {"10-"}));
+  EXPECT_EQ(cube.kind, FactorTree::Kind::And);
+  EXPECT_EQ(cube.literal_count(), 2u);
+}
+
+TEST(FactorTest, SharesMostFrequentLiteral) {
+  // ab + ac + d factors as a(b + c) + d: 4 literals instead of 5.
+  const Cover cover = Cover::parse(4, {"11--", "1-1-", "---1"});
+  const FactorTree tree = algebraic_factor(cover);
+  EXPECT_EQ(tree.literal_count(), 4u);
+}
+
+TEST(FactorTest, FactoredFormIsEquivalentToCover) {
+  std::mt19937 rng{11};
+  for (int iter = 0; iter < 20; ++iter) {
+    Cover cover(4);
+    const std::size_t cubes = 1 + rng() % 5;
+    for (std::size_t c = 0; c < cubes; ++c) {
+      Cube cube(4);
+      for (std::size_t v = 0; v < 4; ++v) {
+        const std::uint32_t r = rng() % 3;
+        cube.set_lit(v, r == 0 ? Lit::Zero
+                               : (r == 1 ? Lit::One : Lit::DontCare));
+      }
+      cover.add_cube(std::move(cube));
+    }
+    const FactorTree tree = algebraic_factor(cover);
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      const std::vector<bool> point = point_of(i, 4);
+      EXPECT_EQ(tree.eval(point), cover.contains_point(point));
+    }
+    EXPECT_LE(tree.literal_count(), cover.literal_count());
+  }
+}
+
+TEST(FactorTest, ToStringReadable) {
+  const Cover cover = Cover::parse(3, {"11-", "1-1"});
+  const FactorTree tree = algebraic_factor(cover);
+  const std::string text = tree.to_string({"a", "b", "c"});
+  EXPECT_EQ(text, "a (b + c)");
+}
+
+TEST(GateNetworkTest, MapsConstantsAndLiterals) {
+  const GateNetwork zero =
+      GateNetwork::map({algebraic_factor(Cover(2))});
+  EXPECT_DOUBLE_EQ(zero.area(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.depth(), 0.0);
+  EXPECT_FALSE(zero.eval(0, {false, false}));
+
+  const GateNetwork lit =
+      GateNetwork::map({algebraic_factor(Cover::parse(2, {"0-"}))});
+  EXPECT_DOUBLE_EQ(lit.area(), 1.0);  // one inverter
+  EXPECT_DOUBLE_EQ(lit.depth(), 0.0);
+  EXPECT_TRUE(lit.eval(0, {false, false}));
+  EXPECT_FALSE(lit.eval(0, {true, false}));
+}
+
+TEST(GateNetworkTest, BalancedTreeDepth) {
+  // An 8-input AND maps to depth 3 with 7 AND2 gates.
+  Cube cube(8);
+  for (std::size_t v = 0; v < 8; ++v) {
+    cube.set_lit(v, Lit::One);
+  }
+  Cover cover(8);
+  cover.add_cube(cube);
+  const GateNetwork network = GateNetwork::map({algebraic_factor(cover)});
+  EXPECT_DOUBLE_EQ(network.depth(), 3.0);
+  EXPECT_DOUBLE_EQ(network.area(), 14.0);
+}
+
+TEST(GateNetworkTest, EvalMatchesFactoredForm) {
+  std::mt19937 rng{23};
+  for (int iter = 0; iter < 10; ++iter) {
+    Cover cover(4);
+    const std::size_t cubes = 1 + rng() % 4;
+    for (std::size_t c = 0; c < cubes; ++c) {
+      Cube cube(4);
+      for (std::size_t v = 0; v < 4; ++v) {
+        const std::uint32_t r = rng() % 3;
+        cube.set_lit(v, r == 0 ? Lit::Zero
+                               : (r == 1 ? Lit::One : Lit::DontCare));
+      }
+      cover.add_cube(std::move(cube));
+    }
+    const FactorTree tree = algebraic_factor(cover);
+    const GateNetwork network = GateNetwork::map({tree});
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      const std::vector<bool> point = point_of(i, 4);
+      EXPECT_EQ(network.eval(0, point), tree.eval(point));
+    }
+  }
+}
+
+TEST(GateNetworkTest, MultiOutputDepthIsWorstCase) {
+  const FactorTree deep = algebraic_factor(
+      Cover::parse(4, {"1111"}));  // depth 2 (four-input AND)
+  const FactorTree shallow = algebraic_factor(Cover::parse(4, {"1---"}));
+  const GateNetwork network = GateNetwork::map({deep, shallow});
+  EXPECT_DOUBLE_EQ(network.depth(), 2.0);
+  EXPECT_EQ(network.output_gates().size(), 2u);
+}
+
+TEST(GateNetworkTest, SummaryMentionsCounts) {
+  const GateNetwork network =
+      GateNetwork::map({algebraic_factor(Cover::parse(2, {"11", "00"}))});
+  const std::string text = network.summary();
+  EXPECT_NE(text.find("area="), std::string::npos);
+  EXPECT_NE(text.find("depth="), std::string::npos);
+}
+
+TEST(ScoreFunctionsTest, ScoresMatchManualPipeline) {
+  BddManager mgr{4};
+  const std::vector<std::uint32_t> vars{0, 1, 2, 3};
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(0) & mgr.var(2));
+  const NetworkScore score = score_functions({f}, vars);
+  // ISOP gives 2 cubes / 4 literals; factoring shares the 'a': 3 literals.
+  EXPECT_EQ(score.sop_cubes, 2u);
+  EXPECT_EQ(score.sop_literals, 4u);
+  EXPECT_EQ(score.factored_literals, 3u);
+  EXPECT_GT(score.area, 0.0);
+  EXPECT_GT(score.depth, 0.0);
+}
+
+TEST(ScoreFunctionsTest, ConstantFunctionScoresZero) {
+  BddManager mgr{2};
+  const NetworkScore score = score_functions({mgr.one()}, {0, 1});
+  EXPECT_DOUBLE_EQ(score.area, 0.0);
+  EXPECT_DOUBLE_EQ(score.depth, 0.0);
+  EXPECT_EQ(score.factored_literals, 0u);
+}
+
+}  // namespace
+}  // namespace brel

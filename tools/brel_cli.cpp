@@ -1,0 +1,225 @@
+// brel_cli — command-line front end for the BREL solver.
+//
+// Reads a relation in the .br text format (see relation_io.hpp) from a
+// file or stdin, solves it, and prints the solution as per-output SOP
+// covers plus statistics.
+//
+//   brel_cli [options] [file.br]          (no file or "-" = stdin)
+//     --cost=size|size2|cubes|lits|balance   objective (default size)
+//     --budget=N                             explored relations (default 10)
+//     --fifo=N                               pending-queue bound
+//     --exact                                complete exploration
+//     --order=bfs|dfs                        exploration order
+//     --symmetry                             enable the symmetry cache
+//     --totalize                             repair partial relations
+//     --solver=brel|quick|gyocro|herb        which solver to run
+//     --dump-table                           print the relation table
+//     --quiet                                covers only
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "brel/solver.hpp"
+#include "gyocro/gyocro.hpp"
+#include "relation/relation_io.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string cost = "size";
+  std::size_t budget = 10;
+  std::size_t fifo = static_cast<std::size_t>(-1);
+  bool exact = false;
+  bool dfs = false;
+  bool symmetry = false;
+  bool totalize = false;
+  bool dump_table = false;
+  bool quiet = false;
+  std::string solver = "brel";
+  std::string file = "-";
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: brel_cli [--cost=size|size2|cubes|lits|balance]\n"
+               "                [--budget=N] [--fifo=N] [--exact]\n"
+               "                [--order=bfs|dfs] [--symmetry] [--totalize]\n"
+               "                [--solver=brel|quick|gyocro|herb]\n"
+               "                [--dump-table] [--quiet] [file.br|-]\n");
+  std::exit(code);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (const char* v = value_of("--cost=")) {
+      options.cost = v;
+    } else if (const char* v = value_of("--budget=")) {
+      options.budget = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--fifo=")) {
+      options.fifo = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--exact") {
+      options.exact = true;
+    } else if (const char* v = value_of("--order=")) {
+      options.dfs = std::string(v) == "dfs";
+    } else if (arg == "--symmetry") {
+      options.symmetry = true;
+    } else if (arg == "--totalize") {
+      options.totalize = true;
+    } else if (const char* v = value_of("--solver=")) {
+      options.solver = v;
+    } else if (arg == "--dump-table") {
+      options.dump_table = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(2);
+    } else {
+      options.file = arg;
+    }
+  }
+  return options;
+}
+
+brel::CostFunction cost_by_name(const std::string& name) {
+  if (name == "size") {
+    return brel::sum_of_bdd_sizes();
+  }
+  if (name == "size2") {
+    return brel::sum_of_squared_bdd_sizes();
+  }
+  if (name == "cubes") {
+    return brel::cube_count_cost();
+  }
+  if (name == "lits") {
+    return brel::literal_count_cost();
+  }
+  if (name == "balance") {
+    return brel::support_balance_cost();
+  }
+  std::fprintf(stderr, "unknown cost '%s'\n", name.c_str());
+  usage(2);
+}
+
+void print_covers(brel::BddManager& mgr, const brel::BooleanRelation& r,
+                  const brel::MultiFunction& f) {
+  for (std::size_t i = 0; i < f.outputs.size(); ++i) {
+    const brel::IsopResult sop = mgr.isop(f.outputs[i], f.outputs[i]);
+    std::printf("y%zu:\n", i);
+    if (sop.cover.empty()) {
+      std::printf("  0\n");
+      continue;
+    }
+    for (const brel::Cube& cube : sop.cover.cubes()) {
+      // Print only the input positions.
+      std::string text;
+      for (std::size_t k = 0; k < r.num_inputs(); ++k) {
+        const brel::Lit lit = cube.lit(r.inputs()[k]);
+        text.push_back(lit == brel::Lit::Zero
+                           ? '0'
+                           : (lit == brel::Lit::One ? '1' : '-'));
+      }
+      std::printf("  %s\n", text.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_args(argc, argv);
+  std::string text;
+  if (cli.file == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(cli.file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", cli.file.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  brel::BddManager mgr{0};
+  brel::BooleanRelation relation = [&] {
+    try {
+      return brel::read_relation(mgr, text);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      std::exit(2);
+    }
+  }();
+  if (cli.totalize) {
+    relation = relation.totalized();
+  }
+  if (!relation.is_well_defined()) {
+    std::fprintf(stderr,
+                 "relation is not well defined (some input vertex has an "
+                 "empty image); rerun with --totalize to repair it\n");
+    return 1;
+  }
+  if (cli.dump_table && !cli.quiet) {
+    std::printf("%s\n", relation.to_table().c_str());
+  }
+
+  if (cli.solver == "quick") {
+    const brel::MultiFunction f = brel::quick_solve(relation);
+    print_covers(mgr, relation, f);
+    return relation.is_compatible(f) ? 0 : 1;
+  }
+  if (cli.solver == "gyocro" || cli.solver == "herb") {
+    brel::GyocroOptions options;
+    options.multi_literal_expand = cli.solver == "gyocro";
+    const brel::GyocroResult result =
+        brel::GyocroSolver(options).solve(relation);
+    if (!cli.quiet) {
+      std::printf("# %s: %zu cubes, %zu literals, %zu iterations\n",
+                  cli.solver.c_str(), result.cube_count,
+                  result.literal_count, result.stats.iterations);
+    }
+    print_covers(mgr, relation, result.function);
+    return relation.is_compatible(result.function) ? 0 : 1;
+  }
+  if (cli.solver != "brel") {
+    std::fprintf(stderr, "unknown solver '%s'\n", cli.solver.c_str());
+    return 2;
+  }
+
+  brel::SolverOptions options;
+  options.cost = cost_by_name(cli.cost);
+  options.max_relations = cli.budget;
+  options.fifo_capacity = cli.fifo;
+  options.exact = cli.exact;
+  options.use_symmetry = cli.symmetry;
+  options.order = cli.dfs ? brel::ExplorationOrder::DepthFirst
+                          : brel::ExplorationOrder::BreadthFirst;
+  const brel::SolveResult result = brel::BrelSolver(options).solve(relation);
+  if (!cli.quiet) {
+    std::printf("# cost(%s) = %.0f\n", cli.cost.c_str(), result.cost);
+    std::printf(
+        "# explored=%zu splits=%zu conflicts=%zu pruned(cost)=%zu "
+        "pruned(sym)=%zu time=%.3fs%s\n",
+        result.stats.relations_explored, result.stats.splits,
+        result.stats.conflicts, result.stats.pruned_by_cost,
+        result.stats.pruned_by_symmetry, result.stats.runtime_seconds,
+        result.stats.budget_exhausted ? " (budget exhausted)" : "");
+  }
+  print_covers(mgr, relation, result.function);
+  return relation.is_compatible(result.function) ? 0 : 1;
+}
