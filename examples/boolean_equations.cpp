@@ -24,7 +24,7 @@ int main() {
   // The system:  x + b·y·!z + !b·z = a
   //              x·y + x·z + y·z   = 0   (no two unknowns high at once)
   BoolEquationSystem system(mgr, X, Y);
-  system.add_equation(x | (b & y & !z) | (!b & z), a);
+  system.add_equation(x | (b & y & (!z)) | ((!b) & z), a);
   system.add_equation((x & y) | (x & z) | (y & z), mgr.zero());
 
   std::printf("satisfiable (∃X∃Y IE = 1): %s\n",

@@ -73,12 +73,19 @@ int main() {
   };
   solve_with("custom: avoid late input", r, custom);
 
-  // Exploration order ablation (Sec. 7.2 argues for BFS diversity).
+  // Frontier strategy ablation (Sec. 7.2 argues for BFS diversity; the
+  // pluggable engine adds a cost-directed best-first order).
   SolverOptions bfs;
   bfs.order = ExplorationOrder::BreadthFirst;
   solve_with("BFS exploration (paper)", r, bfs);
   SolverOptions dfs;
   dfs.order = ExplorationOrder::DepthFirst;
   solve_with("DFS exploration", r, dfs);
+  SolverOptions best;
+  best.order = ExplorationOrder::BestFirst;
+  solve_with("best-first exploration", r, best);
+  SolverOptions cached;
+  cached.use_subproblem_cache = true;
+  solve_with("BFS + subproblem cache", r, cached);
   return 0;
 }

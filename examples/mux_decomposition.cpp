@@ -48,7 +48,7 @@ int main() {
   const Bdd x1 = mgr.var(0);
   const Bdd x2 = mgr.var(1);
   const Bdd x3 = mgr.var(2);
-  const Bdd f = (x1 & (x2 | x3)) | (!x1 & !x2 & !x3);
+  const Bdd f = (x1 & (x2 | x3)) | ((!x1) & (!x2) & (!x3));
   const Bdd gate = mux_gate(mgr.var(3), mgr.var(4), mgr.var(5));
 
   const BooleanRelation r = decomposition_relation(f, inputs, gate, abc);

@@ -18,8 +18,14 @@ void BddManager::write_dot(std::ostream& os, std::span<const Bdd> roots,
   std::vector<std::uint32_t> stack;
   for (std::size_t r = 0; r < roots.size(); ++r) {
     const Edge e = roots[r].raw_edge();
-    const std::string name =
-        r < names.size() ? names[r] : ("f" + std::to_string(r));
+    // Built in two steps: `"f" + std::to_string(r)` trips a libstdc++
+    // -Wrestrict false positive under gcc 12 at -O3.
+    std::string name = "f";
+    if (r < names.size()) {
+      name = names[r];
+    } else {
+      name += std::to_string(r);
+    }
     os << "  root" << r << " [shape=plaintext, label=\"" << name << "\"];\n"
        << "  root" << r << " -> n" << edge_index(e)
        << (edge_complemented(e) ? " [style=dashed]" : "") << ";\n";

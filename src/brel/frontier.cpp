@@ -1,0 +1,96 @@
+#include "brel/frontier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace brel {
+
+// ------------------------------------------------------------------ FIFO
+
+BoundedFifoFrontier::BoundedFifoFrontier(std::size_t capacity)
+    : Frontier(capacity) {}
+
+void BoundedFifoFrontier::push(Subproblem&& item) {
+  queue_.push_back(std::move(item));
+}
+
+Subproblem BoundedFifoFrontier::pop() {
+  if (queue_.empty()) {
+    throw std::logic_error("BoundedFifoFrontier::pop: frontier is empty");
+  }
+  Subproblem item = std::move(queue_.front());
+  queue_.pop_front();
+  return item;
+}
+
+std::size_t BoundedFifoFrontier::size() const noexcept {
+  return queue_.size();
+}
+
+// ------------------------------------------------------------------ LIFO
+
+LifoFrontier::LifoFrontier(std::size_t capacity) : Frontier(capacity) {}
+
+void LifoFrontier::push(Subproblem&& item) {
+  stack_.push_back(std::move(item));
+}
+
+Subproblem LifoFrontier::pop() {
+  if (stack_.empty()) {
+    throw std::logic_error("LifoFrontier::pop: frontier is empty");
+  }
+  Subproblem item = std::move(stack_.back());
+  stack_.pop_back();
+  return item;
+}
+
+std::size_t LifoFrontier::size() const noexcept { return stack_.size(); }
+
+// ------------------------------------------------------------- best-first
+
+BestFirstFrontier::BestFirstFrontier(std::size_t capacity)
+    : Frontier(capacity) {}
+
+bool BestFirstFrontier::later(const Entry& a, const Entry& b) noexcept {
+  // std::push_heap builds a max-heap; invert so the *smallest* priority
+  // surfaces, with the older entry winning ties.
+  if (a.item.priority != b.item.priority) {
+    return a.item.priority > b.item.priority;
+  }
+  return a.seq > b.seq;
+}
+
+void BestFirstFrontier::push(Subproblem&& item) {
+  heap_.push_back(Entry{std::move(item), next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+Subproblem BestFirstFrontier::pop() {
+  if (heap_.empty()) {
+    throw std::logic_error("BestFirstFrontier::pop: frontier is empty");
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Subproblem item = std::move(heap_.back().item);
+  heap_.pop_back();
+  return item;
+}
+
+std::size_t BestFirstFrontier::size() const noexcept { return heap_.size(); }
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<Frontier> make_frontier(ExplorationOrder order,
+                                        std::size_t capacity) {
+  switch (order) {
+    case ExplorationOrder::BreadthFirst:
+      return std::make_unique<BoundedFifoFrontier>(capacity);
+    case ExplorationOrder::DepthFirst:
+      return std::make_unique<LifoFrontier>(capacity);
+    case ExplorationOrder::BestFirst:
+      return std::make_unique<BestFirstFrontier>(capacity);
+  }
+  throw std::invalid_argument("make_frontier: unknown exploration order");
+}
+
+}  // namespace brel

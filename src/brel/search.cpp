@@ -1,0 +1,348 @@
+#include "brel/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "brel/quick_solver.hpp"
+
+namespace brel {
+
+namespace {
+
+/// Derive the split vertex from the largest conflicting input cube
+/// (Sec. 7.4): don't-care positions are assigned 1.
+std::vector<bool> vertex_from_cube(const Cube& cube, std::size_t num_vars) {
+  std::vector<bool> x(num_vars, true);
+  for (std::size_t v = 0; v < cube.num_vars(); ++v) {
+    if (cube.lit(v) == Lit::Zero) {
+      x[v] = false;
+    }
+  }
+  return x;
+}
+
+/// Outputs ordered by manager variable index (Sec. 7.4: "following the
+/// variable order in the BDD manager").
+std::vector<std::size_t> outputs_in_var_order(const BooleanRelation& rel) {
+  std::vector<std::size_t> order(rel.num_outputs());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rel.outputs()[a] < rel.outputs()[b];
+  });
+  return order;
+}
+
+/// A NaN cost would break the strict weak ordering std::push_heap
+/// requires; map it to +inf (explore last) before it becomes a priority.
+double sanitize_priority(double cost) noexcept {
+  return std::isnan(cost) ? std::numeric_limits<double>::infinity() : cost;
+}
+
+/// For priority-ordered frontiers, price `sub` before it is pushed:
+/// terminals by their exact solution, everything else by the MISF
+/// candidate (which expansion then reuses).  Skipped when the frontier is
+/// full — the push would be rejected anyway, and MISF minimization is the
+/// dominant per-node cost.
+void seed_priority(SearchContext& ctx, Subproblem& sub,
+                   const Frontier& frontier) {
+  if (!frontier.wants_priority() || frontier.size() >= frontier.capacity()) {
+    return;
+  }
+  if (sub.rel.is_function()) {
+    sub.candidate = sub.rel.extract_function();
+  } else {
+    sub.candidate = minimize_misf_candidate(ctx, sub.rel);
+  }
+  sub.candidate_cost = ctx.cost(*sub.candidate);
+  sub.priority = sanitize_priority(sub.candidate_cost);
+}
+
+/// Generate one child: symmetry pruning, subproblem-cache dedup,
+/// QuickSolver safety net, optional best-first priority seeding, frontier
+/// push.  `parent` supplies the symmetry depth gate (exactly like the
+/// original loop) and the ancestor chain for solution memoization.
+void enqueue_child(SearchContext& ctx, BooleanRelation&& child,
+                   const Subproblem& parent, Frontier& frontier) {
+  if (ctx.symmetries.has_value() &&
+      parent.depth < ctx.options.symmetry_depth &&
+      ctx.symmetries->seen_before_or_insert(child.characteristic())) {
+    ++ctx.stats.pruned_by_symmetry;
+    return;
+  }
+  // Dedup re-encounters (only possible across solves sharing the cache —
+  // within one tree Property 5.4 forbids them; see subproblem_cache.hpp).
+  // Every inserted entry is memoized with at least its quick solution
+  // right below, so a hit always carries a memo; pruning offers it
+  // instead of losing the branch — never worse than the QuickSolver
+  // safety net would have been.
+  if (ctx.cache != nullptr) {
+    const CachedSolution* prior =
+        ctx.cache->seen_before_or_insert(child.characteristic());
+    if (prior != nullptr && prior->has_solution()) {
+      ++ctx.stats.pruned_by_cache;
+      ++ctx.stats.solutions_seen;
+      ctx.offer_solution(prior->best, prior->cost);
+      return;
+    }
+  }
+
+  Subproblem sub{std::move(child), parent.depth + 1};
+  if (ctx.cache != nullptr) {
+    sub.ancestors = parent.ancestors;
+    sub.ancestors.push_back(sub.rel.characteristic().raw_edge());
+  }
+
+  // Sec. 7.6: every generated subrelation is quick-solved immediately, so
+  // a solution from this branch survives even if the child is never
+  // popped (frontier overflow, budget, timeout).
+  MultiFunction q = quick_solve(sub.rel, ctx.options.minimizer);
+  ++ctx.stats.quick_solutions;
+  ++ctx.stats.solutions_seen;
+  const double qc = ctx.cost(q);
+  ctx.record_solution(sub.ancestors, std::move(q), qc);
+
+  seed_priority(ctx, sub, frontier);
+  if (!frontier.try_push(std::move(sub))) {
+    ++ctx.stats.fifo_overflow;
+  }
+}
+
+}  // namespace
+
+bool SearchContext::timed_out() const {
+  return options.timeout.count() > 0 &&
+         std::chrono::steady_clock::now() - start >= options.timeout;
+}
+
+void SearchContext::offer_solution(MultiFunction f, double solution_cost) {
+  if (solution_cost < best_cost) {
+    best = std::move(f);
+    best_cost = solution_cost;
+  }
+}
+
+void SearchContext::offer_solution(MultiFunction f) {
+  const double solution_cost = cost(f);
+  offer_solution(std::move(f), solution_cost);
+}
+
+void SearchContext::record_solution(std::span<const detail::Edge> chain,
+                                    MultiFunction f, double solution_cost) {
+  if (cache != nullptr) {
+    cache->improve(chain, f, solution_cost);
+  }
+  offer_solution(std::move(f), solution_cost);
+}
+
+MultiFunction minimize_misf_candidate(SearchContext& ctx,
+                                      const BooleanRelation& rel) {
+  MultiFunction candidate;
+  candidate.outputs.reserve(rel.num_outputs());
+  for (std::size_t i = 0; i < rel.num_outputs(); ++i) {
+    candidate.outputs.push_back(
+        ctx.options.minimizer.minimize(rel.project_output(i)));
+    ++ctx.stats.misf_minimizations;
+  }
+  return candidate;
+}
+
+void handle_terminal(SearchContext& ctx, const Subproblem& item) {
+  // Best-first priced the terminal at push time; reuse that instead of
+  // re-extracting and re-costing.
+  MultiFunction f = item.candidate.has_value() ? *item.candidate
+                                               : item.rel.extract_function();
+  ++ctx.stats.solutions_seen;
+  const double c =
+      item.candidate.has_value() ? item.candidate_cost : ctx.cost(f);
+  ctx.bound_cost = std::min(ctx.bound_cost, c);
+  ctx.record_solution(item.ancestors, std::move(f), c);
+}
+
+std::optional<SplitChoice> select_flexibility_split(
+    const BooleanRelation& rel) {
+  BddManager& mgr = rel.manager();
+  for (const std::size_t i : outputs_in_var_order(rel)) {
+    const Isf isf = rel.project_output(i);
+    if (!isf.dc().is_zero()) {
+      return SplitChoice{mgr.pick_minterm(isf.dc()), i};
+    }
+  }
+  return std::nullopt;
+}
+
+SplitChoice select_conflict_split(SearchContext& ctx,
+                                  const BooleanRelation& rel,
+                                  const Bdd& incomp) {
+  BddManager& mgr = ctx.mgr;
+  const Bdd conflict_inputs = mgr.exists(incomp, rel.outputs());
+  const Cube cube = mgr.shortest_cube(conflict_inputs);
+  std::vector<bool> x = vertex_from_cube(cube, mgr.num_vars());
+  for (const std::size_t i : outputs_in_var_order(rel)) {
+    if (rel.can_split(x, i)) {
+      return SplitChoice{std::move(x), i};
+    }
+  }
+  // Impossible for a genuine conflict vertex (see Sec. 6.3): its image has
+  // >= 2 vertices, so some output admits both values.
+  throw std::logic_error("BrelSolver: no splittable output at conflict");
+}
+
+void expand_subproblem(SearchContext& ctx, Subproblem item,
+                       Frontier& frontier) {
+  const BooleanRelation& rel = item.rel;
+  ++ctx.stats.relations_explored;
+
+  // Terminal case (Fig. 6 lines 1-3): a functional relation *is* its
+  // unique solution.
+  if (rel.is_function()) {
+    handle_terminal(ctx, item);
+    return;
+  }
+
+  // Lines 4-5: the MISF candidate — either precomputed at push time
+  // (best-first) or minimized here (BFS/DFS, like the original loop).
+  MultiFunction candidate;
+  double candidate_cost;
+  if (item.candidate.has_value()) {
+    candidate = std::move(*item.candidate);
+    candidate_cost = item.candidate_cost;
+  } else {
+    candidate = minimize_misf_candidate(ctx, rel);
+    candidate_cost = ctx.cost(candidate);
+  }
+
+  // Line 6: bound.  Constraining the relation further cannot beat a
+  // cheaper solution already obtained with more flexibility.  The bound
+  // is maintained from *explored* candidates only (see run()); it is
+  // heuristic when the ISF minimizer is (like ours) not exact, so exact
+  // mode skips it.
+  if (!ctx.options.exact && candidate_cost >= ctx.bound_cost) {
+    ++ctx.stats.pruned_by_cost;
+    return;
+  }
+
+  const Bdd incomp = rel.incompatibilities(candidate);
+  std::optional<SplitChoice> choice;
+  if (incomp.is_zero()) {
+    // Lines 7-8: compatible solution.  Nothing below reads the candidate
+    // again, so it moves into the incumbent/memo.
+    ++ctx.stats.solutions_seen;
+    ctx.bound_cost = std::min(ctx.bound_cost, candidate_cost);
+    ctx.record_solution(item.ancestors, std::move(candidate),
+                        candidate_cost);
+    if (!ctx.options.exact) {
+      return;
+    }
+    // Exact mode: the branch may still hide cheaper functions; keep
+    // splitting on any remaining flexibility until leaves are reached.
+    choice = select_flexibility_split(rel);
+    if (!choice.has_value()) {
+      return;  // fully constrained in every output: nothing below
+    }
+  } else {
+    // Lines 9-10: select the split point from the conflicts (Sec. 7.4).
+    ++ctx.stats.conflicts;
+    choice = select_conflict_split(ctx, rel, incomp);
+  }
+
+  // Lines 11-12: both halves enter the frontier through the caches and
+  // the QuickSolver safety net.
+  ++ctx.stats.splits;
+  auto [r0, r1] = rel.split(choice->vertex, choice->output);
+  enqueue_child(ctx, std::move(r0), item, frontier);
+  enqueue_child(ctx, std::move(r1), item, frontier);
+}
+
+SearchEngine::SearchEngine(const BooleanRelation& root,
+                           const SolverOptions& options)
+    : root_(root),
+      options_(options),
+      cache_(options_.subproblem_cache),
+      ctx_{root_.manager(),
+           options_,
+           options_.cost ? options_.cost : sum_of_bdd_sizes(),
+           std::chrono::steady_clock::now(),
+           MultiFunction{},
+           std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity(),
+           SolverStats{},
+           std::nullopt,
+           nullptr},
+      frontier_(make_frontier(options_.order, options_.fifo_capacity)) {
+  if (!root_.is_well_defined()) {
+    throw std::invalid_argument("BrelSolver: relation is not well defined");
+  }
+  if (options_.use_symmetry) {
+    ctx_.symmetries.emplace(ctx_.mgr, root_.outputs(),
+                            options_.symmetry_second_order);
+  }
+  if (cache_ == nullptr && options_.use_subproblem_cache) {
+    cache_ =
+        std::make_shared<SubproblemCache>(options_.subproblem_cache_capacity);
+  }
+  ctx_.cache = cache_.get();
+}
+
+SolveResult SearchEngine::run() {
+  // Step 0 (Sec. 7.2): QuickSolver guarantees at least one solution.
+  // Its cost does NOT seed the branch-and-bound bound: Fig. 6 starts the
+  // recursion with an infinite-cost BestF, and the quick fallbacks serve
+  // only as a safety net.  (Seeding the bound with the quick cost would
+  // prune the root whenever the MISF candidate merely ties it, silencing
+  // the whole exploration.)
+  // The root bypasses the caches (it seeds them) and the capacity bound.
+  if (ctx_.symmetries.has_value()) {
+    (void)ctx_.symmetries->seen_before_or_insert(root_.characteristic());
+  }
+  Subproblem root_item{root_, 0};
+  if (ctx_.cache != nullptr) {
+    (void)ctx_.cache->seen_before_or_insert(root_.characteristic());
+    root_item.ancestors.push_back(root_.characteristic().raw_edge());
+  }
+
+  // The root quick solution seeds the incumbent UNCONDITIONALLY: even a
+  // cost function that maps it to +inf (or NaN) must leave a compatible
+  // function in `best`, never an empty MultiFunction.
+  MultiFunction quick = quick_solve(root_, ctx_.options.minimizer);
+  ++ctx_.stats.quick_solutions;
+  ++ctx_.stats.solutions_seen;
+  const double quick_cost = ctx_.cost(quick);
+  if (ctx_.cache != nullptr) {
+    ctx_.cache->improve(root_item.ancestors, quick, quick_cost);
+  }
+  ctx_.best_cost = quick_cost;
+  ctx_.best = std::move(quick);
+
+  seed_priority(ctx_, root_item, *frontier_);
+  frontier_->push_root(std::move(root_item));
+
+  while (!frontier_->empty()) {
+    if (!ctx_.options.exact &&
+        ctx_.stats.relations_explored >= ctx_.options.max_relations) {
+      ctx_.stats.budget_exhausted = true;
+      break;
+    }
+    if (ctx_.timed_out()) {
+      ctx_.stats.budget_exhausted = true;
+      break;
+    }
+    ctx_.mgr.garbage_collect_if_needed();
+    expand_subproblem(ctx_, frontier_->pop(), *frontier_);
+  }
+
+  ctx_.stats.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ctx_.start)
+          .count();
+  SolveResult result;
+  result.function = std::move(ctx_.best);
+  result.cost = ctx_.best_cost;
+  result.stats = ctx_.stats;
+  return result;
+}
+
+}  // namespace brel

@@ -1,0 +1,139 @@
+#pragma once
+/// \file search.hpp
+/// The BREL search engine: the Fig. 6 branch-and-bound recursion broken
+/// into an explicit state object plus small focused steps.
+///
+/// Layering (see DESIGN.md):
+///
+///   BrelSolver (facade, solver.hpp)
+///     └─ SearchEngine (driver loop, this file)
+///          ├─ Frontier            exploration order (frontier.hpp)
+///          ├─ SubproblemCache     whole-tree dedup (subproblem_cache.hpp)
+///          ├─ SymmetryCache       near-root symmetry pruning (symmetry.hpp)
+///          └─ SearchContext       incumbent / bound / stats / deadline
+///
+/// `SearchContext` carries everything one expansion needs: the manager,
+/// the resolved cost function, the incumbent solution and its cost, the
+/// line-6 bound, the deadline and the statistics.  The steps
+/// (`expand_subproblem`, `handle_terminal`, the split selectors) are free
+/// functions over the context so they can be tested — and eventually
+/// executed by parallel workers — without going through the solver facade.
+///
+/// With the default BFS/DFS strategies the engine performs *exactly* the
+/// operations of the original monolithic loop, in the same order, so
+/// results are bit-identical; best-first additionally precomputes each
+/// child's MISF candidate at push time to order the frontier by it.
+
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "brel/frontier.hpp"
+#include "brel/solver.hpp"
+#include "brel/subproblem_cache.hpp"
+#include "brel/symmetry.hpp"
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// Mutable state threaded through every step of one solve() run.
+struct SearchContext {
+  BddManager& mgr;
+  const SolverOptions& options;
+  CostFunction cost;  ///< options.cost or the default, never empty
+
+  std::chrono::steady_clock::time_point start;
+
+  /// Incumbent: best compatible solution seen so far (from any source —
+  /// QuickSolver, terminals, compatible MISF candidates).
+  MultiFunction best;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  /// The line-6 branch-and-bound bound.  Maintained from *explored*
+  /// candidates only — QuickSolver results never lower it (see the
+  /// step-0 comment in search.cpp).
+  double bound_cost = std::numeric_limits<double>::infinity();
+
+  SolverStats stats;
+
+  std::optional<SymmetryCache> symmetries;
+
+  /// Engine-owned or caller-shared (SolverOptions::subproblem_cache);
+  /// null when disabled.
+  SubproblemCache* cache = nullptr;
+
+  [[nodiscard]] bool timed_out() const;
+
+  /// Offer a compatible solution to the incumbent (does not touch the
+  /// bound).  The one-argument form evaluates the cost function itself.
+  void offer_solution(MultiFunction f, double solution_cost);
+  void offer_solution(MultiFunction f);
+
+  /// Offer a solution AND memoize it in the subproblem cache for every
+  /// subrelation on `chain` (the discovering node's ancestor chain).
+  void record_solution(std::span<const detail::Edge> chain, MultiFunction f,
+                       double solution_cost);
+};
+
+/// A split decision: the input vertex and the output to split on.
+struct SplitChoice {
+  std::vector<bool> vertex;
+  std::size_t output;
+};
+
+/// Fig. 6 lines 4-5: minimize the MISF over-approximation output by
+/// output.  Counts one misf_minimization per output.
+[[nodiscard]] MultiFunction minimize_misf_candidate(SearchContext& ctx,
+                                                    const BooleanRelation& rel);
+
+/// Fig. 6 lines 1-3: a functional relation *is* its unique solution;
+/// record it (reusing a push-time candidate when present) and lower the
+/// bound.
+void handle_terminal(SearchContext& ctx, const Subproblem& item);
+
+/// Exact-mode continuation below a compatible candidate: the first output
+/// (in manager variable order) that still has don't-care flexibility, or
+/// nullopt when the relation is fully constrained.
+[[nodiscard]] std::optional<SplitChoice> select_flexibility_split(
+    const BooleanRelation& rel);
+
+/// Fig. 6 lines 9-10 / Sec. 7.4: split vertex from the largest cube of the
+/// input projection of Incomp (don't-cares assigned 1), first output in
+/// variable order admitting both values.  Throws std::logic_error if no
+/// output can split — impossible for a genuine conflict (Sec. 6.3).
+[[nodiscard]] SplitChoice select_conflict_split(SearchContext& ctx,
+                                                const BooleanRelation& rel,
+                                                const Bdd& incomp);
+
+/// One full expansion of a popped subproblem: terminal handling, MISF
+/// candidate + bounding, compatibility check, split selection, and child
+/// generation (dedup caches, QuickSolver safety net, frontier push).
+void expand_subproblem(SearchContext& ctx, Subproblem item,
+                       Frontier& frontier);
+
+/// Drives a frontier and a context to a SolveResult.  One engine per
+/// solve() run; the solver facade owns nothing but options.
+class SearchEngine {
+ public:
+  /// Throws std::invalid_argument when `root` is not well defined.
+  SearchEngine(const BooleanRelation& root, const SolverOptions& options);
+
+  /// Run to completion (frontier drained, budget exhausted or deadline
+  /// hit) and return the incumbent plus statistics.
+  [[nodiscard]] SolveResult run();
+
+  [[nodiscard]] const SearchContext& context() const noexcept { return ctx_; }
+
+ private:
+  // Owned copies (both are cheap: handles + index vectors), so an engine
+  // outlives temporaries passed to its constructor.
+  const BooleanRelation root_;
+  const SolverOptions options_;
+  std::shared_ptr<SubproblemCache> cache_;  ///< keeps a shared cache alive
+  SearchContext ctx_;
+  std::unique_ptr<Frontier> frontier_;
+};
+
+}  // namespace brel

@@ -1,219 +1,13 @@
 #include "brel/solver.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <limits>
-#include <numeric>
-#include <stdexcept>
+#include "brel/search.hpp"
 
 namespace brel {
-
-namespace {
-
-/// Derive the split vertex from the largest conflicting input cube
-/// (Sec. 7.4): don't-care positions are assigned 1.
-std::vector<bool> vertex_from_cube(const Cube& cube, std::size_t num_vars) {
-  std::vector<bool> x(num_vars, true);
-  for (std::size_t v = 0; v < cube.num_vars(); ++v) {
-    if (cube.lit(v) == Lit::Zero) {
-      x[v] = false;
-    }
-  }
-  return x;
-}
-
-/// Outputs ordered by manager variable index (Sec. 7.4: "following the
-/// variable order in the BDD manager").
-std::vector<std::size_t> outputs_in_var_order(const BooleanRelation& rel) {
-  std::vector<std::size_t> order(rel.num_outputs());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return rel.outputs()[a] < rel.outputs()[b];
-  });
-  return order;
-}
-
-}  // namespace
 
 BrelSolver::BrelSolver(SolverOptions options) : options_(std::move(options)) {}
 
 SolveResult BrelSolver::solve(const BooleanRelation& r) const {
-  const auto start = std::chrono::steady_clock::now();
-  if (!r.is_well_defined()) {
-    throw std::invalid_argument("BrelSolver: relation is not well defined");
-  }
-  BddManager& mgr = r.manager();
-  const CostFunction cost = options_.cost ? options_.cost : sum_of_bdd_sizes();
-
-  SolverStats stats;
-  const auto timed_out = [&]() {
-    return options_.timeout.count() > 0 &&
-           std::chrono::steady_clock::now() - start >= options_.timeout;
-  };
-
-  // Step 0 (Sec. 7.2): QuickSolver guarantees at least one solution.
-  // Its cost does NOT seed the branch-and-bound bound: Fig. 6 starts the
-  // recursion with an infinite-cost BestF, and the quick fallbacks serve
-  // only as a safety net.  (Seeding the bound with the quick cost would
-  // prune the root whenever the MISF candidate merely ties it, silencing
-  // the whole exploration.)
-  MultiFunction best = quick_solve(r, options_.minimizer);
-  ++stats.quick_solutions;
-  ++stats.solutions_seen;
-  double best_cost = cost(best);
-  double bound_cost = std::numeric_limits<double>::infinity();
-
-  struct Item {
-    BooleanRelation rel;
-    std::size_t depth;
-  };
-  std::deque<Item> fifo;
-  fifo.push_back(Item{r, 0});
-
-  std::optional<SymmetryCache> symmetries;
-  if (options_.use_symmetry) {
-    symmetries.emplace(mgr, r.outputs(), options_.symmetry_second_order);
-    (void)symmetries->seen_before_or_insert(r.characteristic());
-  }
-
-  while (!fifo.empty()) {
-    if (!options_.exact &&
-        stats.relations_explored >= options_.max_relations) {
-      stats.budget_exhausted = true;
-      break;
-    }
-    if (timed_out()) {
-      stats.budget_exhausted = true;
-      break;
-    }
-    mgr.garbage_collect_if_needed();
-
-    const Item item = fifo.front();
-    fifo.pop_front();
-    const BooleanRelation& rel = item.rel;
-    ++stats.relations_explored;
-
-    // Terminal case (Fig. 6 lines 1-3): a functional relation *is* its
-    // unique solution.
-    if (rel.is_function()) {
-      MultiFunction f = rel.extract_function();
-      ++stats.solutions_seen;
-      const double c = cost(f);
-      bound_cost = std::min(bound_cost, c);
-      if (c < best_cost) {
-        best = std::move(f);
-        best_cost = c;
-      }
-      continue;
-    }
-
-    // Lines 4-5: minimize the MISF over-approximation output by output.
-    MultiFunction candidate;
-    candidate.outputs.reserve(rel.num_outputs());
-    for (std::size_t i = 0; i < rel.num_outputs(); ++i) {
-      candidate.outputs.push_back(
-          options_.minimizer.minimize(rel.project_output(i)));
-      ++stats.misf_minimizations;
-    }
-    const double candidate_cost = cost(candidate);
-
-    // Line 6: bound.  Constraining the relation further cannot beat a
-    // cheaper solution already obtained with more flexibility.  The bound
-    // is maintained from *explored* candidates only (see step 0); it is
-    // heuristic when the ISF minimizer is (like ours) not exact, so exact
-    // mode skips it.
-    if (!options_.exact && candidate_cost >= bound_cost) {
-      ++stats.pruned_by_cost;
-      continue;
-    }
-
-    const Bdd incomp = rel.incompatibilities(candidate);
-    std::vector<bool> x;
-    std::optional<std::size_t> split_output;
-    if (incomp.is_zero()) {
-      // Lines 7-8: compatible solution.
-      ++stats.solutions_seen;
-      bound_cost = std::min(bound_cost, candidate_cost);
-      if (candidate_cost < best_cost) {
-        best = candidate;
-        best_cost = candidate_cost;
-      }
-      if (!options_.exact) {
-        continue;
-      }
-      // Exact mode: the branch may still hide cheaper functions; keep
-      // splitting on any remaining flexibility until leaves are reached.
-      for (const std::size_t i : outputs_in_var_order(rel)) {
-        const Isf isf = rel.project_output(i);
-        if (!isf.dc().is_zero()) {
-          x = mgr.pick_minterm(isf.dc());
-          split_output = i;
-          break;
-        }
-      }
-      if (!split_output.has_value()) {
-        continue;  // fully constrained in every output: nothing below
-      }
-    } else {
-      // Lines 9-10: select the split point from the conflicts (Sec. 7.4):
-      // largest cube of the input projection of Incomp, don't-cares set
-      // to 1, first output (in variable order) with both values possible.
-      ++stats.conflicts;
-      const Bdd conflict_inputs = mgr.exists(incomp, rel.outputs());
-      const Cube cube = mgr.shortest_cube(conflict_inputs);
-      x = vertex_from_cube(cube, mgr.num_vars());
-      for (const std::size_t i : outputs_in_var_order(rel)) {
-        if (rel.can_split(x, i)) {
-          split_output = i;
-          break;
-        }
-      }
-      if (!split_output.has_value()) {
-        // Impossible for a genuine conflict vertex (see Sec. 6.3): its
-        // image has >= 2 vertices, so some output admits both values.
-        throw std::logic_error("BrelSolver: no splittable output at conflict");
-      }
-    }
-
-    // Lines 11-12 under partial BFS (Sec. 7.2): children enter a bounded
-    // FIFO; each one is quick-solved immediately so a solution from this
-    // branch survives even if the child is never popped.
-    ++stats.splits;
-    auto [r0, r1] = rel.split(x, *split_output);
-    for (BooleanRelation& child : {std::ref(r0), std::ref(r1)}) {
-      if (symmetries.has_value() && item.depth < options_.symmetry_depth &&
-          symmetries->seen_before_or_insert(child.characteristic())) {
-        ++stats.pruned_by_symmetry;
-        continue;
-      }
-      MultiFunction q = quick_solve(child, options_.minimizer);
-      ++stats.quick_solutions;
-      ++stats.solutions_seen;
-      const double qc = cost(q);
-      if (qc < best_cost) {
-        best = std::move(q);
-        best_cost = qc;
-      }
-      if (fifo.size() < options_.fifo_capacity) {
-        if (options_.order == ExplorationOrder::BreadthFirst) {
-          fifo.push_back(Item{std::move(child), item.depth + 1});
-        } else {
-          fifo.push_front(Item{std::move(child), item.depth + 1});
-        }
-      } else {
-        ++stats.fifo_overflow;
-      }
-    }
-  }
-
-  stats.runtime_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  SolveResult result;
-  result.function = std::move(best);
-  result.cost = best_cost;
-  result.stats = stats;
-  return result;
+  return SearchEngine(r, options_).run();
 }
 
 }  // namespace brel

@@ -6,31 +6,30 @@
 /// per-output projections, minimize each output independently, and — if the
 /// composed function conflicts with the relation — Split on a conflicting
 /// input vertex and recurse on both halves, pruning with the best cost
-/// found so far.  The branch-and-bound tree is explored in partial
-/// breadth-first order through a bounded FIFO (Sec. 7.2); QuickSolver runs
-/// on every generated subrelation so at least one compatible solution
-/// exists whenever the exploration budget runs out (Sec. 7.6).
+/// found so far.  The branch-and-bound tree is explored through a pluggable
+/// `Frontier` (partial BFS as in Sec. 7.2, DFS, or best-first by MISF
+/// candidate cost); QuickSolver runs on every generated subrelation so at
+/// least one compatible solution exists whenever the exploration budget
+/// runs out (Sec. 7.6).
+///
+/// `BrelSolver` is a thin facade over the engine in search.hpp — it holds
+/// options and constructs one `SearchEngine` per solve() call.  See
+/// DESIGN.md for the layering.
 
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <optional>
 
 #include "brel/cost.hpp"
+#include "brel/frontier.hpp"
 #include "brel/isf_minimizer.hpp"
 #include "brel/quick_solver.hpp"
+#include "brel/subproblem_cache.hpp"
 #include "brel/symmetry.hpp"
 #include "relation/relation.hpp"
 
 namespace brel {
-
-/// Order in which pending subrelations are explored (Sec. 7.2).  The
-/// paper uses partial BFS because it "enables a larger diversity in the
-/// exploration" and prevents the solver from sinking all resources into
-/// one corner of the tree; DFS is provided for the ablation.
-enum class ExplorationOrder {
-  BreadthFirst,  ///< the paper's bounded-FIFO partial BFS
-  DepthFirst,    ///< LIFO: commits to one branch until it bottoms out
-};
 
 /// Tuning knobs of the solver.  The defaults reproduce the configuration
 /// of the paper's Table 2 runs (cost = Σ BDD sizes, partial exploration of
@@ -43,13 +42,13 @@ struct SolverOptions {
   /// ISF minimization strategy for projections (Sec. 7.5).
   IsfMinimizer minimizer{};
 
-  /// Maximum number of relations popped from the exploration FIFO
+  /// Maximum number of relations popped from the exploration frontier
   /// (the paper's "partial exploration of N BRs").  Ignored in exact mode.
   std::size_t max_relations = 10;
 
-  /// Bound on the number of *pending* subrelations in the FIFO.  Children
-  /// that do not fit are still quick-solved (so their best solution is
-  /// seen) but not explored further.
+  /// Bound on the number of *pending* subrelations in the frontier.
+  /// Children that do not fit are still quick-solved (so their best
+  /// solution is seen) but not explored further.
   std::size_t fifo_capacity = static_cast<std::size_t>(-1);
 
   /// Exact mode (Sec. 7.6): complete exploration; keeps splitting through
@@ -68,23 +67,43 @@ struct SolverOptions {
   /// Also detect complemented swaps (second-order nonskew nonequivalence).
   bool symmetry_second_order = true;
 
+  /// Memoizing subproblem dedup by canonical characteristic-BDD edge (see
+  /// subproblem_cache.hpp).  Unlike the symmetry cache this has no depth
+  /// limit and O(1) probes.  Within a single solve it acts as an invariant
+  /// guard (Property 5.4 makes in-tree duplicates impossible); its value
+  /// comes from sharing one cache across solves of overlapping relations,
+  /// where re-encountered subtrees are pruned and their memoized best
+  /// solutions offered instead of being re-explored.  Off by default.
+  bool use_subproblem_cache = false;
+
+  /// Maximum entries (pinned BDD handles) in the subproblem cache.
+  std::size_t subproblem_cache_capacity = static_cast<std::size_t>(-1);
+
+  /// A caller-provided cache shared across solve() calls (and solvers on
+  /// the same manager).  When set it is used regardless of
+  /// `use_subproblem_cache`; when null and the flag is on, each solve gets
+  /// a fresh private cache.  Must only be shared between relations living
+  /// in the same BddManager.
+  std::shared_ptr<SubproblemCache> subproblem_cache;
+
   /// Wall-clock budget; zero means unlimited.
   std::chrono::milliseconds timeout{0};
 
-  /// BFS (paper default) or DFS tree exploration.
+  /// BFS (paper default), DFS, or best-first tree exploration.
   ExplorationOrder order = ExplorationOrder::BreadthFirst;
 };
 
 /// Counters describing one solve() run.
 struct SolverStats {
-  std::size_t relations_explored = 0;  ///< popped from the FIFO
+  std::size_t relations_explored = 0;  ///< popped from the frontier
   std::size_t splits = 0;              ///< Split operations performed
   std::size_t quick_solutions = 0;     ///< QuickSolver invocations
   std::size_t misf_minimizations = 0;  ///< per-output ISF minimizations
   std::size_t conflicts = 0;           ///< incompatible MISF solutions
   std::size_t pruned_by_cost = 0;      ///< line-6 bound rejections
   std::size_t pruned_by_symmetry = 0;  ///< symmetric subrelations skipped
-  std::size_t fifo_overflow = 0;       ///< children dropped (FIFO full)
+  std::size_t pruned_by_cache = 0;     ///< duplicate subrelations deduped
+  std::size_t fifo_overflow = 0;       ///< children dropped (frontier full)
   std::size_t solutions_seen = 0;      ///< compatible functions encountered
   bool budget_exhausted = false;       ///< stopped on max_relations/timeout
   double runtime_seconds = 0.0;

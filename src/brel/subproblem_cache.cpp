@@ -1,0 +1,36 @@
+#include "brel/subproblem_cache.hpp"
+
+namespace brel {
+
+SubproblemCache::SubproblemCache(std::size_t capacity)
+    : capacity_(capacity) {}
+
+const CachedSolution* SubproblemCache::seen_before_or_insert(const Bdd& chi) {
+  ++probes_;
+  if (const auto it = cache_.find(chi.raw_edge()); it != cache_.end()) {
+    ++hits_;
+    return &it->second;
+  }
+  if (cache_.size() < capacity_) {
+    cache_.emplace(chi.raw_edge(), CachedSolution{});
+    keep_alive_.push_back(chi);
+  }
+  return nullptr;
+}
+
+void SubproblemCache::improve(std::span<const detail::Edge> chain,
+                              const MultiFunction& f, double cost) {
+  for (const detail::Edge edge : chain) {
+    const auto it = cache_.find(edge);
+    if (it == cache_.end()) {
+      continue;  // never inserted (capacity) — nothing to memoize against
+    }
+    CachedSolution& entry = it->second;
+    if (!entry.has_solution() || cost < entry.cost) {
+      entry.best = f;
+      entry.cost = cost;
+    }
+  }
+}
+
+}  // namespace brel

@@ -1,0 +1,103 @@
+#pragma once
+/// \file subproblem_cache.hpp
+/// Memoizing deduplication of subrelations by canonical characteristic-BDD
+/// edge.
+///
+/// Because the BDD package is canonical, two subrelations over the same
+/// manager are equal iff their characteristic functions are the same edge,
+/// so an unordered-map probe on the raw edge detects every re-encounter in
+/// O(1) — no symmetry substitutions, no depth limit.  This generalizes the
+/// *exact-duplicate* half of `SymmetryCache` (Sec. 7.7): the symmetry
+/// cache also catches permuted images but pays a BDD compose per output
+/// pair per probe, which is why the paper applies it only near the root;
+/// the subproblem cache is cheap enough to run on every generated child.
+///
+/// A perhaps surprising corollary of Property 5.4 (Split partitions
+/// IF(R)): within a SINGLE solve tree a hit is impossible.  The two halves
+/// of Split(x, y_i) have disjoint, non-empty images at x — one allows only
+/// y_i = 0 there, the other only y_i = 1 — and splitting only ever shrinks
+/// images, so any two nodes of one tree differ at the vertex of their
+/// lowest common ancestor's split.  Within one run the cache is therefore
+/// a pure invariant guard: a hit means the engine generated the same
+/// subrelation twice, i.e. a bug.  Its value materializes when one cache
+/// is SHARED across solve() calls (SolverOptions::subproblem_cache):
+/// re-solving the same or an overlapping relation re-generates identical
+/// subrelations, which are pruned instead of re-consuming budget.
+///
+/// Dedup alone would trade solution quality for that saved budget, so
+/// each entry MEMOIZES the best solution discovered anywhere in that
+/// subrelation's subtree: the engine attributes every discovered solution
+/// to the whole ancestor chain of the node that produced it (a solution
+/// compatible with a subrelation is compatible with every relation above
+/// it, Property 5.1), and a cache hit offers the memo to the incumbent.
+/// Re-solving an identical relation with a warm cache thus returns
+/// first-run quality while exploring a single node.  Solutions memoized
+/// under one cost function are only comparable under the same one — share
+/// a cache across runs with identical `SolverOptions::cost` only.  And a
+/// memo only reflects how deeply ITS run explored: feeding a cache warmed
+/// by budget-limited runs into an exact run would prune subtrees the
+/// exact run still needed, so share among runs of the same mode.
+///
+/// Cached edges are pinned by `Bdd` handles so garbage collection cannot
+/// recycle them (a recycled edge would alias a different function and turn
+/// the dedup into wrong pruning).  The capacity bound caps that pinning;
+/// once full the cache keeps probing but stops inserting.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// Best solution known for one cached subrelation.  `best.outputs` is
+/// empty until the first improve() lands (e.g. a capacity-full insert).
+struct CachedSolution {
+  MultiFunction best;
+  double cost = 0.0;
+
+  [[nodiscard]] bool has_solution() const noexcept {
+    return !best.outputs.empty();
+  }
+};
+
+class SubproblemCache {
+ public:
+  explicit SubproblemCache(
+      std::size_t capacity = static_cast<std::size_t>(-1));
+
+  /// Probe for `chi`.  Returns the existing entry when `chi` was inserted
+  /// before; otherwise inserts an empty entry (capacity permitting) and
+  /// returns nullptr.  Returned pointers stay valid until destruction
+  /// (node-based map).
+  [[nodiscard]] const CachedSolution* seen_before_or_insert(const Bdd& chi);
+
+  /// Record `f` (with its cost under the current run's cost function) as
+  /// a solution for every subrelation edge in `chain` — the ancestor
+  /// chain of the node that discovered it.  Entries not present in the
+  /// cache (never inserted, or dropped by capacity) are skipped.
+  void improve(std::span<const detail::Edge> chain, const MultiFunction& f,
+               double cost);
+
+  /// Non-inserting probe.
+  [[nodiscard]] bool contains(const Bdd& chi) const {
+    return cache_.count(chi.raw_edge()) != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cache_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<detail::Edge, CachedSolution> cache_;
+  std::vector<Bdd> keep_alive_;  ///< pins cached edges across GCs
+  std::uint64_t hits_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace brel

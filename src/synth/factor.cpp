@@ -140,7 +140,14 @@ std::size_t FactorTree::literal_count() const {
 std::string FactorTree::to_string(
     const std::vector<std::string>& names) const {
   const auto var_name = [&](std::uint32_t v) {
-    return v < names.size() ? names[v] : "x" + std::to_string(v);
+    // Built in two steps: `"x" + std::to_string(v)` trips a libstdc++
+    // -Wrestrict false positive under gcc 12 at -O3.
+    if (v < names.size()) {
+      return names[v];
+    }
+    std::string fallback = "x";
+    fallback += std::to_string(v);
+    return fallback;
   };
   switch (kind) {
     case Kind::ConstZero:
@@ -162,7 +169,11 @@ std::string FactorTree::to_string(
           text += " ";
         }
         if (child.kind == Kind::Or) {
-          text += "(" + child.to_string(names) + ")";
+          // Appended piecewise: `"(" + child.to_string(...)` trips the
+          // same gcc-12 -O3 -Wrestrict false positive as var_name above.
+          text += "(";
+          text += child.to_string(names);
+          text += ")";
         } else {
           text += child.to_string(names);
         }

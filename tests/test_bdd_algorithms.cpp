@@ -16,14 +16,14 @@ class BddAlgorithmsTest : public ::testing::Test {
 };
 
 TEST_F(BddAlgorithmsTest, ExistsSingleVariable) {
-  const Bdd f = (v(0) & v(1)) | (!v(0) & v(2));
+  const Bdd f = (v(0) & v(1)) | ((!v(0)) & v(2));
   const std::vector<std::uint32_t> q{0};
   // ∃x0 f = f|x0=1 + f|x0=0 = x1 + x2
   EXPECT_TRUE(mgr.exists(f, q) == (v(1) | v(2)));
 }
 
 TEST_F(BddAlgorithmsTest, ForallSingleVariable) {
-  const Bdd f = (v(0) & v(1)) | (!v(0) & v(2));
+  const Bdd f = (v(0) & v(1)) | ((!v(0)) & v(2));
   const std::vector<std::uint32_t> q{0};
   // ∀x0 f = f|x0=1 · f|x0=0 = x1 · x2
   EXPECT_TRUE(mgr.forall(f, q) == (v(1) & v(2)));
@@ -51,7 +51,7 @@ TEST_F(BddAlgorithmsTest, QuantifierDuality) {
 
 TEST_F(BddAlgorithmsTest, AndExistsMatchesComposition) {
   const Bdd f = (v(0) & v(1)) | v(2);
-  const Bdd g = (!v(1) | v(3)) & v(0);
+  const Bdd g = ((!v(1)) | v(3)) & v(0);
   const std::vector<std::uint32_t> q{1, 2};
   EXPECT_TRUE(mgr.and_exists(f, g, q) == mgr.exists(f & g, q));
 }
@@ -96,7 +96,7 @@ TEST_F(BddAlgorithmsTest, ConstrainAgreesOnCareSet) {
 }
 
 TEST_F(BddAlgorithmsTest, ConstrainWithCubeIsCofactor) {
-  const Bdd f = (v(0) & v(1)) | (!v(0) & v(2));
+  const Bdd f = (v(0) & v(1)) | ((!v(0)) & v(2));
   EXPECT_TRUE(mgr.constrain(f, v(0)) == v(1));
   EXPECT_TRUE(mgr.constrain(f, !v(0)) == v(2));
 }
@@ -112,7 +112,7 @@ TEST_F(BddAlgorithmsTest, RestrictSupportStaysWithinOperands) {
   // Restrict smooths care variables above f's support instead of pulling
   // them into the result.
   const Bdd f = v(2) & v(3);
-  const Bdd care = (v(0) & v(2)) | (!v(0) & v(3));
+  const Bdd care = (v(0) & v(2)) | ((!v(0)) & v(3));
   const Bdd g = mgr.restrict_to(f, care);
   for (const std::uint32_t var : g.support()) {
     EXPECT_GE(var, 2u);
@@ -157,7 +157,7 @@ TEST_F(BddAlgorithmsTest, ShortestCubeOfZeroThrows) {
 }
 
 TEST_F(BddAlgorithmsTest, PickMintermSatisfies) {
-  const Bdd f = (!v(0) & v(1)) | (v(2) & v(5));
+  const Bdd f = ((!v(0)) & v(1)) | (v(2) & v(5));
   const std::vector<bool> point = mgr.pick_minterm(f);
   EXPECT_TRUE(f.eval(point));
 }
@@ -179,11 +179,11 @@ TEST_F(BddAlgorithmsTest, CoverBddIsDisjunctionOfCubes) {
   }
   const Cover cover = Cover::parse(8, {"1-------", "-01-----"});
   const Bdd f = mgr.cover_bdd(cover, identity);
-  EXPECT_TRUE(f == (v(0) | (!v(1) & v(2))));
+  EXPECT_TRUE(f == (v(0) | ((!v(1)) & v(2))));
 }
 
 TEST_F(BddAlgorithmsTest, IsopCoversExactFunction) {
-  const Bdd f = (v(0) & v(1)) | (!v(0) & v(2)) | (v(1) & v(2));
+  const Bdd f = (v(0) & v(1)) | ((!v(0)) & v(2)) | (v(1) & v(2));
   const IsopResult result = mgr.isop(f, f);
   EXPECT_TRUE(result.function == f);
   std::vector<std::uint32_t> identity;

@@ -49,8 +49,8 @@ TEST_F(BddBasicTest, AndOrBasics) {
 TEST_F(BddBasicTest, DeMorgan) {
   const Bdd a = mgr.var(0);
   const Bdd b = mgr.var(1);
-  EXPECT_TRUE((!(a & b)) == (!a | !b));
-  EXPECT_TRUE((!(a | b)) == (!a & !b));
+  EXPECT_TRUE((!(a & b)) == ((!a) | !b));
+  EXPECT_TRUE((!(a | b)) == ((!a) & !b));
 }
 
 TEST_F(BddBasicTest, XorAndIff) {
@@ -59,14 +59,14 @@ TEST_F(BddBasicTest, XorAndIff) {
   EXPECT_TRUE((a ^ a).is_zero());
   EXPECT_TRUE((a ^ !a).is_one());
   EXPECT_TRUE((a ^ b) == !(a.iff(b)));
-  EXPECT_TRUE(a.iff(b) == ((a & b) | (!a & !b)));
+  EXPECT_TRUE(a.iff(b) == ((a & b) | ((!a) & !b)));
 }
 
 TEST_F(BddBasicTest, IteAgreesWithDefinition) {
   const Bdd f = mgr.var(0);
   const Bdd g = mgr.var(1);
   const Bdd h = mgr.var(2);
-  EXPECT_TRUE(mgr.ite(f, g, h) == ((f & g) | (!f & h)));
+  EXPECT_TRUE(mgr.ite(f, g, h) == ((f & g) | ((!f) & h)));
 }
 
 TEST_F(BddBasicTest, ImplicationAndSubset) {
@@ -82,11 +82,11 @@ TEST_F(BddBasicTest, CofactorShannonExpansion) {
   const Bdd a = mgr.var(0);
   const Bdd b = mgr.var(1);
   const Bdd c = mgr.var(2);
-  const Bdd f = (a & b) | (!a & c);
+  const Bdd f = (a & b) | ((!a) & c);
   EXPECT_TRUE(f.cofactor(0, true) == b);
   EXPECT_TRUE(f.cofactor(0, false) == c);
   // Shannon: f == x·f_x + !x·f_!x
-  EXPECT_TRUE(f == ((a & f.cofactor(0, true)) | (!a & f.cofactor(0, false))));
+  EXPECT_TRUE(f == ((a & f.cofactor(0, true)) | ((!a) & f.cofactor(0, false))));
 }
 
 TEST_F(BddBasicTest, EvalWalksTheDag) {

@@ -173,7 +173,7 @@ TEST(BddStressTest, CacheHitRateIsMeaningful) {
   Bdd acc = mgr.one();
   for (int i = 0; i < 200; ++i) {
     acc = mgr.ite(mgr.literal(rng() % 16, rng() % 2 == 0), acc,
-                  !acc | mgr.var(rng() % 16));
+                  (!acc) | mgr.var(rng() % 16));
   }
   const BddStats& stats = mgr.stats();
   EXPECT_GT(stats.cache_lookups, 0u);

@@ -45,7 +45,7 @@ TEST_F(BrelSolverTest, QuickSolverIsGreedyOnFig10) {
   const BooleanRelation r = fig10_relation(mgr, space);
   const MultiFunction f = quick_solve(r);
   EXPECT_TRUE(f.outputs[0].is_one());
-  EXPECT_TRUE(f.outputs[1] == (!a() | b()));
+  EXPECT_TRUE(f.outputs[1] == ((!a()) | b()));
 }
 
 TEST_F(BrelSolverTest, SolverEscapesQuickSolverLocalMinimum) {
@@ -186,14 +186,14 @@ TEST_F(BrelSolverTest, SymmetryCacheDetectsSwapAndComplementedSwap) {
   SymmetryCache cache(mgr, space.outputs);
   const Bdd x = mgr.var(space.outputs[0]);
   const Bdd y = mgr.var(space.outputs[1]);
-  const Bdd chi = (a() & x & !y) | (!a() & !x & y);
+  const Bdd chi = (a() & x & !y) | ((!a()) & !x & y);
   EXPECT_FALSE(cache.seen_before_or_insert(chi));
   EXPECT_TRUE(cache.seen_before_or_insert(chi));  // itself
   // Swap image.
-  const Bdd swapped = (a() & y & !x) | (!a() & !y & x);
+  const Bdd swapped = (a() & y & !x) | ((!a()) & !y & x);
   EXPECT_TRUE(cache.seen_before_or_insert(swapped));
   // Complemented-swap image: x -> !y, y -> !x.
-  const Bdd skewed = (a() & !y & x) | (!a() & y & !x);
+  const Bdd skewed = (a() & !y & x) | ((!a()) & y & !x);
   EXPECT_TRUE(cache.seen_before_or_insert(skewed));
   // An unrelated relation is not reported.
   const Bdd other = b() & x & y;

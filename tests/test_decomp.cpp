@@ -37,7 +37,7 @@ TEST_F(DecompTest, Section101Example) {
   const Bdd x1 = mgr.var(x);
   const Bdd x2 = mgr.var(x + 1);
   const Bdd x3 = mgr.var(x + 2);
-  const Bdd f = (x1 & (x2 | x3)) | (!x1 & !x2 & !x3);
+  const Bdd f = (x1 & (x2 | x3)) | ((!x1) & !x2 & !x3);
   const std::vector<std::uint32_t> inputs{x, x + 1, x + 2};
 
   const std::uint32_t y = mgr.add_vars(3);

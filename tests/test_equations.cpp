@@ -33,7 +33,7 @@ TEST_F(EquationsTest, CharacteristicOfEquality) {
 TEST_F(EquationsTest, CharacteristicOfInclusion) {
   // P ⊆ Q  <=>  (!P + Q) = 1.
   const BoolEquation eq{{x()}, {a()}, EquationOp::Subseteq};
-  EXPECT_TRUE(eq.characteristic() == (!x() | a()));
+  EXPECT_TRUE(eq.characteristic() == ((!x()) | a()));
 }
 
 TEST_F(EquationsTest, MultiComponentEquationConjoins) {
@@ -137,7 +137,7 @@ TEST_F(EquationsTest, ExampleSection8Structure) {
   // and solved via the relation.  Equation 1 couples all three unknowns;
   // equation 2 forbids any two unknowns from being 1 simultaneously.
   BoolEquationSystem sys(mgr, X, Y);
-  sys.add_equation(x() | (b() & y() & !z()) | (!b() & z()), a());
+  sys.add_equation(x() | (b() & y() & !z()) | ((!b()) & z()), a());
   sys.add_equation((x() & y()) | (x() & z()) | (y() & z()), mgr.zero());
   ASSERT_TRUE(sys.is_consistent());
   const SolveResult result = sys.solve();

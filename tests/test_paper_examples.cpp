@@ -131,7 +131,7 @@ TEST_F(PaperExamplesTest, Example61QuickSolverOrderDependence) {
   const Bdd a = mgr.var(space.inputs[0]);
   const Bdd b = mgr.var(space.inputs[1]);
   EXPECT_TRUE(quick.outputs[0].is_one());       // x ⇔ 1
-  EXPECT_TRUE(quick.outputs[1] == (!a | b));    // y inherits little
+  EXPECT_TRUE(quick.outputs[1] == ((!a) | b));    // y inherits little
   // The balanced optimum exists but QuickSolver cannot see it.
   MultiFunction best;
   best.outputs = {!b, !a};
@@ -205,7 +205,7 @@ TEST_F(PaperExamplesTest, Sec8EquationSystemRoundTrip) {
   BoolEquationSystem sys(mgr, space.inputs, dep);
   // Mirror of Example 8.1's structure (the printed overbars are not
   // recoverable from the text; see EXPERIMENTS.md).
-  sys.add_equation(x | (b & y & !z) | (!b & z), a);
+  sys.add_equation(x | (b & y & !z) | ((!b) & z), a);
   sys.add_equation((x & y) | (x & z) | (y & z), mgr.zero());
   ASSERT_TRUE(sys.is_consistent());
 
@@ -226,7 +226,7 @@ TEST_F(PaperExamplesTest, Sec101MuxRelationImages) {
   const Bdd x1 = mgr.var(x);
   const Bdd x2 = mgr.var(x + 1);
   const Bdd x3 = mgr.var(x + 2);
-  const Bdd f = (x1 & (x2 | x3)) | (!x1 & !x2 & !x3);
+  const Bdd f = (x1 & (x2 | x3)) | ((!x1) & !x2 & !x3);
   const std::uint32_t yv = mgr.add_vars(3);
   const std::vector<std::uint32_t> abc{yv, yv + 1, yv + 2};
   const Bdd gate = mux_gate(mgr.var(yv), mgr.var(yv + 1), mgr.var(yv + 2));

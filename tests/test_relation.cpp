@@ -105,9 +105,9 @@ TEST_F(RelationTest, ProjectionsMatchExample51) {
 
   const Isf p2 = r.project_output(1);
   // y2: forced 1 at 01; free at 10 and 11; forced 0 at 00.
-  EXPECT_TRUE(p2.on() == (!x1 & x2));
+  EXPECT_TRUE(p2.on() == ((!x1) & x2));
   EXPECT_TRUE(p2.dc() == x1);
-  EXPECT_TRUE(p2.off() == (!x1 & !x2));
+  EXPECT_TRUE(p2.off() == ((!x1) & !x2));
 }
 
 TEST_F(RelationTest, MisfCoversRelationProperty52) {

@@ -136,7 +136,8 @@ TEST_P(SolverPropertyTest, DfsAndBfsBothReturnCompatibleSolutions) {
   std::vector<std::uint32_t> outputs;
   const BooleanRelation r = random_relation(mgr, rng, 3, 2, inputs, outputs);
   for (const ExplorationOrder order :
-       {ExplorationOrder::BreadthFirst, ExplorationOrder::DepthFirst}) {
+       {ExplorationOrder::BreadthFirst, ExplorationOrder::DepthFirst,
+        ExplorationOrder::BestFirst}) {
     SolverOptions options;
     options.order = order;
     options.max_relations = 8;
@@ -198,7 +199,8 @@ TEST(ExplorationOrderTest, DfsDivesBfsSpreads) {
   std::mt19937 rng{99};
   const BooleanRelation r = random_relation(mgr, rng, 3, 2, inputs, outputs);
   for (const ExplorationOrder order :
-       {ExplorationOrder::BreadthFirst, ExplorationOrder::DepthFirst}) {
+       {ExplorationOrder::BreadthFirst, ExplorationOrder::DepthFirst,
+        ExplorationOrder::BestFirst}) {
     SolverOptions options;
     options.order = order;
     options.max_relations = 3;

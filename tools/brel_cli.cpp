@@ -6,11 +6,19 @@
 //
 //   brel_cli [options] [file.br]          (no file or "-" = stdin)
 //     --cost=size|size2|cubes|lits|balance   objective (default size)
-//     --budget=N                             explored relations (default 10)
-//     --fifo=N                               pending-queue bound
+//     --max-relations=N                      explored relations (default 10)
+//     --budget=N                             alias for --max-relations
+//     --fifo=N                               pending-frontier bound
 //     --exact                                complete exploration
-//     --order=bfs|dfs                        exploration order
+//     --order=bfs|dfs|best                   exploration order
 //     --symmetry                             enable the symmetry cache
+//     --seed-cache                           enable the subproblem cache,
+//                                            seeded with the root relation.
+//                                            One-shot runs never hit it
+//                                            (Property 5.4 — it acts as an
+//                                            invariant guard); embedders
+//                                            share it across solves via
+//                                            SolverOptions::subproblem_cache
 //     --totalize                             repair partial relations
 //     --solver=brel|quick|gyocro|herb        which solver to run
 //     --dump-table                           print the relation table
@@ -34,8 +42,9 @@ struct CliOptions {
   std::size_t budget = 10;
   std::size_t fifo = static_cast<std::size_t>(-1);
   bool exact = false;
-  bool dfs = false;
+  brel::ExplorationOrder order = brel::ExplorationOrder::BreadthFirst;
   bool symmetry = false;
+  bool seed_cache = false;
   bool totalize = false;
   bool dump_table = false;
   bool quiet = false;
@@ -46,11 +55,26 @@ struct CliOptions {
 [[noreturn]] void usage(int code) {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: brel_cli [--cost=size|size2|cubes|lits|balance]\n"
-               "                [--budget=N] [--fifo=N] [--exact]\n"
-               "                [--order=bfs|dfs] [--symmetry] [--totalize]\n"
+               "                [--max-relations=N] [--budget=N] [--fifo=N]\n"
+               "                [--exact] [--order=bfs|dfs|best]\n"
+               "                [--symmetry] [--seed-cache] [--totalize]\n"
                "                [--solver=brel|quick|gyocro|herb]\n"
                "                [--dump-table] [--quiet] [file.br|-]\n");
   std::exit(code);
+}
+
+brel::ExplorationOrder order_by_name(const std::string& name) {
+  if (name == "bfs") {
+    return brel::ExplorationOrder::BreadthFirst;
+  }
+  if (name == "dfs") {
+    return brel::ExplorationOrder::DepthFirst;
+  }
+  if (name == "best") {
+    return brel::ExplorationOrder::BestFirst;
+  }
+  std::fprintf(stderr, "unknown order '%s'\n", name.c_str());
+  usage(2);
 }
 
 CliOptions parse_args(int argc, char** argv) {
@@ -67,14 +91,18 @@ CliOptions parse_args(int argc, char** argv) {
       options.cost = v;
     } else if (const char* v = value_of("--budget=")) {
       options.budget = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--max-relations=")) {
+      options.budget = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value_of("--fifo=")) {
       options.fifo = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--exact") {
       options.exact = true;
     } else if (const char* v = value_of("--order=")) {
-      options.dfs = std::string(v) == "dfs";
+      options.order = order_by_name(v);  // validated before any input I/O
     } else if (arg == "--symmetry") {
       options.symmetry = true;
+    } else if (arg == "--seed-cache") {
+      options.seed_cache = true;
     } else if (arg == "--totalize") {
       options.totalize = true;
     } else if (const char* v = value_of("--solver=")) {
@@ -207,17 +235,18 @@ int main(int argc, char** argv) {
   options.fifo_capacity = cli.fifo;
   options.exact = cli.exact;
   options.use_symmetry = cli.symmetry;
-  options.order = cli.dfs ? brel::ExplorationOrder::DepthFirst
-                          : brel::ExplorationOrder::BreadthFirst;
+  options.use_subproblem_cache = cli.seed_cache;
+  options.order = cli.order;
   const brel::SolveResult result = brel::BrelSolver(options).solve(relation);
   if (!cli.quiet) {
     std::printf("# cost(%s) = %.0f\n", cli.cost.c_str(), result.cost);
     std::printf(
         "# explored=%zu splits=%zu conflicts=%zu pruned(cost)=%zu "
-        "pruned(sym)=%zu time=%.3fs%s\n",
+        "pruned(sym)=%zu pruned(cache)=%zu time=%.3fs%s\n",
         result.stats.relations_explored, result.stats.splits,
         result.stats.conflicts, result.stats.pruned_by_cost,
-        result.stats.pruned_by_symmetry, result.stats.runtime_seconds,
+        result.stats.pruned_by_symmetry, result.stats.pruned_by_cache,
+        result.stats.runtime_seconds,
         result.stats.budget_exhausted ? " (budget exhausted)" : "");
   }
   print_covers(mgr, relation, result.function);
