@@ -6,16 +6,26 @@
 // the results"; this harness sweeps the budget and reports the total
 // solution cost (Σ BDD sizes) and runtime over the BR suite, which should
 // show steep gains from 1 to ~10 and diminishing returns beyond.
+//
+// `--json <path>` additionally records every table row (plus solver and
+// BDD-substrate counters) machine-readably: BENCH_search.json at the repo
+// root is this harness's perf trajectory.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "benchgen/relation_suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace brel;
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   const std::vector<std::size_t> budgets{1, 2, 5, 10, 20, 50, 200};
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.field_str("bench", "bench_fifo_ablation");
 
   std::printf("Exploration-budget ablation over the BR suite\n");
   std::printf("(cost = sum of BDD sizes; FIFO-based partial BFS)\n\n");
@@ -44,10 +54,17 @@ int main() {
     }
     rows.emplace_back(budget, std::make_pair(total_cost, cpu));
   }
+  json.begin_array("budget_sweep");
   for (const auto& [budget, data] : rows) {
     std::printf("%-10zu %12.0f %12.3f %+13.2f%%\n", budget, data.first,
                 data.second, 100.0 * (data.first / reference - 1.0));
+    json.begin_element();
+    json.field_int("budget", budget);
+    json.field_num("total_cost", data.first);
+    json.field_num("cpu_seconds", data.second);
+    json.end_element();
   }
+  json.end_array();
   std::printf("\n(lower cost is better; budget=10 is the paper's Table 2 "
               "setting)\n");
 
@@ -59,6 +76,7 @@ int main() {
   std::printf("\nFrontier strategy (same budgets, total cost)\n");
   std::printf("%-10s %12s %12s %12s %10s %10s\n", "budget", "BFS", "DFS",
               "best", "DFS-BFS", "best-BFS");
+  json.begin_array("frontier_strategies");
   for (const std::size_t budget : budgets) {
     double strategy_cost[3] = {0.0, 0.0, 0.0};
     const ExplorationOrder orders[3] = {ExplorationOrder::BreadthFirst,
@@ -82,7 +100,14 @@ int main() {
                 strategy_cost[0], strategy_cost[1], strategy_cost[2],
                 100.0 * (strategy_cost[1] / strategy_cost[0] - 1.0),
                 100.0 * (strategy_cost[2] / strategy_cost[0] - 1.0));
+    json.begin_element();
+    json.field_int("budget", budget);
+    json.field_num("bfs_cost", strategy_cost[0]);
+    json.field_num("dfs_cost", strategy_cost[1]);
+    json.field_num("best_cost", strategy_cost[2]);
+    json.end_element();
   }
+  json.end_array();
   std::printf("\n(negative deltas beat the paper's BFS choice)\n");
 
   // Third knob: the subproblem cache.  Within one solve tree a duplicate
@@ -95,6 +120,7 @@ int main() {
   std::printf("\nSubproblem cache (BFS, budget=10)\n");
   std::printf("%-10s %10s %10s %12s %12s %10s\n", "instance", "cold cost",
               "warm cost", "cold expl.", "warm expl.", "deduped");
+  json.begin_array("subproblem_cache");
   for (const RelationBenchmark& bench : relation_suite()) {
     BddManager mgr{0};
     std::vector<std::uint32_t> inputs;
@@ -116,9 +142,50 @@ int main() {
                 bench.name.c_str(), cold.cost, warm.cost,
                 cold.stats.relations_explored, warm.stats.relations_explored,
                 warm.stats.pruned_by_cache);
+    json.begin_element();
+    json.field_str("instance", bench.name);
+    json.field_num("cold_cost", cold.cost);
+    json.field_num("warm_cost", warm.cost);
+    json.field_int("cold_explored", cold.stats.relations_explored);
+    json.field_int("warm_explored", warm.stats.relations_explored);
+    json.field_int("deduped", warm.stats.pruned_by_cache);
+    json.end_element();
   }
+  json.end_array();
   std::printf("\n(cold runs dedup nothing — the in-tree no-duplicate "
               "invariant;\nwarm re-solves return the memoized first-run "
               "quality from one explored relation)\n");
+
+  // The BDD substrate the whole ablation ran on, for the perf record.
+  {
+    BddManager mgr{0};
+    std::vector<std::uint32_t> inputs;
+    std::vector<std::uint32_t> outputs;
+    const BooleanRelation r = make_benchmark_relation(
+        mgr, relation_suite().front(), inputs, outputs);
+    SolverOptions options;
+    options.cost = sum_of_bdd_sizes();
+    options.max_relations = 10;
+    bench::Stopwatch timer;
+    (void)BrelSolver(options).solve(r);
+    const BddStats& stats = mgr.stats();
+    json.begin_object("bdd_substrate");
+    json.field_str("instance", relation_suite().front().name);
+    json.field_num("solve_seconds", timer.seconds());
+    json.field_int("cache_lookups", stats.cache_lookups);
+    json.field_int("cache_hits", stats.cache_hits);
+    json.field_int("peak_nodes", stats.peak_nodes);
+    json.field_int("gc_checks", stats.gc_checks);
+    json.field_int("gc_runs", stats.gc_runs);
+    json.end_object();
+  }
+  json.end_object();
+
+  if (!json_path.empty()) {
+    if (!json.save(json_path)) {
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

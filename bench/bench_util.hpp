@@ -1,11 +1,14 @@
 #pragma once
 /// \file bench_util.hpp
 /// Shared helpers for the table/figure reproduction harnesses: wall-clock
-/// timing, fixed-width table printing, and solution metric extraction.
+/// timing, fixed-width table printing, solution metric extraction, and the
+/// machine-readable perf trajectory (--json output shared by the benches).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "brel/solver.hpp"
@@ -45,5 +48,92 @@ inline std::size_t budget_from_env(const char* name,
   }
   return fallback;
 }
+
+/// `--json <path>` argument, if present ("" otherwise).  Shared by the
+/// harnesses that record the perf trajectory (BENCH_*.json at repo root).
+/// A trailing `--json` without a path is a loud error, not a silent
+/// no-op — a missing perf record must fail the run.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path argument\n");
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+/// Minimal locale-independent JSON emitter: enough structure for the flat
+/// benchmark records the BENCH_*.json files hold, nothing more.  Keys and
+/// string values must not need escaping (they are identifiers here).
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array(const std::string& key) {
+    comma();
+    out_ << '"' << key << "\":";
+    out_ << '[';
+    fresh_ = true;
+  }
+  void end_array() { close(']'); }
+  void begin_object(const std::string& key) {
+    comma();
+    out_ << '"' << key << "\":";
+    out_ << '{';
+    fresh_ = true;
+  }
+  void begin_element() { open('{'); }
+  void end_element() { close('}'); }
+
+  void field_str(const std::string& key, const std::string& value) {
+    comma();
+    out_ << '"' << key << "\":\"" << value << '"';
+  }
+  void field_num(const std::string& key, double value) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    out_ << '"' << key << "\":" << buf;
+  }
+  void field_int(const std::string& key, std::uint64_t value) {
+    comma();
+    out_ << '"' << key << "\":" << value;
+  }
+
+  /// Write the document; returns false (with a message) on I/O failure.
+  [[nodiscard]] bool save(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    file << out_.str() << '\n';
+    return file.good();
+  }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ << c;
+    fresh_ = true;
+  }
+  void close(char c) {
+    out_ << c;
+    fresh_ = false;
+  }
+  void comma() {
+    if (!fresh_) {
+      out_ << ',';
+    }
+    fresh_ = false;
+  }
+
+  std::ostringstream out_;
+  bool fresh_ = true;
+};
 
 }  // namespace brel::bench

@@ -20,12 +20,14 @@
 ///   - bdd_analysis.cpp: satcount, support, shortest path, eval, dag size
 ///   - bdd_io.cpp      : dot export and debugging dumps
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -131,6 +133,24 @@ struct IsopResult {
   Bdd function;  ///< BDD of the cover
 };
 
+/// Operation tag of a computed-cache entry.  Public so per-op cache
+/// statistics (BddStats::op_lookups / op_hits) are interpretable by
+/// benchmarks and tests.
+enum class BddOp : std::uint32_t {
+  Ite = 0,
+  And,
+  Xor,
+  Cofactor,
+  Leq,
+  Exists,
+  AndExists,
+  Constrain,
+  Restrict,
+};
+inline constexpr std::size_t kBddOpCount = 9;
+/// Short stable name of an op tag ("and", "ite", ...).
+[[nodiscard]] const char* bdd_op_name(BddOp op) noexcept;
+
 /// Operational statistics (monotone counters; see BddManager::stats()).
 struct BddStats {
   std::size_t live_nodes = 0;       ///< nodes currently in the unique table
@@ -138,7 +158,18 @@ struct BddStats {
   std::uint64_t cache_hits = 0;     ///< computed-table hits
   std::uint64_t cache_lookups = 0;  ///< computed-table probes
   std::uint64_t gc_runs = 0;        ///< completed garbage collections
+  std::uint64_t gc_checks = 0;      ///< garbage_collect_if_needed() calls
   std::uint64_t nodes_created = 0;  ///< total unique-table insertions
+  /// Per-op computed-table probes/hits, indexed by BddOp.
+  std::array<std::uint64_t, kBddOpCount> op_lookups{};
+  std::array<std::uint64_t, kBddOpCount> op_hits{};
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
 };
 
 /// Owns every BDD node.  Create variables with var(); combine them through
@@ -172,6 +203,14 @@ class BddManager {
   [[nodiscard]] Bdd bdd_or(const Bdd& f, const Bdd& g);
   [[nodiscard]] Bdd bdd_xor(const Bdd& f, const Bdd& g);
   [[nodiscard]] Bdd bdd_not(const Bdd& f);
+
+  /// True iff f <= g as functions.  Short-circuits on the first witness
+  /// minterm of f & !g instead of materializing that conjunction.
+  [[nodiscard]] bool leq(const Bdd& f, const Bdd& g);
+
+  /// Positive/negative cofactor of f with respect to a single variable
+  /// (dedicated kernel; cheaper than constrain over the literal).
+  [[nodiscard]] Bdd cofactor(const Bdd& f, std::uint32_t var, bool phase);
 
   /// Conjunction/disjunction over a whole range.
   [[nodiscard]] Bdd big_and(std::span<const Bdd> fs);
@@ -228,9 +267,27 @@ class BddManager {
   /// the computed cache.  Never call while external raw edges are held.
   void garbage_collect();
   /// garbage_collect() if the dead-node estimate crosses the threshold.
+  /// O(1) when it declines: the trigger compares the live-node count
+  /// against the incremental external-root counter (no refcount scan).
   void garbage_collect_if_needed(std::size_t dead_node_threshold = 1u << 16);
 
-  [[nodiscard]] const BddStats& stats() const noexcept { return stats_; }
+  /// Number of nodes currently pinned by at least one external handle
+  /// (maintained incrementally by ref_edge/deref_edge; the GC trigger).
+  [[nodiscard]] std::size_t external_root_count() const noexcept {
+    return external_roots_;
+  }
+
+  /// The hot path maintains only the per-op probe counters; the aggregate
+  /// cache_lookups/cache_hits are folded on read (this accessor is cold).
+  [[nodiscard]] const BddStats& stats() const noexcept {
+    stats_.cache_lookups = 0;
+    stats_.cache_hits = 0;
+    for (std::size_t op = 0; op < kBddOpCount; ++op) {
+      stats_.cache_lookups += stats_.op_lookups[op];
+      stats_.cache_hits += stats_.op_hits[op];
+    }
+    return stats_;
+  }
 
   /// Graphviz dump of the DAGs rooted at `roots` (complement edges dashed).
   void write_dot(std::ostream& os, std::span<const Bdd> roots,
@@ -246,19 +303,35 @@ class BddManager {
     std::uint32_t next;  ///< unique-table chain (0 = end of chain)
   };
 
-  enum class Op : std::uint32_t {
-    Ite = 1,
-    Exists,
-    AndExists,
-    Constrain,
-    Restrict,
-  };
+  using Op = BddOp;
 
+  /// Packed computed-cache entry (16 bytes; the pre-overhaul layout spent
+  /// 32).  The op tag and the first two operands are folded into one
+  /// 64-bit word — op in bits 60..63, a in 30..59, b in 0..29 — which
+  /// works because edges are capped at 30 bits (kMaxNodeIndex below).
+  /// An all-ones key_ab is unreachable (op nibble 15 is not a valid tag)
+  /// and doubles as the empty sentinel.
   struct CacheEntry {
-    std::uint64_t key = ~0ull;  ///< mix of op and operand edges
-    detail::Edge a = 0, b = 0, c = 0;
-    std::uint32_t op = 0;
+    std::uint64_t key_ab = kEmptyCacheKey;  ///< op | a | b
+    detail::Edge c = 0;                     ///< third operand (0 if unused)
     detail::Edge result = 0;
+  };
+  static_assert(sizeof(detail::Edge) == 4);
+  static constexpr std::uint64_t kEmptyCacheKey = ~0ull;
+  /// Node indices must fit in 29 bits so an edge (index << 1 | complement)
+  /// fits the 30-bit operand fields of the packed cache key.
+  static constexpr std::uint32_t kMaxNodeIndex = (1u << 29) - 1;
+  /// Variable indices share the 30-bit operand fields (cofactor_rec packs
+  /// var << 1 | phase as a cache operand), so they get the same cap.
+  static constexpr std::uint32_t kMaxVariables = 1u << 29;
+
+  /// One computed-cache probe: the packed key words and the base slot of
+  /// the 2-way set, carried from cache_lookup to the matching cache_insert
+  /// so the hash is computed once per lookup/insert pair.
+  struct CacheProbe {
+    std::uint64_t key_ab = 0;
+    detail::Edge c = 0;
+    std::size_t slot = 0;
   };
 
   // -- node store ---------------------------------------------------------
@@ -291,16 +364,32 @@ class BddManager {
   [[nodiscard]] static std::uint64_t hash_triple(std::uint64_t a,
                                                  std::uint64_t b,
                                                  std::uint64_t c) noexcept;
+  [[nodiscard]] static std::uint64_t hash_key(std::uint64_t key_ab,
+                                              detail::Edge c) noexcept;
 
   // -- computed cache ------------------------------------------------------
+  /// Probe the 2-way set for (op, a, b, c).  On a miss, `probe` carries the
+  /// packed key and slot to the matching cache_insert so the hash is
+  /// computed once per lookup/insert pair.
   [[nodiscard]] bool cache_lookup(Op op, detail::Edge a, detail::Edge b,
-                                  detail::Edge c, detail::Edge& out);
-  void cache_insert(Op op, detail::Edge a, detail::Edge b, detail::Edge c,
-                    detail::Edge result);
+                                  detail::Edge c, detail::Edge& out,
+                                  CacheProbe& probe);
+  void cache_insert(const CacheProbe& probe, detail::Edge result);
 
   // -- recursive kernels (raw-edge domain) ---------------------------------
   [[nodiscard]] detail::Edge ite_rec(detail::Edge f, detail::Edge g,
                                      detail::Edge h);
+  [[nodiscard]] detail::Edge and_rec(detail::Edge f, detail::Edge g);
+  [[nodiscard]] detail::Edge xor_rec(detail::Edge f, detail::Edge g);
+  /// De-Morgan wrapper over and_rec (no cache entry of its own: OR(f,g)
+  /// and AND(!f,!g) share one).
+  [[nodiscard]] detail::Edge or_rec(detail::Edge f, detail::Edge g) {
+    return detail::edge_not(
+        and_rec(detail::edge_not(f), detail::edge_not(g)));
+  }
+  [[nodiscard]] detail::Edge cofactor_rec(detail::Edge f, std::uint32_t var,
+                                          bool phase);
+  [[nodiscard]] bool leq_rec(detail::Edge f, detail::Edge g);
   [[nodiscard]] detail::Edge exists_rec(detail::Edge f, detail::Edge cube);
   [[nodiscard]] detail::Edge and_exists_rec(detail::Edge f, detail::Edge g,
                                             detail::Edge cube);
@@ -320,8 +409,18 @@ class BddManager {
   std::uint32_t free_list_ = 0;         ///< head of free node chain (0 = none)
   std::size_t free_count_ = 0;
   std::vector<CacheEntry> cache_;
-  std::uint64_t cache_mask_ = 0;
-  BddStats stats_;
+  std::uint64_t cache_mask_ = 0;  ///< (number of 2-way sets) - 1
+  /// Nodes with refcount > 0 — the GC roots.  Maintained incrementally on
+  /// every 0<->1 refcount transition so garbage_collect_if_needed never
+  /// rescans the table.
+  std::size_t external_roots_ = 0;
+  // GC scratch, reused across runs (no per-GC allocation in steady state).
+  std::vector<std::uint32_t> gc_mark_;   ///< stamp per node; == gc_stamp_
+  std::uint32_t gc_stamp_ = 0;           ///<   means marked in current run
+  std::vector<std::uint32_t> gc_stack_;
+  /// Scratch memo for compose() (cleared per call, never reallocated).
+  std::unordered_map<detail::Edge, detail::Edge> compose_memo_;
+  mutable BddStats stats_;  ///< mutable: stats() folds aggregates on read
 };
 
 }  // namespace brel

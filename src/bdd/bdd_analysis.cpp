@@ -131,7 +131,7 @@ Cube BddManager::shortest_cube(const Bdd& f) {
     const Edge lo = lo_of(e);
     const std::size_t chi = self(self, hi);
     const std::size_t clo = self(self, lo);
-    const std::size_t cboth = self(self, ite_rec(hi, lo, kZero));
+    const std::size_t cboth = self(self, and_rec(hi, lo));
     std::size_t best = cboth;  // skipping v costs no literal
     best = std::min(best, chi == kInf ? kInf : chi + 1);
     best = std::min(best, clo == kInf ? kInf : clo + 1);
@@ -147,7 +147,7 @@ Cube BddManager::shortest_cube(const Bdd& f) {
     const std::uint32_t v = node_var(e);
     const Edge hi = hi_of(e);
     const Edge lo = lo_of(e);
-    const Edge both = ite_rec(hi, lo, kZero);
+    const Edge both = and_rec(hi, lo);
     const auto lookup = [&](Edge x) -> std::size_t {
       if (x == kOne) {
         return 0;

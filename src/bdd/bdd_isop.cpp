@@ -47,18 +47,18 @@ IsopResult BddManager::isop(const Bdd& lower, const Bdd& upper) {
 
     // Minterms that *must* be covered with the literal !v (resp. v).
     std::vector<Cube> cubes_neg;
-    const Edge must_neg = ite_rec(l0, edge_not(u1), kZero);
+    const Edge must_neg = and_rec(l0, edge_not(u1));
     const Edge f_neg = self(self, must_neg, u0, cubes_neg);
 
     std::vector<Cube> cubes_pos;
-    const Edge must_pos = ite_rec(l1, edge_not(u0), kZero);
+    const Edge must_pos = and_rec(l1, edge_not(u0));
     const Edge f_pos = self(self, must_pos, u1, cubes_pos);
 
     // Whatever is still uncovered may use cubes without a v literal.
-    const Edge rest = ite_rec(ite_rec(l0, edge_not(f_neg), kZero), kOne,
-                              ite_rec(l1, edge_not(f_pos), kZero));
+    const Edge rest = or_rec(and_rec(l0, edge_not(f_neg)),
+                             and_rec(l1, edge_not(f_pos)));
     std::vector<Cube> cubes_dc;
-    const Edge u_both = ite_rec(u0, u1, kZero);
+    const Edge u_both = and_rec(u0, u1);
     const Edge f_dc = self(self, rest, u_both, cubes_dc);
 
     for (Cube& cube : cubes_neg) {
@@ -74,7 +74,7 @@ IsopResult BddManager::isop(const Bdd& lower, const Bdd& upper) {
     }
     // f = !v·f_neg + v·f_pos + f_dc
     const Edge branch = make_node(v, f_pos, f_neg);
-    return ite_rec(branch, kOne, f_dc);
+    return or_rec(branch, f_dc);
   };
   const Edge f = rec(rec, lower.raw_edge(), upper.raw_edge(), cubes);
   return IsopResult{Cover(num_vars_, std::move(cubes)), wrap(f)};

@@ -97,15 +97,13 @@ Bdd Bdd::implies(const Bdd& other) const {
 }
 
 bool Bdd::subset_of(const Bdd& other) const {
-  // f <= g  <=>  f & !g == 0
-  return manager_->bdd_and(*this, !other).is_zero();
+  // f <= g  <=>  f & !g == 0, decided by the short-circuiting leq kernel
+  // without materializing the conjunction.
+  return manager_->leq(*this, other);
 }
 
 Bdd Bdd::cofactor(std::uint32_t var, bool phase) const {
-  const Bdd lit = manager_->literal(var, phase);
-  // ite(x, f, f_x) trick is unnecessary; a dedicated restriction via
-  // constrain over the literal is exact for a single variable.
-  return manager_->constrain(*this, lit);
+  return manager_->cofactor(*this, var, phase);
 }
 
 // ---------------------------------------------------------------------------
@@ -117,19 +115,29 @@ BddManager::BddManager(std::uint32_t num_vars, std::uint32_t cache_log2)
   if (cache_log2 < 8 || cache_log2 > 28) {
     throw std::invalid_argument("BddManager: cache_log2 out of range [8,28]");
   }
+  if (num_vars > kMaxVariables) {
+    // Same invariant as kMaxNodeIndex: cofactor_rec packs var << 1 | phase
+    // into a 30-bit cache operand field.
+    throw std::invalid_argument("BddManager: too many variables");
+  }
   nodes_.reserve(1u << 12);
   refcount_.reserve(1u << 12);
   // Node 0: the terminal ONE.
   nodes_.push_back(Node{kTerminalVar, kOne, kOne, 0});
   refcount_.push_back(1);  // never collected
   rehash_unique_table(1u << 12);
+  // 2^cache_log2 entries organized as 2-way sets (consecutive pairs); at
+  // 16 bytes per entry this is half the memory of the pre-overhaul cache.
   cache_.resize(std::size_t{1} << cache_log2);
-  cache_mask_ = (std::uint64_t{1} << cache_log2) - 1;
+  cache_mask_ = (std::uint64_t{1} << (cache_log2 - 1)) - 1;
 }
 
 BddManager::~BddManager() = default;
 
 std::uint32_t BddManager::add_vars(std::uint32_t count) {
+  if (count > kMaxVariables - num_vars_) {
+    throw std::length_error("BddManager: too many variables");
+  }
   const std::uint32_t first = num_vars_;
   num_vars_ += count;
   return first;
@@ -185,6 +193,11 @@ std::uint32_t BddManager::allocate_node() {
     --free_count_;
     return idx;
   }
+  if (nodes_.size() > kMaxNodeIndex) {
+    // Edges must fit the 30-bit operand fields of the packed computed
+    // cache; 2^29 nodes is ~8 GiB of node store, far past practical use.
+    throw std::length_error("BddManager: node capacity exceeded");
+  }
   nodes_.push_back(Node{});
   refcount_.push_back(0);
   return static_cast<std::uint32_t>(nodes_.size() - 1);
@@ -228,67 +241,127 @@ Edge BddManager::make_node(std::uint32_t var, Edge hi, Edge lo) {
 // Computed cache
 // ---------------------------------------------------------------------------
 
-bool BddManager::cache_lookup(Op op, Edge a, Edge b, Edge c, Edge& out) {
-  ++stats_.cache_lookups;
-  const std::uint64_t key =
-      hash_triple((std::uint64_t{static_cast<std::uint32_t>(op)} << 32) | a, b,
-                  c);
-  const CacheEntry& entry = cache_[key & cache_mask_];
-  if (entry.key == key && entry.op == static_cast<std::uint32_t>(op) &&
-      entry.a == a && entry.b == b && entry.c == c) {
-    ++stats_.cache_hits;
-    out = entry.result;
+const char* bdd_op_name(BddOp op) noexcept {
+  switch (op) {
+    case BddOp::Ite:
+      return "ite";
+    case BddOp::And:
+      return "and";
+    case BddOp::Xor:
+      return "xor";
+    case BddOp::Cofactor:
+      return "cofactor";
+    case BddOp::Leq:
+      return "leq";
+    case BddOp::Exists:
+      return "exists";
+    case BddOp::AndExists:
+      return "and_exists";
+    case BddOp::Constrain:
+      return "constrain";
+    case BddOp::Restrict:
+      return "restrict";
+  }
+  return "?";
+}
+
+std::uint64_t BddManager::hash_key(std::uint64_t key_ab, Edge c) noexcept {
+  std::uint64_t h = key_ab * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  h += std::uint64_t{c} * 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 29;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 32;
+  return h;
+}
+
+bool BddManager::cache_lookup(Op op, Edge a, Edge b, Edge c, Edge& out,
+                              CacheProbe& probe) {
+  const auto op_idx = static_cast<std::size_t>(op);
+  ++stats_.op_lookups[op_idx];  // aggregates are folded on stats() read
+  probe.key_ab = (std::uint64_t{static_cast<std::uint32_t>(op)} << 60) |
+                 (std::uint64_t{a} << 30) | b;
+  probe.c = c;
+  probe.slot = (hash_key(probe.key_ab, c) & cache_mask_) << 1;
+  CacheEntry& primary = cache_[probe.slot];
+  if (primary.key_ab == probe.key_ab && primary.c == c) {
+    ++stats_.op_hits[op_idx];
+    out = primary.result;
+    return true;
+  }
+  CacheEntry& secondary = cache_[probe.slot + 1];
+  if (secondary.key_ab == probe.key_ab && secondary.c == c) {
+    ++stats_.op_hits[op_idx];
+    out = secondary.result;
+    std::swap(primary, secondary);  // promote to the MRU way
     return true;
   }
   return false;
 }
 
-void BddManager::cache_insert(Op op, Edge a, Edge b, Edge c, Edge result) {
-  const std::uint64_t key =
-      hash_triple((std::uint64_t{static_cast<std::uint32_t>(op)} << 32) | a, b,
-                  c);
-  CacheEntry& entry = cache_[key & cache_mask_];
-  entry = CacheEntry{key, a, b, c, static_cast<std::uint32_t>(op), result};
+void BddManager::cache_insert(const CacheProbe& probe, Edge result) {
+  CacheEntry& primary = cache_[probe.slot];
+  if (primary.key_ab != kEmptyCacheKey) {
+    cache_[probe.slot + 1] = primary;  // demote; the LRU way is evicted
+  }
+  primary = CacheEntry{probe.key_ab, probe.c, result};
 }
 
 // ---------------------------------------------------------------------------
 // Reference counting and garbage collection
 // ---------------------------------------------------------------------------
 
-void BddManager::ref_edge(Edge e) noexcept { ++refcount_[edge_index(e)]; }
+void BddManager::ref_edge(Edge e) noexcept {
+  const std::uint32_t idx = edge_index(e);
+  if (idx != 0 && refcount_[idx]++ == 0) {
+    ++external_roots_;
+  }
+}
 
-void BddManager::deref_edge(Edge e) noexcept { --refcount_[edge_index(e)]; }
+void BddManager::deref_edge(Edge e) noexcept {
+  const std::uint32_t idx = edge_index(e);
+  if (idx != 0 && --refcount_[idx] == 0) {
+    --external_roots_;
+  }
+}
 
 void BddManager::garbage_collect() {
-  // Mark phase: every externally referenced node is a root.
-  std::vector<bool> marked(nodes_.size(), false);
-  marked[0] = true;
-  std::vector<std::uint32_t> stack;
+  // Mark phase: every externally referenced node is a root.  The mark
+  // buffer is a reusable stamp array: a node is marked in this run iff
+  // its stamp equals gc_stamp_, so no per-run clearing or allocation.
+  if (++gc_stamp_ == 0) {  // stamp wrapped: invalidate all old stamps once
+    std::fill(gc_mark_.begin(), gc_mark_.end(), 0u);
+    gc_stamp_ = 1;
+  }
+  gc_mark_.resize(nodes_.size(), 0u);
+  const std::uint32_t stamp = gc_stamp_;
+  gc_mark_[0] = stamp;
+  gc_stack_.clear();
   for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
     if (refcount_[i] > 0 && nodes_[i].var != kTerminalVar) {
-      stack.push_back(i);
+      gc_stack_.push_back(i);
     }
   }
-  while (!stack.empty()) {
-    const std::uint32_t idx = stack.back();
-    stack.pop_back();
-    if (marked[idx]) {
+  while (!gc_stack_.empty()) {
+    const std::uint32_t idx = gc_stack_.back();
+    gc_stack_.pop_back();
+    if (gc_mark_[idx] == stamp) {
       continue;
     }
-    marked[idx] = true;
+    gc_mark_[idx] = stamp;
     const Node& n = nodes_[idx];
     const std::uint32_t hi_idx = edge_index(n.hi);
     const std::uint32_t lo_idx = edge_index(n.lo);
-    if (!marked[hi_idx]) {
-      stack.push_back(hi_idx);
+    if (gc_mark_[hi_idx] != stamp) {
+      gc_stack_.push_back(hi_idx);
     }
-    if (!marked[lo_idx]) {
-      stack.push_back(lo_idx);
+    if (gc_mark_[lo_idx] != stamp) {
+      gc_stack_.push_back(lo_idx);
     }
   }
   // Sweep phase: unmarked nodes go to the free list.
   for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    if (!marked[i] && nodes_[i].var != kTerminalVar) {
+    if (gc_mark_[i] != stamp && nodes_[i].var != kTerminalVar) {
       nodes_[i].var = kTerminalVar;  // tombstone
       nodes_[i].next = free_list_;
       free_list_ = i;
@@ -303,20 +376,16 @@ void BddManager::garbage_collect() {
 }
 
 void BddManager::garbage_collect_if_needed(std::size_t dead_node_threshold) {
-  // Estimate dead nodes as allocations minus externally reachable ones is
-  // costly to track exactly; use total live minus referenced as a cheap
-  // proxy and only pay for a full GC when the table has grown large.
+  // Constant time on the decline path: external_roots_ is maintained
+  // incrementally on every 0<->1 refcount transition, so deciding "mostly
+  // garbage?" is two comparisons — no scan.  (The pre-overhaul version
+  // walked every refcount here, on every solver expansion step.)
+  ++stats_.gc_checks;
   const std::size_t live = nodes_.size() - 1 - free_count_;
   if (live < dead_node_threshold) {
     return;
   }
-  std::size_t externally_referenced = 0;
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    if (refcount_[i] > 0 && nodes_[i].var != kTerminalVar) {
-      ++externally_referenced;
-    }
-  }
-  if (live > externally_referenced * 4) {
+  if (live > external_roots_ * 4) {
     garbage_collect();
   }
 }

@@ -43,7 +43,8 @@ Edge BddManager::constrain_rec(Edge f, Edge c) {
     return kZero;
   }
   Edge cached = 0;
-  if (cache_lookup(Op::Constrain, f, c, 0, cached)) {
+  CacheProbe probe;
+  if (cache_lookup(Op::Constrain, f, c, 0, cached, probe)) {
     return cached;
   }
   const std::uint32_t vf = node_var(f);
@@ -60,7 +61,7 @@ Edge BddManager::constrain_rec(Edge f, Edge c) {
     result = make_node(v, constrain_rec(cofactor_top(f, v, true), c1),
                        constrain_rec(cofactor_top(f, v, false), c0));
   }
-  cache_insert(Op::Constrain, f, c, 0, result);
+  cache_insert(probe, result);
   return result;
 }
 
@@ -78,7 +79,8 @@ Edge BddManager::restrict_rec(Edge f, Edge c) {
     return kZero;
   }
   Edge cached = 0;
-  if (cache_lookup(Op::Restrict, f, c, 0, cached)) {
+  CacheProbe probe;
+  if (cache_lookup(Op::Restrict, f, c, 0, cached, probe)) {
     return cached;
   }
   const std::uint32_t vf = node_var(f);
@@ -86,7 +88,7 @@ Edge BddManager::restrict_rec(Edge f, Edge c) {
   Edge result = 0;
   if (vc < vf) {
     // The care set tests a variable f does not depend on: smooth it away.
-    const Edge smoothed = ite_rec(hi_of(c), kOne, lo_of(c));
+    const Edge smoothed = or_rec(hi_of(c), lo_of(c));
     result = restrict_rec(f, smoothed);
   } else {
     const std::uint32_t v = vf;
@@ -101,7 +103,7 @@ Edge BddManager::restrict_rec(Edge f, Edge c) {
                          restrict_rec(lo_of(f), c0));
     }
   }
-  cache_insert(Op::Restrict, f, c, 0, result);
+  cache_insert(probe, result);
   return result;
 }
 

@@ -50,7 +50,8 @@ Edge BddManager::exists_rec(Edge f, Edge cube) {
     return f;
   }
   Edge cached = 0;
-  if (cache_lookup(Op::Exists, f, cube, 0, cached)) {
+  CacheProbe probe;
+  if (cache_lookup(Op::Exists, f, cube, 0, cached, probe)) {
     return cached;
   }
   const std::uint32_t v = node_var(f);
@@ -62,13 +63,13 @@ Edge BddManager::exists_rec(Edge f, Edge cube) {
       result = kOne;
     } else {
       const Edge r0 = exists_rec(lo_of(f), rest);
-      result = ite_rec(r1, kOne, r0);
+      result = or_rec(r1, r0);
     }
   } else {
     result = make_node(v, exists_rec(hi_of(f), cube),
                        exists_rec(lo_of(f), cube));
   }
-  cache_insert(Op::Exists, f, cube, 0, result);
+  cache_insert(probe, result);
   return result;
 }
 
@@ -87,7 +88,7 @@ Edge BddManager::and_exists_rec(Edge f, Edge g, Edge cube) {
     return exists_rec(f, cube);
   }
   if (cube == kOne) {
-    return ite_rec(f, g, kZero);
+    return and_rec(f, g);
   }
   const std::uint32_t vf = node_var(f);
   const std::uint32_t vg = node_var(g);
@@ -96,10 +97,11 @@ Edge BddManager::and_exists_rec(Edge f, Edge g, Edge cube) {
     cube = hi_of(cube);
   }
   if (cube == kOne) {
-    return ite_rec(f, g, kZero);
+    return and_rec(f, g);
   }
   Edge cached = 0;
-  if (cache_lookup(Op::AndExists, f, g, cube, cached)) {
+  CacheProbe probe;
+  if (cache_lookup(Op::AndExists, f, g, cube, cached, probe)) {
     return cached;
   }
   Edge result = 0;
@@ -114,7 +116,7 @@ Edge BddManager::and_exists_rec(Edge f, Edge g, Edge cube) {
       const Edge r0 =
           and_exists_rec(cofactor_top(f, v, false), cofactor_top(g, v, false),
                          rest);
-      result = ite_rec(r1, kOne, r0);
+      result = or_rec(r1, r0);
     }
   } else {
     result = make_node(
@@ -124,7 +126,7 @@ Edge BddManager::and_exists_rec(Edge f, Edge g, Edge cube) {
         and_exists_rec(cofactor_top(f, v, false), cofactor_top(g, v, false),
                        cube));
   }
-  cache_insert(Op::AndExists, f, g, cube, result);
+  cache_insert(probe, result);
   return result;
 }
 
@@ -142,8 +144,13 @@ Bdd BddManager::compose(const Bdd& f, std::span<const Bdd> substitution) {
           "compose: substitution entry from a different manager");
     }
   }
-  // Per-call memo: the substitution vector is not a cacheable key.
-  std::unordered_map<Edge, Edge> memo;
+  // Per-call memo: the substitution vector is not a cacheable key.  The
+  // map itself is manager-owned scratch — clear() keeps the bucket array,
+  // so after the first calls the table is reserved at the largest operand
+  // DAG size seen and the hot loop never rehashes or reallocates.
+  // (Computing the exact DAG size up front would cost its own traversal.)
+  std::unordered_map<Edge, Edge>& memo = compose_memo_;
+  memo.clear();
   // Keep intermediates alive: compose builds with ite over already-built
   // subresults; nothing triggers GC meanwhile (GC is explicit).
   auto rec = [&](auto&& self, Edge e) -> Edge {

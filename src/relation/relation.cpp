@@ -159,8 +159,10 @@ Isf BooleanRelation::project_output(std::size_t output_index) const {
     }
   }
   const Bdd projection = mgr_->exists(chi_, others);  // P(X, y_i)
-  const Bdd allows_one = mgr_->constrain(projection, mgr_->var(y));
-  const Bdd allows_zero = mgr_->constrain(projection, !mgr_->var(y));
+  // Single-variable cofactors: the dedicated kernel, not the generalized
+  // constrain over a literal (identical result, far cheaper recursion).
+  const Bdd allows_one = mgr_->cofactor(projection, y, true);
+  const Bdd allows_zero = mgr_->cofactor(projection, y, false);
   // ON: only 1 allowed; OFF: only 0 allowed; DC: both.
   return Isf(allows_one & !allows_zero, allows_one & allows_zero);
 }
