@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -155,6 +156,66 @@ int main(int argc, char** argv) {
   std::printf("\n(cold runs dedup nothing — the in-tree no-duplicate "
               "invariant;\nwarm re-solves return the memoized first-run "
               "quality from one explored relation)\n");
+
+  // Fourth knob: worker threads (parallel_engine.hpp).  Run in the
+  // schedule-independent configuration — cost bound off, depth-capped
+  // tree — where every worker count explores the same node set, so the
+  // cost column must be CONSTANT (the parallel-vs-serial differential
+  // guarantee) and the time column isolates pure scaling.  Wall-clock
+  // only scales when the host has cores to scale onto;
+  // hardware_concurrency is recorded alongside so a flat or inverted
+  // time column on a starved runner reads as what it is.
+  std::printf("\nWorker scaling (bound off, max_depth=9, total cost must "
+              "be constant)\n");
+  std::printf("%-10s %12s %12s %10s %10s %12s\n", "workers", "total cost",
+              "CPU [s]", "steals", "explored", "vs 1 worker");
+  json.begin_array("worker_scaling");
+  double serial_seconds = 0.0;
+  const std::size_t scaling_depth =
+      bench::budget_from_env("BREL_SCALING_DEPTH", 9);
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    double total_cost = 0.0;
+    std::size_t steals = 0;
+    std::size_t explored = 0;
+    bench::Stopwatch timer;
+    for (const RelationBenchmark& bench : relation_suite()) {
+      BddManager mgr{0};
+      std::vector<std::uint32_t> inputs;
+      std::vector<std::uint32_t> outputs;
+      const BooleanRelation r =
+          make_benchmark_relation(mgr, bench, inputs, outputs);
+      SolverOptions options;
+      options.cost = sum_of_bdd_sizes();
+      options.max_relations = static_cast<std::size_t>(-1);
+      options.use_cost_bound = false;
+      options.max_depth = scaling_depth;
+      options.num_workers = workers;
+      const SolveResult result = BrelSolver(options).solve(r);
+      total_cost += result.cost;
+      steals += result.stats.steals;
+      explored += result.stats.relations_explored;
+    }
+    const double cpu = timer.seconds();
+    if (workers == 1) {
+      serial_seconds = cpu;
+    }
+    std::printf("%-10zu %12.0f %12.3f %10zu %10zu %11.2fx\n", workers,
+                total_cost, cpu, steals, explored, serial_seconds / cpu);
+    json.begin_element();
+    json.field_int("workers", workers);
+    json.field_num("total_cost", total_cost);
+    json.field_num("cpu_seconds", cpu);
+    json.field_int("steals", steals);
+    json.field_int("explored", explored);
+    json.end_element();
+  }
+  json.end_array();
+  json.field_int("hardware_concurrency",
+                 std::thread::hardware_concurrency());
+  std::printf("\n(identical cost and explored columns are the "
+              "schedule-independence guarantee;\nspeedup requires cores — "
+              "this host reports hardware_concurrency=%u)\n",
+              std::thread::hardware_concurrency());
 
   // The BDD substrate the whole ablation ran on, for the perf record.
   {

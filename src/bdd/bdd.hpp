@@ -21,12 +21,14 @@
 ///   - bdd_io.cpp      : dot export and debugging dumps
 
 #include <array>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -125,6 +127,11 @@ class Bdd {
   BddManager* manager_ = nullptr;
   detail::Edge edge_ = detail::kOne;
 };
+
+/// Manager-independent form of a BDD (bdd_transfer.hpp): the DAG as a
+/// child-before-parent node list plus a root edge.  The unit of cross-
+/// manager (and cross-thread) relation transfer.
+struct SerializedBdd;
 
 /// Result of ISOP extraction: an irredundant SOP cover together with the
 /// function it denotes (which lies inside the requested interval).
@@ -280,6 +287,7 @@ class BddManager {
   /// The hot path maintains only the per-op probe counters; the aggregate
   /// cache_lookups/cache_hits are folded on read (this accessor is cold).
   [[nodiscard]] const BddStats& stats() const noexcept {
+    assert_owning_thread();  // the fold writes the mutable aggregates
     stats_.cache_lookups = 0;
     stats_.cache_hits = 0;
     for (std::size_t op = 0; op < kBddOpCount; ++op) {
@@ -287,6 +295,38 @@ class BddManager {
       stats_.cache_hits += stats_.op_hits[op];
     }
     return stats_;
+  }
+
+  // -- cross-manager transfer (bdd_transfer.cpp) ----------------------------
+  /// Memoized recursive import of `src` — a BDD living in *another*
+  /// manager with the same variable order — into this manager.  Variable
+  /// indices are preserved (this manager must have at least as many
+  /// variables); a same-manager import is just a handle copy.  Both
+  /// managers are touched, so the calling thread must own both.
+  [[nodiscard]] Bdd import_bdd(const Bdd& src);
+  /// Flatten `f` (a BDD of THIS manager) into the manager-independent
+  /// serialized form — the safe hand-off unit between threads: plain data,
+  /// no node-store access required on the receiving side until it calls
+  /// deserialize_bdd on its own manager.
+  [[nodiscard]] SerializedBdd serialize_bdd(const Bdd& f) const;
+  /// Rebuild a serialized BDD here, shifting every variable index by
+  /// `var_offset` (shifts preserve the relative order, so the result stays
+  /// canonical).  Throws std::invalid_argument on malformed input or
+  /// variables outside this manager.
+  [[nodiscard]] Bdd deserialize_bdd(const SerializedBdd& s,
+                                    std::uint32_t var_offset = 0);
+
+  // -- thread ownership -----------------------------------------------------
+  /// The manager (node store, caches, statistics) is strictly single-
+  /// threaded; in debug builds every mutating entry point asserts that the
+  /// calling thread is the owning one.  Ownership starts with the
+  /// constructing thread; transfer it explicitly at hand-off points (a
+  /// parallel-engine worker binds its private manager on start, the
+  /// coordinator re-binds after join to merge results).
+  void bind_to_current_thread() noexcept {
+#ifndef NDEBUG
+    owner_thread_ = std::this_thread::get_id();
+#endif
   }
 
   /// Graphviz dump of the DAGs rooted at `roots` (complement edges dashed).
@@ -402,6 +442,17 @@ class BddManager {
   void deref_edge(detail::Edge e) noexcept;
   [[nodiscard]] Bdd wrap(detail::Edge e) { return Bdd(this, e); }
 
+  /// Debug-only check that the calling thread owns this manager (see
+  /// bind_to_current_thread).  Called from the mutating hot paths —
+  /// make_node, cache probes, refcounting — so a cross-thread access
+  /// trips immediately instead of corrupting the node store silently.
+  void assert_owning_thread() const noexcept {
+#ifndef NDEBUG
+    assert(owner_thread_ == std::this_thread::get_id() &&
+           "BddManager accessed from a thread it is not bound to");
+#endif
+  }
+
   std::uint32_t num_vars_ = 0;
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> refcount_;
@@ -420,7 +471,15 @@ class BddManager {
   std::vector<std::uint32_t> gc_stack_;
   /// Scratch memo for compose() (cleared per call, never reallocated).
   std::unordered_map<detail::Edge, detail::Edge> compose_memo_;
-  mutable BddStats stats_;  ///< mutable: stats() folds aggregates on read
+  /// Per-manager statistics — including the per-op cache counters bumped
+  /// on kernel hot paths — are written without synchronization, which is
+  /// sound because the whole manager is single-threaded (enforced in
+  /// debug builds by assert_owning_thread).  Mutable: stats() folds the
+  /// per-op counters into the aggregates on read.
+  mutable BddStats stats_;
+#ifndef NDEBUG
+  std::thread::id owner_thread_ = std::this_thread::get_id();
+#endif
 };
 
 }  // namespace brel

@@ -204,6 +204,7 @@ std::uint32_t BddManager::allocate_node() {
 }
 
 Edge BddManager::make_node(std::uint32_t var, Edge hi, Edge lo) {
+  assert_owning_thread();
   if (hi == lo) {
     return hi;
   }
@@ -277,6 +278,7 @@ std::uint64_t BddManager::hash_key(std::uint64_t key_ab, Edge c) noexcept {
 
 bool BddManager::cache_lookup(Op op, Edge a, Edge b, Edge c, Edge& out,
                               CacheProbe& probe) {
+  assert_owning_thread();  // per-op stats and MRU promotion both write
   const auto op_idx = static_cast<std::size_t>(op);
   ++stats_.op_lookups[op_idx];  // aggregates are folded on stats() read
   probe.key_ab = (std::uint64_t{static_cast<std::uint32_t>(op)} << 60) |
@@ -312,6 +314,7 @@ void BddManager::cache_insert(const CacheProbe& probe, Edge result) {
 // ---------------------------------------------------------------------------
 
 void BddManager::ref_edge(Edge e) noexcept {
+  assert_owning_thread();
   const std::uint32_t idx = edge_index(e);
   if (idx != 0 && refcount_[idx]++ == 0) {
     ++external_roots_;
@@ -319,6 +322,7 @@ void BddManager::ref_edge(Edge e) noexcept {
 }
 
 void BddManager::deref_edge(Edge e) noexcept {
+  assert_owning_thread();
   const std::uint32_t idx = edge_index(e);
   if (idx != 0 && --refcount_[idx] == 0) {
     --external_roots_;
@@ -326,6 +330,7 @@ void BddManager::deref_edge(Edge e) noexcept {
 }
 
 void BddManager::garbage_collect() {
+  assert_owning_thread();
   // Mark phase: every externally referenced node is a root.  The mark
   // buffer is a reusable stamp array: a node is marked in this run iff
   // its stamp equals gc_stamp_, so no per-run clearing or allocation.

@@ -1,0 +1,222 @@
+/// \file bdd_transfer.cpp
+/// Cross-manager transfer: memoized export/import plus the serialized
+/// manager-independent form (see bdd_transfer.hpp for the two paths and
+/// their threading contracts).
+
+#include "bdd/bdd_transfer.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace brel {
+
+using detail::Edge;
+using detail::edge_complemented;
+using detail::edge_index;
+using detail::edge_not;
+using detail::kOne;
+
+// ---------------------------------------------------------------------------
+// Serialization (reads only the source manager)
+// ---------------------------------------------------------------------------
+
+SerializedBdd BddManager::serialize_bdd(const Bdd& f) const {
+  if (f.manager() != this) {
+    throw std::invalid_argument("serialize_bdd: foreign or null handle");
+  }
+  SerializedBdd out;
+  if (detail::edge_is_constant(f.raw_edge())) {
+    out.root = f.raw_edge();  // kOne/kZero use the same encoding
+    return out;
+  }
+  // Child-before-parent ids via an explicit post-order walk over node
+  // indices (complement bits live on edges, not nodes, so each node is
+  // visited once regardless of how it is referenced).
+  std::unordered_map<std::uint32_t, std::uint32_t> id;  // node index -> id
+  id.emplace(0u, 0u);                                   // the ONE terminal
+  std::vector<std::uint32_t> stack{edge_index(f.raw_edge())};
+  const auto serialized_edge = [&](Edge e) {
+    return (id.at(edge_index(e)) << 1) | (edge_complemented(e) ? 1u : 0u);
+  };
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    if (id.count(idx) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[idx];
+    const std::uint32_t hi_idx = edge_index(n.hi);
+    const std::uint32_t lo_idx = edge_index(n.lo);
+    const bool hi_done = id.count(hi_idx) != 0;
+    const bool lo_done = id.count(lo_idx) != 0;
+    if (hi_done && lo_done) {
+      stack.pop_back();
+      id.emplace(idx, static_cast<std::uint32_t>(out.nodes.size()) + 1);
+      out.nodes.push_back(SerializedBdd::Node{
+          n.var, serialized_edge(n.hi), serialized_edge(n.lo)});
+      if (n.var + 1 > out.num_vars) {
+        out.num_vars = n.var + 1;
+      }
+      continue;
+    }
+    if (!hi_done) {
+      stack.push_back(hi_idx);
+    }
+    if (!lo_done) {
+      stack.push_back(lo_idx);
+    }
+  }
+  out.root = serialized_edge(f.raw_edge());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Deserialization (writes only the destination manager)
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::deserialize_bdd(const SerializedBdd& s,
+                                std::uint32_t var_offset) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("deserialize_bdd: ") + what);
+  };
+  // One forward pass: every child id must already be materialized, and a
+  // child's variable must sit strictly below its parent's in the order,
+  // so malformed input cannot smuggle an unordered DAG into the store.
+  std::vector<Edge> built(s.nodes.size() + 1);
+  std::vector<std::uint32_t> level(s.nodes.size() + 1, detail::kTerminalVar);
+  built[0] = kOne;
+  for (std::size_t k = 0; k < s.nodes.size(); ++k) {
+    const SerializedBdd::Node& n = s.nodes[k];
+    if (n.var >= num_vars_ || var_offset > num_vars_ - 1 - n.var) {
+      fail("variable outside the destination manager");
+    }
+    const auto child = [&](std::uint32_t e) {
+      const std::uint32_t idx = e >> 1;
+      if (idx > k) {
+        fail("child id not smaller than parent id");
+      }
+      if (level[idx] != detail::kTerminalVar && level[idx] <= n.var) {
+        fail("child variable not below parent in the order");
+      }
+      return (e & 1u) != 0 ? edge_not(built[idx]) : built[idx];
+    };
+    const Edge hi = child(n.hi);
+    const Edge lo = child(n.lo);
+    built[k + 1] = make_node(n.var + var_offset, hi, lo);
+    level[k + 1] = n.var;
+  }
+  const std::uint32_t root_idx = s.root >> 1;
+  if (root_idx >= built.size()) {
+    fail("root references an unknown node");
+  }
+  const Edge root = (s.root & 1u) != 0 ? edge_not(built[root_idx])
+                                       : built[root_idx];
+  return wrap(root);
+}
+
+// ---------------------------------------------------------------------------
+// Direct memoized import (calling thread must own both managers)
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::import_bdd(const Bdd& src) {
+  const BddManager* from = src.manager();
+  if (from == nullptr) {
+    throw std::invalid_argument("import_bdd: null handle");
+  }
+  if (from == this) {
+    return src;
+  }
+  // Memo on source node index -> destination edge of the node's regular
+  // (uncomplemented) function; complement bits transfer on the edges.
+  std::unordered_map<std::uint32_t, Edge> memo;
+  memo.emplace(0u, kOne);
+  const auto import_node = [&](auto&& self, std::uint32_t idx) -> Edge {
+    if (const auto it = memo.find(idx); it != memo.end()) {
+      return it->second;
+    }
+    const Node& n = from->nodes_[idx];
+    if (n.var >= num_vars_) {
+      throw std::invalid_argument(
+          "import_bdd: source variable outside the destination manager");
+    }
+    const auto import_edge = [&](Edge e) {
+      const Edge t = self(self, edge_index(e));
+      return edge_complemented(e) ? edge_not(t) : t;
+    };
+    const Edge hi = import_edge(n.hi);
+    const Edge lo = import_edge(n.lo);
+    const Edge result = make_node(n.var, hi, lo);
+    memo.emplace(idx, result);
+    return result;
+  };
+  const Edge root_regular =
+      import_node(import_node, edge_index(src.raw_edge()));
+  return wrap(edge_complemented(src.raw_edge()) ? edge_not(root_regular)
+                                                : root_regular);
+}
+
+// ---------------------------------------------------------------------------
+// Free wrappers and the text form
+// ---------------------------------------------------------------------------
+
+SerializedBdd serialize_bdd(const Bdd& f) {
+  if (f.manager() == nullptr) {
+    throw std::invalid_argument("serialize_bdd: null handle");
+  }
+  return f.manager()->serialize_bdd(f);
+}
+
+Bdd deserialize_bdd(BddManager& dst, const SerializedBdd& s,
+                    std::uint32_t var_offset) {
+  return dst.deserialize_bdd(s, var_offset);
+}
+
+Bdd transfer_bdd(const Bdd& f, BddManager& dst) { return dst.import_bdd(f); }
+
+void write_serialized_bdd(std::ostream& os, const SerializedBdd& s) {
+  for (const SerializedBdd::Node& n : s.nodes) {
+    os << n.var << ' ' << n.hi << ' ' << n.lo << '\n';
+  }
+  os << ".root " << s.root << '\n';
+}
+
+SerializedBdd read_serialized_bdd(std::istream& in, std::size_t node_count) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("read_serialized_bdd: ") + what);
+  };
+  SerializedBdd s;
+  // Never trust the header's count for the allocation — a lying `.bdd N`
+  // line must fail as "truncated node list", not as a giant reserve
+  // throwing bad_alloc past the caller's parse-error handling.
+  s.nodes.reserve(std::min<std::size_t>(node_count, 1u << 16));
+  std::string line;
+  for (std::size_t k = 0; k < node_count; ++k) {
+    if (!std::getline(in, line)) {
+      fail("truncated node list");
+    }
+    std::istringstream row(line);
+    SerializedBdd::Node n{};
+    if (!(row >> n.var >> n.hi >> n.lo)) {
+      fail("malformed node line (expected: var hi lo)");
+    }
+    s.nodes.push_back(n);
+    if (n.var + 1 > s.num_vars) {
+      s.num_vars = n.var + 1;
+    }
+  }
+  if (!std::getline(in, line)) {
+    fail("missing .root line");
+  }
+  std::istringstream row(line);
+  std::string keyword;
+  if (!(row >> keyword >> s.root) || keyword != ".root") {
+    fail("malformed .root line");
+  }
+  return s;
+}
+
+}  // namespace brel

@@ -1,0 +1,78 @@
+#pragma once
+/// \file bdd_transfer.hpp
+/// Cross-manager BDD transfer (the substrate of the parallel engine's
+/// per-worker-manager design, and of the compact on-disk relation form).
+///
+/// A `BddManager` is strictly single-threaded, so a multi-worker search
+/// gives every worker a private manager and moves *functions*, not nodes,
+/// between them.  Two transfer paths exist:
+///
+///   - `transfer_bdd` / `BddManager::import_bdd`: a memoized recursive
+///     export/import that walks the source DAG once and rebuilds it in the
+///     destination's unique table.  Both managers are touched, so it is
+///     only legal when the calling thread owns both — the coordinator uses
+///     it to seed worker managers before the threads start and to pull the
+///     winning solution back after they join.
+///
+///   - `SerializedBdd`: a manager-independent flattening (child-before-
+///     parent node list + root edge).  Producing it only reads the source
+///     manager; consuming it only writes the destination manager; the
+///     value in between is plain data.  This is the hand-off unit of the
+///     parallel engine's injection queue, and `relation_io` reuses it as
+///     the `.bdd` compact relation format (no 2^n row enumeration).
+///
+/// Both paths preserve the variable order (indices are copied verbatim,
+/// or uniformly shifted by `deserialize_bdd`'s offset), so a transferred
+/// function has the same canonical structure — node counts, split
+/// choices, cube extraction all behave identically in the destination.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace brel {
+
+/// Manager-independent BDD: `nodes[k]` has serialized id k+1 (id 0 is the
+/// constant ONE terminal), and every child id is smaller than its
+/// parent's, so one forward pass rebuilds the DAG.  Edges use the same
+/// encoding as detail::Edge: id << 1 | complement-bit (so edge 0 is ONE
+/// and edge 1 is ZERO).
+struct SerializedBdd {
+  struct Node {
+    std::uint32_t var;  ///< variable index (order-preserving)
+    std::uint32_t hi;   ///< then-edge; never complemented (canonical form)
+    std::uint32_t lo;   ///< else-edge
+    [[nodiscard]] bool operator==(const Node&) const = default;
+  };
+  std::vector<Node> nodes;
+  std::uint32_t root = 0;      ///< edge over serialized ids
+  std::uint32_t num_vars = 0;  ///< 1 + max referenced variable (0 if none)
+
+  [[nodiscard]] bool operator==(const SerializedBdd&) const = default;
+};
+
+/// Flatten `f` into the manager-independent form (reads only f's manager).
+[[nodiscard]] SerializedBdd serialize_bdd(const Bdd& f);
+
+/// Rebuild `s` in `dst`, shifting every variable by `var_offset` (the
+/// shift preserves relative order).  Throws std::invalid_argument when the
+/// serialized form is malformed or references variables `dst` lacks.
+[[nodiscard]] Bdd deserialize_bdd(BddManager& dst, const SerializedBdd& s,
+                                  std::uint32_t var_offset = 0);
+
+/// Direct memoized transfer of `f` into `dst` (same variable order
+/// assumed; the calling thread must own both managers).
+[[nodiscard]] Bdd transfer_bdd(const Bdd& f, BddManager& dst);
+
+/// Text form of a serialized BDD, one node per line ("var hi lo", ids
+/// implicit in listing order) terminated by the root line — the payload
+/// of relation_io's `.bdd` section.
+void write_serialized_bdd(std::ostream& os, const SerializedBdd& s);
+/// Parse `node_count` node lines plus the `.root` line from `in`.
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] SerializedBdd read_serialized_bdd(std::istream& in,
+                                                std::size_t node_count);
+
+}  // namespace brel

@@ -24,6 +24,15 @@ Subproblem BoundedFifoFrontier::pop() {
   return item;
 }
 
+Subproblem BoundedFifoFrontier::steal() {
+  if (queue_.empty()) {
+    throw std::logic_error("BoundedFifoFrontier::steal: frontier is empty");
+  }
+  Subproblem item = std::move(queue_.back());
+  queue_.pop_back();
+  return item;
+}
+
 std::size_t BoundedFifoFrontier::size() const noexcept {
   return queue_.size();
 }
@@ -42,6 +51,17 @@ Subproblem LifoFrontier::pop() {
   }
   Subproblem item = std::move(stack_.back());
   stack_.pop_back();
+  return item;
+}
+
+Subproblem LifoFrontier::steal() {
+  if (stack_.empty()) {
+    throw std::logic_error("LifoFrontier::steal: frontier is empty");
+  }
+  // O(size) erase-from-the-bottom; steals are rare (one per idle worker
+  // request) next to the per-node BDD work, so simplicity wins.
+  Subproblem item = std::move(stack_.front());
+  stack_.erase(stack_.begin());
   return item;
 }
 

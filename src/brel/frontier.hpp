@@ -101,6 +101,16 @@ class Frontier {
   /// Remove and return the next subproblem; requires !empty().
   [[nodiscard]] virtual Subproblem pop() = 0;
 
+  /// Remove and return the entry this strategy parts with when another
+  /// worker requests work (parallel_engine.hpp); requires !empty().
+  /// FIFO donates its *deepest* pending node (the back of the queue — the
+  /// farthest from the victim's own BFS wavefront), best-first donates
+  /// its cheapest (the node the priority order values most, so the thief
+  /// inherits a promising branch), and LIFO donates its *shallowest*
+  /// (the bottom of the DFS stack — the largest unexplored subtree,
+  /// leaving the victim's hot path untouched).
+  [[nodiscard]] virtual Subproblem steal() { return pop(); }
+
   [[nodiscard]] virtual std::size_t size() const noexcept = 0;
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -121,6 +131,7 @@ class BoundedFifoFrontier final : public Frontier {
  public:
   explicit BoundedFifoFrontier(std::size_t capacity);
   [[nodiscard]] Subproblem pop() override;
+  [[nodiscard]] Subproblem steal() override;  ///< deepest: back of queue
   [[nodiscard]] std::size_t size() const noexcept override;
 
  protected:
@@ -136,6 +147,7 @@ class LifoFrontier final : public Frontier {
  public:
   explicit LifoFrontier(std::size_t capacity);
   [[nodiscard]] Subproblem pop() override;
+  [[nodiscard]] Subproblem steal() override;  ///< shallowest: stack bottom
   [[nodiscard]] std::size_t size() const noexcept override;
 
  protected:

@@ -1,0 +1,400 @@
+#include "brel/parallel_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bdd/bdd_transfer.hpp"
+#include "brel/quick_solver.hpp"
+#include "brel/search.hpp"
+
+namespace brel {
+
+namespace {
+
+/// A subproblem in flight between two managers: plain data, no handles,
+/// safe to hand across threads (see bdd_transfer.hpp).  The push-time
+/// best-first candidate and the cache ancestor chain do not travel — the
+/// thief re-seeds the priority and starts a fresh chain in its own cache.
+struct InjectedSubproblem {
+  SerializedBdd chi;
+  std::size_t depth = 0;
+};
+
+/// The only cross-worker state (see the ownership rules in the header).
+struct SharedState {
+  explicit SharedState(std::size_t worker_count) : workers(worker_count) {}
+
+  const std::size_t workers;
+
+  std::mutex mutex;                      ///< guards queue / idle / done
+  std::condition_variable work_ready;
+  std::deque<InjectedSubproblem> queue;  ///< the injection queue
+  std::size_t idle = 0;                  ///< workers blocked on the queue
+  bool done = false;                     ///< all idle and nothing queued
+
+  std::atomic<std::size_t> steal_requests{0};  ///< waiting thieves
+  std::atomic<std::size_t> steals{0};          ///< donations performed
+  std::atomic<std::size_t> explored{0};        ///< global budget tickets
+  std::atomic<bool> stop{false};               ///< budget/timeout/failure
+  std::atomic<bool> budget_exhausted{false};
+  /// Incumbent *bound* (best explored-candidate cost anywhere): one
+  /// worker's discovery prunes every other worker's subtrees.  Costs
+  /// only — the winning function stays in its worker's manager until the
+  /// coordinator merges after join.
+  std::atomic<double> bound{std::numeric_limits<double>::infinity()};
+
+  /// Stop the fleet.  The flag is set under the mutex so a thief between
+  /// its predicate check and its wait cannot miss the wake-up.
+  void halt() {
+    const std::scoped_lock lock(mutex);
+    stop.store(true);
+    work_ready.notify_all();
+  }
+};
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Result slot filled by a worker before it exits; `best` lives in the
+/// worker's manager and is read by the coordinator only after join (and
+/// after re-binding the manager to the coordinating thread).
+struct WorkerOutcome {
+  MultiFunction best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  SolverStats stats;
+};
+
+/// Serve pending steal requests from this worker's surplus: donate
+/// Frontier::steal() picks until every waiting thief has an item queued,
+/// always keeping at least one subproblem for ourselves.  Serialization
+/// happens under the queue mutex — it only *reads* the victim's manager
+/// and the donated DAGs are small next to a single expansion's BDD work.
+void donate_work(SharedState& shared, Frontier& frontier, BddManager& mgr) {
+  if (shared.steal_requests.load() == 0 || frontier.size() <= 1) {
+    return;
+  }
+  const std::scoped_lock lock(shared.mutex);
+  while (shared.steal_requests.load() > shared.queue.size() &&
+         frontier.size() > 1) {
+    const Subproblem victim = frontier.steal();
+    shared.queue.push_back(InjectedSubproblem{
+        mgr.serialize_bdd(victim.rel.characteristic()), victim.depth});
+    shared.steals.fetch_add(1);
+    shared.work_ready.notify_one();
+  }
+}
+
+/// Idle path: take an injected subproblem (materializing it in OUR
+/// manager) or detect global termination.  Returns false when the worker
+/// should exit (all workers idle with an empty queue, stop flag, or
+/// deadline).
+bool acquire_injected(SearchContext& ctx, SharedState& shared,
+                      Frontier& frontier, const BooleanRelation& root) {
+  std::unique_lock lock(shared.mutex);
+  if (shared.done || shared.stop.load()) {
+    return false;
+  }
+  if (shared.queue.empty()) {
+    ++shared.idle;
+    shared.steal_requests.fetch_add(1);
+    if (shared.idle == shared.workers && shared.queue.empty()) {
+      // Nobody holds local work and nothing is queued: the tree is done.
+      shared.done = true;
+      shared.steal_requests.fetch_sub(1);
+      shared.work_ready.notify_all();
+      return false;
+    }
+    while (shared.queue.empty() && !shared.done && !shared.stop.load()) {
+      if (ctx.timed_out()) {  // waiting workers also watch the deadline
+        shared.stop.store(true);
+        shared.budget_exhausted.store(true);
+        shared.work_ready.notify_all();
+        break;
+      }
+      // Timed wait: a missed notify can only cost one period, never a
+      // hang, and gives blocked workers a deadline heartbeat.
+      shared.work_ready.wait_for(lock, std::chrono::milliseconds(20));
+    }
+    shared.steal_requests.fetch_sub(1);
+    if (shared.done || shared.stop.load()) {
+      return false;  // idle stays counted: the run is over
+    }
+    --shared.idle;
+  }
+  InjectedSubproblem item = std::move(shared.queue.front());
+  shared.queue.pop_front();
+  lock.unlock();
+
+  Bdd chi = ctx.mgr.deserialize_bdd(item.chi);
+  Subproblem sub{BooleanRelation(ctx.mgr, root.inputs(), root.outputs(),
+                                 std::move(chi)),
+                 item.depth};
+  if (ctx.cache != nullptr) {
+    // The victim's ancestor chain is meaningless here (other manager's
+    // edges); enter this subtree into our cache and restart the chain.
+    (void)ctx.cache->seen_before_or_insert(sub.rel.characteristic());
+    sub.ancestors.push_back(sub.rel.characteristic().raw_edge());
+  }
+  seed_priority(ctx, sub, frontier);
+  frontier.push_root(std::move(sub));  // stolen work is never dropped
+  return true;
+}
+
+/// One worker: the serial engine's loop (same step-0 seeding on worker 0,
+/// same expansion order within the local frontier) plus the donation /
+/// injection / shared-bound / global-budget hooks.
+void run_worker(std::size_t worker_id, BddManager& mgr,
+                const BooleanRelation& root, const SolverOptions& options,
+                std::chrono::steady_clock::time_point start,
+                SharedState& shared, WorkerOutcome& out) {
+  SearchContext ctx{mgr,
+                    options,
+                    options.cost ? options.cost : sum_of_bdd_sizes(),
+                    start,
+                    MultiFunction{},
+                    std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity(),
+                    SolverStats{},
+                    std::nullopt,
+                    nullptr};
+  if (options.use_symmetry) {
+    ctx.symmetries.emplace(mgr, root.outputs(),
+                           options.symmetry_second_order);
+  }
+  std::unique_ptr<SubproblemCache> cache;
+  if (options.use_subproblem_cache) {
+    // Worker-private (keyed by this manager's edges; see the ctor check).
+    cache = std::make_unique<SubproblemCache>(
+        options.subproblem_cache_capacity);
+    ctx.cache = cache.get();
+  }
+  const std::unique_ptr<Frontier> frontier =
+      make_frontier(options.order, options.fifo_capacity);
+
+  if (worker_id == 0) {
+    // Step 0, exactly like SearchEngine::run(): the root subproblem and
+    // the unconditional QuickSolver incumbent seed live on worker 0; the
+    // other workers start empty and immediately post steal requests.
+    if (ctx.symmetries.has_value()) {
+      (void)ctx.symmetries->seen_before_or_insert(root.characteristic());
+    }
+    Subproblem root_item{root, 0};
+    if (ctx.cache != nullptr) {
+      (void)ctx.cache->seen_before_or_insert(root.characteristic());
+      root_item.ancestors.push_back(root.characteristic().raw_edge());
+    }
+    MultiFunction quick = quick_solve(root, options.minimizer);
+    ++ctx.stats.quick_solutions;
+    ++ctx.stats.solutions_seen;
+    const double quick_cost = ctx.cost(quick);
+    if (ctx.cache != nullptr) {
+      ctx.cache->improve(root_item.ancestors, quick, quick_cost);
+    }
+    ctx.best_cost = quick_cost;
+    ctx.best = std::move(quick);
+    seed_priority(ctx, root_item, *frontier);
+    frontier->push_root(std::move(root_item));
+  }
+
+  while (true) {
+    if (shared.stop.load()) {
+      break;
+    }
+    if (ctx.timed_out()) {
+      shared.budget_exhausted.store(true);
+      shared.halt();
+      break;
+    }
+    if (frontier->empty()) {
+      if (!acquire_injected(ctx, shared, *frontier, root)) {
+        break;
+      }
+      continue;
+    }
+    donate_work(shared, *frontier, mgr);
+    if (!options.exact) {
+      // One global ticket per expansion, so N workers share the serial
+      // budget instead of multiplying it.
+      const std::size_t ticket = shared.explored.fetch_add(1);
+      if (ticket >= options.max_relations) {
+        shared.explored.fetch_sub(1);
+        shared.budget_exhausted.store(true);
+        shared.halt();
+        break;
+      }
+    }
+    mgr.garbage_collect_if_needed();
+    // Import the fleet-wide bound, expand, publish what we learned.
+    const double fleet_bound = shared.bound.load(std::memory_order_relaxed);
+    if (fleet_bound < ctx.bound_cost) {
+      ctx.bound_cost = fleet_bound;
+    }
+    expand_subproblem(ctx, frontier->pop(), *frontier);
+    atomic_min(shared.bound, ctx.bound_cost);
+  }
+
+  ctx.stats.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.best = std::move(ctx.best);
+  out.best_cost = ctx.best_cost;
+  out.stats = ctx.stats;
+}
+
+/// Counter-wise sum of two stats records (the flags merge by OR).
+void accumulate_stats(SolverStats& into, const SolverStats& from) {
+  into.relations_explored += from.relations_explored;
+  into.splits += from.splits;
+  into.quick_solutions += from.quick_solutions;
+  into.misf_minimizations += from.misf_minimizations;
+  into.conflicts += from.conflicts;
+  into.pruned_by_cost += from.pruned_by_cost;
+  into.pruned_by_symmetry += from.pruned_by_symmetry;
+  into.pruned_by_cache += from.pruned_by_cache;
+  into.fifo_overflow += from.fifo_overflow;
+  into.depth_limited += from.depth_limited;
+  into.solutions_seen += from.solutions_seen;
+  into.budget_exhausted = into.budget_exhausted || from.budget_exhausted;
+}
+
+}  // namespace
+
+std::size_t resolve_worker_count(std::size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+ParallelEngine::ParallelEngine(const BooleanRelation& root,
+                               const SolverOptions& options)
+    : root_(root),
+      options_(options),
+      workers_(resolve_worker_count(options.num_workers)) {
+  if (!root_.is_well_defined()) {
+    throw std::invalid_argument("BrelSolver: relation is not well defined");
+  }
+  if (options_.subproblem_cache != nullptr) {
+    throw std::invalid_argument(
+        "ParallelEngine: a shared SubproblemCache is keyed by one "
+        "manager's edges and cannot serve per-worker managers; use "
+        "use_subproblem_cache for worker-private caches instead");
+  }
+}
+
+SolveResult ParallelEngine::run() {
+  const auto start = std::chrono::steady_clock::now();
+  BddManager& root_mgr = root_.manager();
+  const std::size_t count = workers_;
+
+  // Per-worker substrate, prepared on the coordinating thread: a private
+  // manager with the same variable order, and the root relation imported
+  // into it (direct transfer — both managers are owned by this thread
+  // until the workers start).
+  std::vector<std::unique_ptr<BddManager>> managers;
+  std::vector<std::optional<BooleanRelation>> roots;
+  managers.reserve(count);
+  roots.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    managers.push_back(std::make_unique<BddManager>(root_mgr.num_vars()));
+    Bdd chi = managers[w]->import_bdd(root_.characteristic());
+    roots.emplace_back(BooleanRelation(*managers[w], root_.inputs(),
+                                       root_.outputs(), std::move(chi)));
+  }
+
+  SharedState shared(count);
+  std::vector<WorkerOutcome> outcomes(count);
+  std::vector<std::exception_ptr> failures(count);
+
+  std::vector<std::thread> threads;
+  threads.reserve(count);
+  try {
+    for (std::size_t w = 0; w < count; ++w) {
+      threads.emplace_back([&, w] {
+        managers[w]->bind_to_current_thread();
+        try {
+          run_worker(w, *managers[w], *roots[w], options_, start, shared,
+                     outcomes[w]);
+        } catch (...) {
+          failures[w] = std::current_exception();
+          shared.halt();
+        }
+      });
+    }
+  } catch (...) {
+    shared.halt();  // thread-spawn failure: stop whoever already started
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    throw;
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // The join established happens-before; take the managers back so the
+  // merge (and the outcome destructors) run on this thread legally.
+  for (const std::unique_ptr<BddManager>& mgr : managers) {
+    mgr->bind_to_current_thread();
+  }
+  for (const std::exception_ptr& failure : failures) {
+    if (failure) {
+      std::rethrow_exception(failure);
+    }
+  }
+
+  SolveResult result;
+  result.worker_stats.reserve(count);
+  std::size_t winner = count;  // index of the cheapest non-empty incumbent
+  for (std::size_t w = 0; w < count; ++w) {
+    const WorkerOutcome& outcome = outcomes[w];
+    result.worker_stats.push_back(outcome.stats);
+    accumulate_stats(result.stats, outcome.stats);
+    if (outcome.best.outputs.empty()) {
+      continue;
+    }
+    // NaN-safe: a NaN cost never displaces an earlier incumbent, and the
+    // first non-empty one (worker 0's unconditional quick seed) always
+    // enters, so even a pathological cost function yields a compatible
+    // function — same contract as the serial engine.
+    if (winner == count || outcome.best_cost < outcomes[winner].best_cost) {
+      winner = w;
+    }
+  }
+  if (winner == count) {
+    throw std::logic_error("ParallelEngine: no worker produced a solution");
+  }
+  result.stats.workers = count;
+  result.stats.steals = shared.steals.load();
+  result.stats.budget_exhausted =
+      result.stats.budget_exhausted || shared.budget_exhausted.load();
+  result.stats.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Transfer the winning solution back into the caller's manager.
+  const WorkerOutcome& best = outcomes[winner];
+  result.cost = best.best_cost;
+  result.function.outputs.reserve(best.best.outputs.size());
+  for (const Bdd& g : best.best.outputs) {
+    result.function.outputs.push_back(root_mgr.import_bdd(g));
+  }
+  return result;
+}
+
+}  // namespace brel

@@ -42,25 +42,6 @@ double sanitize_priority(double cost) noexcept {
   return std::isnan(cost) ? std::numeric_limits<double>::infinity() : cost;
 }
 
-/// For priority-ordered frontiers, price `sub` before it is pushed:
-/// terminals by their exact solution, everything else by the MISF
-/// candidate (which expansion then reuses).  Skipped when the frontier is
-/// full — the push would be rejected anyway, and MISF minimization is the
-/// dominant per-node cost.
-void seed_priority(SearchContext& ctx, Subproblem& sub,
-                   const Frontier& frontier) {
-  if (!frontier.wants_priority() || frontier.size() >= frontier.capacity()) {
-    return;
-  }
-  if (sub.rel.is_function()) {
-    sub.candidate = sub.rel.extract_function();
-  } else {
-    sub.candidate = minimize_misf_candidate(ctx, sub.rel);
-  }
-  sub.candidate_cost = ctx.cost(*sub.candidate);
-  sub.priority = sanitize_priority(sub.candidate_cost);
-}
-
 /// Generate one child: symmetry pruning, subproblem-cache dedup,
 /// QuickSolver safety net, optional best-first priority seeding, frontier
 /// push.  `parent` supplies the symmetry depth gate (exactly like the
@@ -80,9 +61,9 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child,
   // instead of losing the branch — never worse than the QuickSolver
   // safety net would have been.
   if (ctx.cache != nullptr) {
-    const CachedSolution* prior =
+    const std::optional<CachedSolution> prior =
         ctx.cache->seen_before_or_insert(child.characteristic());
-    if (prior != nullptr && prior->has_solution()) {
+    if (prior.has_value() && prior->has_solution()) {
       ++ctx.stats.pruned_by_cache;
       ++ctx.stats.solutions_seen;
       ctx.offer_solution(prior->best, prior->cost);
@@ -112,6 +93,20 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child,
 }
 
 }  // namespace
+
+void seed_priority(SearchContext& ctx, Subproblem& sub,
+                   const Frontier& frontier) {
+  if (!frontier.wants_priority() || frontier.size() >= frontier.capacity()) {
+    return;
+  }
+  if (sub.rel.is_function()) {
+    sub.candidate = sub.rel.extract_function();
+  } else {
+    sub.candidate = minimize_misf_candidate(ctx, sub.rel);
+  }
+  sub.candidate_cost = ctx.cost(*sub.candidate);
+  sub.priority = sanitize_priority(sub.candidate_cost);
+}
 
 bool SearchContext::timed_out() const {
   return options.timeout.count() > 0 &&
@@ -220,10 +215,16 @@ void expand_subproblem(SearchContext& ctx, Subproblem item,
   // is maintained from *explored* candidates only (see run()); it is
   // heuristic when the ISF minimizer is (like ours) not exact, so exact
   // mode skips it.
-  if (!ctx.options.exact && candidate_cost >= ctx.bound_cost) {
+  if (!ctx.options.exact && ctx.options.use_cost_bound &&
+      candidate_cost >= ctx.bound_cost) {
     ++ctx.stats.pruned_by_cost;
     return;
   }
+
+  // Depth cap (schedule-independent truncation — see SolverOptions): the
+  // node itself is processed in full — terminal handling above, candidate
+  // recording below — but its subtree is cut.
+  const bool depth_capped = item.depth >= ctx.options.max_depth;
 
   const Bdd incomp = rel.incompatibilities(candidate);
   std::optional<SplitChoice> choice;
@@ -237,6 +238,10 @@ void expand_subproblem(SearchContext& ctx, Subproblem item,
     if (!ctx.options.exact) {
       return;
     }
+    if (depth_capped) {
+      ++ctx.stats.depth_limited;
+      return;
+    }
     // Exact mode: the branch may still hide cheaper functions; keep
     // splitting on any remaining flexibility until leaves are reached.
     choice = select_flexibility_split(rel);
@@ -246,6 +251,10 @@ void expand_subproblem(SearchContext& ctx, Subproblem item,
   } else {
     // Lines 9-10: select the split point from the conflicts (Sec. 7.4).
     ++ctx.stats.conflicts;
+    if (depth_capped) {
+      ++ctx.stats.depth_limited;
+      return;
+    }
     choice = select_conflict_split(ctx, rel, incomp);
   }
 

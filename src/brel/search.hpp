@@ -113,6 +113,17 @@ void handle_terminal(SearchContext& ctx, const Subproblem& item);
 void expand_subproblem(SearchContext& ctx, Subproblem item,
                        Frontier& frontier);
 
+/// For priority-ordered frontiers, price `sub` before it is pushed:
+/// terminals by their exact solution, everything else by the MISF
+/// candidate (which expansion then reuses).  Skipped when the frontier is
+/// full — the push would be rejected anyway, and MISF minimization is the
+/// dominant per-node cost.  No-op for strategies that ignore priority.
+/// Used by the engine for the root and by parallel workers for
+/// subproblems received through the injection queue (which travel
+/// without their push-time candidate).
+void seed_priority(SearchContext& ctx, Subproblem& sub,
+                   const Frontier& frontier);
+
 /// Drives a frontier and a context to a SolveResult.  One engine per
 /// solve() run; the solver facade owns nothing but options.
 class SearchEngine {

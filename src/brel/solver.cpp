@@ -1,5 +1,6 @@
 #include "brel/solver.hpp"
 
+#include "brel/parallel_engine.hpp"
 #include "brel/search.hpp"
 
 namespace brel {
@@ -7,6 +8,9 @@ namespace brel {
 BrelSolver::BrelSolver(SolverOptions options) : options_(std::move(options)) {}
 
 SolveResult BrelSolver::solve(const BooleanRelation& r) const {
+  if (resolve_worker_count(options_.num_workers) > 1) {
+    return ParallelEngine(r, options_).run();
+  }
   return SearchEngine(r, options_).run();
 }
 

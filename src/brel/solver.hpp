@@ -51,11 +51,43 @@ struct SolverOptions {
   /// solution is seen) but not explored further.
   std::size_t fifo_capacity = static_cast<std::size_t>(-1);
 
+  /// Depth-bounded partial exploration: nodes at this split depth are
+  /// still expanded (terminal handling, MISF candidate, compatibility)
+  /// but never split, so the tree is truncated at depth max_depth.
+  /// Unlike max_relations — which admits whichever nodes the schedule
+  /// pops first — the depth-capped exploration set is a pure function of
+  /// the relation ("every node at depth <= max_depth"), identical for
+  /// any frontier strategy or worker count.  Combined with
+  /// use_cost_bound=false this makes the whole solve deterministic up to
+  /// tie-breaks, which is what the parallel-vs-serial differential
+  /// harness pins its cost-equality assertions on.
+  std::size_t max_depth = static_cast<std::size_t>(-1);
+
   /// Exact mode (Sec. 7.6): complete exploration; keeps splitting through
   /// compatible-but-maybe-suboptimal solutions until relations become
   /// functional, so the search degenerates to an implicit enumeration of
   /// IF(R).  Only viable for small relations.
   bool exact = false;
+
+  /// The Fig. 6 line-6 branch-and-bound prune.  On (the default) it cuts
+  /// subtrees whose MISF candidate cannot beat the best explored cost —
+  /// a heuristic when the ISF minimizer is inexact, so the final cost can
+  /// depend on exploration order.  Off, a drained (unbounded-budget)
+  /// search visits an order-independent tree and its result is a pure
+  /// function of the relation — the configuration the parallel-vs-serial
+  /// differential harness relies on.  Ignored in exact mode (which never
+  /// bounds).
+  bool use_cost_bound = true;
+
+  /// Worker threads for the exploration (parallel_engine.hpp).  1 = the
+  /// serial engine; 0 = one per hardware thread.  Each worker owns a
+  /// private BddManager (the kernel layer is single-threaded) and
+  /// subproblems migrate between workers in the serialized transfer form
+  /// (bdd_transfer.hpp).  With more than one worker the cost function is
+  /// invoked concurrently from several threads (each on its own
+  /// manager's BDDs) and must be re-entrant; the structural costs in
+  /// cost.hpp all are.
+  std::size_t num_workers = 1;
 
   /// Output-symmetry pruning (Sec. 7.7).
   bool use_symmetry = false;
@@ -104,16 +136,21 @@ struct SolverStats {
   std::size_t pruned_by_symmetry = 0;  ///< symmetric subrelations skipped
   std::size_t pruned_by_cache = 0;     ///< duplicate subrelations deduped
   std::size_t fifo_overflow = 0;       ///< children dropped (frontier full)
+  std::size_t depth_limited = 0;       ///< splits suppressed by max_depth
   std::size_t solutions_seen = 0;      ///< compatible functions encountered
+  std::size_t workers = 1;             ///< threads that ran the exploration
+  std::size_t steals = 0;              ///< subproblems migrated via injection
   bool budget_exhausted = false;       ///< stopped on max_relations/timeout
   double runtime_seconds = 0.0;
 };
 
-/// A compatible solution plus the run's statistics.
+/// A compatible solution plus the run's statistics.  Runs with more than
+/// one worker additionally report the per-worker statistics.
 struct SolveResult {
   MultiFunction function;
   double cost = 0.0;
   SolverStats stats;
+  std::vector<SolverStats> worker_stats;  ///< empty for serial runs
 };
 
 /// The solver.  Reusable across relations; each solve() run is

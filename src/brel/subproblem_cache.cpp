@@ -5,21 +5,24 @@ namespace brel {
 SubproblemCache::SubproblemCache(std::size_t capacity)
     : capacity_(capacity) {}
 
-const CachedSolution* SubproblemCache::seen_before_or_insert(const Bdd& chi) {
+std::optional<CachedSolution> SubproblemCache::seen_before_or_insert(
+    const Bdd& chi) {
+  const std::scoped_lock lock(mutex_);
   ++probes_;
   if (const auto it = cache_.find(chi.raw_edge()); it != cache_.end()) {
     ++hits_;
-    return &it->second;
+    return it->second;  // snapshot: safe against concurrent improve()
   }
   if (cache_.size() < capacity_) {
     cache_.emplace(chi.raw_edge(), CachedSolution{});
-    keep_alive_.push_back(chi);
+    keep_alive_.push_back(chi);  // handle copy serialized by mutex_
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 void SubproblemCache::improve(std::span<const detail::Edge> chain,
                               const MultiFunction& f, double cost) {
+  const std::scoped_lock lock(mutex_);
   for (const detail::Edge edge : chain) {
     const auto it = cache_.find(edge);
     if (it == cache_.end()) {

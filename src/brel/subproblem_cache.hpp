@@ -42,8 +42,25 @@
 /// recycle them (a recycled edge would alias a different function and turn
 /// the dedup into wrong pruning).  The capacity bound caps that pinning;
 /// once full the cache keeps probing but stops inserting.
+///
+/// Concurrency: the cache's own bookkeeping (map, keep-alive pins,
+/// hit/probe counters) is serialized by an internal mutex, and probes
+/// return the entry *by value* so no caller ever reads a record another
+/// thread is improving.  The mutex is NOT a license to share the cache
+/// across threads freely, though: keys and memoized solutions are
+/// ref-counted handles of ONE BddManager, and every probe/snapshot
+/// copies handles — which touches that manager's (single-threaded,
+/// debug-asserted) refcounts.  Sharing a cache between threads is
+/// therefore only sound when access to its manager is itself serialized
+/// — e.g. handing a manager+cache pair across a pipeline stage with
+/// BddManager::bind_to_current_thread at the boundary.  The parallel
+/// engine never shares one: each worker pairs a private cache with its
+/// private manager, because edges do not transfer between managers (see
+/// parallel_engine.hpp, whose constructor rejects a shared cache).
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -69,11 +86,12 @@ class SubproblemCache {
   explicit SubproblemCache(
       std::size_t capacity = static_cast<std::size_t>(-1));
 
-  /// Probe for `chi`.  Returns the existing entry when `chi` was inserted
-  /// before; otherwise inserts an empty entry (capacity permitting) and
-  /// returns nullptr.  Returned pointers stay valid until destruction
-  /// (node-based map).
-  [[nodiscard]] const CachedSolution* seen_before_or_insert(const Bdd& chi);
+  /// Probe for `chi`.  Returns a snapshot of the existing entry when
+  /// `chi` was inserted before; otherwise inserts an empty entry
+  /// (capacity permitting) and returns nullopt.  By-value so a returned
+  /// record is immune to concurrent improve() calls.
+  [[nodiscard]] std::optional<CachedSolution> seen_before_or_insert(
+      const Bdd& chi);
 
   /// Record `f` (with its cost under the current run's cost function) as
   /// a solution for every subrelation edge in `chain` — the ancestor
@@ -84,16 +102,27 @@ class SubproblemCache {
 
   /// Non-inserting probe.
   [[nodiscard]] bool contains(const Bdd& chi) const {
+    const std::scoped_lock lock(mutex_);
     return cache_.count(chi.raw_edge()) != 0;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return cache_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return cache_.size();
+  }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  [[nodiscard]] std::uint64_t hits() const {
+    const std::scoped_lock lock(mutex_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t probes() const {
+    const std::scoped_lock lock(mutex_);
+    return probes_;
+  }
 
  private:
   std::size_t capacity_;
+  mutable std::mutex mutex_;  ///< serializes map, keep-alives and counters
   std::unordered_map<detail::Edge, CachedSolution> cache_;
   std::vector<Bdd> keep_alive_;  ///< pins cached edges across GCs
   std::uint64_t hits_ = 0;

@@ -1,7 +1,11 @@
 #include "relation/relation_io.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "bdd/bdd_transfer.hpp"
 
 namespace brel {
 
@@ -10,6 +14,25 @@ namespace {
 [[noreturn]] void fail(std::size_t line, const std::string& message) {
   throw std::invalid_argument("relation_io: line " + std::to_string(line) +
                               ": " + message);
+}
+
+/// Parse `count` variable ranks for a `.iv` / `.ov` directive.
+std::vector<std::uint32_t> parse_ranks(std::istringstream& tokens,
+                                       std::size_t count, std::size_t total,
+                                       std::size_t line_number,
+                                       const char* directive) {
+  std::vector<std::uint32_t> ranks;
+  std::uint32_t rank = 0;
+  while (tokens >> rank) {
+    if (rank >= total) {
+      fail(line_number, std::string(directive) + " rank out of range");
+    }
+    ranks.push_back(rank);
+  }
+  if (ranks.size() != count) {
+    fail(line_number, std::string(directive) + " rank count mismatch");
+  }
+  return ranks;
 }
 
 }  // namespace
@@ -30,6 +53,11 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
   std::vector<std::uint32_t> inputs;
   std::vector<std::uint32_t> outputs;
   Bdd chi;
+
+  // State of the compact `.bdd` body (mutually exclusive with `.r` rows).
+  std::optional<SerializedBdd> serialized;
+  std::vector<std::uint32_t> input_ranks;
+  std::vector<std::uint32_t> output_ranks;
 
   std::string line;
   std::size_t line_number = 0;
@@ -57,9 +85,43 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
         fail(line_number, "bad or duplicate .o");
       }
       saw_outputs = true;
+    } else if (head == ".iv" || head == ".ov") {
+      const bool is_input = head == ".iv";
+      if (!saw_inputs || !saw_outputs || in_rows ||
+          serialized.has_value()) {
+        fail(line_number, head + " requires .i and .o, before the body");
+      }
+      auto& ranks = is_input ? input_ranks : output_ranks;
+      if (!ranks.empty()) {
+        fail(line_number, "duplicate " + head);
+      }
+      ranks = parse_ranks(tokens, is_input ? num_inputs : num_outputs,
+                          num_inputs + num_outputs, line_number,
+                          head.c_str());
+    } else if (head == ".bdd") {
+      std::size_t node_count = 0;
+      if (!saw_inputs || !saw_outputs || in_rows ||
+          serialized.has_value() || !(tokens >> node_count)) {
+        fail(line_number, "bad .bdd (requires .i and .o, no .r body)");
+      }
+      try {
+        serialized = read_serialized_bdd(in, node_count);
+      } catch (const std::invalid_argument& error) {
+        fail(line_number, error.what());
+      }
+      line_number += node_count + 1;  // node lines + .root
+      if (serialized->num_vars > num_inputs + num_outputs) {
+        fail(line_number, ".bdd references ranks beyond .i + .o");
+      }
     } else if (head == ".r") {
-      if (!saw_inputs || !saw_outputs || in_rows) {
+      if (!saw_inputs || !saw_outputs || in_rows ||
+          serialized.has_value()) {
         fail(line_number, ".r requires .i and .o first");
+      }
+      if (!input_ranks.empty() || !output_ranks.empty()) {
+        // Ranks only apply to the compact body; silently dropping them
+        // would hand back a differently-wired relation.
+        fail(line_number, ".iv/.ov require a .bdd body, not .r rows");
       }
       in_rows = true;
       const std::uint32_t first =
@@ -72,8 +134,8 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
       }
       chi = mgr.zero();
     } else if (head == ".e") {
-      if (!in_rows) {
-        fail(line_number, ".e before .r");
+      if (!in_rows && !serialized.has_value()) {
+        fail(line_number, ".e before .r or .bdd");
       }
       saw_end = true;
     } else {
@@ -113,8 +175,88 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
   if (!saw_end) {
     fail(line_number, "missing .e");
   }
+  if (serialized.has_value()) {
+    // Compact body: allocate the variable block and shift every rank by
+    // its base, which preserves relative (and hence canonical) order.
+    const std::size_t total = num_inputs + num_outputs;
+    if (input_ranks.empty()) {
+      for (std::size_t i = 0; i < num_inputs; ++i) {
+        input_ranks.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    if (output_ranks.empty()) {
+      for (std::size_t i = 0; i < num_outputs; ++i) {
+        output_ranks.push_back(static_cast<std::uint32_t>(num_inputs + i));
+      }
+    }
+    std::vector<bool> claimed(total, false);
+    for (const std::vector<std::uint32_t>* ranks :
+         {&input_ranks, &output_ranks}) {
+      for (const std::uint32_t rank : *ranks) {
+        if (claimed[rank]) {
+          fail(line_number, "overlapping or repeated .iv/.ov ranks");
+        }
+        claimed[rank] = true;
+      }
+    }
+    const std::uint32_t base =
+        mgr.add_vars(static_cast<std::uint32_t>(total));
+    for (const std::uint32_t rank : input_ranks) {
+      inputs.push_back(base + rank);
+    }
+    for (const std::uint32_t rank : output_ranks) {
+      outputs.push_back(base + rank);
+    }
+    try {
+      chi = mgr.deserialize_bdd(*serialized, base);
+    } catch (const std::invalid_argument& error) {
+      fail(line_number, error.what());
+    }
+  }
   return BooleanRelation(mgr, std::move(inputs), std::move(outputs),
                          std::move(chi));
+}
+
+std::string write_relation_bdd(const BooleanRelation& r) {
+  // Rank = position in the ascending manager order of the relation's
+  // variables; the monotone var -> rank remap keeps the node list a valid
+  // ordered BDD for any reader that allocates a fresh contiguous block.
+  std::vector<std::uint32_t> vars;
+  vars.reserve(r.num_inputs() + r.num_outputs());
+  vars.insert(vars.end(), r.inputs().begin(), r.inputs().end());
+  vars.insert(vars.end(), r.outputs().begin(), r.outputs().end());
+  std::sort(vars.begin(), vars.end());
+  constexpr std::uint32_t kUnranked = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> rank_of(r.manager().num_vars(), kUnranked);
+  for (std::size_t rank = 0; rank < vars.size(); ++rank) {
+    rank_of[vars[rank]] = static_cast<std::uint32_t>(rank);
+  }
+  SerializedBdd s = r.manager().serialize_bdd(r.characteristic());
+  for (SerializedBdd::Node& node : s.nodes) {
+    if (rank_of[node.var] == kUnranked) {
+      throw std::logic_error(
+          "write_relation_bdd: characteristic depends on a variable "
+          "outside the relation's inputs and outputs");
+    }
+    node.var = rank_of[node.var];
+  }
+
+  std::ostringstream os;
+  os << ".i " << r.num_inputs() << "\n.o " << r.num_outputs() << '\n';
+  const auto write_ranks = [&](const char* directive,
+                               const std::vector<std::uint32_t>& list) {
+    os << directive;
+    for (const std::uint32_t v : list) {
+      os << ' ' << rank_of[v];
+    }
+    os << '\n';
+  };
+  write_ranks(".iv", r.inputs());
+  write_ranks(".ov", r.outputs());
+  os << ".bdd " << s.nodes.size() << '\n';
+  write_serialized_bdd(os, s);
+  os << ".e\n";
+  return os.str();
 }
 
 std::string write_relation(const BooleanRelation& r) {

@@ -15,6 +15,26 @@
 /// '-' is allowed on both sides.  Input vertices that never appear have an
 /// empty image (the relation is then not well defined; callers can use
 /// BooleanRelation::totalized()).
+///
+/// A second, compact body is accepted in place of the `.r` rows: the
+/// characteristic BDD in the serialized transfer form (bdd_transfer.hpp),
+/// linear in the BDD instead of exponential in the inputs:
+///
+///   .i 2
+///   .o 2
+///   .iv 0 1         variable ranks of the inputs  (optional; default 0..n-1)
+///   .ov 2 3         variable ranks of the outputs (optional; default n..n+m-1)
+///   .bdd 3          node count; then one "var hi lo" line per node,
+///   3 0 1             children before parents, ids implicit (0 = the ONE
+///   2 6 1             terminal), edge = id*2 + complement-bit, var = rank
+///   1 4 6
+///   .root 6
+///   .e
+///
+/// Ranks index the relation's variables in manager order, so a reader
+/// allocates n+m fresh variables and shifts every rank by the base index —
+/// relative order (and hence canonical BDD structure) is preserved.  No
+/// comments are allowed between `.bdd` and `.root`.
 
 #include <iosfwd>
 #include <string>
@@ -35,5 +55,10 @@ namespace brel {
 /// Serialize by enumerating input vertices (requires <= 16 inputs).  The
 /// output parses back to an equal relation.
 [[nodiscard]] std::string write_relation(const BooleanRelation& r);
+
+/// Serialize through the characteristic BDD (the `.bdd` compact body):
+/// linear in the BDD, no input-count limit.  The output parses back —
+/// through either read_relation overload — to an equal relation.
+[[nodiscard]] std::string write_relation_bdd(const BooleanRelation& r);
 
 }  // namespace brel

@@ -9,8 +9,16 @@
 //     --max-relations=N                      explored relations (default 10)
 //     --budget=N                             alias for --max-relations
 //     --fifo=N                               pending-frontier bound
+//     --max-depth=N                          truncate the tree below depth N
+//                                            (schedule-independent partial
+//                                            exploration)
 //     --exact                                complete exploration
 //     --order=bfs|dfs|best                   exploration order
+//     --workers=N                            parallel exploration with N
+//                                            worker threads, one private BDD
+//                                            manager each (0 = one per
+//                                            hardware thread; default 1)
+//     --no-bound                             disable the line-6 cost bound
 //     --symmetry                             enable the symmetry cache
 //     --seed-cache                           enable the subproblem cache,
 //                                            seeded with the root relation.
@@ -41,6 +49,9 @@ struct CliOptions {
   std::string cost = "size";
   std::size_t budget = 10;
   std::size_t fifo = static_cast<std::size_t>(-1);
+  std::size_t max_depth = static_cast<std::size_t>(-1);
+  std::size_t workers = 1;
+  bool no_bound = false;
   bool exact = false;
   brel::ExplorationOrder order = brel::ExplorationOrder::BreadthFirst;
   bool symmetry = false;
@@ -56,7 +67,8 @@ struct CliOptions {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: brel_cli [--cost=size|size2|cubes|lits|balance]\n"
                "                [--max-relations=N] [--budget=N] [--fifo=N]\n"
-               "                [--exact] [--order=bfs|dfs|best]\n"
+               "                [--max-depth=N] [--exact] [--no-bound]\n"
+               "                [--order=bfs|dfs|best] [--workers=N]\n"
                "                [--symmetry] [--seed-cache] [--totalize]\n"
                "                [--solver=brel|quick|gyocro|herb]\n"
                "                [--dump-table] [--quiet] [file.br|-]\n");
@@ -95,6 +107,14 @@ CliOptions parse_args(int argc, char** argv) {
       options.budget = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value_of("--fifo=")) {
       options.fifo = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--max-depth=")) {
+      options.max_depth =
+          static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--workers=")) {
+      options.workers =
+          static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--no-bound") {
+      options.no_bound = true;
     } else if (arg == "--exact") {
       options.exact = true;
     } else if (const char* v = value_of("--order=")) {
@@ -233,6 +253,9 @@ int main(int argc, char** argv) {
   options.cost = cost_by_name(cli.cost);
   options.max_relations = cli.budget;
   options.fifo_capacity = cli.fifo;
+  options.max_depth = cli.max_depth;
+  options.use_cost_bound = !cli.no_bound;
+  options.num_workers = cli.workers;
   options.exact = cli.exact;
   options.use_symmetry = cli.symmetry;
   options.use_subproblem_cache = cli.seed_cache;
@@ -248,6 +271,10 @@ int main(int argc, char** argv) {
         result.stats.pruned_by_symmetry, result.stats.pruned_by_cache,
         result.stats.runtime_seconds,
         result.stats.budget_exhausted ? " (budget exhausted)" : "");
+    if (result.stats.workers > 1) {
+      std::printf("# workers=%zu steals=%zu\n", result.stats.workers,
+                  result.stats.steals);
+    }
   }
   print_covers(mgr, relation, result.function);
   return relation.is_compatible(result.function) ? 0 : 1;
