@@ -1,0 +1,217 @@
+// Solver-pool service-layer harness: warm-vs-cold cost of the
+// manager-independent cross-solve memo, and request throughput at
+// 1 / 2 / 4 worker slots.
+//
+// Three measurements over the BR benchmark suite (each instance shipped
+// to the pool in the compact `.bdd` wire form, like a real service
+// request):
+//
+//   1. cold pass   — every relation solved once against an empty memo;
+//   2. warm pass   — the identical requests again: each must be served
+//      from the memo's root entry, exploring ZERO nodes at exactly the
+//      cold pass's cost (the acceptance bar is >= 10x fewer explored
+//      nodes; the memo delivers inf);
+//   3. throughput  — the full request list, several rounds, cold memo,
+//      at 1/2/4 workers (memo off so every request pays full price and
+//      the scaling is the pool's, not the memo's).
+//
+// The harness also cross-checks the pool against the serial engine in
+// the schedule-independent configuration (bit-identical portable
+// solutions) and exits non-zero if any acceptance property fails, so CI
+// can run it as a smoke check.  `--json <path>` records everything
+// machine-readably (BENCH_solver_pool.json at the repo root).
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "benchgen/relation_suite.hpp"
+#include "brel/search.hpp"
+#include "brel/solver_pool.hpp"
+#include "relation/relation_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace brel;
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  const std::size_t depth = bench::budget_from_env("BREL_POOL_DEPTH", 6);
+  const std::size_t rounds = bench::budget_from_env("BREL_POOL_ROUNDS", 20);
+
+  // The schedule-independent engine configuration: results are a pure
+  // function of each relation, so pool results can be compared
+  // bit-identically against the serial engine.
+  SolverOptions solver;
+  solver.cost = sum_of_bdd_sizes();
+  solver.max_relations = static_cast<std::size_t>(-1);
+  solver.use_cost_bound = false;
+  solver.max_depth = depth;
+
+  // The request list, in the `.bdd` wire form.
+  std::vector<std::string> texts;
+  std::vector<std::string> names;
+  std::vector<PoolResult> serial;
+  for (const RelationBenchmark& instance : relation_suite()) {
+    BddManager mgr{0};
+    std::vector<std::uint32_t> inputs;
+    std::vector<std::uint32_t> outputs;
+    const BooleanRelation r =
+        make_benchmark_relation(mgr, instance, inputs, outputs);
+    texts.push_back(write_relation_bdd(r));
+    names.push_back(instance.name);
+    const SolveResult solved = SearchEngine(r, solver).run();
+    PoolResult reference;
+    reference.solution = make_portable_solution(make_memo_space(r),
+                                                solved.function, solved.cost);
+    reference.cost = solved.cost;
+    reference.stats = solved.stats;
+    serial.push_back(std::move(reference));
+  }
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.field_str("bench", "bench_solver_pool");
+  json.field_int("instances", texts.size());
+  json.field_int("max_depth", depth);
+  json.field_int("hardware_threads", std::thread::hardware_concurrency());
+
+  bool ok = true;
+
+  // ---------------------------------------------------- cold/warm passes
+  std::printf("Warm-vs-cold over the BR suite (depth-capped at %zu)\n\n",
+              depth);
+  std::printf("%-8s %12s %12s %12s %12s\n", "pass", "explored", "cost",
+              "memo hits", "CPU [s]");
+  PoolOptions pool_options;
+  pool_options.workers = 1;
+  pool_options.solver = solver;
+  SolverPool warm_pool(pool_options);
+  std::size_t cold_explored = 0;
+  std::size_t warm_explored = 0;
+  double cold_cost = 0.0;
+  double warm_cost = 0.0;
+  std::size_t warm_hits = 0;
+  double cold_cpu = 0.0;
+  double warm_cpu = 0.0;
+  for (const bool warm : {false, true}) {
+    std::size_t explored = 0;
+    std::size_t hits = 0;
+    double cost = 0.0;
+    bench::Stopwatch timer;
+    std::vector<std::future<PoolResult>> futures;
+    for (const std::string& text : texts) {
+      futures.push_back(warm_pool.submit(text));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const PoolResult result = futures[i].get();
+      explored += result.stats.relations_explored;
+      hits += result.stats.memo_hits;
+      cost += result.cost;
+      if (result.solution != serial[i].solution) {
+        std::printf("!! %s: pool solution differs from serial engine\n",
+                    names[i].c_str());
+        ok = false;
+      }
+    }
+    const double cpu = timer.seconds();
+    std::printf("%-8s %12zu %12.0f %12zu %12.3f\n", warm ? "warm" : "cold",
+                explored, cost, hits, cpu);
+    (warm ? warm_explored : cold_explored) = explored;
+    (warm ? warm_cost : cold_cost) = cost;
+    (warm ? warm_cpu : cold_cpu) = cpu;
+    if (warm) {
+      warm_hits = hits;
+    }
+  }
+  const double ratio =
+      warm_explored == 0 ? -1.0
+                         : static_cast<double>(cold_explored) /
+                               static_cast<double>(warm_explored);
+  std::printf("\nwarm/cold exploration ratio: %s (acceptance: >= 10x)\n",
+              warm_explored == 0 ? "inf (zero warm exploration)"
+                                 : "see below");
+  if (warm_explored != 0 && ratio < 10.0) {
+    std::printf("!! warm pass explored %zu nodes (ratio %.1fx < 10x)\n",
+                warm_explored, ratio);
+    ok = false;
+  }
+  if (warm_cost != cold_cost) {
+    std::printf("!! warm cost %.0f != cold cost %.0f\n", warm_cost,
+                cold_cost);
+    ok = false;
+  }
+  if (warm_hits != texts.size()) {
+    std::printf("!! expected %zu root memo hits, saw %zu\n", texts.size(),
+                warm_hits);
+    ok = false;
+  }
+  json.begin_object("warm_vs_cold");
+  json.field_int("cold_explored", cold_explored);
+  json.field_int("warm_explored", warm_explored);
+  json.field_num("cold_cost", cold_cost);
+  json.field_num("warm_cost", warm_cost);
+  json.field_num("cold_cpu_s", cold_cpu);
+  json.field_num("warm_cpu_s", warm_cpu);
+  json.field_int("memo_entries", warm_pool.memo()->size());
+  json.field_int("memo_hits", warm_pool.memo()->hits());
+  json.field_int("memo_probes", warm_pool.memo()->probes());
+  json.end_object();
+  warm_pool.shutdown();
+
+  // ------------------------------------------------------- throughput
+  std::printf(
+      "\nThroughput: %zu rounds x %zu requests, memo off\n"
+      "(%u hardware thread(s) available — scaling needs real cores)\n\n",
+      rounds, texts.size(), std::thread::hardware_concurrency());
+  std::printf("%-8s %12s %12s %10s\n", "workers", "CPU [s]", "req/s",
+              "speedup");
+  json.begin_array("throughput");
+  double base_cpu = 0.0;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    PoolOptions scaling;
+    scaling.workers = workers;
+    scaling.solver = solver;
+    scaling.share_memo = false;  // every request pays full exploration
+    SolverPool pool(scaling);
+    bench::Stopwatch timer;
+    std::vector<std::future<PoolResult>> futures;
+    futures.reserve(rounds * texts.size());
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (const std::string& text : texts) {
+        futures.push_back(pool.submit(text));
+      }
+    }
+    double cost = 0.0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const PoolResult result = futures[i].get();
+      cost += result.cost;
+      if (result.solution != serial[i % serial.size()].solution) {
+        std::printf("!! divergence at %zu workers, request %zu\n", workers,
+                    i);
+        ok = false;
+      }
+    }
+    const double cpu = timer.seconds();
+    if (workers == 1) {
+      base_cpu = cpu;
+    }
+    const double rps = static_cast<double>(futures.size()) / cpu;
+    std::printf("%-8zu %12.3f %12.1f %9.2fx\n", workers, cpu, rps,
+                base_cpu / cpu);
+    json.begin_element();
+    json.field_int("workers", workers);
+    json.field_num("cpu_s", cpu);
+    json.field_num("requests_per_s", rps);
+    json.field_num("total_cost", cost);
+    json.end_element();
+    pool.shutdown();
+  }
+  json.end_array();
+  json.field_str("acceptance", ok ? "pass" : "FAIL");
+  json.end_object();
+  if (!json_path.empty() && !json.save(json_path)) {
+    return 1;
+  }
+  std::printf("\nacceptance: %s\n", ok ? "pass" : "FAIL");
+  return ok ? 0 : 1;
+}

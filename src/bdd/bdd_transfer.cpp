@@ -188,20 +188,41 @@ SerializedBdd read_serialized_bdd(std::istream& in, std::size_t node_count) {
   const auto fail = [](const char* what) {
     throw std::invalid_argument(std::string("read_serialized_bdd: ") + what);
   };
+  // Streams parse negative text into unsigned fields by modular wrap
+  // (never a failbit), so "-1" would silently become 4294967295; reject
+  // the sign explicitly to keep every malformed body a loud error.
+  const auto reject_negatives = [&](const std::string& line) {
+    if (line.find('-') != std::string::npos) {
+      fail("negative field (all fields are unsigned)");
+    }
+  };
+  // Bound every parsed variable index well below the uint32 ceiling:
+  // `var + 1` computes num_vars, and an attacker-controlled 0xFFFFFFFF
+  // would wrap that sum to 0, slipping a bogus rank past the caller's
+  // range checks.  2^24 variables is far beyond any real relation.
+  constexpr std::uint32_t kMaxVar = 1u << 24;
   SerializedBdd s;
   // Never trust the header's count for the allocation — a lying `.bdd N`
   // line must fail as "truncated node list", not as a giant reserve
   // throwing bad_alloc past the caller's parse-error handling.
   s.nodes.reserve(std::min<std::size_t>(node_count, 1u << 16));
   std::string line;
+  std::string extra;
   for (std::size_t k = 0; k < node_count; ++k) {
     if (!std::getline(in, line)) {
       fail("truncated node list");
     }
+    reject_negatives(line);
     std::istringstream row(line);
     SerializedBdd::Node n{};
     if (!(row >> n.var >> n.hi >> n.lo)) {
       fail("malformed node line (expected: var hi lo)");
+    }
+    if (row >> extra) {
+      fail("trailing tokens on node line");
+    }
+    if (n.var >= kMaxVar) {
+      fail("variable index out of range");
     }
     s.nodes.push_back(n);
     if (n.var + 1 > s.num_vars) {
@@ -213,8 +234,15 @@ SerializedBdd read_serialized_bdd(std::istream& in, std::size_t node_count) {
   }
   std::istringstream row(line);
   std::string keyword;
-  if (!(row >> keyword >> s.root) || keyword != ".root") {
+  if (!(row >> keyword) || keyword != ".root") {
     fail("malformed .root line");
+  }
+  reject_negatives(line);
+  if (!(row >> s.root)) {
+    fail("malformed .root line");
+  }
+  if (row >> extra) {
+    fail("trailing tokens on .root line");
   }
   return s;
 }

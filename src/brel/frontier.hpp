@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "brel/global_memo.hpp"
 #include "relation/relation.hpp"
 
 namespace brel {
@@ -51,6 +52,15 @@ struct Subproblem {
   /// cache is active.  The edges stay pinned by the cache's keep-alive
   /// handles.
   std::vector<detail::Edge> ancestors;
+
+  /// The same ancestor chain in the global memo's canonical serialized
+  /// key form (root → ... → itself, truncated at
+  /// SolverOptions::global_memo_depth).  The KEYS are shared (a child's
+  /// chain copies the parent's vector of shared_ptrs — O(depth) cheap
+  /// refcount bumps, never a key re-serialization); chains are short in
+  /// practice, a persistent cons-list is the upgrade path if deep trees
+  /// ever make the copies show.  Empty when no global memo is active.
+  std::vector<std::shared_ptr<const GlobalMemoKey>> memo_chain;
 
   /// Ordering key for best-first frontiers: the cost of the MISF candidate
   /// computed when the subproblem was generated.  Unused (0) otherwise.

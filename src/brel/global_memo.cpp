@@ -1,0 +1,197 @@
+#include "brel/global_memo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace brel {
+
+namespace {
+
+/// Remap a serialized BDD's variables through `table` (var → rank or
+/// rank → var).  Both directions are strictly monotone over the
+/// relation's variables, so the node list remains a valid ordered BDD.
+SerializedBdd remap_vars(SerializedBdd s,
+                         const std::vector<std::uint32_t>& table,
+                         std::uint32_t unmapped_sentinel) {
+  s.num_vars = 0;
+  for (SerializedBdd::Node& node : s.nodes) {
+    if (node.var >= table.size() || table[node.var] == unmapped_sentinel) {
+      throw std::logic_error(
+          "GlobalMemo: BDD depends on a variable outside the relation's "
+          "input/output spaces");
+    }
+    node.var = table[node.var];
+    s.num_vars = std::max(s.num_vars, node.var + 1);
+  }
+  return s;
+}
+
+/// 64-bit FNV-1a over the words of a key.
+struct Fnv {
+  std::uint64_t state = 14695981039346656037ull;
+
+  void feed(std::uint64_t word) noexcept {
+    state ^= word;
+    state *= 1099511628211ull;
+  }
+  void feed_list(const std::vector<std::uint32_t>& list) noexcept {
+    feed(list.size());
+    for (const std::uint32_t v : list) {
+      feed(v);
+    }
+  }
+};
+
+}  // namespace
+
+MemoSpace make_memo_space(const BooleanRelation& r) {
+  MemoSpace space;
+  space.sorted_vars.reserve(r.num_inputs() + r.num_outputs());
+  space.sorted_vars.insert(space.sorted_vars.end(), r.inputs().begin(),
+                           r.inputs().end());
+  space.sorted_vars.insert(space.sorted_vars.end(), r.outputs().begin(),
+                           r.outputs().end());
+  std::sort(space.sorted_vars.begin(), space.sorted_vars.end());
+  space.rank_of.assign(r.manager().num_vars(), MemoSpace::kUnranked);
+  for (std::size_t rank = 0; rank < space.sorted_vars.size(); ++rank) {
+    space.rank_of[space.sorted_vars[rank]] =
+        static_cast<std::uint32_t>(rank);
+  }
+  space.input_ranks.reserve(r.num_inputs());
+  for (const std::uint32_t v : r.inputs()) {
+    space.input_ranks.push_back(space.rank_of[v]);
+  }
+  space.output_ranks.reserve(r.num_outputs());
+  for (const std::uint32_t v : r.outputs()) {
+    space.output_ranks.push_back(space.rank_of[v]);
+  }
+  return space;
+}
+
+GlobalMemoKey make_memo_key(const MemoSpace& space, const Bdd& chi) {
+  GlobalMemoKey key;
+  key.chi = remap_vars(serialize_bdd(chi), space.rank_of,
+                       MemoSpace::kUnranked);
+  key.input_ranks = space.input_ranks;
+  key.output_ranks = space.output_ranks;
+  return key;
+}
+
+PortableSolution make_portable_solution(const MemoSpace& space,
+                                        const MultiFunction& f,
+                                        double cost) {
+  PortableSolution out;
+  out.outputs.reserve(f.outputs.size());
+  for (const Bdd& g : f.outputs) {
+    out.outputs.push_back(
+        remap_vars(serialize_bdd(g), space.rank_of, MemoSpace::kUnranked));
+  }
+  out.cost = cost;
+  return out;
+}
+
+MultiFunction import_portable_solution(BddManager& mgr,
+                                       const MemoSpace& space,
+                                       const PortableSolution& s) {
+  MultiFunction f;
+  f.outputs.reserve(s.outputs.size());
+  for (const SerializedBdd& g : s.outputs) {
+    // Inverse remap (rank → manager variable) is monotone too, so the
+    // rebuilt function has the destination's canonical structure.
+    f.outputs.push_back(mgr.deserialize_bdd(
+        remap_vars(g, space.sorted_vars, MemoSpace::kUnranked)));
+  }
+  return f;
+}
+
+std::size_t GlobalMemo::KeyHash::operator()(const GlobalMemoKey& key) const {
+  Fnv h;
+  h.feed(key.chi.nodes.size());
+  for (const SerializedBdd::Node& n : key.chi.nodes) {
+    h.feed((static_cast<std::uint64_t>(n.var) << 32) ^ n.hi);
+    h.feed(n.lo);
+  }
+  h.feed(key.chi.root);
+  h.feed_list(key.input_ranks);
+  h.feed_list(key.output_ranks);
+  return static_cast<std::size_t>(h.state);
+}
+
+GlobalMemo::GlobalMemo(std::size_t capacity) : capacity_(capacity) {}
+
+void GlobalMemo::bind(const MemoFingerprint& fp) {
+  const std::scoped_lock lock(mutex_);
+  if (!fingerprint_.has_value()) {
+    fingerprint_ = fp;
+    return;
+  }
+  if (*fingerprint_ != fp) {
+    throw std::invalid_argument(
+        "GlobalMemo: memo was stamped for cost '" + fingerprint_->cost_id +
+        "' (exact=" + (fingerprint_->exact ? "1" : "0") +
+        ") and cannot serve a run with cost '" + fp.cost_id +
+        "' or different mode — memoized solutions are only comparable "
+        "under the configuration that produced them");
+  }
+}
+
+std::optional<PortableSolution> GlobalMemo::lookup(
+    const GlobalMemoKey& key) const {
+  const std::scoped_lock lock(mutex_);
+  ++probes_;
+  const auto it = map_.find(key);
+  if (it == map_.end() || !it->second.complete ||
+      !it->second.solution.has_solution()) {
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.solution;
+}
+
+void GlobalMemo::publish(const GlobalMemoKey& key,
+                         const PortableSolution& solution) {
+  const std::scoped_lock lock(mutex_);
+  ++publishes_;
+  if (const auto it = map_.find(key); it != map_.end()) {
+    // Improvements to present entries land even at capacity; the
+    // completeness bit is sticky (same-fingerprint runs only ever refine
+    // a completed subtree result downward in cost).
+    if (!it->second.solution.has_solution() ||
+        solution.cost < it->second.solution.cost) {
+      it->second.solution = solution;
+    }
+    return;
+  }
+  if (map_.size() < capacity_) {
+    map_.emplace(key, Entry{solution, false});
+  }
+}
+
+void GlobalMemo::mark_complete(
+    std::span<const std::shared_ptr<const GlobalMemoKey>> keys) {
+  const std::scoped_lock lock(mutex_);
+  for (const std::shared_ptr<const GlobalMemoKey>& key : keys) {
+    if (const auto it = map_.find(*key); it != map_.end()) {
+      it->second.complete = true;
+    }
+  }
+}
+
+std::size_t GlobalMemo::size() const {
+  const std::scoped_lock lock(mutex_);
+  return map_.size();
+}
+std::uint64_t GlobalMemo::hits() const {
+  const std::scoped_lock lock(mutex_);
+  return hits_;
+}
+std::uint64_t GlobalMemo::probes() const {
+  const std::scoped_lock lock(mutex_);
+  return probes_;
+}
+std::uint64_t GlobalMemo::publishes() const {
+  const std::scoped_lock lock(mutex_);
+  return publishes_;
+}
+
+}  // namespace brel

@@ -1,0 +1,201 @@
+#pragma once
+/// \file global_memo.hpp
+/// Cross-solve subproblem memo keyed by the *manager-independent*
+/// serialized BDD form (bdd_transfer.hpp).
+///
+/// `SubproblemCache` memoizes subtree results by raw manager-local edge:
+/// O(1) probes, but the memos are only meaningful inside the one manager
+/// (and variable assignment) that produced them.  The solver-pool service
+/// layer needs the opposite trade: many long-lived workers, each with a
+/// private `BddManager`, solving a stream of relations — a subproblem
+/// first explored by worker A (in A's manager, at A's variable offsets)
+/// must be recognizable when worker B re-generates it in B's manager
+/// while solving a later request.  `GlobalMemo` achieves that by keying
+/// on a canonical portable form:
+///
+///   - the characteristic function is serialized (`serialize_bdd`) and
+///     its variables remapped to *ranks* — the position of each variable
+///     in the ascending order of the relation's inputs+outputs.  The
+///     remap is monotone, so the node list stays a valid ordered BDD and
+///     two structurally equal relations produce byte-identical keys in
+///     any manager at any variable offset;
+///   - the key also carries the input/output rank split: the same
+///     characteristic over the same ranks still describes different
+///     subproblems when the spaces differ (cf. CacheFingerprint);
+///   - memoized solutions are stored in the same rank-mapped serialized
+///     form and materialized into the prober's manager with
+///     `deserialize_bdd` (after the inverse rank→variable remap) — never
+///     a cross-manager handle.
+///
+/// Lifetime/GC contract: entries are PLAIN DATA — no `Bdd` handles, no
+/// pinned edges, no reference counts.  Any manager may garbage-collect at
+/// any time without invalidating the memo, which is what lets managers
+/// outlive individual solves in the pool.  The price is O(|BDD|)
+/// serialization per probe/publish instead of O(1), which is why the
+/// engine gates memo traffic by `SolverOptions::global_memo_depth`.
+///
+/// Concurrency: one internal mutex serializes the map; keys and entries
+/// are value types, so probes and publishes from any number of worker
+/// threads are safe, and no BDD manager is ever touched under the memo
+/// lock (serialization happens in the caller, on the caller's manager).
+///
+/// Comparability: like `SubproblemCache`, memos are only sound between
+/// runs minimizing the same objective in the same mode.  bind() stamps
+/// the memo with a `MemoFingerprint` and mismatched reuse throws.  A
+/// memo additionally only reflects how deeply its producing run explored
+/// — share among runs of one configuration (the pool enforces this by
+/// fixing one SolverOptions for all requests).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd_transfer.hpp"
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// Rank tables of one relation's variable spaces: everything needed to
+/// translate between manager variables and canonical ranks.  Build once
+/// per solve (make_memo_space) and reuse for every key/solution.
+struct MemoSpace {
+  /// Relation variables (inputs ∪ outputs) in ascending manager order;
+  /// rank r corresponds to manager variable sorted_vars[r].
+  std::vector<std::uint32_t> sorted_vars;
+  /// var → rank for every manager variable in the relation (entries for
+  /// foreign variables hold kUnranked).
+  std::vector<std::uint32_t> rank_of;
+  std::vector<std::uint32_t> input_ranks;   ///< ranks of inputs, in order
+  std::vector<std::uint32_t> output_ranks;  ///< ranks of outputs, in order
+
+  static constexpr std::uint32_t kUnranked = 0xFFFFFFFFu;
+};
+
+/// Rank tables for `r` (ascending inputs+outputs order).
+[[nodiscard]] MemoSpace make_memo_space(const BooleanRelation& r);
+
+/// Canonical identity of one subproblem: rank-mapped characteristic plus
+/// the input/output split.  Equal keys mean structurally identical
+/// subrelations regardless of manager or variable offset.
+struct GlobalMemoKey {
+  SerializedBdd chi;  ///< node vars are ranks, not manager variables
+  std::vector<std::uint32_t> input_ranks;
+  std::vector<std::uint32_t> output_ranks;
+
+  [[nodiscard]] bool operator==(const GlobalMemoKey&) const = default;
+};
+
+/// Canonical key for a subrelation with characteristic `chi` living in
+/// `space`.  Throws std::logic_error if chi depends on a variable
+/// outside the space (a subrelation never does).
+[[nodiscard]] GlobalMemoKey make_memo_key(const MemoSpace& space,
+                                          const Bdd& chi);
+
+/// A manager-independent multi-output solution: one rank-mapped
+/// serialized BDD per output, over the *input* ranks of its space.
+struct PortableSolution {
+  std::vector<SerializedBdd> outputs;
+  double cost = 0.0;
+
+  [[nodiscard]] bool has_solution() const noexcept {
+    return !outputs.empty();
+  }
+  [[nodiscard]] bool operator==(const PortableSolution&) const = default;
+};
+
+/// Flatten `f` (BDDs of one manager) into the portable rank form.
+[[nodiscard]] PortableSolution make_portable_solution(const MemoSpace& space,
+                                                      const MultiFunction& f,
+                                                      double cost);
+
+/// Materialize a portable solution in `mgr` under `space`'s variable
+/// assignment (the inverse remap of make_portable_solution).
+[[nodiscard]] MultiFunction import_portable_solution(
+    BddManager& mgr, const MemoSpace& space, const PortableSolution& s);
+
+/// The comparability stamp (see CacheFingerprint for the rationale; the
+/// variable spaces live inside each GlobalMemoKey here, as ranks, so the
+/// fingerprint only carries objective and mode).
+struct MemoFingerprint {
+  std::string cost_id;
+  bool exact = false;
+
+  [[nodiscard]] bool operator==(const MemoFingerprint&) const = default;
+};
+
+/// The cross-solve memo.  Thread-safe; entries are plain data.
+///
+/// Completeness protocol: publishes made *during* a run only accumulate
+/// an entry's best-so-far; lookup() returns nothing until the entry is
+/// marked **complete**.  A run that ends at its natural frontier drain
+/// (not stopped by budget/timeout, no children dropped to frontier
+/// overflow) marks its ROOT key — the root entry is exactly what that
+/// solve returned, so serving it warm is faithful by construction — and
+/// marks its interior keys only when it truncated no subtree at all (no
+/// cost-bound prunes, no depth-cap cuts; a bound-pruned subtree holds
+/// only its quick memo, and a depth cap is root-relative, so such
+/// interior entries are not subtree-final even under the same
+/// configuration).  This is what keeps a long-lived service sound: a
+/// request that times out publishes only invisible partial memos, so
+/// the next identical request re-explores instead of being served the
+/// degraded result forever.  Completeness is sticky — a later, strictly
+/// better publish (same fingerprint, so the same objective) refines a
+/// complete entry without un-completing it.
+class GlobalMemo {
+ public:
+  explicit GlobalMemo(std::size_t capacity = static_cast<std::size_t>(-1));
+
+  /// Stamp with the run configuration; mismatched reuse throws
+  /// std::invalid_argument (cf. SubproblemCache::bind).
+  void bind(const MemoFingerprint& fp);
+
+  /// Probe for `key`; returns the memoized solution only when the entry
+  /// is complete (see the protocol above) — and counts a hit only then.
+  /// By-value so the record is immune to concurrent publish().
+  [[nodiscard]] std::optional<PortableSolution> lookup(
+      const GlobalMemoKey& key) const;
+
+  /// Insert-or-improve: record `solution` for `key` when the key is new
+  /// (capacity permitting) or when the cost beats the stored entry.
+  /// At capacity, improvements to already-present keys still land —
+  /// only brand-new keys are dropped.  Never sets completeness.
+  void publish(const GlobalMemoKey& key, const PortableSolution& solution);
+
+  /// Flip the completeness bit on every present entry of `keys` — the
+  /// engine calls this with all keys its run touched, once the run has
+  /// provably drained (see the protocol above).  Absent keys (capacity
+  /// drops) are skipped.
+  void mark_complete(
+      std::span<const std::shared_ptr<const GlobalMemoKey>> keys);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t probes() const;
+  [[nodiscard]] std::uint64_t publishes() const;
+
+ private:
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const GlobalMemoKey& key) const;
+  };
+  struct Entry {
+    PortableSolution solution;
+    bool complete = false;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::optional<MemoFingerprint> fingerprint_;
+  std::unordered_map<GlobalMemoKey, Entry, KeyHash> map_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t probes_ = 0;
+  std::uint64_t publishes_ = 0;
+};
+
+}  // namespace brel

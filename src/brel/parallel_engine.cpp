@@ -26,9 +26,15 @@ namespace {
 /// safe to hand across threads (see bdd_transfer.hpp).  The push-time
 /// best-first candidate and the cache ancestor chain do not travel — the
 /// thief re-seeds the priority and starts a fresh chain in its own cache.
+/// The global-memo key chain DOES travel: keys are manager-independent
+/// immutable values, and dropping the chain would detach the stolen
+/// subtree's discoveries from its ancestors' memo entries (a warm
+/// re-solve at the root would then return a worse cost than the run
+/// that warmed it whenever the best solution was found in stolen work).
 struct InjectedSubproblem {
   SerializedBdd chi;
   std::size_t depth = 0;
+  std::vector<std::shared_ptr<const GlobalMemoKey>> memo_chain;
 };
 
 /// The only cross-worker state (see the ownership rules in the header).
@@ -77,6 +83,10 @@ struct WorkerOutcome {
   MultiFunction best;
   double best_cost = std::numeric_limits<double>::infinity();
   SolverStats stats;
+  /// Memo keys this worker's expansions created (plain data).  Whether
+  /// the fleet drained naturally is only known after join, so the
+  /// coordinator — not the worker — flips the completeness bits.
+  std::vector<std::shared_ptr<const GlobalMemoKey>> memo_touched;
 };
 
 /// Serve pending steal requests from this worker's surplus: donate
@@ -91,9 +101,10 @@ void donate_work(SharedState& shared, Frontier& frontier, BddManager& mgr) {
   const std::scoped_lock lock(shared.mutex);
   while (shared.steal_requests.load() > shared.queue.size() &&
          frontier.size() > 1) {
-    const Subproblem victim = frontier.steal();
+    Subproblem victim = frontier.steal();
     shared.queue.push_back(InjectedSubproblem{
-        mgr.serialize_bdd(victim.rel.characteristic()), victim.depth});
+        mgr.serialize_bdd(victim.rel.characteristic()), victim.depth,
+        std::move(victim.memo_chain)});
     shared.steals.fetch_add(1);
     shared.work_ready.notify_one();
   }
@@ -123,6 +134,7 @@ bool acquire_injected(SearchContext& ctx, SharedState& shared,
       if (ctx.timed_out()) {  // waiting workers also watch the deadline
         shared.stop.store(true);
         shared.budget_exhausted.store(true);
+        ctx.stats.budget_exhausted = true;
         shared.work_ready.notify_all();
         break;
       }
@@ -150,6 +162,13 @@ bool acquire_injected(SearchContext& ctx, SharedState& shared,
     (void)ctx.cache->seen_before_or_insert(sub.rel.characteristic());
     sub.ancestors.push_back(sub.rel.characteristic().raw_edge());
   }
+  // The global-memo chain travels with the work (it is plain data and
+  // already ends with this node's own key): the stolen subtree keeps
+  // publishing for its true ancestors, root included.  No probe here —
+  // the victim already published this child's quick solution when it
+  // generated the node, so a probe would "hit" our own fleet's pending
+  // work and silently drop the stolen subtree.
+  sub.memo_chain = std::move(item.memo_chain);
   seed_priority(ctx, sub, frontier);
   frontier.push_root(std::move(sub));  // stolen work is never dropped
   return true;
@@ -181,7 +200,18 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
     // Worker-private (keyed by this manager's edges; see the ctor check).
     cache = std::make_unique<SubproblemCache>(
         options.subproblem_cache_capacity);
+    cache->bind(make_cache_fingerprint(root, options, ctx.cost));
     ctx.cache = cache.get();
+  }
+  std::optional<MemoSpace> memo_space;
+  if (options.global_memo != nullptr) {
+    // The memo itself is shared (thread-safe, plain-data entries); the
+    // rank tables are per-worker because they reference this worker's
+    // manager variables.  All workers mirror the coordinator's variable
+    // layout, so every worker produces identical canonical keys.
+    memo_space.emplace(make_memo_space(root));
+    ctx.memo = options.global_memo.get();
+    ctx.memo_space = &*memo_space;
   }
   const std::unique_ptr<Frontier> frontier =
       make_frontier(options.order, options.fifo_capacity);
@@ -198,12 +228,25 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
       (void)ctx.cache->seen_before_or_insert(root.characteristic());
       root_item.ancestors.push_back(root.characteristic().raw_edge());
     }
+    if (ctx.memo_active(0)) {
+      // The coordinator already probed the memo before spawning the
+      // fleet (a root hit never starts threads), so worker 0 only seeds
+      // the publish chain here.
+      root_item.memo_chain.push_back(std::make_shared<const GlobalMemoKey>(
+          make_memo_key(*ctx.memo_space, root.characteristic())));
+      ctx.memo_touched.push_back(root_item.memo_chain.back());
+    }
     MultiFunction quick = quick_solve(root, options.minimizer);
     ++ctx.stats.quick_solutions;
     ++ctx.stats.solutions_seen;
     const double quick_cost = ctx.cost(quick);
     if (ctx.cache != nullptr) {
       ctx.cache->improve(root_item.ancestors, quick, quick_cost);
+    }
+    if (ctx.memo != nullptr && !root_item.memo_chain.empty()) {
+      ctx.memo->publish(*root_item.memo_chain.front(),
+                        make_portable_solution(*ctx.memo_space, quick,
+                                               quick_cost));
     }
     ctx.best_cost = quick_cost;
     ctx.best = std::move(quick);
@@ -217,6 +260,7 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
     }
     if (ctx.timed_out()) {
       shared.budget_exhausted.store(true);
+      ctx.stats.budget_exhausted = true;
       shared.halt();
       break;
     }
@@ -234,6 +278,7 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
       if (ticket >= options.max_relations) {
         shared.explored.fetch_sub(1);
         shared.budget_exhausted.store(true);
+        ctx.stats.budget_exhausted = true;
         shared.halt();
         break;
       }
@@ -254,6 +299,7 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
   out.best = std::move(ctx.best);
   out.best_cost = ctx.best_cost;
   out.stats = ctx.stats;
+  out.memo_touched = std::move(ctx.memo_touched);
 }
 
 /// Counter-wise sum of two stats records (the flags merge by OR).
@@ -266,6 +312,7 @@ void accumulate_stats(SolverStats& into, const SolverStats& from) {
   into.pruned_by_cost += from.pruned_by_cost;
   into.pruned_by_symmetry += from.pruned_by_symmetry;
   into.pruned_by_cache += from.pruned_by_cache;
+  into.memo_hits += from.memo_hits;
   into.fifo_overflow += from.fifo_overflow;
   into.depth_limited += from.depth_limited;
   into.solutions_seen += from.solutions_seen;
@@ -296,12 +343,42 @@ ParallelEngine::ParallelEngine(const BooleanRelation& root,
         "manager's edges and cannot serve per-worker managers; use "
         "use_subproblem_cache for worker-private caches instead");
   }
+  if (options_.global_memo != nullptr) {
+    // The manager-independent memo CAN serve per-worker managers; fail
+    // fast on a comparability mismatch before any thread starts.
+    options_.global_memo->bind(MemoFingerprint{
+        (options_.cost ? options_.cost : sum_of_bdd_sizes()).id(),
+        options_.exact});
+  }
 }
 
 SolveResult ParallelEngine::run() {
   const auto start = std::chrono::steady_clock::now();
   BddManager& root_mgr = root_.manager();
   const std::size_t count = workers_;
+
+  // Warm-memo fast path: probe the cross-solve memo with the root's
+  // canonical key before paying for managers and threads.  A hit is the
+  // memoized best of an identical earlier solve — return it directly.
+  if (options_.global_memo != nullptr) {
+    const MemoSpace space = make_memo_space(root_);
+    const GlobalMemoKey root_key =
+        make_memo_key(space, root_.characteristic());
+    if (const std::optional<PortableSolution> entry =
+            options_.global_memo->lookup(root_key)) {
+      SolveResult result;
+      result.function = import_portable_solution(root_mgr, space, *entry);
+      result.cost = entry->cost;
+      result.stats.memo_hits = 1;
+      result.stats.solutions_seen = 1;
+      result.stats.workers = count;
+      result.stats.runtime_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      return result;
+    }
+  }
 
   // Per-worker substrate, prepared on the coordinating thread: a private
   // manager with the same variable order, and the root relation imported
@@ -386,6 +463,27 @@ SolveResult ParallelEngine::run() {
   result.stats.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  // Completeness marking, mirroring SearchEngine::run (the per-worker
+  // key lists only become safe to publish once the fleet-wide outcome
+  // is known): a natural drain always marks the root; interior keys
+  // only when no subtree anywhere in the fleet was truncated by the
+  // cost bound or the depth cap (both make interior entries
+  // non-subtree-final — see the comment there).
+  if (options_.global_memo != nullptr && !result.stats.budget_exhausted &&
+      result.stats.fifo_overflow == 0) {
+    if (result.stats.pruned_by_cost == 0 &&
+        result.stats.depth_limited == 0) {
+      for (const WorkerOutcome& outcome : outcomes) {
+        options_.global_memo->mark_complete(outcome.memo_touched);
+      }
+    } else {
+      const MemoSpace space = make_memo_space(root_);
+      const auto root_key = std::make_shared<const GlobalMemoKey>(
+          make_memo_key(space, root_.characteristic()));
+      options_.global_memo->mark_complete({&root_key, 1});
+    }
+  }
 
   // Transfer the winning solution back into the caller's manager.
   const WorkerOutcome& best = outcomes[winner];

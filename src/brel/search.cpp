@@ -66,15 +66,61 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child,
     if (prior.has_value() && prior->has_solution()) {
       ++ctx.stats.pruned_by_cache;
       ++ctx.stats.solutions_seen;
+      // The memo (if any) must see this solution for the ancestors too —
+      // the branch is pruned, so nothing below will publish for them.
+      ctx.publish_to_memo(parent.memo_chain, prior->best, prior->cost);
       ctx.offer_solution(prior->best, prior->cost);
       return;
     }
   }
 
-  Subproblem sub{std::move(child), parent.depth + 1};
+  // Global-memo probe: the manager-independent analogue of the block
+  // above, recognizing subtrees first explored by *other* managers
+  // (pool workers, earlier solves).  A hit imports the memoized best
+  // into our manager and prunes the branch — the same Property 5.1
+  // argument, and like the local cache every published entry carries at
+  // least its quick solution (record_solution below), so a hit is never
+  // worse than the safety net.  In-tree self-hits are impossible
+  // (Property 5.4 again: the key is a faithful image of the
+  // characteristic), so a cold solve is unaffected by an empty memo.
+  const std::size_t child_depth = parent.depth + 1;
+  std::shared_ptr<const GlobalMemoKey> memo_key;
+  if (ctx.memo_active(child_depth)) {
+    memo_key = std::make_shared<const GlobalMemoKey>(
+        make_memo_key(*ctx.memo_space, child.characteristic()));
+    ctx.memo_touched.push_back(memo_key);
+    // lookup() only surfaces COMPLETE entries (subtrees some run of this
+    // configuration explored to its natural end), so a truncated run's
+    // partial publishes can never prune us.
+    if (const std::optional<PortableSolution> entry =
+            ctx.memo->lookup(*memo_key)) {
+      ++ctx.stats.memo_hits;
+      ++ctx.stats.solutions_seen;
+      // Propagate the hit up the chain: the pruned branch's ancestors
+      // (this run's root included) must memoize at least this well.
+      for (const std::shared_ptr<const GlobalMemoKey>& key :
+           parent.memo_chain) {
+        ctx.memo->publish(*key, *entry);
+      }
+      ctx.offer_solution(
+          import_portable_solution(ctx.mgr, *ctx.memo_space, *entry),
+          entry->cost);
+      return;
+    }
+  }
+
+  Subproblem sub{std::move(child), child_depth};
   if (ctx.cache != nullptr) {
     sub.ancestors = parent.ancestors;
     sub.ancestors.push_back(sub.rel.characteristic().raw_edge());
+  }
+  if (ctx.memo != nullptr) {
+    // Deeper-than-gate children still inherit the chain: a solution found
+    // below the gate must memoize to its shallow ancestors.
+    sub.memo_chain = parent.memo_chain;
+    if (memo_key != nullptr) {
+      sub.memo_chain.push_back(std::move(memo_key));
+    }
   }
 
   // Sec. 7.6: every generated subrelation is quick-solved immediately, so
@@ -84,7 +130,7 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child,
   ++ctx.stats.quick_solutions;
   ++ctx.stats.solutions_seen;
   const double qc = ctx.cost(q);
-  ctx.record_solution(sub.ancestors, std::move(q), qc);
+  ctx.record_solution(sub, std::move(q), qc);
 
   seed_priority(ctx, sub, frontier);
   if (!frontier.try_push(std::move(sub))) {
@@ -125,12 +171,33 @@ void SearchContext::offer_solution(MultiFunction f) {
   offer_solution(std::move(f), solution_cost);
 }
 
-void SearchContext::record_solution(std::span<const detail::Edge> chain,
-                                    MultiFunction f, double solution_cost) {
-  if (cache != nullptr) {
-    cache->improve(chain, f, solution_cost);
+void SearchContext::publish_to_memo(
+    std::span<const std::shared_ptr<const GlobalMemoKey>> chain,
+    const MultiFunction& f, double solution_cost) {
+  if (memo == nullptr || chain.empty()) {
+    return;
   }
+  const PortableSolution portable =
+      make_portable_solution(*memo_space, f, solution_cost);
+  for (const std::shared_ptr<const GlobalMemoKey>& key : chain) {
+    memo->publish(*key, portable);
+  }
+}
+
+void SearchContext::record_solution(const Subproblem& from, MultiFunction f,
+                                    double solution_cost) {
+  if (cache != nullptr) {
+    cache->improve(from.ancestors, f, solution_cost);
+  }
+  publish_to_memo(from.memo_chain, f, solution_cost);
   offer_solution(std::move(f), solution_cost);
+}
+
+CacheFingerprint make_cache_fingerprint(const BooleanRelation& root,
+                                        const SolverOptions& options,
+                                        const CostFunction& resolved_cost) {
+  return CacheFingerprint{resolved_cost.id(), options.exact, root.inputs(),
+                          root.outputs()};
 }
 
 MultiFunction minimize_misf_candidate(SearchContext& ctx,
@@ -154,7 +221,7 @@ void handle_terminal(SearchContext& ctx, const Subproblem& item) {
   const double c =
       item.candidate.has_value() ? item.candidate_cost : ctx.cost(f);
   ctx.bound_cost = std::min(ctx.bound_cost, c);
-  ctx.record_solution(item.ancestors, std::move(f), c);
+  ctx.record_solution(item, std::move(f), c);
 }
 
 std::optional<SplitChoice> select_flexibility_split(
@@ -233,8 +300,7 @@ void expand_subproblem(SearchContext& ctx, Subproblem item,
     // again, so it moves into the incumbent/memo.
     ++ctx.stats.solutions_seen;
     ctx.bound_cost = std::min(ctx.bound_cost, candidate_cost);
-    ctx.record_solution(item.ancestors, std::move(candidate),
-                        candidate_cost);
+    ctx.record_solution(item, std::move(candidate), candidate_cost);
     if (!ctx.options.exact) {
       return;
     }
@@ -293,7 +359,19 @@ SearchEngine::SearchEngine(const BooleanRelation& root,
     cache_ =
         std::make_shared<SubproblemCache>(options_.subproblem_cache_capacity);
   }
-  ctx_.cache = cache_.get();
+  if (cache_ != nullptr) {
+    // Enforce the comparability contract before the first probe: a cache
+    // warmed under a different objective/mode/space must not prune us.
+    cache_->bind(make_cache_fingerprint(root_, options_, ctx_.cost));
+    ctx_.cache = cache_.get();
+  }
+  if (options_.global_memo != nullptr) {
+    memo_ = options_.global_memo;
+    memo_->bind(MemoFingerprint{ctx_.cost.id(), options_.exact});
+    memo_space_.emplace(make_memo_space(root_));
+    ctx_.memo = memo_.get();
+    ctx_.memo_space = &*memo_space_;
+  }
 }
 
 SolveResult SearchEngine::run() {
@@ -312,6 +390,33 @@ SolveResult SearchEngine::run() {
     (void)ctx_.cache->seen_before_or_insert(root_.characteristic());
     root_item.ancestors.push_back(root_.characteristic().raw_edge());
   }
+  if (ctx_.memo_active(0)) {
+    // Root probe of the cross-solve memo: a warm re-solve of an
+    // identical relation (same canonical serialized form and spaces)
+    // returns the memoized best immediately — first-run quality at zero
+    // exploration.  On a miss the root key seeds every descendant's
+    // publish chain, so by the end of this run the memo's root entry
+    // equals the returned incumbent.
+    auto root_key = std::make_shared<const GlobalMemoKey>(
+        make_memo_key(*ctx_.memo_space, root_.characteristic()));
+    ctx_.memo_touched.push_back(root_key);
+    if (const std::optional<PortableSolution> entry =
+            ctx_.memo->lookup(*root_key)) {
+      ++ctx_.stats.memo_hits;
+      ++ctx_.stats.solutions_seen;
+      SolveResult result;
+      result.function =
+          import_portable_solution(ctx_.mgr, *ctx_.memo_space, *entry);
+      result.cost = entry->cost;
+      ctx_.stats.runtime_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        ctx_.start)
+              .count();
+      result.stats = ctx_.stats;
+      return result;
+    }
+    root_item.memo_chain.push_back(std::move(root_key));
+  }
 
   // The root quick solution seeds the incumbent UNCONDITIONALLY: even a
   // cost function that maps it to +inf (or NaN) must leave a compatible
@@ -322,6 +427,11 @@ SolveResult SearchEngine::run() {
   const double quick_cost = ctx_.cost(quick);
   if (ctx_.cache != nullptr) {
     ctx_.cache->improve(root_item.ancestors, quick, quick_cost);
+  }
+  if (ctx_.memo != nullptr && !root_item.memo_chain.empty()) {
+    ctx_.memo->publish(*root_item.memo_chain.front(),
+                       make_portable_solution(*ctx_.memo_space, quick,
+                                              quick_cost));
   }
   ctx_.best_cost = quick_cost;
   ctx_.best = std::move(quick);
@@ -341,6 +451,27 @@ SolveResult SearchEngine::run() {
     }
     ctx_.mgr.garbage_collect_if_needed();
     expand_subproblem(ctx_, frontier_->pop(), *frontier_);
+  }
+
+  // Completeness marking (see global_memo.hpp).  An interrupted run
+  // (budget/timeout stop, frontier-overflow drops) marks nothing — a
+  // later identical solve must re-explore rather than inherit the
+  // degraded result forever.  A natural drain always marks the ROOT:
+  // its entry is exactly what this solve returned, so serving it warm
+  // is faithful by construction.  Interior keys are only marked when
+  // the run truncated no subtree at all (no line-6 cost-bound prunes,
+  // no depth-cap cuts): a bound-pruned subtree holds only its quick
+  // memo, and a depth cap is *root-relative* — the same subrelation
+  // solved as its own root would explore deeper — so such entries are
+  // not subtree-final even under this exact configuration.
+  if (ctx_.memo != nullptr && !ctx_.stats.budget_exhausted &&
+      ctx_.stats.fifo_overflow == 0 && !ctx_.memo_touched.empty()) {
+    if (ctx_.stats.pruned_by_cost == 0 && ctx_.stats.depth_limited == 0) {
+      ctx_.memo->mark_complete(ctx_.memo_touched);
+    } else {
+      // memo_touched.front() is the root key (pushed before any child).
+      ctx_.memo->mark_complete({&ctx_.memo_touched.front(), 1});
+    }
   }
 
   ctx_.stats.runtime_seconds =

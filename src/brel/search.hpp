@@ -64,18 +64,56 @@ struct SearchContext {
   /// null when disabled.
   SubproblemCache* cache = nullptr;
 
+  /// Cross-solve memo (SolverOptions::global_memo); null when disabled.
+  /// `memo_space` carries the rank tables of the current root relation
+  /// and is non-null whenever `memo` is.
+  GlobalMemo* memo = nullptr;
+  const MemoSpace* memo_space = nullptr;
+
+  /// Every memo key this run created (root + generated children within
+  /// the depth gate).  A run that ends at its natural frontier drain —
+  /// no budget/timeout stop, no frontier-overflow drops — passes the
+  /// list to GlobalMemo::mark_complete, publishing its subtree results
+  /// for future probes; an interrupted run leaves them invisible (see
+  /// the completeness protocol in global_memo.hpp).
+  std::vector<std::shared_ptr<const GlobalMemoKey>> memo_touched = {};
+
   [[nodiscard]] bool timed_out() const;
+
+  /// Whether global-memo traffic is enabled for a node at `depth`.
+  [[nodiscard]] bool memo_active(std::size_t depth) const noexcept {
+    return memo != nullptr && depth <= options.global_memo_depth;
+  }
 
   /// Offer a compatible solution to the incumbent (does not touch the
   /// bound).  The one-argument form evaluates the cost function itself.
   void offer_solution(MultiFunction f, double solution_cost);
   void offer_solution(MultiFunction f);
 
-  /// Offer a solution AND memoize it in the subproblem cache for every
-  /// subrelation on `chain` (the discovering node's ancestor chain).
-  void record_solution(std::span<const detail::Edge> chain, MultiFunction f,
+  /// Offer a solution AND memoize it for every subrelation on the
+  /// discovering node's ancestor chains — the edge chain feeds the
+  /// manager-local subproblem cache, the serialized-key chain feeds the
+  /// global memo (Property 5.1 justifies both attributions).
+  void record_solution(const Subproblem& from, MultiFunction f,
                        double solution_cost);
+
+  /// Publish `f` to the global memo for every key on `chain` (no-op
+  /// when the memo is off or the chain is empty).  Used by
+  /// record_solution and by the prune paths that offer a cached/memoized
+  /// solution: the offer is valid for the whole ancestor chain, so the
+  /// ancestors' memo entries must see it too — otherwise a warm re-solve
+  /// at the root could return a worse cost than the run that warmed it.
+  void publish_to_memo(
+      std::span<const std::shared_ptr<const GlobalMemoKey>> chain,
+      const MultiFunction& f, double solution_cost);
 };
+
+/// The comparability stamp the engines bind their caches with (see
+/// CacheFingerprint): the resolved cost identity, the exploration mode,
+/// and the root's variable spaces.
+[[nodiscard]] CacheFingerprint make_cache_fingerprint(
+    const BooleanRelation& root, const SolverOptions& options,
+    const CostFunction& resolved_cost);
 
 /// A split decision: the input vertex and the output to split on.
 struct SplitChoice {
@@ -143,6 +181,8 @@ class SearchEngine {
   const BooleanRelation root_;
   const SolverOptions options_;
   std::shared_ptr<SubproblemCache> cache_;  ///< keeps a shared cache alive
+  std::shared_ptr<GlobalMemo> memo_;        ///< keeps a shared memo alive
+  std::optional<MemoSpace> memo_space_;     ///< rank tables for this root
   SearchContext ctx_;
   std::unique_ptr<Frontier> frontier_;
 };

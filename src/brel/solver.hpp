@@ -23,6 +23,7 @@
 
 #include "brel/cost.hpp"
 #include "brel/frontier.hpp"
+#include "brel/global_memo.hpp"
 #include "brel/isf_minimizer.hpp"
 #include "brel/quick_solver.hpp"
 #include "brel/subproblem_cache.hpp"
@@ -118,6 +119,24 @@ struct SolverOptions {
   /// in the same BddManager.
   std::shared_ptr<SubproblemCache> subproblem_cache;
 
+  /// Cross-solve memo keyed by the canonical *serialized* subproblem form
+  /// (global_memo.hpp) — unlike `subproblem_cache` it is manager-
+  /// independent, so it can be shared between solves in different
+  /// managers (parallel workers, pool worker slots) and across process
+  /// lifetimes of any one manager.  Hits import the memoized solution
+  /// into the prober's manager instead of re-exploring; every discovered
+  /// solution is published for its whole ancestor chain.  The memo is
+  /// stamped with the cost/mode fingerprint at first use and rejects
+  /// mismatched reuse.  Null disables the memo.
+  std::shared_ptr<GlobalMemo> global_memo;
+
+  /// Probe/publish the global memo only for nodes at split depth <= this
+  /// bound.  Memo traffic costs one BDD serialization per child (the
+  /// price of manager independence), which is wasted on deep, tiny
+  /// subproblems; near the root the subtrees are large and re-encounters
+  /// across solves are most valuable.  Unlimited by default.
+  std::size_t global_memo_depth = static_cast<std::size_t>(-1);
+
   /// Wall-clock budget; zero means unlimited.
   std::chrono::milliseconds timeout{0};
 
@@ -135,6 +154,7 @@ struct SolverStats {
   std::size_t pruned_by_cost = 0;      ///< line-6 bound rejections
   std::size_t pruned_by_symmetry = 0;  ///< symmetric subrelations skipped
   std::size_t pruned_by_cache = 0;     ///< duplicate subrelations deduped
+  std::size_t memo_hits = 0;           ///< subtrees served by the global memo
   std::size_t fifo_overflow = 0;       ///< children dropped (frontier full)
   std::size_t depth_limited = 0;       ///< splits suppressed by max_depth
   std::size_t solutions_seen = 0;      ///< compatible functions encountered

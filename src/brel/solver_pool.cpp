@@ -1,0 +1,200 @@
+#include "brel/solver_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "brel/parallel_engine.hpp"  // resolve_worker_count
+#include "brel/search.hpp"
+#include "relation/relation_io.hpp"
+
+namespace brel {
+
+namespace {
+
+struct Job {
+  std::string text;
+  std::promise<PoolResult> promise;
+};
+
+}  // namespace
+
+MultiFunction import_pool_solution(BddManager& mgr, const BooleanRelation& r,
+                                   const PoolResult& result) {
+  return import_portable_solution(mgr, make_memo_space(r), result.solution);
+}
+
+struct SolverPool::Impl {
+  explicit Impl(PoolOptions options)
+      : options(std::move(options)),
+        workers(resolve_worker_count(this->options.workers)) {
+    // Normalize the per-request engine configuration once: requests run
+    // the serial engine (the pool's parallelism is across requests), a
+    // raw-edge cache cannot be shared across slot managers, and the
+    // pool's own memo is the cross-request channel.
+    this->options.solver.num_workers = 1;
+    this->options.solver.subproblem_cache = nullptr;
+    // A caller-provided memo is always adopted (sharing warm state
+    // across pools); share_memo only controls whether the pool creates
+    // its own when none was given.  bind fails fast on a fingerprint
+    // clash (e.g. a memo that served a different objective).
+    memo = this->options.solver.global_memo;
+    if (memo == nullptr && this->options.share_memo) {
+      memo = std::make_shared<GlobalMemo>(this->options.memo_capacity);
+    }
+    if (memo != nullptr) {
+      memo->bind(MemoFingerprint{
+          (this->options.solver.cost ? this->options.solver.cost
+                                     : sum_of_bdd_sizes())
+              .id(),
+          this->options.solver.exact});
+    }
+    this->options.solver.global_memo = memo;
+
+    threads.reserve(workers);
+    try {
+      for (std::size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([this, w] { worker_loop(w); });
+      }
+    } catch (...) {
+      shutdown();  // join whoever already started before rethrowing
+      throw;
+    }
+  }
+
+  void worker_loop(std::size_t id) {
+    // The slot's persistent substrate: one manager and one subproblem
+    // cache, owned by this thread for the pool's whole lifetime.
+    BddManager mgr{0};
+    mgr.bind_to_current_thread();
+    std::shared_ptr<SubproblemCache> slot_cache;
+    if (options.reuse_subproblem_cache) {
+      slot_cache = std::make_shared<SubproblemCache>(
+          options.solver.subproblem_cache_capacity);
+    }
+
+    while (true) {
+      Job job;
+      {
+        std::unique_lock lock(mutex);
+        queue_ready.wait(lock, [this] { return stop || !queue.empty(); });
+        if (queue.empty()) {
+          return;  // stop && drained
+        }
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      // Counted before the promise resolves, so a caller that joined
+      // every future observes the full tally.
+      served.fetch_add(1);
+      try {
+        // Each request gets a fresh variable block in the persistent
+        // manager; its handles die with this scope, so the slot GC can
+        // reclaim the request's nodes afterwards.
+        BooleanRelation r = read_relation(mgr, job.text);
+        if (options.totalize) {
+          r = r.totalized();
+        }
+        SolverOptions solve_options = options.solver;
+        if (slot_cache != nullptr) {
+          // Fresh variable block => old raw-edge keys can never be
+          // re-encountered; recycle the slot cache for this request's
+          // fingerprint (same cost/mode, new spaces => clears).
+          slot_cache->rebind_or_clear(make_cache_fingerprint(
+              r, solve_options,
+              solve_options.cost ? solve_options.cost
+                                 : sum_of_bdd_sizes()));
+          solve_options.subproblem_cache = slot_cache;
+        }
+        SolveResult solved = SearchEngine(r, solve_options).run();
+        PoolResult out;
+        out.solution = make_portable_solution(make_memo_space(r),
+                                              solved.function, solved.cost);
+        out.cost = solved.cost;
+        out.stats = solved.stats;
+        out.worker_id = id;
+        job.promise.set_value(std::move(out));
+      } catch (...) {
+        job.promise.set_exception(std::current_exception());
+      }
+      mgr.garbage_collect_if_needed();
+    }
+  }
+
+  std::future<PoolResult> enqueue(std::string text) {
+    Job job;
+    job.text = std::move(text);
+    std::future<PoolResult> future = job.promise.get_future();
+    {
+      const std::scoped_lock lock(mutex);
+      if (stop) {
+        throw std::runtime_error("SolverPool: submit after shutdown");
+      }
+      queue.push_back(std::move(job));
+    }
+    queue_ready.notify_one();
+    return future;
+  }
+
+  void shutdown() {
+    {
+      const std::scoped_lock lock(mutex);
+      if (stop) {
+        return;
+      }
+      stop = true;
+    }
+    queue_ready.notify_all();
+    for (std::thread& t : threads) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+  }
+
+  PoolOptions options;
+  std::size_t workers;
+  std::shared_ptr<GlobalMemo> memo;
+
+  std::mutex mutex;
+  std::condition_variable queue_ready;
+  std::deque<Job> queue;
+  bool stop = false;
+  std::atomic<std::uint64_t> served{0};
+
+  std::vector<std::thread> threads;
+};
+
+SolverPool::SolverPool(PoolOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+SolverPool::~SolverPool() { impl_->shutdown(); }
+
+std::future<PoolResult> SolverPool::submit(std::string relation_text) {
+  return impl_->enqueue(std::move(relation_text));
+}
+
+std::future<PoolResult> SolverPool::submit(const BooleanRelation& r) {
+  return impl_->enqueue(write_relation_bdd(r));
+}
+
+void SolverPool::shutdown() { impl_->shutdown(); }
+
+std::size_t SolverPool::worker_count() const noexcept {
+  return impl_->workers;
+}
+
+const std::shared_ptr<GlobalMemo>& SolverPool::memo() const noexcept {
+  return impl_->memo;
+}
+
+std::uint64_t SolverPool::requests_served() const {
+  return impl_->served.load();
+}
+
+}  // namespace brel

@@ -1,0 +1,153 @@
+#pragma once
+/// \file solver_pool.hpp
+/// The solver-pool service layer: N long-lived worker slots serving a
+/// queue of independent Boolean-relation solve requests.
+///
+/// `ParallelEngine` parallelizes one solve across workers;  the pool is
+/// the complementary shape the ROADMAP's service north-star needs — many
+/// concurrent *solves*, each handled serially by one worker, with state
+/// that outlives any single request:
+///
+///   ownership rules (see DESIGN.md §service layer)
+///   -----------------------------------------------
+///   - each worker slot owns a persistent `BddManager` plus a persistent
+///     private `SubproblemCache`, reused across every request the slot
+///     serves; nothing of a slot is ever touched by another thread (the
+///     manager is bound to the worker thread for the pool's lifetime);
+///   - requests enter as *text* (the `.br`/`.bdd` relation formats) and
+///     results leave as `PoolResult` — a manager-independent
+///     `PortableSolution` (rank-mapped serialized BDDs) — so no handle
+///     of a slot manager ever crosses the pool boundary;
+///   - the cross-request state is the shared `GlobalMemo`: keyed by the
+///     canonical serialized subproblem form, it lets any worker, in any
+///     manager, at any variable offset, reuse subtree results first
+///     explored by another worker (or by itself, requests ago).  Hits
+///     import the memoized solution via the transfer layer instead of
+///     re-exploring — a warm re-solve of an identical relation explores
+///     zero nodes.
+///
+/// Manager lifetime across solves: each request parses into the slot
+/// manager at a fresh variable block, and the request's handles die when
+/// the request finishes, so the slot's node store is reclaimed by its
+/// ordinary GC between solves.  Variable *indices* are not reclaimed —
+/// a slot's num_vars grows by the request's width on every request, and
+/// rank-table construction is O(num_vars) — acceptable for the
+/// service's current scale, ROADMAP lists block reuse as the follow-up
+/// for very long-lived pools.  The persistent `SubproblemCache` pins its
+/// keys (manager-local edges); because every request occupies a fresh
+/// variable block, a later request can never re-encounter those raw
+/// edges — the slot therefore `rebind_or_clear`s its cache per request
+/// (dropping the pins), and *cross*-request reuse flows exclusively
+/// through the GlobalMemo, whose entries are plain data and pin nothing.
+///
+/// The per-request engine configuration is fixed at pool construction
+/// (`PoolOptions::solver`) — one objective, one mode — which is exactly
+/// the comparability contract the memo's fingerprint enforces.
+/// `num_workers` inside those options is ignored: each request runs the
+/// serial engine (cross-request throughput is the pool's parallelism).
+///
+/// Concurrency note for shared-memo users: memo probes only surface
+/// COMPLETE entries — subtree results of a run that drained naturally
+/// (global_memo.hpp's completeness protocol), so an interrupted or
+/// in-flight solve can never serve partial results to another request.
+/// Two *concurrent* solves of overlapping relations may still differ by
+/// schedule (whether an overlapping subtree completed in time to be
+/// reused); disable the memo (`share_memo = false`, no caller memo)
+/// when bit-reproducible results are required while submitting
+/// overlapping relations concurrently.
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "brel/global_memo.hpp"
+#include "brel/solver.hpp"
+
+namespace brel {
+
+/// Pool configuration, fixed for the pool's lifetime.
+struct PoolOptions {
+  /// Worker slots (concurrent solves).  0 = one per hardware thread.
+  std::size_t workers = 1;
+
+  /// Engine configuration every request is solved under.  `num_workers`
+  /// and `subproblem_cache` are ignored (see the file comment).  A
+  /// caller-provided `global_memo` is always adopted as the pool memo
+  /// (sharing warm state across pools).
+  SolverOptions solver;
+
+  /// When no memo was provided via `solver.global_memo`, create a
+  /// pool-private cross-solve GlobalMemo (the warm-re-solve path);
+  /// false leaves the pool memo-less.
+  bool share_memo = true;
+
+  /// Entry bound of the pool memo (entries are plain data; this caps
+  /// memory, not pinned BDD nodes).
+  std::size_t memo_capacity = static_cast<std::size_t>(-1);
+
+  /// Keep a persistent per-slot SubproblemCache, recycled across
+  /// requests with rebind_or_clear (an in-run invariant guard; see the
+  /// file comment for why cross-request hits cannot occur).
+  bool reuse_subproblem_cache = true;
+
+  /// Totalize partial request relations (allow every output on inputs
+  /// with an empty image) instead of failing them with
+  /// std::invalid_argument.  Note the memo key is the *totalized*
+  /// characteristic, so the same partial relation keys consistently.
+  bool totalize = false;
+};
+
+/// Outcome of one pool request: the solution in manager-independent form
+/// plus the solve statistics.  `import_pool_solution` materializes the
+/// function in a caller-owned manager.
+struct PoolResult {
+  PortableSolution solution;  ///< outputs over input *ranks*
+  double cost = 0.0;          ///< == solution.cost
+  SolverStats stats;
+  std::size_t worker_id = 0;  ///< slot that served the request
+};
+
+/// Materialize `result`'s solution in `mgr` for relation `r` (the same
+/// relation the request was built from, parsed into the caller's
+/// manager).  The inverse of the pool's rank mapping.
+[[nodiscard]] MultiFunction import_pool_solution(BddManager& mgr,
+                                                 const BooleanRelation& r,
+                                                 const PoolResult& result);
+
+/// The pool.  submit() is thread-safe; futures resolve as workers finish
+/// (exceptions — parse errors, ill-defined relations, fingerprint
+/// mismatches — propagate through the future).  Destruction drains the
+/// queue and joins the workers.
+class SolverPool {
+ public:
+  explicit SolverPool(PoolOptions options = {});
+  ~SolverPool();
+
+  SolverPool(const SolverPool&) = delete;
+  SolverPool& operator=(const SolverPool&) = delete;
+
+  /// Enqueue a relation in the `.br`/`.bdd` text formats.
+  [[nodiscard]] std::future<PoolResult> submit(std::string relation_text);
+
+  /// Convenience: serialize `r` (compact `.bdd` form, on the calling
+  /// thread, touching only r's manager) and enqueue it.
+  [[nodiscard]] std::future<PoolResult> submit(const BooleanRelation& r);
+
+  /// Stop accepting work, finish everything queued, join the workers.
+  /// Idempotent; later submits throw std::runtime_error.
+  void shutdown();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept;
+  /// The pool-wide cross-solve memo (null when share_memo is off).
+  [[nodiscard]] const std::shared_ptr<GlobalMemo>& memo() const noexcept;
+  /// Requests fully served (successfully or exceptionally) so far.
+  [[nodiscard]] std::uint64_t requests_served() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace brel

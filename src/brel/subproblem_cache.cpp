@@ -1,9 +1,47 @@
 #include "brel/subproblem_cache.hpp"
 
+#include <stdexcept>
+
 namespace brel {
 
 SubproblemCache::SubproblemCache(std::size_t capacity)
     : capacity_(capacity) {}
+
+void SubproblemCache::bind(const CacheFingerprint& fp) {
+  const std::scoped_lock lock(mutex_);
+  if (!fingerprint_.has_value()) {
+    fingerprint_ = fp;
+    return;
+  }
+  if (*fingerprint_ != fp) {
+    throw std::invalid_argument(
+        "SubproblemCache: cache was stamped for cost '" +
+        fingerprint_->cost_id + "' (exact=" +
+        (fingerprint_->exact ? "1" : "0") +
+        ") and cannot serve a run with cost '" + fp.cost_id +
+        "' or different spaces/mode — memoized solutions are only "
+        "comparable under the configuration that produced them (reusing "
+        "them would prune with the wrong objective); use a fresh cache "
+        "or rebind_or_clear()");
+  }
+}
+
+void SubproblemCache::rebind_or_clear(const CacheFingerprint& fp) {
+  const std::scoped_lock lock(mutex_);
+  if (fingerprint_.has_value() && *fingerprint_ == fp) {
+    return;
+  }
+  cache_.clear();
+  keep_alive_.clear();
+  fingerprint_ = fp;
+}
+
+void SubproblemCache::clear() {
+  const std::scoped_lock lock(mutex_);
+  cache_.clear();
+  keep_alive_.clear();
+  fingerprint_.reset();
+}
 
 std::optional<CachedSolution> SubproblemCache::seen_before_or_insert(
     const Bdd& chi) {

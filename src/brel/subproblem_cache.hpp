@@ -41,7 +41,19 @@
 /// Cached edges are pinned by `Bdd` handles so garbage collection cannot
 /// recycle them (a recycled edge would alias a different function and turn
 /// the dedup into wrong pruning).  The capacity bound caps that pinning;
-/// once full the cache keeps probing but stops inserting.
+/// once full the cache keeps probing but stops inserting — improve() on
+/// entries that are already present still lands, so a better solution
+/// discovered late always updates its memo even at capacity.
+///
+/// The comparability contract above (same cost function, same mode, same
+/// input/output spaces) is ENFORCED, not just documented: the first
+/// engine to use a cache stamps it with a `CacheFingerprint` via bind(),
+/// and a later bind() with a different fingerprint throws — offering a
+/// memo that minimized a different objective (or a solution over
+/// different variables) to the incumbent would be wrong pruning, not a
+/// cache miss.  Long-lived owners that intentionally recycle a cache
+/// across configurations (the solver pool's per-worker caches) call
+/// rebind_or_clear() instead, which drops the stale entries on mismatch.
 ///
 /// Concurrency: the cache's own bookkeeping (map, keep-alive pins,
 /// hit/probe counters) is serialized by an internal mutex, and probes
@@ -62,6 +74,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +82,24 @@
 #include "relation/relation.hpp"
 
 namespace brel {
+
+/// What makes two runs' memoized solutions comparable: the objective
+/// they minimized, the exploration mode (an exact run must not be pruned
+/// by memos of budget-limited runs), and the variable spaces the
+/// solutions are expressed over.  The input/output lists are RAW manager
+/// variable indices on purpose: a cache is keyed by manager-local edges,
+/// and the same edge means the same function only under the same
+/// variable assignment (e.g. the constant-ONE characteristic of two
+/// relations over different blocks is the same edge but needs different
+/// solutions).
+struct CacheFingerprint {
+  std::string cost_id;
+  bool exact = false;
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+
+  [[nodiscard]] bool operator==(const CacheFingerprint&) const = default;
+};
 
 /// Best solution known for one cached subrelation.  `best.outputs` is
 /// empty until the first improve() lands (e.g. a capacity-full insert).
@@ -85,6 +116,22 @@ class SubproblemCache {
  public:
   explicit SubproblemCache(
       std::size_t capacity = static_cast<std::size_t>(-1));
+
+  /// Stamp the cache with the run configuration it is about to serve.
+  /// The first bind() records `fp`; subsequent binds with an equal
+  /// fingerprint are no-ops; a mismatched bind throws
+  /// std::invalid_argument (sharing memos across incomparable runs is
+  /// wrong pruning, see the file comment).  Every engine binds before
+  /// its first probe.
+  void bind(const CacheFingerprint& fp);
+
+  /// Like bind(), but a mismatched fingerprint clears the cache and
+  /// re-stamps instead of throwing — for owners that deliberately
+  /// recycle one cache across configurations (pool worker slots).
+  void rebind_or_clear(const CacheFingerprint& fp);
+
+  /// Drop every entry and pin (fingerprint included); counters survive.
+  void clear();
 
   /// Probe for `chi`.  Returns a snapshot of the existing entry when
   /// `chi` was inserted before; otherwise inserts an empty entry
@@ -123,6 +170,7 @@ class SubproblemCache {
  private:
   std::size_t capacity_;
   mutable std::mutex mutex_;  ///< serializes map, keep-alives and counters
+  std::optional<CacheFingerprint> fingerprint_;  ///< stamped at first bind
   std::unordered_map<detail::Edge, CachedSolution> cache_;
   std::vector<Bdd> keep_alive_;  ///< pins cached edges across GCs
   std::uint64_t hits_ = 0;

@@ -16,6 +16,17 @@ namespace {
                               ": " + message);
 }
 
+/// Sanity ceiling for `.i`/`.o` declarations.  Beyond protecting the
+/// uint32 cast in add_vars from wrapping (a `.i 4294967297` must not
+/// silently allocate one variable), it keeps a hostile header from
+/// driving a giant allocation before any body validation runs.
+constexpr std::size_t kMaxDeclaredVars = std::size_t{1} << 20;
+
+/// Sanity ceiling for `.bdd N` node counts — same spirit: a node list
+/// bigger than this cannot be legitimate input, so fail it up front
+/// instead of looping on the stream.
+constexpr std::size_t kMaxDeclaredNodes = std::size_t{1} << 28;
+
 /// Parse `count` variable ranks for a `.iv` / `.ov` directive.
 std::vector<std::uint32_t> parse_ranks(std::istringstream& tokens,
                                        std::size_t count, std::size_t total,
@@ -79,10 +90,16 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
       if (saw_inputs || !(tokens >> num_inputs) || num_inputs == 0) {
         fail(line_number, "bad or duplicate .i");
       }
+      if (num_inputs > kMaxDeclaredVars) {
+        fail(line_number, ".i declares too many variables");
+      }
       saw_inputs = true;
     } else if (head == ".o") {
       if (saw_outputs || !(tokens >> num_outputs) || num_outputs == 0) {
         fail(line_number, "bad or duplicate .o");
+      }
+      if (num_outputs > kMaxDeclaredVars) {
+        fail(line_number, ".o declares too many variables");
       }
       saw_outputs = true;
     } else if (head == ".iv" || head == ".ov") {
@@ -103,6 +120,9 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
       if (!saw_inputs || !saw_outputs || in_rows ||
           serialized.has_value() || !(tokens >> node_count)) {
         fail(line_number, "bad .bdd (requires .i and .o, no .r body)");
+      }
+      if (node_count > kMaxDeclaredNodes) {
+        fail(line_number, ".bdd declares too many nodes");
       }
       try {
         serialized = read_serialized_bdd(in, node_count);

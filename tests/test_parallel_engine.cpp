@@ -232,6 +232,90 @@ TEST(ParallelEngineTest, TimeoutStopsTheFleetWithACompatibleResult) {
   EXPECT_TRUE(r.is_compatible(result.function));
 }
 
+TEST(ParallelEngineTest, ShortTimeoutTerminatesAnIdleBlockedFleetPromptly) {
+  // Deadline audit (see acquire_injected): a worker blocked on the
+  // injection queue must notice the deadline through the timed-wait
+  // heartbeat, not only between expansions.  With 8 workers on one
+  // small root, most of the fleet spends the whole run blocked waiting
+  // for donations — if only busy workers watched the clock, the blocked
+  // ones would hang until a donation happened to arrive.  The run must
+  // end promptly (heartbeat period is 20ms; allow generous slack for
+  // sanitizer builds), report budget_exhausted consistently in the
+  // merged stats, and still return a compatible function.
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r =
+      make_benchmark_relation(mgr, relation_suite()[2], inputs, outputs);
+  SolverOptions options = deterministic_options(static_cast<std::size_t>(-1));
+  options.timeout = std::chrono::milliseconds(30);  // int3 cannot drain
+  options.num_workers = 8;
+  const auto start = std::chrono::steady_clock::now();
+  const SolveResult result = ParallelEngine(r, options).run();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 10.0) << "fleet did not notice the deadline promptly";
+  EXPECT_TRUE(result.stats.budget_exhausted);
+  EXPECT_TRUE(r.is_compatible(result.function));
+  // At least one worker recorded the exhaustion in its own stats (the
+  // per-worker flag mirrors the serial engine's contract).
+  bool any_worker_flagged = false;
+  for (const SolverStats& w : result.worker_stats) {
+    any_worker_flagged = any_worker_flagged || w.budget_exhausted;
+  }
+  EXPECT_TRUE(any_worker_flagged);
+}
+
+TEST(ParallelEngineTest, FreshGlobalMemoLeavesResultsUntouched) {
+  // Within a single solve the memo cannot self-hit (Property 5.4), so
+  // attaching an empty memo must not change the schedule-independent
+  // result — serial or parallel.
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = make_benchmark_relation(
+      mgr, relation_suite().front(), inputs, outputs);
+  SolverOptions plain = deterministic_options(6);
+  const SolveResult reference = SearchEngine(r, plain).run();
+  for (const std::size_t workers : {1u, 4u}) {
+    SolverOptions with_memo = plain;
+    with_memo.global_memo = std::make_shared<GlobalMemo>();
+    with_memo.num_workers = workers;
+    const SolveResult result = ParallelEngine(r, with_memo).run();
+    EXPECT_EQ(result.stats.memo_hits, 0u) << "in-tree self-hit at "
+                                          << workers << " workers";
+    EXPECT_DOUBLE_EQ(result.cost, reference.cost);
+    EXPECT_EQ(result.stats.relations_explored,
+              reference.stats.relations_explored);
+    EXPECT_TRUE(r.is_compatible(result.function));
+  }
+}
+
+TEST(ParallelEngineTest, WarmGlobalMemoShortCircuitsTheWholeFleet) {
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = make_benchmark_relation(
+      mgr, relation_suite().front(), inputs, outputs);
+  SolverOptions options = deterministic_options(6);
+  options.global_memo = std::make_shared<GlobalMemo>();
+  options.num_workers = 4;
+  const SolveResult cold = ParallelEngine(r, options).run();
+  // Warm: the coordinator's root probe answers before any thread spawns.
+  const SolveResult warm = ParallelEngine(r, options).run();
+  EXPECT_EQ(warm.stats.relations_explored, 0u);
+  EXPECT_EQ(warm.stats.memo_hits, 1u);
+  EXPECT_DOUBLE_EQ(warm.cost, cold.cost);
+  EXPECT_TRUE(r.is_compatible(warm.function));
+  // The serial engine hits the same memo: manager-independence means the
+  // warm path does not care who explored first.
+  options.num_workers = 1;
+  const SolveResult serial_warm = SearchEngine(r, options).run();
+  EXPECT_EQ(serial_warm.stats.relations_explored, 0u);
+  EXPECT_DOUBLE_EQ(serial_warm.cost, cold.cost);
+}
+
 TEST(ParallelEngineTest, ExactModeMatchesEnumeratedOptimum) {
   BddManager mgr{0};
   RelationSpace space = make_space(mgr, 2, 2);

@@ -110,5 +110,82 @@ TEST(RelationIoTest, MalformedInputsThrowWithLineNumbers) {
   expect_error(".i 1\n.o 1\n.r\n.e\n0 1\n", "after .e");
 }
 
+TEST(RelationIoTest, MalformedBddBodiesAlwaysThrowNeverUB) {
+  // Hardening contract for the compact `.bdd` path (and the hostile-
+  // input surface of the pool's --serve mode): every malformed body —
+  // truncation, out-of-range variable ranks, references to unseen
+  // nodes, sign/garbage smuggling — is a clean std::invalid_argument,
+  // never an out-of-bounds read or a silently mis-wired relation.  The
+  // ASan/UBSan CI job runs this table too.
+  struct MalformedCase {
+    const char* name;
+    const char* text;
+    const char* fragment;  ///< expected substring of the error
+  };
+  const MalformedCase cases[] = {
+      {"truncated node list", ".i 1\n.o 1\n.bdd 2\n0 2 3\n", "truncated"},
+      {"missing .root line", ".i 1\n.o 1\n.bdd 1\n1 0 1\n", ".root"},
+      {"malformed .root line", ".i 1\n.o 1\n.bdd 1\n1 0 1\nroot 2\n.e\n",
+       ".root"},
+      {"garbage node line", ".i 1\n.o 1\n.bdd 1\nx y z\n.root 2\n.e\n",
+       "malformed node line"},
+      {"trailing tokens on node line",
+       ".i 1\n.o 1\n.bdd 1\n1 0 1 9\n.root 2\n.e\n", "trailing"},
+      {"trailing tokens on .root",
+       ".i 1\n.o 1\n.bdd 1\n1 0 1\n.root 2 7\n.e\n", "trailing"},
+      {"negative field", ".i 1\n.o 1\n.bdd 1\n0 -1 1\n.root 2\n.e\n",
+       "negative"},
+      {"rank beyond .i + .o", ".i 1\n.o 1\n.bdd 1\n5 0 1\n.root 2\n.e\n",
+       "ranks beyond"},
+      {"rank overflowing uint32",
+       ".i 1\n.o 1\n.bdd 1\n4294967295 0 1\n.root 2\n.e\n", "out of range"},
+      {"child id not yet defined (forward reference)",
+       ".i 1\n.o 2\n.bdd 2\n0 4 1\n1 2 3\n.root 4\n.e\n", "child id"},
+      {"child above parent in the order",
+       ".i 1\n.o 1\n.bdd 2\n0 0 1\n1 2 1\n.root 4\n.e\n",
+       "not below parent"},
+      {"root references unknown node",
+       ".i 1\n.o 1\n.bdd 1\n1 0 1\n.root 8\n.e\n", "root references"},
+      {"absurd .i declaration", ".i 99999999999\n.o 1\n.r\n0 1\n.e\n",
+       "too many"},
+      {"absurd .o declaration", ".i 1\n.o 4294967296\n.r\n0 1\n.e\n",
+       "too many"},
+      {"absurd .bdd node count",
+       ".i 1\n.o 1\n.bdd 99999999999\n1 0 1\n.root 2\n.e\n", "too many"},
+      {"missing .e after body", ".i 1\n.o 1\n.bdd 1\n1 0 1\n.root 2\n",
+       "missing .e"},
+      {"duplicate .bdd body",
+       ".i 1\n.o 1\n.bdd 1\n1 0 1\n.root 2\n.bdd 1\n1 0 1\n.root 2\n.e\n",
+       "bad .bdd"},
+      {"overlapping .iv/.ov ranks",
+       ".i 1\n.o 1\n.iv 0\n.ov 0\n.bdd 1\n1 0 1\n.root 2\n.e\n",
+       "overlapping"},
+  };
+  for (const MalformedCase& test : cases) {
+    BddManager mgr{0};
+    try {
+      (void)read_relation(mgr, test.text);
+      FAIL() << "expected parse error for: " << test.name;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(test.fragment),
+                std::string::npos)
+          << test.name << " raised the wrong error: " << error.what();
+    }
+  }
+}
+
+TEST(RelationIoTest, CompactBodyRoundTripStillWorksAfterHardening) {
+  BddManager mgr{0};
+  const RelationSpace space = make_space(mgr, 2, 2);
+  for (const BooleanRelation& r : {fig1_relation(mgr, space),
+                                   fig10_relation(mgr, space),
+                                   fig8_relation(mgr, space)}) {
+    BddManager fresh{0};
+    const BooleanRelation parsed =
+        read_relation(fresh, write_relation_bdd(r));
+    EXPECT_EQ(parsed.to_table(), r.to_table());
+  }
+}
+
 }  // namespace
 }  // namespace brel

@@ -283,6 +283,113 @@ TEST(SubproblemCacheTest, PrivateCacheLeavesResultsUntouched) {
   }
 }
 
+TEST(SubproblemCacheTest, ImprovementsToPresentEntriesLandAtCapacity) {
+  // The capacity bound stops *insertions*, not memo improvements: a
+  // better solution discovered after the cache fills must still update
+  // the entries that are present (a full cache that silently froze its
+  // memos would keep offering stale, costlier solutions on every hit).
+  BddManager mgr{4};
+  SubproblemCache cache{1};
+  const Bdd inside = mgr.var(0);
+  const Bdd outside = mgr.var(1);
+  EXPECT_FALSE(cache.seen_before_or_insert(inside));
+  EXPECT_FALSE(cache.seen_before_or_insert(outside));  // full: dropped
+  ASSERT_EQ(cache.size(), 1u);
+
+  MultiFunction f;
+  f.outputs.push_back(mgr.var(2));
+  const detail::Edge chain[] = {inside.raw_edge(), outside.raw_edge()};
+  cache.improve(chain, f, 10.0);
+  std::optional<CachedSolution> entry = cache.seen_before_or_insert(inside);
+  ASSERT_TRUE(entry.has_value() && entry->has_solution());
+  EXPECT_DOUBLE_EQ(entry->cost, 10.0);
+
+  // The better solution found later lands on the present entry...
+  cache.improve(chain, f, 4.0);
+  entry = cache.seen_before_or_insert(inside);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->cost, 4.0);
+  // ...a worse one does not regress it...
+  cache.improve(chain, f, 7.0);
+  entry = cache.seen_before_or_insert(inside);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->cost, 4.0);
+  // ...and the dropped edge stays unmemoized (skipped, not resurrected).
+  EXPECT_FALSE(cache.seen_before_or_insert(outside).has_value());
+}
+
+TEST(SubproblemCacheTest, BindRejectsMismatchedFingerprints) {
+  SubproblemCache cache;
+  const CacheFingerprint size_fp{"size", false, {0, 1}, {2, 3}};
+  cache.bind(size_fp);
+  cache.bind(size_fp);  // idempotent re-bind of the same configuration
+  // Different objective, mode, or variable spaces: all rejected.
+  EXPECT_THROW(cache.bind(CacheFingerprint{"size2", false, {0, 1}, {2, 3}}),
+               std::invalid_argument);
+  EXPECT_THROW(cache.bind(CacheFingerprint{"size", true, {0, 1}, {2, 3}}),
+               std::invalid_argument);
+  EXPECT_THROW(cache.bind(CacheFingerprint{"size", false, {0, 1, 2}, {3}}),
+               std::invalid_argument);
+  // rebind_or_clear recycles instead: entries drop, stamp moves on.
+  BddManager mgr{4};
+  (void)cache.seen_before_or_insert(mgr.var(0));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.rebind_or_clear(CacheFingerprint{"size2", false, {0, 1}, {2, 3}});
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_THROW(cache.bind(size_fp), std::invalid_argument);
+}
+
+TEST(SubproblemCacheTest, SharingAcrossCostFunctionsIsRejected) {
+  // The wrong-pruning scenario the fingerprint prevents: warm a shared
+  // cache under the "size" objective, then re-solve under "size2".
+  // Without the stamp, the warm run would prune its subtrees and offer
+  // the size-optimal memos — whose recorded costs are measured in a
+  // different unit — as size2 incumbents, silently returning a function
+  // that no size2 exploration would have chosen.  With the stamp the
+  // incompatible reuse is an error at engine construction.
+  BddManager mgr{0};
+  RelationSpace space = make_space(mgr, 2, 2);
+  const BooleanRelation r = fig10_relation(mgr, space);
+  SolverOptions options;
+  options.max_relations = 40;
+  options.cost = sum_of_bdd_sizes();
+  options.subproblem_cache = std::make_shared<SubproblemCache>();
+  const SolveResult cold = BrelSolver(options).solve(r);
+  EXPECT_TRUE(r.is_compatible(cold.function));
+
+  SolverOptions mismatched = options;
+  mismatched.cost = sum_of_squared_bdd_sizes();
+  EXPECT_THROW((void)BrelSolver(mismatched).solve(r), std::invalid_argument);
+  // Same for a mode flip: exact exploration must not be pruned by memos
+  // of a budget-limited run.
+  SolverOptions exact_reuse = options;
+  exact_reuse.exact = true;
+  EXPECT_THROW((void)BrelSolver(exact_reuse).solve(r), std::invalid_argument);
+  // And for a different relation over different spaces (the raw-edge
+  // keys would alias — e.g. constant characteristics — so the spaces are
+  // part of the stamp).
+  BooleanRelation other =
+      BooleanRelation::full(mgr, {space.inputs[0]}, {space.outputs[0]});
+  EXPECT_THROW((void)BrelSolver(options).solve(other), std::invalid_argument);
+
+  // The legitimate sharing pattern still works after the failed binds.
+  const SolveResult warm = BrelSolver(options).solve(r);
+  EXPECT_DOUBLE_EQ(warm.cost, cold.cost);
+  EXPECT_GT(warm.stats.pruned_by_cache, 0u);
+}
+
+TEST(SubproblemCacheTest, AnonymousCostFunctionsNeverFalselyMatch) {
+  // Two independently written lambdas could compute different costs, so
+  // they get distinct identities; copies of one CostFunction (the normal
+  // way options are reused) share theirs.
+  const CostFunction a = [](const MultiFunction&) { return 1.0; };
+  const CostFunction b = [](const MultiFunction&) { return 1.0; };
+  EXPECT_NE(a.id(), b.id());
+  const CostFunction a_copy = a;  // NOLINT(performance-unnecessary-copy)
+  EXPECT_EQ(a.id(), a_copy.id());
+  EXPECT_EQ(sum_of_bdd_sizes().id(), sum_of_bdd_sizes().id());
+}
+
 TEST(SubproblemCacheTest, SharedCacheDedupsAcrossSolves) {
   BddManager mgr{0};
   RelationSpace space = make_space(mgr, 2, 2);

@@ -1,0 +1,379 @@
+// Tests for the solver-pool service layer (solver_pool.hpp) and the
+// manager-independent cross-solve memo underneath it (global_memo.hpp).
+//
+// The load-bearing properties:
+//   - canonical keys: the same relation produces byte-identical memo
+//     keys in any manager at any variable offset;
+//   - pool results are bit-identical (rank-mapped serialized outputs,
+//     not just costs) to the serial engine in the schedule-independent
+//     configuration, at 1, 2 and 4 workers;
+//   - a warm re-solve of an identical relation is served by the memo at
+//     zero exploration while returning the cold run's cost;
+//   - concurrent submission from many threads is safe (this file is part
+//     of the TSan CI job);
+//   - memo capacity drops new keys but still lands improvements to
+//     present keys, and mismatched fingerprint reuse is rejected.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/paper_relations.hpp"
+#include "benchgen/relation_suite.hpp"
+#include "brel/search.hpp"
+#include "brel/solver_pool.hpp"
+#include "relation/relation_io.hpp"
+
+namespace brel {
+namespace {
+
+/// The schedule-independent configuration (cf. test_parallel_engine.cpp):
+/// no cost bound plus a depth cap makes the explored set — and with the
+/// deterministic serial engine, the returned function — a pure function
+/// of the relation.
+SolverOptions deterministic_options(std::size_t max_depth) {
+  SolverOptions options;
+  options.cost = sum_of_bdd_sizes();
+  options.max_relations = static_cast<std::size_t>(-1);
+  options.use_cost_bound = false;
+  options.max_depth = max_depth;
+  return options;
+}
+
+/// Serial reference: parse `text` into a fresh manager, run the serial
+/// engine, and return the solution in the portable rank form the pool
+/// reports — the comparison is then a plain struct equality.
+PoolResult serial_reference(const std::string& text,
+                            const SolverOptions& options) {
+  BddManager mgr{0};
+  const BooleanRelation r = read_relation(mgr, text);
+  const SolveResult solved = SearchEngine(r, options).run();
+  PoolResult out;
+  out.solution =
+      make_portable_solution(make_memo_space(r), solved.function, solved.cost);
+  out.cost = solved.cost;
+  out.stats = solved.stats;
+  return out;
+}
+
+TEST(GlobalMemoTest, KeysAreManagerAndOffsetIndependent) {
+  // The same relation materialized in two managers at different variable
+  // offsets must produce identical canonical keys — that is the whole
+  // point of rank remapping.
+  BddManager mgr_a{0};
+  RelationSpace space_a = make_space(mgr_a, 2, 2);
+  const BooleanRelation a = fig1_relation(mgr_a, space_a);
+
+  BddManager mgr_b{0};
+  (void)mgr_b.add_vars(5);  // shift the block: offsets differ
+  RelationSpace space_b = make_space(mgr_b, 2, 2);
+  const BooleanRelation b = fig1_relation(mgr_b, space_b);
+
+  const GlobalMemoKey key_a =
+      make_memo_key(make_memo_space(a), a.characteristic());
+  const GlobalMemoKey key_b =
+      make_memo_key(make_memo_space(b), b.characteristic());
+  EXPECT_EQ(key_a, key_b);
+
+  // A different relation over the same spaces keys differently.
+  const BooleanRelation c = fig10_relation(mgr_a, space_a);
+  EXPECT_FALSE(key_a ==
+               make_memo_key(make_memo_space(c), c.characteristic()));
+}
+
+TEST(GlobalMemoTest, SameChiDifferentSpacesKeyDifferently) {
+  // The constant-ONE characteristic describes both "2 in / 2 out" and
+  // "3 in / 1 out" complete relations; the solutions differ, so the keys
+  // must too (the spaces ride inside the key).
+  BddManager mgr{4};
+  const BooleanRelation r22 = BooleanRelation::full(mgr, {0, 1}, {2, 3});
+  const BooleanRelation r31 = BooleanRelation::full(mgr, {0, 1, 2}, {3});
+  EXPECT_FALSE(
+      make_memo_key(make_memo_space(r22), r22.characteristic()) ==
+      make_memo_key(make_memo_space(r31), r31.characteristic()));
+}
+
+TEST(GlobalMemoTest, SolutionsRoundTripAcrossManagers) {
+  BddManager src{0};
+  RelationSpace space = make_space(src, 2, 2);
+  const BooleanRelation r = fig1_relation(src, space);
+  const SolveResult solved =
+      SearchEngine(r, deterministic_options(6)).run();
+  const MemoSpace src_space = make_memo_space(r);
+  const PortableSolution portable =
+      make_portable_solution(src_space, solved.function, solved.cost);
+
+  // Rebuild the relation (and the solution) in an offset manager.
+  BddManager dst{0};
+  (void)dst.add_vars(3);
+  RelationSpace dst_rs = make_space(dst, 2, 2);
+  const BooleanRelation r2 = fig1_relation(dst, dst_rs);
+  const MultiFunction imported =
+      import_portable_solution(dst, make_memo_space(r2), portable);
+  EXPECT_TRUE(r2.is_compatible(imported));
+  // Re-serializing from the destination gives the same canonical form.
+  EXPECT_EQ(make_portable_solution(make_memo_space(r2), imported,
+                                   solved.cost),
+            portable);
+}
+
+TEST(GlobalMemoTest, CapacityDropsNewKeysButImprovesPresentOnes) {
+  BddManager mgr{4};
+  const BooleanRelation r22 = BooleanRelation::full(mgr, {0, 1}, {2, 3});
+  const BooleanRelation r31 = BooleanRelation::full(mgr, {0, 1, 2}, {3});
+  const auto key_a = std::make_shared<const GlobalMemoKey>(
+      make_memo_key(make_memo_space(r22), r22.characteristic()));
+  const auto key_b = std::make_shared<const GlobalMemoKey>(
+      make_memo_key(make_memo_space(r31), r31.characteristic()));
+
+  GlobalMemo memo{1};
+  PortableSolution sol;
+  sol.outputs.push_back(SerializedBdd{});  // constant ONE placeholder
+  sol.cost = 10.0;
+  memo.publish(*key_a, sol);
+  EXPECT_EQ(memo.size(), 1u);
+
+  // Unmarked entries are invisible to probes (completeness protocol)...
+  EXPECT_FALSE(memo.lookup(*key_a).has_value());
+  // ...until the producing run drains and marks them.
+  const std::shared_ptr<const GlobalMemoKey> touched[] = {key_a, key_b};
+  memo.mark_complete(touched);  // key_b absent: skipped, not resurrected
+  ASSERT_TRUE(memo.lookup(*key_a).has_value());
+  EXPECT_DOUBLE_EQ(memo.lookup(*key_a)->cost, 10.0);
+
+  // At capacity: a new key is dropped...
+  memo.publish(*key_b, sol);
+  EXPECT_EQ(memo.size(), 1u);
+  EXPECT_FALSE(memo.lookup(*key_b).has_value());
+
+  // ...but a better solution for the present key still lands (and the
+  // completeness bit is sticky — a refinement does not hide the entry).
+  sol.cost = 4.0;
+  memo.publish(*key_a, sol);
+  ASSERT_TRUE(memo.lookup(*key_a).has_value());
+  EXPECT_DOUBLE_EQ(memo.lookup(*key_a)->cost, 4.0);
+
+  // A worse one does not regress the entry.
+  sol.cost = 7.0;
+  memo.publish(*key_a, sol);
+  EXPECT_DOUBLE_EQ(memo.lookup(*key_a)->cost, 4.0);
+}
+
+TEST(GlobalMemoTest, TruncatedRunsDoNotPoisonTheMemo) {
+  // The service-layer hazard the completeness protocol exists for: a
+  // run stopped by its budget publishes only partial, degraded memos.
+  // Without the protocol those entries would serve every later
+  // identical request at zero exploration — the degraded result locked
+  // in forever, invisible to the caller (no budget_exhausted flag on
+  // the warm path).  With it, the truncated run's publishes stay
+  // invisible, the next solve re-explores, and only ITS naturally
+  // drained results become servable.
+  BddManager mgr{0};
+  RelationSpace space = make_space(mgr, 2, 2);
+  const BooleanRelation r = fig10_relation(mgr, space);
+  SolverOptions truncated;
+  truncated.cost = sum_of_bdd_sizes();
+  truncated.use_cost_bound = false;
+  truncated.max_relations = 1;  // stops right after the root expansion
+  truncated.global_memo = std::make_shared<GlobalMemo>();
+  const SolveResult degraded = SearchEngine(r, truncated).run();
+  ASSERT_TRUE(degraded.stats.budget_exhausted);
+
+  // Same fingerprint (cost + mode), full budget: must NOT be served the
+  // truncated run's root entry — it must re-explore and do better.
+  SolverOptions full = truncated;
+  full.max_relations = static_cast<std::size_t>(-1);
+  const SolveResult second = SearchEngine(r, full).run();
+  EXPECT_EQ(second.stats.memo_hits, 0u)
+      << "a truncated run's partial memos were served";
+  EXPECT_GT(second.stats.relations_explored, 1u);
+  EXPECT_FALSE(second.stats.budget_exhausted);
+  // Never worse than the truncated result (on fig10 the QuickSolver net
+  // happens to tie the optimum, so equality is possible — the property
+  // under test is the re-exploration above, not strict improvement).
+  EXPECT_LE(second.cost, degraded.cost);
+
+  // The drained run's results ARE servable: third solve is pure warm.
+  const SolveResult warm = SearchEngine(r, full).run();
+  EXPECT_EQ(warm.stats.relations_explored, 0u);
+  EXPECT_EQ(warm.stats.memo_hits, 1u);
+  EXPECT_DOUBLE_EQ(warm.cost, second.cost);
+  EXPECT_TRUE(r.is_compatible(warm.function));
+}
+
+TEST(GlobalMemoTest, RejectsMismatchedFingerprintReuse) {
+  GlobalMemo memo;
+  memo.bind(MemoFingerprint{"size", false});
+  memo.bind(MemoFingerprint{"size", false});  // idempotent
+  EXPECT_THROW(memo.bind(MemoFingerprint{"size2", false}),
+               std::invalid_argument);
+  EXPECT_THROW(memo.bind(MemoFingerprint{"size", true}),
+               std::invalid_argument);
+}
+
+TEST(SolverPoolTest, ResultsAreBitIdenticalToSerialAcrossWorkerCounts) {
+  // The acceptance bar: in the schedule-independent configuration the
+  // pool returns the SAME portable solution (serialized node lists, not
+  // just costs) as the serial engine, for every benchmark instance, at
+  // 1, 2 and 4 workers.  The memo stays off here: with it on, requests
+  // of *overlapping* relations may legally exchange partial results.
+  const SolverOptions options = deterministic_options(6);
+  std::vector<std::string> texts;
+  std::vector<PoolResult> expected;
+  for (const RelationBenchmark& bench : relation_suite()) {
+    BddManager mgr{0};
+    std::vector<std::uint32_t> inputs;
+    std::vector<std::uint32_t> outputs;
+    const BooleanRelation r =
+        make_benchmark_relation(mgr, bench, inputs, outputs);
+    texts.push_back(write_relation_bdd(r));
+    expected.push_back(serial_reference(texts.back(), options));
+  }
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    PoolOptions pool_options;
+    pool_options.workers = workers;
+    pool_options.solver = options;
+    pool_options.share_memo = false;
+    SolverPool pool(pool_options);
+    std::vector<std::future<PoolResult>> futures;
+    for (const std::string& text : texts) {
+      futures.push_back(pool.submit(text));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const PoolResult result = futures[i].get();
+      EXPECT_EQ(result.solution, expected[i].solution)
+          << relation_suite()[i].name << " at " << workers << " workers";
+      EXPECT_DOUBLE_EQ(result.cost, expected[i].cost)
+          << relation_suite()[i].name;
+      EXPECT_EQ(result.stats.relations_explored,
+                expected[i].stats.relations_explored)
+          << relation_suite()[i].name;
+      EXPECT_LT(result.worker_id, workers);
+    }
+    EXPECT_EQ(pool.requests_served(), texts.size());
+  }
+}
+
+TEST(SolverPoolTest, WarmMemoResolveExploresNothingAtEqualCost) {
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = make_benchmark_relation(
+      mgr, relation_suite().front(), inputs, outputs);
+  const std::string text = write_relation_bdd(r);
+
+  PoolOptions pool_options;
+  pool_options.workers = 2;
+  pool_options.solver = deterministic_options(4);
+  SolverPool pool(pool_options);
+
+  // Sequential: the cold solve fully publishes before the warm probe.
+  const PoolResult cold = pool.submit(text).get();
+  EXPECT_GT(cold.stats.relations_explored, 0u);
+  EXPECT_EQ(cold.stats.memo_hits, 0u);
+
+  const PoolResult warm = pool.submit(text).get();
+  EXPECT_EQ(warm.stats.relations_explored, 0u);
+  EXPECT_EQ(warm.stats.memo_hits, 1u);
+  EXPECT_DOUBLE_EQ(warm.cost, cold.cost);
+  EXPECT_EQ(warm.solution, cold.solution);
+
+  // The memoized solution satisfies the relation when materialized.
+  BddManager check{0};
+  const BooleanRelation r2 = read_relation(check, text);
+  EXPECT_TRUE(r2.is_compatible(import_pool_solution(check, r2, warm)));
+  EXPECT_GT(pool.memo()->hits(), 0u);
+}
+
+TEST(SolverPoolTest, ConcurrentSubmissionFromManyThreadsIsSafe) {
+  // Many submitter threads, a mix of identical and distinct relations,
+  // shared memo ON — the configuration with maximal cross-thread
+  // traffic (queue, memo probes/publishes from every slot).  Every
+  // result must be compatible with its relation; identical relations
+  // must agree on cost with the serial engine's schedule-independent
+  // result whenever they were served cold OR warm (the memo only ever
+  // offers equal-or-better entries for the *same* canonical key, and
+  // entries improve monotonically toward the drained optimum).
+  std::vector<std::string> texts;
+  {
+    BddManager mgr{0};
+    RelationSpace space = make_space(mgr, 2, 2);
+    texts.push_back(write_relation_bdd(fig1_relation(mgr, space)));
+    texts.push_back(write_relation_bdd(fig10_relation(mgr, space)));
+    texts.push_back(write_relation_bdd(fig8_relation(mgr, space)));
+  }
+
+  PoolOptions pool_options;
+  pool_options.workers = 4;
+  pool_options.solver = deterministic_options(static_cast<std::size_t>(-1));
+  SolverPool pool(pool_options);
+
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kPerThread = 6;
+  std::vector<std::future<PoolResult>> futures(kSubmitters * kPerThread);
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t k = 0; k < kPerThread; ++k) {
+        futures[t * kPerThread + k] =
+            pool.submit(texts[(t + k) % texts.size()]);
+      }
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const PoolResult result = futures[i].get();
+    const std::string& text =
+        texts[(i / kPerThread + i % kPerThread) % texts.size()];
+    BddManager check{0};
+    const BooleanRelation r = read_relation(check, text);
+    EXPECT_TRUE(r.is_compatible(import_pool_solution(check, r, result)));
+  }
+  EXPECT_EQ(pool.requests_served(), futures.size());
+}
+
+TEST(SolverPoolTest, ParseAndValidationErrorsFlowThroughTheFuture) {
+  SolverPool pool(PoolOptions{});
+  // Malformed text.
+  EXPECT_THROW(pool.submit(std::string(".i 1\n.o 1\n.r\nxx 1\n.e\n")).get(),
+               std::invalid_argument);
+  // Well-formed but not well-defined (vertex 1 has an empty image).
+  EXPECT_THROW(pool.submit(std::string(".i 1\n.o 1\n.r\n0 1\n.e\n")).get(),
+               std::invalid_argument);
+  // The pool survives failed requests and keeps serving.
+  const PoolResult ok =
+      pool.submit(std::string(".i 1\n.o 1\n.r\n0 1\n1 0\n.e\n")).get();
+  EXPECT_EQ(ok.solution.outputs.size(), 1u);
+}
+
+TEST(SolverPoolTest, SubmitAfterShutdownThrows) {
+  SolverPool pool(PoolOptions{});
+  const PoolResult first =
+      pool.submit(std::string(".i 1\n.o 1\n.r\n0 1\n1 0\n.e\n")).get();
+  EXPECT_DOUBLE_EQ(first.cost, first.solution.cost);
+  pool.shutdown();
+  pool.shutdown();  // idempotent
+  EXPECT_THROW((void)pool.submit(std::string(".i 1\n.o 1\n.r\n0 1\n.e\n")),
+               std::runtime_error);
+}
+
+TEST(SolverPoolTest, PoolRejectsMemoWarmedUnderAnotherObjective) {
+  // A caller-supplied memo that served "size" cannot back a "size2"
+  // pool: the fingerprint clash surfaces at construction, not as silent
+  // wrong pruning requests later.
+  auto memo = std::make_shared<GlobalMemo>();
+  memo->bind(MemoFingerprint{"size", false});
+  PoolOptions pool_options;
+  pool_options.solver.cost = sum_of_squared_bdd_sizes();
+  pool_options.solver.global_memo = memo;
+  EXPECT_THROW(SolverPool{pool_options}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace brel

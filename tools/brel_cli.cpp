@@ -29,17 +29,31 @@
 //                                            SolverOptions::subproblem_cache
 //     --totalize                             repair partial relations
 //     --solver=brel|quick|gyocro|herb        which solver to run
+//     --serve                                batch service mode: treat every
+//                                            positional argument as a relation
+//                                            file (.br rows or .bdd compact
+//                                            bodies) and solve them all over a
+//                                            SolverPool of --workers slots
+//                                            with a shared cross-solve memo;
+//                                            prints one line per request plus
+//                                            a throughput/memo summary
+//     --no-memo                              disable the pool's cross-solve
+//                                            memo in --serve mode
 //     --dump-table                           print the relation table
 //     --quiet                                covers only
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "brel/solver.hpp"
+#include "brel/solver_pool.hpp"
 #include "gyocro/gyocro.hpp"
 #include "relation/relation_io.hpp"
 
@@ -59,8 +73,10 @@ struct CliOptions {
   bool totalize = false;
   bool dump_table = false;
   bool quiet = false;
+  bool serve = false;
+  bool no_memo = false;
   std::string solver = "brel";
-  std::string file = "-";
+  std::vector<std::string> files;  ///< positionals; empty = stdin
 };
 
 [[noreturn]] void usage(int code) {
@@ -71,7 +87,10 @@ struct CliOptions {
                "                [--order=bfs|dfs|best] [--workers=N]\n"
                "                [--symmetry] [--seed-cache] [--totalize]\n"
                "                [--solver=brel|quick|gyocro|herb]\n"
-               "                [--dump-table] [--quiet] [file.br|-]\n");
+               "                [--serve] [--no-memo]\n"
+               "                [--dump-table] [--quiet] [file.br|-]...\n"
+               "  --serve solves every listed file over a SolverPool of\n"
+               "  --workers slots sharing one cross-solve memo\n");
   std::exit(code);
 }
 
@@ -123,6 +142,10 @@ CliOptions parse_args(int argc, char** argv) {
       options.symmetry = true;
     } else if (arg == "--seed-cache") {
       options.seed_cache = true;
+    } else if (arg == "--serve") {
+      options.serve = true;
+    } else if (arg == "--no-memo") {
+      options.no_memo = true;
     } else if (arg == "--totalize") {
       options.totalize = true;
     } else if (const char* v = value_of("--solver=")) {
@@ -135,7 +158,7 @@ CliOptions parse_args(int argc, char** argv) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(2);
     } else {
-      options.file = arg;
+      options.files.push_back(arg);
     }
   }
   return options;
@@ -184,25 +207,144 @@ void print_covers(brel::BddManager& mgr, const brel::BooleanRelation& r,
   }
 }
 
+/// Read one input (a path or "-" for stdin) fully into a string; exits
+/// with status 2 when the file cannot be opened.
+std::string slurp(const std::string& file) {
+  std::ostringstream buffer;
+  if (file == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+      std::exit(2);
+    }
+    buffer << in.rdbuf();
+  }
+  return buffer.str();
+}
+
+brel::SolverOptions solver_options_from_cli(const CliOptions& cli) {
+  brel::SolverOptions options;
+  options.cost = cost_by_name(cli.cost);
+  options.max_relations = cli.budget;
+  options.fifo_capacity = cli.fifo;
+  options.max_depth = cli.max_depth;
+  options.use_cost_bound = !cli.no_bound;
+  options.num_workers = cli.workers;
+  options.exact = cli.exact;
+  options.use_symmetry = cli.symmetry;
+  options.use_subproblem_cache = cli.seed_cache;
+  options.order = cli.order;
+  return options;
+}
+
+/// --serve: solve every listed file over a SolverPool.  The per-request
+/// engine is serial; --workers sizes the POOL (concurrent solves), and
+/// identical or overlapping relations are served from the shared
+/// cross-solve memo after the first solve.
+int run_serve(const CliOptions& cli) {
+  if (cli.files.empty()) {
+    std::fprintf(stderr, "--serve requires at least one relation file\n");
+    return 2;
+  }
+  if (cli.solver != "brel") {
+    std::fprintf(stderr, "--serve only supports --solver=brel\n");
+    return 2;
+  }
+  if (cli.dump_table) {
+    std::fprintf(stderr, "--dump-table is not supported with --serve\n");
+    return 2;
+  }
+  std::vector<std::string> texts;
+  texts.reserve(cli.files.size());
+  for (const std::string& file : cli.files) {
+    texts.push_back(slurp(file));
+  }
+
+  brel::PoolOptions pool_options;
+  pool_options.workers = cli.workers;
+  pool_options.solver = solver_options_from_cli(cli);
+  pool_options.share_memo = !cli.no_memo;
+  pool_options.totalize = cli.totalize;
+
+  const auto start = std::chrono::steady_clock::now();
+  brel::SolverPool pool(pool_options);
+  std::vector<std::future<brel::PoolResult>> futures;
+  futures.reserve(texts.size());
+  for (const std::string& text : texts) {
+    futures.push_back(pool.submit(text));
+  }
+
+  int failures = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      const brel::PoolResult result = futures[i].get();
+      // Independent check in a fresh manager: re-parse the request and
+      // materialize the portable solution against it.
+      brel::BddManager check_mgr{0};
+      brel::BooleanRelation relation =
+          brel::read_relation(check_mgr, texts[i]);
+      // The check relation must match what the worker solved: a
+      // totalizing pool solves the repaired relation.
+      if (cli.totalize) {
+        relation = relation.totalized();
+      }
+      const brel::MultiFunction f =
+          brel::import_pool_solution(check_mgr, relation, result);
+      const bool ok = relation.is_compatible(f);
+      // --quiet means "covers only", exactly like single-solve mode.
+      if (!cli.quiet) {
+        std::printf(
+            "%s: cost=%.0f explored=%zu memo_hits=%zu worker=%zu%s\n",
+            cli.files[i].c_str(), result.cost,
+            result.stats.relations_explored, result.stats.memo_hits,
+            result.worker_id, ok ? "" : " INCOMPATIBLE");
+      }
+      if (!ok) {
+        ++failures;
+      }
+      print_covers(check_mgr, relation, f);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s: error: %s\n", cli.files[i].c_str(),
+                   error.what());
+      ++failures;
+    }
+  }
+  pool.shutdown();
+  if (!cli.quiet) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::printf("# served %llu request(s) on %zu worker(s) in %.3fs",
+                static_cast<unsigned long long>(pool.requests_served()),
+                pool.worker_count(), seconds);
+    if (pool.memo() != nullptr) {
+      std::printf(" | memo: %zu entries, %llu/%llu probe hits",
+                  pool.memo()->size(),
+                  static_cast<unsigned long long>(pool.memo()->hits()),
+                  static_cast<unsigned long long>(pool.memo()->probes()));
+    }
+    std::printf("\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions cli = parse_args(argc, argv);
-  std::string text;
-  if (cli.file == "-") {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = buffer.str();
-  } else {
-    std::ifstream in(cli.file);
-    if (!in) {
-      std::fprintf(stderr, "cannot open '%s'\n", cli.file.c_str());
-      return 2;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    text = buffer.str();
+  if (cli.serve) {
+    return run_serve(cli);
   }
+  if (cli.files.size() > 1) {
+    std::fprintf(stderr,
+                 "multiple input files require --serve (single-solve mode "
+                 "takes one file or stdin)\n");
+    return 2;
+  }
+  const std::string text = slurp(cli.files.empty() ? "-" : cli.files.front());
 
   brel::BddManager mgr{0};
   brel::BooleanRelation relation = [&] {
@@ -249,17 +391,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  brel::SolverOptions options;
-  options.cost = cost_by_name(cli.cost);
-  options.max_relations = cli.budget;
-  options.fifo_capacity = cli.fifo;
-  options.max_depth = cli.max_depth;
-  options.use_cost_bound = !cli.no_bound;
-  options.num_workers = cli.workers;
-  options.exact = cli.exact;
-  options.use_symmetry = cli.symmetry;
-  options.use_subproblem_cache = cli.seed_cache;
-  options.order = cli.order;
+  const brel::SolverOptions options = solver_options_from_cli(cli);
   const brel::SolveResult result = brel::BrelSolver(options).solve(relation);
   if (!cli.quiet) {
     std::printf("# cost(%s) = %.0f\n", cli.cost.c_str(), result.cost);
