@@ -334,6 +334,54 @@ Result bench_isop() {
   });
 }
 
+// [reorder-begin]
+/// Worst-order reordering suite: f = OR_i (x_i AND x_{k+i}) with the
+/// partners maximally separated — exponential (~2^k nodes) as built,
+/// linear (~3k) once sifting interleaves the pairs.  Records the
+/// before/after live node counts, the swap count and the sift wall time,
+/// and ASSERTS the acceptance bar: sifting must shrink peak live nodes
+/// by at least 2x (the process exits nonzero otherwise, so CI's
+/// bench-smoke run enforces it).
+bool report_reorder(bench::JsonWriter* json) {
+  constexpr std::uint32_t kPairs = 11;
+  BddManager mgr{2 * kPairs};
+  Bdd f = mgr.zero();
+  for (std::uint32_t i = 0; i < kPairs; ++i) {
+    f = f | (mgr.var(i) & mgr.var(kPairs + i));
+  }
+  mgr.garbage_collect();  // drop build garbage: measure the DAG itself
+  const std::size_t nodes_before = mgr.stats().live_nodes;
+  const auto start = std::chrono::steady_clock::now();
+  mgr.reorder();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  const std::size_t nodes_after = mgr.stats().live_nodes;
+  const std::uint64_t swaps = mgr.stats().reorder_swaps;
+  const double reduction =
+      static_cast<double>(nodes_before) /
+      static_cast<double>(nodes_after == 0 ? 1 : nodes_after);
+  const bool pass = nodes_after * 2 <= nodes_before;
+  std::printf(
+      "\nreorder (worst-order pair function, k=%u):\n"
+      "  nodes %zu -> %zu (%.1fx), %llu swaps, %.2f ms  [%s]\n",
+      kPairs, nodes_before, nodes_after, reduction,
+      static_cast<unsigned long long>(swaps), ms,
+      pass ? "PASS >= 2x" : "FAIL < 2x");
+  if (json != nullptr) {
+    json->begin_object("reorder");
+    json->field_int("pairs", kPairs);
+    json->field_int("nodes_before", nodes_before);
+    json->field_int("nodes_after", nodes_after);
+    json->field_num("reduction", reduction);
+    json->field_int("swaps", swaps);
+    json->field_num("sift_ms", ms);
+    json->end_object();
+  }
+  return pass;
+}
+// [reorder-end]
+
 // [per-op-stats-begin]
 /// A mixed workload through a fresh manager, reported per cache op tag —
 /// the per-op hit rates BddStats now carries.
@@ -421,6 +469,9 @@ int main(int argc, char** argv) {
     json.end_element();
   }
   json.end_array();
+  // [reorder-begin]
+  const bool reorder_ok = report_reorder(&json);
+  // [reorder-end]
   // [per-op-stats-begin]
   report_per_op(&json);
   // [per-op-stats-end]
@@ -431,6 +482,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  if (!reorder_ok) {
+    std::fprintf(stderr,
+                 "FAIL: sifting reduced the worst-order DAG by less than "
+                 "the 2x acceptance bar\n");
+    return 1;
   }
   return 0;
 }

@@ -12,13 +12,22 @@
 /// code manipulates `Bdd` values.  The manager is single-threaded.
 ///
 /// Operations provided (each in its own translation unit):
-///   - bdd_manager.cpp : node creation, unique table, garbage collection
+///   - bdd_manager.cpp : node creation, per-level unique tables, GC
 ///   - bdd_ops.cpp     : ITE and the derived connectives
 ///   - bdd_quant.cpp   : existential/universal quantification, compose
 ///   - bdd_minimize.cpp: generalized cofactors (constrain, restrict)
 ///   - bdd_isop.cpp    : Minato-Morreale irredundant SOP extraction
 ///   - bdd_analysis.cpp: satcount, support, shortest path, eval, dag size
+///   - bdd_reorder.cpp : dynamic variable reordering (swap + sifting)
 ///   - bdd_io.cpp      : dot export and debugging dumps
+///
+/// Variable order: a node stores a stable *variable id*; where that
+/// variable currently sits in the order is a separate *level* looked up
+/// through the `level_of_var_` / `var_at_level_` indirection.  Every
+/// recursive kernel recurses on levels while edges keep their var ids,
+/// which is what lets `reorder()` (Rudell sifting over in-place adjacent
+/// swaps) change the order under live external handles: a `Bdd` keeps
+/// denoting the same function across any number of reorders.
 
 #include <array>
 #include <cassert>
@@ -140,6 +149,21 @@ struct IsopResult {
   Bdd function;  ///< BDD of the cover
 };
 
+/// Dynamic-variable-reordering policy of the layers above the manager
+/// (SolverOptions::reorder; PoolOptions inherit it through the embedded
+/// SolverOptions).  `Off` never reorders (the default — every result and
+/// cost stays bit-identical to a build without reordering).  `On` sifts
+/// once up front, before the work starts.  `Auto` arms the GC-coupled
+/// trigger (BddManager::set_auto_reorder): sifting runs whenever the live
+/// node count crosses an adaptive threshold.
+enum class ReorderMode { Off, On, Auto };
+
+/// Resolve a configured mode against the BREL_REORDER environment
+/// variable ("off"/"on"/"auto"): when the variable is set to a valid
+/// value it wins (the CI hook that re-runs whole suites under forced
+/// reordering); otherwise `configured` is returned unchanged.
+[[nodiscard]] ReorderMode resolve_reorder_mode(ReorderMode configured);
+
 /// Operation tag of a computed-cache entry.  Public so per-op cache
 /// statistics (BddStats::op_lookups / op_hits) are interpretable by
 /// benchmarks and tests.
@@ -167,6 +191,11 @@ struct BddStats {
   std::uint64_t gc_runs = 0;        ///< completed garbage collections
   std::uint64_t gc_checks = 0;      ///< garbage_collect_if_needed() calls
   std::uint64_t nodes_created = 0;  ///< total unique-table insertions
+  // -- dynamic reordering (bdd_reorder.cpp) --
+  std::uint64_t reorders = 0;       ///< completed sifting runs
+  std::uint64_t reorder_swaps = 0;  ///< adjacent-level swaps performed
+  std::size_t reorder_nodes_before = 0;  ///< live nodes entering last sift
+  std::size_t reorder_nodes_after = 0;   ///< live nodes leaving last sift
   /// Per-op computed-table probes/hits, indexed by BddOp.
   std::array<std::uint64_t, kBddOpCount> op_lookups{};
   std::array<std::uint64_t, kBddOpCount> op_hits{};
@@ -276,7 +305,64 @@ class BddManager {
   /// garbage_collect() if the dead-node estimate crosses the threshold.
   /// O(1) when it declines: the trigger compares the live-node count
   /// against the incremental external-root counter (no refcount scan).
+  /// Also the auto-reorder hook: with set_auto_reorder() armed, a live
+  /// count past the adaptive reorder threshold triggers a sifting pass
+  /// here (then the threshold doubles from the post-sift size).
   void garbage_collect_if_needed(std::size_t dead_node_threshold = 1u << 16);
+
+  // -- dynamic variable reordering (bdd_reorder.cpp) ------------------------
+  /// One pass of Rudell sifting: every variable (densest level first) is
+  /// moved through the whole order by in-place adjacent-level swaps and
+  /// settled at its best position; a direction is abandoned early once
+  /// the live node count exceeds `max_growth` times the count at the
+  /// start of that variable's sift.  External `Bdd` handles, raw edges of
+  /// live nodes and reference counts all survive: a node keeps its index
+  /// and its function, only its var/children fields are rewritten.  Runs
+  /// a garbage_collect() first (which also empties the computed cache —
+  /// the cache stays invalidated across the reorder) and frees nodes
+  /// orphaned by swaps eagerly, so the sift sees true live sizes.
+  /// Same caller contract as garbage_collect: no un-wrapped raw edges.
+  void reorder(double max_growth = kDefaultReorderGrowth);
+
+  /// Arm (or disarm) the GC-coupled auto-reorder trigger: once the live
+  /// node count reaches `first_trigger`, garbage_collect_if_needed runs
+  /// reorder(max_growth) and raises the threshold to twice the post-sift
+  /// live count (never below `first_trigger`).
+  void set_auto_reorder(bool enabled,
+                        std::size_t first_trigger = 1u << 16,
+                        double max_growth = kDefaultReorderGrowth);
+  [[nodiscard]] bool auto_reorder() const noexcept { return auto_reorder_; }
+
+  /// Current level of `var` in the order (0 = topmost).
+  [[nodiscard]] std::uint32_t level_of_var(std::uint32_t var) const;
+  /// Variable currently sitting at `level`.
+  [[nodiscard]] std::uint32_t var_at_level(std::uint32_t level) const;
+  /// The whole order, top to bottom (a copy of var_at_level).
+  [[nodiscard]] std::vector<std::uint32_t> variable_order() const {
+    return var_at_level_;
+  }
+  /// True while var == level for every variable (no effective reorder) —
+  /// the fast-path guard of the transfer layer.
+  [[nodiscard]] bool has_identity_order() const noexcept {
+    return order_is_identity_;
+  }
+
+  /// Reclaim the whole variable block: frees every node and resets
+  /// num_vars to 0 with the identity order, so a long-lived manager (a
+  /// solver-pool slot) can parse each request into variables 0..w-1
+  /// instead of growing its variable count forever.  Only legal when no
+  /// external handle is live; returns false (and changes nothing) when
+  /// external_root_count() != 0.
+  bool reset_variables();
+
+  /// Full structural validation of the node store (testing/diagnostic;
+  /// O(nodes)): canonical form (then-edges regular), order (children
+  /// strictly below parents by level), per-level unique-table membership
+  /// and counts, refcount/external-root consistency, free-list sanity.
+  /// Throws std::logic_error with a description on the first violation.
+  void check_integrity() const;
+
+  static constexpr double kDefaultReorderGrowth = 1.2;
 
   /// Number of nodes currently pinned by at least one external handle
   /// (maintained incrementally by ref_edge/deref_edge; the GC trigger).
@@ -299,16 +385,22 @@ class BddManager {
 
   // -- cross-manager transfer (bdd_transfer.cpp) ----------------------------
   /// Memoized recursive import of `src` — a BDD living in *another*
-  /// manager with the same variable order — into this manager.  Variable
-  /// indices are preserved (this manager must have at least as many
-  /// variables); a same-manager import is just a handle copy.  Both
-  /// managers are touched, so the calling thread must own both.
+  /// manager — into this manager.  Variable indices are preserved (this
+  /// manager must have at least as many variables); a same-manager import
+  /// is just a handle copy.  The two managers' dynamic orders may differ
+  /// (the transfer re-canonicalizes through the serialized form then).
+  /// Both managers are touched, so the calling thread must own both.
   [[nodiscard]] Bdd import_bdd(const Bdd& src);
   /// Flatten `f` (a BDD of THIS manager) into the manager-independent
   /// serialized form — the safe hand-off unit between threads: plain data,
   /// no node-store access required on the receiving side until it calls
-  /// deserialize_bdd on its own manager.
-  [[nodiscard]] SerializedBdd serialize_bdd(const Bdd& f) const;
+  /// deserialize_bdd on its own manager.  The serialized form is always
+  /// expressed under the IDENTITY (var-index) order, whatever this
+  /// manager's current order is — that is what keeps `.bdd` bodies, memo
+  /// keys and cross-manager hand-offs order-independent.  Re-expressing a
+  /// reordered DAG builds scratch nodes here (hence non-const); with the
+  /// identity order it is a pure read.
+  [[nodiscard]] SerializedBdd serialize_bdd(const Bdd& f);
   /// Rebuild a serialized BDD here, shifting every variable index by
   /// `var_offset` (shifts preserve the relative order, so the result stays
   /// canonical).  Throws std::invalid_argument on malformed input or
@@ -364,6 +456,12 @@ class BddManager {
   /// Variable indices share the 30-bit operand fields (cofactor_rec packs
   /// var << 1 | phase as a cache operand), so they get the same cap.
   static constexpr std::uint32_t kMaxVariables = 1u << 29;
+  /// Starting bucket count of a per-level unique table (doubles on
+  /// load).  Sized so a typical build reaches steady state in one or two
+  /// doublings per level — at 4 bytes a bucket the cost of generosity is
+  /// ~1 KiB per variable, while every doubling re-buckets the whole
+  /// level.
+  static constexpr std::size_t kInitialSubtableBuckets = 256;
 
   /// One computed-cache probe: the packed key words and the base slot of
   /// the 2-way set, carried from cache_lookup to the matching cache_insert
@@ -377,6 +475,24 @@ class BddManager {
   // -- node store ---------------------------------------------------------
   [[nodiscard]] std::uint32_t node_var(detail::Edge e) const noexcept {
     return nodes_[detail::edge_index(e)].var;
+  }
+  /// Level of a variable (unchecked hot-path form of level_of_var).
+  [[nodiscard]] std::uint32_t level_of(std::uint32_t var) const noexcept {
+    return level_of_var_[var];
+  }
+  /// Level of the top variable of `e`; terminals sit below every level.
+  [[nodiscard]] std::uint32_t node_level(detail::Edge e) const noexcept {
+    return detail::edge_is_constant(e) ? detail::kTerminalVar
+                                       : level_of_var_[node_var(e)];
+  }
+  /// Of two non-constant edges, the variable id whose level is higher in
+  /// the order (smaller level index) — the recursion variable of the
+  /// binary kernels.
+  [[nodiscard]] std::uint32_t top_var(detail::Edge f,
+                                      detail::Edge g) const noexcept {
+    const std::uint32_t vf = node_var(f);
+    const std::uint32_t vg = node_var(g);
+    return level_of_var_[vf] < level_of_var_[vg] ? vf : vg;
   }
   /// Semantic then/else cofactor at the node's own variable, honouring the
   /// complement bit on `e`.
@@ -397,10 +513,23 @@ class BddManager {
     return phase ? hi_of(e) : lo_of(e);
   }
 
+  /// One per-level unique table: nodes of the variable currently at this
+  /// level, chained through Node::next.  The table object travels with
+  /// its variable during a swap (std::swap of the two SubTables), so a
+  /// reorder only re-buckets the nodes it actually rewrites.
+  struct SubTable {
+    std::vector<std::uint32_t> buckets;  ///< 1-based node indices, 0 = empty
+    std::size_t count = 0;               ///< live nodes in this table
+  };
+
   [[nodiscard]] detail::Edge make_node(std::uint32_t var, detail::Edge hi,
                                        detail::Edge lo);
   [[nodiscard]] std::uint32_t allocate_node();
-  void rehash_unique_table(std::size_t bucket_count);
+  /// Re-bucket every live node into its level's table (after GC, or a
+  /// per-table doubling when `grow_level` is a valid level).
+  void rebuild_subtables(std::uint32_t grow_level = detail::kTerminalVar);
+  void subtable_insert(SubTable& table, std::uint32_t idx) noexcept;
+  void subtable_remove(SubTable& table, std::uint32_t idx) noexcept;
   [[nodiscard]] static std::uint64_t hash_triple(std::uint64_t a,
                                                  std::uint64_t b,
                                                  std::uint64_t c) noexcept;
@@ -437,6 +566,26 @@ class BddManager {
   [[nodiscard]] detail::Edge restrict_rec(detail::Edge f, detail::Edge c);
   [[nodiscard]] detail::Edge vars_cube(std::span<const std::uint32_t> vars);
 
+  // -- dynamic reordering internals (bdd_reorder.cpp) ----------------------
+  /// reorder() body; `already_collected` skips the GC prologue when the
+  /// caller (the auto trigger) just ran one with nothing in between.
+  void reorder_internal(double max_growth, bool already_collected);
+  /// Swap the variables at `level` and `level + 1` in place (the sifting
+  /// primitive).  Interacting nodes keep their indices and functions but
+  /// are rewritten to test the other variable first; nodes orphaned by
+  /// the rewrite are freed eagerly through the sift refcounts.
+  void swap_adjacent(std::uint32_t level);
+  /// Move the variable currently holding `var` through the order and
+  /// settle it at the position minimizing the live node count, giving up
+  /// on a direction once live > `size_limit`.
+  void sift_var(std::uint32_t var, std::size_t size_limit);
+  /// Drop one sift-session reference from the node under `e`, freeing it
+  /// (and cascading into its children) when the count hits zero.
+  void sift_deref(detail::Edge e) noexcept;
+  [[nodiscard]] std::size_t live_nodes() const noexcept {
+    return nodes_.size() - 1 - free_count_;
+  }
+
   // -- handle refcounts -----------------------------------------------------
   void ref_edge(detail::Edge e) noexcept;
   void deref_edge(detail::Edge e) noexcept;
@@ -456,9 +605,28 @@ class BddManager {
   std::uint32_t num_vars_ = 0;
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> refcount_;
-  std::vector<std::uint32_t> buckets_;  ///< unique table (1-based indices)
-  std::uint32_t free_list_ = 0;         ///< head of free node chain (0 = none)
+  std::vector<SubTable> subtables_;  ///< per-level unique tables
+  /// The var <-> level indirection: nodes carry stable var ids, kernels
+  /// recurse on levels.  Both arrays are permutations of [0, num_vars).
+  std::vector<std::uint32_t> level_of_var_;
+  std::vector<std::uint32_t> var_at_level_;
+  bool order_is_identity_ = true;  ///< var == level everywhere
+  std::uint32_t free_list_ = 0;    ///< head of free node chain (0 = none)
   std::size_t free_count_ = 0;
+  // -- reordering state --
+  bool auto_reorder_ = false;
+  bool sifting_ = false;  ///< make_node maintains sift_refs_ while set
+  double reorder_max_growth_ = kDefaultReorderGrowth;
+  std::size_t reorder_first_threshold_ = 1u << 16;
+  std::size_t reorder_threshold_ = 1u << 16;
+  /// Sift-session reference counts: internal parents plus one for "has
+  /// any external handle".  Only meaningful while sifting_ is true.
+  std::vector<std::uint32_t> sift_refs_;
+  // Reused work lists (a Rudell pass performs O(vars^2) swaps; per-swap
+  // allocation would be pure allocator traffic in the innermost loop).
+  std::vector<std::uint32_t> sift_scratch_;     ///< sift_deref death list
+  std::vector<std::uint32_t> swap_interacting_; ///< pass-1 detached nodes
+  std::vector<detail::Edge> swap_retired_;      ///< pass-2 deferred derefs
   std::vector<CacheEntry> cache_;
   std::uint64_t cache_mask_ = 0;  ///< (number of 2-way sets) - 1
   /// Nodes with refcount > 0 — the GC roots.  Maintained incrementally on

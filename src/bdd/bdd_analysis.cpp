@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <unordered_map>
@@ -206,12 +207,21 @@ void BddManager::foreach_minterm(
           "foreach_minterm: vars must be strictly ascending");
     }
   }
+  // The recursion peels variables top-down, so it must walk them in the
+  // manager's current LEVEL order (== var order only while no reorder
+  // has happened); the enumeration set and the visit assignments are
+  // identical either way.
+  std::vector<std::uint32_t> by_level(vars.begin(), vars.end());
+  std::sort(by_level.begin(), by_level.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return level_of(a) < level_of(b);
+            });
   std::vector<bool> assignment(num_vars_, false);
   auto rec = [&](auto&& self, std::size_t depth, Edge e) -> void {
     if (e == kZero) {
       return;
     }
-    if (depth == vars.size()) {
+    if (depth == by_level.size()) {
       if (!edge_is_constant(e)) {
         throw std::logic_error(
             "foreach_minterm: function depends on variables outside vars");
@@ -221,8 +231,8 @@ void BddManager::foreach_minterm(
       }
       return;
     }
-    const std::uint32_t v = vars[depth];
-    if (!edge_is_constant(e) && node_var(e) < v) {
+    const std::uint32_t v = by_level[depth];
+    if (!edge_is_constant(e) && node_level(e) < level_of(v)) {
       throw std::logic_error(
           "foreach_minterm: function depends on variables outside vars");
     }

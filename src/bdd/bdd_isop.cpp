@@ -33,12 +33,15 @@ IsopResult BddManager::isop(const Bdd& lower, const Bdd& upper) {
       out.emplace_back(num_vars_);  // universal cube
       return kOne;
     }
+    // Top variable of the interval by LEVEL (l is nonzero and u is not
+    // one here, but either may be the other constant).
     std::uint32_t v = detail::kTerminalVar;
     if (!detail::edge_is_constant(l)) {
       v = node_var(l);
     }
-    if (!detail::edge_is_constant(u)) {
-      v = std::min(v, node_var(u));
+    if (!detail::edge_is_constant(u) &&
+        (v == detail::kTerminalVar || node_level(u) < level_of(v))) {
+      v = node_var(u);
     }
     const Edge l1 = cofactor_top(l, v, true);
     const Edge l0 = cofactor_top(l, v, false);

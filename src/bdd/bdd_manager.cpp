@@ -1,5 +1,8 @@
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <tuple>
 
 #include "bdd/bdd.hpp"
 
@@ -110,8 +113,7 @@ Bdd Bdd::cofactor(std::uint32_t var, bool phase) const {
 // Manager: construction, variables
 // ---------------------------------------------------------------------------
 
-BddManager::BddManager(std::uint32_t num_vars, std::uint32_t cache_log2)
-    : num_vars_(num_vars) {
+BddManager::BddManager(std::uint32_t num_vars, std::uint32_t cache_log2) {
   if (cache_log2 < 8 || cache_log2 > 28) {
     throw std::invalid_argument("BddManager: cache_log2 out of range [8,28]");
   }
@@ -125,7 +127,7 @@ BddManager::BddManager(std::uint32_t num_vars, std::uint32_t cache_log2)
   // Node 0: the terminal ONE.
   nodes_.push_back(Node{kTerminalVar, kOne, kOne, 0});
   refcount_.push_back(1);  // never collected
-  rehash_unique_table(1u << 12);
+  (void)add_vars(num_vars);
   // 2^cache_log2 entries organized as 2-way sets (consecutive pairs); at
   // 16 bytes per entry this is half the memory of the pre-overhaul cache.
   cache_.resize(std::size_t{1} << cache_log2);
@@ -140,7 +142,48 @@ std::uint32_t BddManager::add_vars(std::uint32_t count) {
   }
   const std::uint32_t first = num_vars_;
   num_vars_ += count;
+  // Fresh variables enter at the bottom of the order, each with its own
+  // (initially small) unique table.
+  level_of_var_.reserve(num_vars_);
+  var_at_level_.reserve(num_vars_);
+  subtables_.resize(num_vars_);
+  for (std::uint32_t v = first; v < num_vars_; ++v) {
+    level_of_var_.push_back(v);
+    var_at_level_.push_back(v);
+    subtables_[v].buckets.assign(kInitialSubtableBuckets, 0u);
+  }
   return first;
+}
+
+std::uint32_t BddManager::level_of_var(std::uint32_t var) const {
+  if (var >= num_vars_) {
+    throw std::out_of_range("BddManager::level_of_var: unknown variable");
+  }
+  return level_of_var_[var];
+}
+
+std::uint32_t BddManager::var_at_level(std::uint32_t level) const {
+  if (level >= num_vars_) {
+    throw std::out_of_range("BddManager::var_at_level: unknown level");
+  }
+  return var_at_level_[level];
+}
+
+ReorderMode resolve_reorder_mode(ReorderMode configured) {
+  const char* env = std::getenv("BREL_REORDER");
+  if (env == nullptr) {
+    return configured;
+  }
+  if (std::strcmp(env, "off") == 0) {
+    return ReorderMode::Off;
+  }
+  if (std::strcmp(env, "on") == 0) {
+    return ReorderMode::On;
+  }
+  if (std::strcmp(env, "auto") == 0) {
+    return ReorderMode::Auto;
+  }
+  return configured;  // unknown value: keep the configured mode
 }
 
 Bdd BddManager::one() { return wrap(kOne); }
@@ -172,17 +215,60 @@ std::uint64_t BddManager::hash_triple(std::uint64_t a, std::uint64_t b,
   return h;
 }
 
-void BddManager::rehash_unique_table(std::size_t bucket_count) {
-  buckets_.assign(bucket_count, 0);
+void BddManager::subtable_insert(SubTable& table, std::uint32_t idx) noexcept {
+  const Node& n = nodes_[idx];
+  const std::uint64_t h =
+      hash_triple(n.var, n.hi, n.lo) & (table.buckets.size() - 1);
+  nodes_[idx].next = table.buckets[h];
+  table.buckets[h] = idx;
+  ++table.count;
+}
+
+void BddManager::subtable_remove(SubTable& table, std::uint32_t idx) noexcept {
+  const Node& n = nodes_[idx];
+  const std::uint64_t h =
+      hash_triple(n.var, n.hi, n.lo) & (table.buckets.size() - 1);
+  std::uint32_t* slot = &table.buckets[h];
+  while (*slot != idx) {
+    slot = &nodes_[*slot].next;
+  }
+  *slot = nodes_[idx].next;
+  --table.count;
+}
+
+void BddManager::rebuild_subtables(std::uint32_t grow_level) {
+  // Re-bucket every live node into its level's table.  `grow_level`
+  // doubles that one table's bucket array first (the per-table analogue
+  // of the old global rehash-on-load).
+  if (grow_level != kTerminalVar) {
+    // Walk the CHAINS, not the node store: during a reorder swap some
+    // nodes of this variable are deliberately unlinked (awaiting their
+    // in-place rewrite), and re-inserting those here would corrupt both
+    // tables through the shared Node::next field.
+    SubTable& table = subtables_[grow_level];
+    std::vector<std::uint32_t> linked;
+    linked.reserve(table.count);
+    for (const std::uint32_t head : table.buckets) {
+      for (std::uint32_t i = head; i != 0; i = nodes_[i].next) {
+        linked.push_back(i);
+      }
+    }
+    table.buckets.assign(table.buckets.size() * 2, 0u);
+    table.count = 0;
+    for (const std::uint32_t i : linked) {
+      subtable_insert(table, i);
+    }
+    return;
+  }
+  for (SubTable& table : subtables_) {
+    std::fill(table.buckets.begin(), table.buckets.end(), 0u);
+    table.count = 0;
+  }
   for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    Node& n = nodes_[i];
-    if (n.var == kTerminalVar) {
+    if (nodes_[i].var == kTerminalVar) {
       continue;  // freed slot (var reset when put on the free list)
     }
-    const std::uint64_t h =
-        hash_triple(n.var, n.hi, n.lo) & (bucket_count - 1);
-    n.next = buckets_[h];
-    buckets_[h] = i;
+    subtable_insert(subtables_[level_of_var_[nodes_[i].var]], i);
   }
 }
 
@@ -215,8 +301,13 @@ Edge BddManager::make_node(std::uint32_t var, Edge hi, Edge lo) {
     lo = edge_not(lo);
     complement_out = true;
   }
-  const std::uint64_t h = hash_triple(var, hi, lo) & (buckets_.size() - 1);
-  for (std::uint32_t i = buckets_[h]; i != 0; i = nodes_[i].next) {
+  assert(node_level(hi) > level_of_var_[var] &&
+         node_level(lo) > level_of_var_[var] &&
+         "make_node: child level not below the parent");
+  SubTable& table = subtables_[level_of_var_[var]];
+  const std::uint64_t h =
+      hash_triple(var, hi, lo) & (table.buckets.size() - 1);
+  for (std::uint32_t i = table.buckets[h]; i != 0; i = nodes_[i].next) {
     const Node& n = nodes_[i];
     if (n.var == var && n.hi == hi && n.lo == lo) {
       const Edge found = i << 1;
@@ -224,15 +315,32 @@ Edge BddManager::make_node(std::uint32_t var, Edge hi, Edge lo) {
     }
   }
   const std::uint32_t idx = allocate_node();
-  nodes_[idx] = Node{var, hi, lo, buckets_[h]};
+  nodes_[idx] = Node{var, hi, lo, table.buckets[h]};
   refcount_[idx] = 0;
-  buckets_[h] = idx;
+  table.buckets[h] = idx;
+  ++table.count;
+  if (sifting_) {
+    // A fresh node hands one sift-session reference to each child; its
+    // own count starts at 0 and is set by the caller when it links the
+    // node somewhere.
+    if (sift_refs_.size() < nodes_.size()) {
+      sift_refs_.resize(nodes_.size(), 0u);
+    }
+    const auto bump = [this](Edge e) {
+      const std::uint32_t child = edge_index(e);
+      if (child != 0) {
+        ++sift_refs_[child];
+      }
+    };
+    bump(hi);
+    bump(lo);
+  }
   ++stats_.nodes_created;
-  const std::size_t live = nodes_.size() - 1 - free_count_;
+  const std::size_t live = live_nodes();
   stats_.live_nodes = live;
   stats_.peak_nodes = std::max(stats_.peak_nodes, live);
-  if (live * 2 > buckets_.size()) {
-    rehash_unique_table(buckets_.size() * 2);
+  if (table.count * 2 > table.buckets.size()) {
+    rebuild_subtables(level_of_var_[var]);
   }
   const Edge fresh = idx << 1;
   return complement_out ? edge_not(fresh) : fresh;
@@ -373,10 +481,10 @@ void BddManager::garbage_collect() {
       ++free_count_;
     }
   }
-  // The computed cache and unique table reference dead nodes; rebuild both.
+  // The computed cache and unique tables reference dead nodes; rebuild.
   std::fill(cache_.begin(), cache_.end(), CacheEntry{});
-  rehash_unique_table(buckets_.size());
-  stats_.live_nodes = nodes_.size() - 1 - free_count_;
+  rebuild_subtables();
+  stats_.live_nodes = live_nodes();
   ++stats_.gc_runs;
 }
 
@@ -386,13 +494,30 @@ void BddManager::garbage_collect_if_needed(std::size_t dead_node_threshold) {
   // garbage?" is two comparisons — no scan.  (The pre-overhaul version
   // walked every refcount here, on every solver expansion step.)
   ++stats_.gc_checks;
-  const std::size_t live = nodes_.size() - 1 - free_count_;
-  if (live < dead_node_threshold) {
-    return;
-  }
-  if (live > external_roots_ * 4) {
+  std::size_t live = live_nodes();
+  bool collected = false;
+  if (live >= dead_node_threshold && live > external_roots_ * 4) {
     garbage_collect();
+    live = live_nodes();
+    collected = true;
   }
+  // Auto-reorder hook: a live count that stays high after collection is
+  // genuine BDD growth, the signal that the order — not garbage — is the
+  // problem.  The threshold doubles from the post-sift size so a
+  // workload sifting cannot shrink does not re-sift every check.
+  if (auto_reorder_ && live >= reorder_threshold_) {
+    reorder_internal(reorder_max_growth_, collected);
+    reorder_threshold_ =
+        std::max(stats_.live_nodes * 2, reorder_first_threshold_);
+  }
+}
+
+void BddManager::set_auto_reorder(bool enabled, std::size_t first_trigger,
+                                  double max_growth) {
+  auto_reorder_ = enabled;
+  reorder_first_threshold_ = std::max<std::size_t>(first_trigger, 16);
+  reorder_threshold_ = reorder_first_threshold_;
+  reorder_max_growth_ = max_growth;
 }
 
 // ---------------------------------------------------------------------------
@@ -404,20 +529,26 @@ Bdd BddManager::cube_bdd(const Cube& cube,
   if (var_map.size() != cube.num_vars()) {
     throw std::invalid_argument("cube_bdd: var_map size mismatch");
   }
-  // Build bottom-up in descending variable order so make_node sees ordered
-  // children; collect (manager-var, phase) pairs first.
-  std::vector<std::pair<std::uint32_t, bool>> literals;
+  // Build bottom-up in descending LEVEL order so make_node sees ordered
+  // children; collect (level, manager-var, phase) triples first.  The
+  // mapped variables must be validated before the level lookup — an
+  // unknown variable would read past level_of_var_.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, bool>> literals;
   for (std::size_t i = 0; i < cube.num_vars(); ++i) {
     const Lit lit = cube.lit(i);
     if (lit != Lit::DontCare) {
-      literals.emplace_back(var_map[i], lit == Lit::One);
+      if (var_map[i] >= num_vars_) {
+        throw std::out_of_range("cube_bdd: unknown variable in var_map");
+      }
+      literals.emplace_back(level_of(var_map[i]), var_map[i],
+                            lit == Lit::One);
     }
   }
   std::sort(literals.begin(), literals.end());
   Edge acc = kOne;
   for (auto it = literals.rbegin(); it != literals.rend(); ++it) {
-    acc = it->second ? make_node(it->first, acc, kZero)
-                     : make_node(it->first, kZero, acc);
+    acc = std::get<2>(*it) ? make_node(std::get<1>(*it), acc, kZero)
+                           : make_node(std::get<1>(*it), kZero, acc);
   }
   return wrap(acc);
 }
@@ -433,12 +564,18 @@ Bdd BddManager::cover_bdd(const Cover& cover,
 
 Edge BddManager::vars_cube(std::span<const std::uint32_t> vars) {
   std::vector<std::uint32_t> sorted(vars.begin(), vars.end());
-  std::sort(sorted.begin(), sorted.end());
-  Edge acc = kOne;
-  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
-    if (*it >= num_vars_) {
+  for (const std::uint32_t v : sorted) {
+    if (v >= num_vars_) {
       throw std::out_of_range("vars_cube: unknown variable");
     }
+  }
+  // Bottom-up by LEVEL (a reordered manager's cube must be ordered too).
+  std::sort(sorted.begin(), sorted.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return level_of(a) < level_of(b);
+            });
+  Edge acc = kOne;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
     acc = make_node(*it, acc, kZero);
   }
   return acc;

@@ -47,9 +47,7 @@ Edge BddManager::constrain_rec(Edge f, Edge c) {
   if (cache_lookup(Op::Constrain, f, c, 0, cached, probe)) {
     return cached;
   }
-  const std::uint32_t vf = node_var(f);
-  const std::uint32_t vc = node_var(c);
-  const std::uint32_t v = vf < vc ? vf : vc;
+  const std::uint32_t v = top_var(f, c);
   const Edge c1 = cofactor_top(c, v, true);
   const Edge c0 = cofactor_top(c, v, false);
   Edge result = 0;
@@ -84,9 +82,8 @@ Edge BddManager::restrict_rec(Edge f, Edge c) {
     return cached;
   }
   const std::uint32_t vf = node_var(f);
-  const std::uint32_t vc = node_var(c);
   Edge result = 0;
-  if (vc < vf) {
+  if (node_level(c) < level_of(vf)) {
     // The care set tests a variable f does not depend on: smooth it away.
     const Edge smoothed = or_rec(hi_of(c), lo_of(c));
     result = restrict_rec(f, smoothed);

@@ -131,9 +131,7 @@ Edge BddManager::and_rec(Edge f, Edge g) {
   if (cache_lookup(Op::And, f, g, 0, cached, probe)) {
     return cached;
   }
-  const std::uint32_t vf = node_var(f);
-  const std::uint32_t vg = node_var(g);
-  const std::uint32_t v = vf < vg ? vf : vg;
+  const std::uint32_t v = top_var(f, g);
   const Edge t = and_rec(cofactor_top(f, v, true), cofactor_top(g, v, true));
   const Edge e = and_rec(cofactor_top(f, v, false), cofactor_top(g, v, false));
   const Edge result = make_node(v, t, e);
@@ -174,9 +172,7 @@ Edge BddManager::xor_rec(Edge f, Edge g) {
   if (cache_lookup(Op::Xor, f, g, 0, cached, probe)) {
     return negate_result ? edge_not(cached) : cached;
   }
-  const std::uint32_t vf = node_var(f);
-  const std::uint32_t vg = node_var(g);
-  const std::uint32_t v = vf < vg ? vf : vg;
+  const std::uint32_t v = top_var(f, g);
   const Edge t = xor_rec(cofactor_top(f, v, true), cofactor_top(g, v, true));
   const Edge e = xor_rec(cofactor_top(f, v, false), cofactor_top(g, v, false));
   const Edge result = make_node(v, t, e);
@@ -189,8 +185,8 @@ Edge BddManager::cofactor_rec(Edge f, std::uint32_t var, bool phase) {
     return f;
   }
   const std::uint32_t v = node_var(f);
-  if (v > var) {
-    return f;  // ordered: var cannot appear below a larger top index
+  if (level_of(v) > level_of(var)) {
+    return f;  // ordered: var cannot appear below a deeper top level
   }
   if (v == var) {
     return phase ? hi_of(f) : lo_of(f);
@@ -225,9 +221,7 @@ bool BddManager::leq_rec(Edge f, Edge g) {
   if (cache_lookup(Op::Leq, f, g, 0, cached, probe)) {
     return cached == kOne;
   }
-  const std::uint32_t vf = node_var(f);
-  const std::uint32_t vg = node_var(g);
-  const std::uint32_t v = vf < vg ? vf : vg;
+  const std::uint32_t v = top_var(f, g);
   const bool result =
       leq_rec(cofactor_top(f, v, true), cofactor_top(g, v, true)) &&
       leq_rec(cofactor_top(f, v, false), cofactor_top(g, v, false));
@@ -305,13 +299,13 @@ Edge BddManager::ite_rec(Edge f, Edge g, Edge h) {
   if (cache_lookup(Op::Ite, f, g, h, cached, probe)) {
     return negate_result ? edge_not(cached) : cached;
   }
-  // Recurse on the top variable of the three operands.
+  // Recurse on the top (highest-level) variable of the three operands.
   std::uint32_t v = node_var(f);
   if (!edge_is_constant(g)) {
-    v = std::min(v, node_var(g));
+    v = top_var(f, g);
   }
-  if (!edge_is_constant(h)) {
-    v = std::min(v, node_var(h));
+  if (!edge_is_constant(h) && node_level(h) < level_of(v)) {
+    v = node_var(h);
   }
   const Edge t = ite_rec(cofactor_top(f, v, true), cofactor_top(g, v, true),
                          cofactor_top(h, v, true));

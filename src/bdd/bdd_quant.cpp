@@ -43,7 +43,7 @@ Edge BddManager::exists_rec(Edge f, Edge cube) {
     return f;
   }
   // Skip quantified variables above the top of f: they are not in supp(f).
-  while (cube != kOne && node_var(cube) < node_var(f)) {
+  while (cube != kOne && node_level(cube) < node_level(f)) {
     cube = hi_of(cube);
   }
   if (cube == kOne) {
@@ -90,10 +90,8 @@ Edge BddManager::and_exists_rec(Edge f, Edge g, Edge cube) {
   if (cube == kOne) {
     return and_rec(f, g);
   }
-  const std::uint32_t vf = node_var(f);
-  const std::uint32_t vg = node_var(g);
-  const std::uint32_t v = vf < vg ? vf : vg;
-  while (cube != kOne && node_var(cube) < v) {
+  const std::uint32_t v = top_var(f, g);
+  while (cube != kOne && node_level(cube) < level_of(v)) {
     cube = hi_of(cube);
   }
   if (cube == kOne) {

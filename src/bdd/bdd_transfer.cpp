@@ -19,12 +19,13 @@ using detail::edge_complemented;
 using detail::edge_index;
 using detail::edge_not;
 using detail::kOne;
+using detail::kZero;
 
 // ---------------------------------------------------------------------------
 // Serialization (reads only the source manager)
 // ---------------------------------------------------------------------------
 
-SerializedBdd BddManager::serialize_bdd(const Bdd& f) const {
+SerializedBdd BddManager::serialize_bdd(const Bdd& f) {
   if (f.manager() != this) {
     throw std::invalid_argument("serialize_bdd: foreign or null handle");
   }
@@ -33,44 +34,110 @@ SerializedBdd BddManager::serialize_bdd(const Bdd& f) const {
     out.root = f.raw_edge();  // kOne/kZero use the same encoding
     return out;
   }
-  // Child-before-parent ids via an explicit post-order walk over node
-  // indices (complement bits live on edges, not nodes, so each node is
-  // visited once regardless of how it is referenced).
-  std::unordered_map<std::uint32_t, std::uint32_t> id;  // node index -> id
-  id.emplace(0u, 0u);                                   // the ONE terminal
-  std::vector<std::uint32_t> stack{edge_index(f.raw_edge())};
-  const auto serialized_edge = [&](Edge e) {
-    return (id.at(edge_index(e)) << 1) | (edge_complemented(e) ? 1u : 0u);
-  };
-  while (!stack.empty()) {
-    const std::uint32_t idx = stack.back();
-    if (id.count(idx) != 0) {
-      stack.pop_back();
-      continue;
-    }
-    const Node& n = nodes_[idx];
-    const std::uint32_t hi_idx = edge_index(n.hi);
-    const std::uint32_t lo_idx = edge_index(n.lo);
-    const bool hi_done = id.count(hi_idx) != 0;
-    const bool lo_done = id.count(lo_idx) != 0;
-    if (hi_done && lo_done) {
-      stack.pop_back();
-      id.emplace(idx, static_cast<std::uint32_t>(out.nodes.size()) + 1);
-      out.nodes.push_back(SerializedBdd::Node{
-          n.var, serialized_edge(n.hi), serialized_edge(n.lo)});
-      if (n.var + 1 > out.num_vars) {
-        out.num_vars = n.var + 1;
+  if (order_is_identity_) {
+    // Fast path: with var == level the in-store DAG *is* the canonical
+    // var-ordered form.  Child-before-parent ids via an explicit
+    // post-order walk over node indices (complement bits live on edges,
+    // not nodes, so each node is visited once regardless of how it is
+    // referenced).
+    std::unordered_map<std::uint32_t, std::uint32_t> id;  // node idx -> id
+    id.emplace(0u, 0u);                                   // the ONE terminal
+    std::vector<std::uint32_t> stack{edge_index(f.raw_edge())};
+    const auto serialized_edge = [&](Edge e) {
+      return (id.at(edge_index(e)) << 1) | (edge_complemented(e) ? 1u : 0u);
+    };
+    while (!stack.empty()) {
+      const std::uint32_t idx = stack.back();
+      if (id.count(idx) != 0) {
+        stack.pop_back();
+        continue;
       }
-      continue;
+      const Node& n = nodes_[idx];
+      const std::uint32_t hi_idx = edge_index(n.hi);
+      const std::uint32_t lo_idx = edge_index(n.lo);
+      const bool hi_done = id.count(hi_idx) != 0;
+      const bool lo_done = id.count(lo_idx) != 0;
+      if (hi_done && lo_done) {
+        stack.pop_back();
+        id.emplace(idx, static_cast<std::uint32_t>(out.nodes.size()) + 1);
+        out.nodes.push_back(SerializedBdd::Node{
+            n.var, serialized_edge(n.hi), serialized_edge(n.lo)});
+        if (n.var + 1 > out.num_vars) {
+          out.num_vars = n.var + 1;
+        }
+        continue;
+      }
+      if (!hi_done) {
+        stack.push_back(hi_idx);
+      }
+      if (!lo_done) {
+        stack.push_back(lo_idx);
+      }
     }
-    if (!hi_done) {
-      stack.push_back(hi_idx);
-    }
-    if (!lo_done) {
-      stack.push_back(lo_idx);
-    }
+    out.root = serialized_edge(f.raw_edge());
+    return out;
   }
-  out.root = serialized_edge(f.raw_edge());
+
+  // Reordered manager: re-express the function under the IDENTITY order
+  // so the serialized form — and everything keyed on it (memo keys, .bdd
+  // bodies, injection-queue payloads) — is independent of this manager's
+  // current order.  The recursion peels the smallest support *variable
+  // id* (the top variable of the var-ordered BDD) with the ordinary
+  // cofactor kernel and assigns ids in the same lo-subtree-first
+  // post-order as the fast path, so managers in different orders emit
+  // byte-identical node lists for equal functions.  Scratch nodes are
+  // built here (the cofactor cones); they die with the next GC.
+  std::unordered_map<std::uint32_t, std::uint32_t> min_var;  // regular idx
+  auto min_support_var = [&](auto&& self, Edge e) -> std::uint32_t {
+    const std::uint32_t idx = edge_index(e);
+    if (idx == 0) {
+      return detail::kTerminalVar;  // no support
+    }
+    if (const auto it = min_var.find(idx); it != min_var.end()) {
+      return it->second;
+    }
+    // Copy the fields: nothing allocates inside, but keep the pattern
+    // uniform with the canon recursion below.
+    const Node n = nodes_[idx];
+    std::uint32_t v = n.var;
+    v = std::min(v, self(self, n.hi));
+    v = std::min(v, self(self, n.lo));
+    min_var.emplace(idx, v);
+    return v;
+  };
+  std::unordered_map<Edge, std::uint32_t> id;  // regular edge -> ser. edge
+  auto canon = [&](auto&& self, Edge e) -> std::uint32_t {
+    const bool comp = edge_complemented(e);
+    const Edge er = detail::edge_regular(e);
+    std::uint32_t serialized;
+    if (er == kOne) {
+      serialized = 0;
+    } else if (const auto it = id.find(er); it != id.end()) {
+      serialized = it->second;
+    } else {
+      const std::uint32_t v = min_support_var(min_support_var, er);
+      const Edge e0 = cofactor_rec(er, v, false);
+      const Edge e1 = cofactor_rec(er, v, true);
+      const std::uint32_t s0 = self(self, e0);  // lo first: id parity with
+      const std::uint32_t s1 = self(self, e1);  // the fast path's walk
+      std::uint32_t hi = s1;
+      std::uint32_t lo = s0;
+      const bool flip = (hi & 1u) != 0;  // canonical: hi stays regular
+      if (flip) {
+        hi ^= 1u;
+        lo ^= 1u;
+      }
+      out.nodes.push_back(SerializedBdd::Node{v, hi, lo});
+      if (v + 1 > out.num_vars) {
+        out.num_vars = v + 1;
+      }
+      serialized = (static_cast<std::uint32_t>(out.nodes.size()) << 1) |
+                   (flip ? 1u : 0u);
+      id.emplace(er, serialized);
+    }
+    return comp ? (serialized ^ 1u) : serialized;
+  };
+  out.root = canon(canon, f.raw_edge());
   return out;
 }
 
@@ -106,7 +173,17 @@ Bdd BddManager::deserialize_bdd(const SerializedBdd& s,
     };
     const Edge hi = child(n.hi);
     const Edge lo = child(n.lo);
-    built[k + 1] = make_node(n.var + var_offset, hi, lo);
+    if (order_is_identity_) {
+      // The serialized form is var-ordered and so is this manager: the
+      // node list rebuilds by direct unique-table insertion.
+      built[k + 1] = make_node(n.var + var_offset, hi, lo);
+    } else {
+      // Reordered destination: the incoming var-ordered parent/child
+      // pairs need not respect this manager's level order, so rebuild
+      // through the ITE kernel, which re-canonicalizes under it.
+      const Edge var_edge = make_node(n.var + var_offset, kOne, kZero);
+      built[k + 1] = ite_rec(var_edge, hi, lo);
+    }
     level[k + 1] = n.var;
   }
   const std::uint32_t root_idx = s.root >> 1;
@@ -123,12 +200,18 @@ Bdd BddManager::deserialize_bdd(const SerializedBdd& s,
 // ---------------------------------------------------------------------------
 
 Bdd BddManager::import_bdd(const Bdd& src) {
-  const BddManager* from = src.manager();
+  BddManager* from = src.manager();
   if (from == nullptr) {
     throw std::invalid_argument("import_bdd: null handle");
   }
   if (from == this) {
     return src;
+  }
+  if (!order_is_identity_ || !from->order_is_identity_) {
+    // Orders may disagree, so a verbatim node copy is not canonical here;
+    // route through the serialized form, which both sides express (and
+    // rebuild) order-independently.
+    return deserialize_bdd(from->serialize_bdd(src));
   }
   // Memo on source node index -> destination edge of the node's regular
   // (uncomplemented) function; complement bits transfer on the edges.

@@ -21,10 +21,16 @@
 ///     parallel engine's injection queue, and `relation_io` reuses it as
 ///     the `.bdd` compact relation format (no 2^n row enumeration).
 ///
-/// Both paths preserve the variable order (indices are copied verbatim,
-/// or uniformly shifted by `deserialize_bdd`'s offset), so a transferred
-/// function has the same canonical structure — node counts, split
-/// choices, cube extraction all behave identically in the destination.
+/// Both paths preserve variable *ids* (copied verbatim, or uniformly
+/// shifted by `deserialize_bdd`'s offset) and are independent of either
+/// manager's dynamic variable order: the serialized form is always
+/// expressed under the identity (var-index) order — a reordered source
+/// re-canonicalizes while flattening, a reordered destination rebuilds
+/// through ITE — so equal functions serialize byte-identically from any
+/// manager in any order (the invariant GlobalMemo keys stand on), and a
+/// transferred function means the same thing on both sides.  Structure
+/// (node counts, split choices) matches the destination's order, which
+/// equals the source's only when neither manager was reordered.
 
 #include <cstdint>
 #include <iosfwd>
@@ -53,7 +59,8 @@ struct SerializedBdd {
   [[nodiscard]] bool operator==(const SerializedBdd&) const = default;
 };
 
-/// Flatten `f` into the manager-independent form (reads only f's manager).
+/// Flatten `f` into the manager-independent form (touches only f's
+/// manager; builds scratch nodes there when it has a non-identity order).
 [[nodiscard]] SerializedBdd serialize_bdd(const Bdd& f);
 
 /// Rebuild `s` in `dst`, shifting every variable by `var_offset` (the
@@ -62,8 +69,9 @@ struct SerializedBdd {
 [[nodiscard]] Bdd deserialize_bdd(BddManager& dst, const SerializedBdd& s,
                                   std::uint32_t var_offset = 0);
 
-/// Direct memoized transfer of `f` into `dst` (same variable order
-/// assumed; the calling thread must own both managers).
+/// Direct memoized transfer of `f` into `dst` (order-independent: falls
+/// back to serialize + deserialize when either manager was reordered;
+/// the calling thread must own both managers).
 [[nodiscard]] Bdd transfer_bdd(const Bdd& f, BddManager& dst);
 
 /// Text form of a serialized BDD, one node per line ("var hi lo", ids

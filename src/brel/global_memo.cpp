@@ -140,39 +140,79 @@ std::optional<PortableSolution> GlobalMemo::lookup(
   const std::scoped_lock lock(mutex_);
   ++probes_;
   const auto it = map_.find(key);
-  if (it == map_.end() || !it->second.complete ||
-      !it->second.solution.has_solution()) {
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  // Any probe that finds the key counts as interest: refresh recency
+  // even for entries still too incomplete to serve, so an in-progress
+  // subtree is not the first thing the capacity bound throws away.
+  touch(it->second);
+  if (!it->second.complete || !it->second.solution.has_solution()) {
     return std::nullopt;
   }
   ++hits_;
   return it->second.solution;
 }
 
+MemoRunStamp GlobalMemo::begin_run() {
+  const std::scoped_lock lock(mutex_);
+  return MemoRunStamp{++run_counter_, insert_seq_};
+}
+
 void GlobalMemo::publish(const GlobalMemoKey& key,
-                         const PortableSolution& solution) {
+                         const PortableSolution& solution,
+                         std::uint64_t run_id) {
   const std::scoped_lock lock(mutex_);
   ++publishes_;
   if (const auto it = map_.find(key); it != map_.end()) {
-    // Improvements to present entries land even at capacity; the
-    // completeness bit is sticky (same-fingerprint runs only ever refine
-    // a completed subtree result downward in cost).
+    // Improvements to present entries never evict; the completeness bit
+    // is sticky (same-fingerprint runs only ever refine a completed
+    // subtree result downward in cost).
+    touch(it->second);
     if (!it->second.solution.has_solution() ||
         solution.cost < it->second.solution.cost) {
       it->second.solution = solution;
     }
     return;
   }
-  if (map_.size() < capacity_) {
-    map_.emplace(key, Entry{solution, false});
+  if (capacity_ == 0) {
+    return;
   }
+  if (map_.size() >= capacity_) {
+    // LRU eviction (ROADMAP follow-up to the old drop-new-keys policy):
+    // the victim is the entry longest untouched by any lookup/publish.
+    const GlobalMemoKey* victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(*victim);
+    ++evictions_;
+  }
+  const auto it =
+      map_.emplace(key, Entry{solution, false, run_id, ++insert_seq_,
+                              lru_.end()})
+          .first;
+  lru_.push_front(&it->first);
+  it->second.lru = lru_.begin();
 }
 
 void GlobalMemo::mark_complete(
-    std::span<const std::shared_ptr<const GlobalMemoKey>> keys) {
+    std::span<const std::shared_ptr<const GlobalMemoKey>> keys,
+    const MemoRunStamp& stamp) {
   const std::scoped_lock lock(mutex_);
   for (const std::shared_ptr<const GlobalMemoKey>& key : keys) {
     if (const auto it = map_.find(*key); it != map_.end()) {
-      it->second.complete = true;
+      Entry& entry = it->second;
+      // Only vouch for entries this run found already present or
+      // created itself (possibly re-created after an eviction): an
+      // entry created mid-run by a DIFFERENT run may hold only that
+      // run's partial publishes, and completing it would serve a
+      // degraded result forever.  Skipping merely costs the next
+      // identical solve a re-exploration — the safe direction.
+      const bool vouched =
+          entry.created_seq <= stamp.start_seq ||
+          (stamp.run_id != 0 && entry.creator_run == stamp.run_id);
+      if (vouched) {
+        entry.complete = true;
+      }
     }
   }
 }
@@ -192,6 +232,10 @@ std::uint64_t GlobalMemo::probes() const {
 std::uint64_t GlobalMemo::publishes() const {
   const std::scoped_lock lock(mutex_);
   return publishes_;
+}
+std::uint64_t GlobalMemo::evictions() const {
+  const std::scoped_lock lock(mutex_);
+  return evictions_;
 }
 
 }  // namespace brel

@@ -48,6 +48,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -129,6 +130,19 @@ struct MemoFingerprint {
   [[nodiscard]] bool operator==(const MemoFingerprint&) const = default;
 };
 
+/// Identity of one producing run, handed out by begin_run(): a unique
+/// run id plus the entry-creation sequence watermark at run start.
+/// mark_complete() uses it to refuse flipping entries the marking run
+/// neither fed nor found already present — with LRU eviction an entry
+/// can be evicted mid-run and re-created by a *different* concurrent
+/// run holding only a partial solution, and stamping THAT entry
+/// complete would lock a degraded result into the service (the exact
+/// hazard the completeness protocol exists to prevent).
+struct MemoRunStamp {
+  std::uint64_t run_id = 0;     ///< 0 = anonymous (matches nothing)
+  std::uint64_t start_seq = 0;  ///< entries created at or before: trusted
+};
+
 /// The cross-solve memo.  Thread-safe; entries are plain data.
 ///
 /// Completeness protocol: publishes made *during* a run only accumulate
@@ -155,6 +169,11 @@ class GlobalMemo {
   /// std::invalid_argument (cf. SubproblemCache::bind).
   void bind(const MemoFingerprint& fp);
 
+  /// Hand out this run's identity (see MemoRunStamp): call once when a
+  /// producing run starts, pass the stamp to every publish and to the
+  /// final mark_complete.
+  [[nodiscard]] MemoRunStamp begin_run();
+
   /// Probe for `key`; returns the memoized solution only when the entry
   /// is complete (see the protocol above) — and counts a hit only then.
   /// By-value so the record is immune to concurrent publish().
@@ -162,23 +181,38 @@ class GlobalMemo {
       const GlobalMemoKey& key) const;
 
   /// Insert-or-improve: record `solution` for `key` when the key is new
-  /// (capacity permitting) or when the cost beats the stored entry.
-  /// At capacity, improvements to already-present keys still land —
-  /// only brand-new keys are dropped.  Never sets completeness.
-  void publish(const GlobalMemoKey& key, const PortableSolution& solution);
+  /// or when the cost beats the stored entry.  At capacity a brand-new
+  /// key EVICTS the least-recently-touched entry (recency is refreshed
+  /// by every lookup or publish that finds the key present), so a
+  /// long-lived service retains its hot working set instead of freezing
+  /// whatever happened to arrive first; improvements to present keys
+  /// never evict anything.  Never sets completeness.  `run_id`
+  /// (begin_run) records who created a newly inserted entry, which is
+  /// what lets mark_complete tell its own re-created entries from a
+  /// concurrent run's.
+  void publish(const GlobalMemoKey& key, const PortableSolution& solution,
+               std::uint64_t run_id = 0);
 
-  /// Flip the completeness bit on every present entry of `keys` — the
-  /// engine calls this with all keys its run touched, once the run has
-  /// provably drained (see the protocol above).  Absent keys (capacity
-  /// drops) are skipped.
+  /// Flip the completeness bit on entries of `keys` — the engine calls
+  /// this with all keys its run touched, once the run has provably
+  /// drained (see the protocol above).  Absent keys (evicted by the
+  /// capacity bound) are skipped, and so is any entry the marking run
+  /// cannot vouch for: one created after `stamp.start_seq` by a
+  /// different run (an eviction hole re-filled by a concurrent solve's
+  /// partial publishes).  The default stamp trusts everything — the
+  /// single-producer configuration, where no foreign entry can exist.
   void mark_complete(
-      std::span<const std::shared_ptr<const GlobalMemoKey>> keys);
+      std::span<const std::shared_ptr<const GlobalMemoKey>> keys,
+      const MemoRunStamp& stamp = MemoRunStamp{
+          0, static_cast<std::uint64_t>(-1)});
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t probes() const;
   [[nodiscard]] std::uint64_t publishes() const;
+  /// Entries removed by the capacity bound's LRU policy so far.
+  [[nodiscard]] std::uint64_t evictions() const;
 
  private:
   struct KeyHash {
@@ -187,15 +221,30 @@ class GlobalMemo {
   struct Entry {
     PortableSolution solution;
     bool complete = false;
+    std::uint64_t creator_run = 0;  ///< run_id of the inserting publish
+    std::uint64_t created_seq = 0;  ///< insertion order (for run stamps)
+    /// Position in lru_ (most-recently-touched at the front).  List
+    /// iterators survive splices, so a const lookup can refresh recency
+    /// without touching the entry itself.
+    std::list<const GlobalMemoKey*>::iterator lru;
   };
+
+  /// Move `entry` to the most-recently-touched position (under mutex_).
+  void touch(const Entry& entry) const { lru_.splice(lru_.begin(), lru_, entry.lru); }
 
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::optional<MemoFingerprint> fingerprint_;
   std::unordered_map<GlobalMemoKey, Entry, KeyHash> map_;
+  /// Recency order over the map's keys (pointers into the node-based
+  /// map, stable across rehash); back() is the eviction victim.
+  mutable std::list<const GlobalMemoKey*> lru_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t probes_ = 0;
   std::uint64_t publishes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t run_counter_ = 0;  ///< begin_run ids (0 stays anonymous)
+  std::uint64_t insert_seq_ = 0;   ///< entry-creation sequence
 };
 
 }  // namespace brel

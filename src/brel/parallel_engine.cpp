@@ -180,7 +180,8 @@ bool acquire_injected(SearchContext& ctx, SharedState& shared,
 void run_worker(std::size_t worker_id, BddManager& mgr,
                 const BooleanRelation& root, const SolverOptions& options,
                 std::chrono::steady_clock::time_point start,
-                SharedState& shared, WorkerOutcome& out) {
+                const MemoRunStamp& memo_stamp, SharedState& shared,
+                WorkerOutcome& out) {
   SearchContext ctx{mgr,
                     options,
                     options.cost ? options.cost : sum_of_bdd_sizes(),
@@ -212,9 +213,23 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
     memo_space.emplace(make_memo_space(root));
     ctx.memo = options.global_memo.get();
     ctx.memo_space = &*memo_space;
+    // One stamp for the whole fleet: the fleet is one producing run.
+    ctx.memo_stamp = memo_stamp;
   }
   const std::unique_ptr<Frontier> frontier =
       make_frontier(options.order, options.fifo_capacity);
+
+  // Reordering policy, per worker manager (each is private and fresh, so
+  // no restore is needed): On sifts the imported root now; Auto arms the
+  // GC-coupled trigger.  Sifting is deterministic over equal stores, so
+  // all workers start in the same order.
+  const ReorderMode reorder_mode = resolve_reorder_mode(options.reorder);
+  const std::uint64_t reorders_before = mgr.stats().reorders;
+  if (reorder_mode == ReorderMode::On) {
+    mgr.reorder();
+  } else if (reorder_mode == ReorderMode::Auto) {
+    mgr.set_auto_reorder(true);
+  }
 
   if (worker_id == 0) {
     // Step 0, exactly like SearchEngine::run(): the root subproblem and
@@ -246,7 +261,8 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
     if (ctx.memo != nullptr && !root_item.memo_chain.empty()) {
       ctx.memo->publish(*root_item.memo_chain.front(),
                         make_portable_solution(*ctx.memo_space, quick,
-                                               quick_cost));
+                                               quick_cost),
+                        ctx.memo_stamp.run_id);
     }
     ctx.best_cost = quick_cost;
     ctx.best = std::move(quick);
@@ -293,6 +309,8 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
     atomic_min(shared.bound, ctx.bound_cost);
   }
 
+  ctx.stats.reorders =
+      static_cast<std::size_t>(mgr.stats().reorders - reorders_before);
   ctx.stats.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -316,6 +334,7 @@ void accumulate_stats(SolverStats& into, const SolverStats& from) {
   into.fifo_overflow += from.fifo_overflow;
   into.depth_limited += from.depth_limited;
   into.solutions_seen += from.solutions_seen;
+  into.reorders += from.reorders;
   into.budget_exhausted = into.budget_exhausted || from.budget_exhausted;
 }
 
@@ -395,6 +414,9 @@ SolveResult ParallelEngine::run() {
                                        root_.outputs(), std::move(chi)));
   }
 
+  const MemoRunStamp memo_stamp = options_.global_memo != nullptr
+                                      ? options_.global_memo->begin_run()
+                                      : MemoRunStamp{};
   SharedState shared(count);
   std::vector<WorkerOutcome> outcomes(count);
   std::vector<std::exception_ptr> failures(count);
@@ -406,8 +428,8 @@ SolveResult ParallelEngine::run() {
       threads.emplace_back([&, w] {
         managers[w]->bind_to_current_thread();
         try {
-          run_worker(w, *managers[w], *roots[w], options_, start, shared,
-                     outcomes[w]);
+          run_worker(w, *managers[w], *roots[w], options_, start,
+                     memo_stamp, shared, outcomes[w]);
         } catch (...) {
           failures[w] = std::current_exception();
           shared.halt();
@@ -475,13 +497,14 @@ SolveResult ParallelEngine::run() {
     if (result.stats.pruned_by_cost == 0 &&
         result.stats.depth_limited == 0) {
       for (const WorkerOutcome& outcome : outcomes) {
-        options_.global_memo->mark_complete(outcome.memo_touched);
+        options_.global_memo->mark_complete(outcome.memo_touched,
+                                            memo_stamp);
       }
     } else {
       const MemoSpace space = make_memo_space(root_);
       const auto root_key = std::make_shared<const GlobalMemoKey>(
           make_memo_key(space, root_.characteristic()));
-      options_.global_memo->mark_complete({&root_key, 1});
+      options_.global_memo->mark_complete({&root_key, 1}, memo_stamp);
     }
   }
 

@@ -100,7 +100,7 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child,
       // (this run's root included) must memoize at least this well.
       for (const std::shared_ptr<const GlobalMemoKey>& key :
            parent.memo_chain) {
-        ctx.memo->publish(*key, *entry);
+        ctx.memo->publish(*key, *entry, ctx.memo_stamp.run_id);
       }
       ctx.offer_solution(
           import_portable_solution(ctx.mgr, *ctx.memo_space, *entry),
@@ -180,7 +180,7 @@ void SearchContext::publish_to_memo(
   const PortableSolution portable =
       make_portable_solution(*memo_space, f, solution_cost);
   for (const std::shared_ptr<const GlobalMemoKey>& key : chain) {
-    memo->publish(*key, portable);
+    memo->publish(*key, portable, memo_stamp.run_id);
   }
 }
 
@@ -371,10 +371,21 @@ SearchEngine::SearchEngine(const BooleanRelation& root,
     memo_space_.emplace(make_memo_space(root_));
     ctx_.memo = memo_.get();
     ctx_.memo_space = &*memo_space_;
+    ctx_.memo_stamp = memo_->begin_run();
   }
 }
 
 SolveResult SearchEngine::run() {
+  // Dynamic reordering policy (SolverOptions::reorder, overridable via
+  // BREL_REORDER): On sifts the manager once before exploration, Auto
+  // arms the GC-coupled trigger for the duration of this run (restored
+  // afterwards — an engine must not permanently change a caller's
+  // manager policy).  SolverStats::reorders reports the sift passes this
+  // run caused, whatever the trigger.
+  const ReorderMode reorder_mode = resolve_reorder_mode(options_.reorder);
+  const bool auto_was_armed = ctx_.mgr.auto_reorder();
+  const std::uint64_t reorders_before = ctx_.mgr.stats().reorders;
+
   // Step 0 (Sec. 7.2): QuickSolver guarantees at least one solution.
   // Its cost does NOT seed the branch-and-bound bound: Fig. 6 starts the
   // recursion with an infinite-cost BestF, and the quick fallbacks serve
@@ -418,6 +429,27 @@ SolveResult SearchEngine::run() {
     root_item.memo_chain.push_back(std::move(root_key));
   }
 
+  // Apply the reordering policy only past the warm-memo fast path (keys
+  // are order-independent, so probing never needed a sift — and a warm
+  // hit should not pay for one): On sifts once up front, Auto arms the
+  // GC-coupled trigger for the duration of this run.  The disarm guard
+  // runs on every exit — a throwing cost function must not leave the
+  // caller's manager permanently armed.
+  struct AutoReorderGuard {
+    BddManager* mgr = nullptr;
+    ~AutoReorderGuard() {
+      if (mgr != nullptr) {
+        mgr->set_auto_reorder(false);
+      }
+    }
+  } disarm_guard;
+  if (reorder_mode == ReorderMode::On) {
+    ctx_.mgr.reorder();
+  } else if (reorder_mode == ReorderMode::Auto && !auto_was_armed) {
+    ctx_.mgr.set_auto_reorder(true);
+    disarm_guard.mgr = &ctx_.mgr;
+  }
+
   // The root quick solution seeds the incumbent UNCONDITIONALLY: even a
   // cost function that maps it to +inf (or NaN) must leave a compatible
   // function in `best`, never an empty MultiFunction.
@@ -431,7 +463,8 @@ SolveResult SearchEngine::run() {
   if (ctx_.memo != nullptr && !root_item.memo_chain.empty()) {
     ctx_.memo->publish(*root_item.memo_chain.front(),
                        make_portable_solution(*ctx_.memo_space, quick,
-                                              quick_cost));
+                                              quick_cost),
+                       ctx_.memo_stamp.run_id);
   }
   ctx_.best_cost = quick_cost;
   ctx_.best = std::move(quick);
@@ -467,12 +500,16 @@ SolveResult SearchEngine::run() {
   if (ctx_.memo != nullptr && !ctx_.stats.budget_exhausted &&
       ctx_.stats.fifo_overflow == 0 && !ctx_.memo_touched.empty()) {
     if (ctx_.stats.pruned_by_cost == 0 && ctx_.stats.depth_limited == 0) {
-      ctx_.memo->mark_complete(ctx_.memo_touched);
+      ctx_.memo->mark_complete(ctx_.memo_touched, ctx_.memo_stamp);
     } else {
       // memo_touched.front() is the root key (pushed before any child).
-      ctx_.memo->mark_complete({&ctx_.memo_touched.front(), 1});
+      ctx_.memo->mark_complete({&ctx_.memo_touched.front(), 1},
+                               ctx_.memo_stamp);
     }
   }
+
+  ctx_.stats.reorders = static_cast<std::size_t>(
+      ctx_.mgr.stats().reorders - reorders_before);
 
   ctx_.stats.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

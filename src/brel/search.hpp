@@ -70,6 +70,11 @@ struct SearchContext {
   GlobalMemo* memo = nullptr;
   const MemoSpace* memo_space = nullptr;
 
+  /// This run's memo identity (GlobalMemo::begin_run), threaded through
+  /// every publish so the final mark_complete can tell its own entries
+  /// from a concurrent run's re-creations (see MemoRunStamp).
+  MemoRunStamp memo_stamp = {};
+
   /// Every memo key this run created (root + generated children within
   /// the depth gate).  A run that ends at its natural frontier drain —
   /// no budget/timeout stop, no frontier-overflow drops — passes the

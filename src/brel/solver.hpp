@@ -142,6 +142,20 @@ struct SolverOptions {
 
   /// BFS (paper default), DFS, or best-first tree exploration.
   ExplorationOrder order = ExplorationOrder::BreadthFirst;
+
+  /// Dynamic variable reordering of the solving manager(s).  Off (the
+  /// default) never reorders — every cost and exploration count stays
+  /// bit-identical to previous releases.  On sifts each engine manager
+  /// once before exploration starts; Auto arms the GC-coupled trigger
+  /// (BddManager::set_auto_reorder) for the duration of the run.  The
+  /// BREL_REORDER environment variable ("off"/"on"/"auto") overrides
+  /// this setting when present (resolve_reorder_mode) — the hook CI uses
+  /// to re-run whole suites under forced reordering.  Reordering changes
+  /// BDD *sizes*, so size-based costs may differ between runs with
+  /// different modes (and between serial and parallel engines, whose
+  /// managers sift independently); results remain compatible solutions
+  /// of the relation in every mode.
+  ReorderMode reorder = ReorderMode::Off;
 };
 
 /// Counters describing one solve() run.
@@ -160,6 +174,7 @@ struct SolverStats {
   std::size_t solutions_seen = 0;      ///< compatible functions encountered
   std::size_t workers = 1;             ///< threads that ran the exploration
   std::size_t steals = 0;              ///< subproblems migrated via injection
+  std::size_t reorders = 0;            ///< sifting passes during this run
   bool budget_exhausted = false;       ///< stopped on max_relations/timeout
   double runtime_seconds = 0.0;
 };

@@ -93,18 +93,18 @@ struct SolverPool::Impl {
       // every future observes the full tally.
       served.fetch_add(1);
       try {
-        // Each request gets a fresh variable block in the persistent
-        // manager; its handles die with this scope, so the slot GC can
-        // reclaim the request's nodes afterwards.
+        // The slot recycled its variable block after the previous
+        // request (reset_variables below), so this request parses into
+        // variables 0..width-1; its handles die with this scope.
         BooleanRelation r = read_relation(mgr, job.text);
         if (options.totalize) {
           r = r.totalized();
         }
         SolverOptions solve_options = options.solver;
         if (slot_cache != nullptr) {
-          // Fresh variable block => old raw-edge keys can never be
-          // re-encountered; recycle the slot cache for this request's
-          // fingerprint (same cost/mode, new spaces => clears).
+          // The cache was emptied at the previous request's end (raw-edge
+          // keys must not survive a variable-block recycle); re-stamp it
+          // for this request's fingerprint.
           slot_cache->rebind_or_clear(make_cache_fingerprint(
               r, solve_options,
               solve_options.cost ? solve_options.cost
@@ -118,11 +118,24 @@ struct SolverPool::Impl {
         out.cost = solved.cost;
         out.stats = solved.stats;
         out.worker_id = id;
+        out.manager_num_vars = mgr.num_vars();
         job.promise.set_value(std::move(out));
       } catch (...) {
         job.promise.set_exception(std::current_exception());
       }
-      mgr.garbage_collect_if_needed();
+      // Slot recycling: the request's handles are dead past this point.
+      // Empty the slot cache (its entries pin edges) and reclaim the
+      // whole variable block, so num_vars stays bounded by the widest
+      // single request instead of growing with every request served.
+      // reset_variables only declines when something still pins a node —
+      // impossible here, but fall back to ordinary GC rather than assert
+      // on a hypothetical embedder extension.
+      if (slot_cache != nullptr) {
+        slot_cache->clear();
+      }
+      if (!mgr.reset_variables()) {
+        mgr.garbage_collect_if_needed();
+      }
     }
   }
 

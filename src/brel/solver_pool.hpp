@@ -26,19 +26,19 @@
 ///     re-exploring — a warm re-solve of an identical relation explores
 ///     zero nodes.
 ///
-/// Manager lifetime across solves: each request parses into the slot
-/// manager at a fresh variable block, and the request's handles die when
-/// the request finishes, so the slot's node store is reclaimed by its
-/// ordinary GC between solves.  Variable *indices* are not reclaimed —
-/// a slot's num_vars grows by the request's width on every request, and
-/// rank-table construction is O(num_vars) — acceptable for the
-/// service's current scale, ROADMAP lists block reuse as the follow-up
-/// for very long-lived pools.  The persistent `SubproblemCache` pins its
-/// keys (manager-local edges); because every request occupies a fresh
-/// variable block, a later request can never re-encounter those raw
-/// edges — the slot therefore `rebind_or_clear`s its cache per request
-/// (dropping the pins), and *cross*-request reuse flows exclusively
-/// through the GlobalMemo, whose entries are plain data and pin nothing.
+/// Manager lifetime across solves: the request's handles die when the
+/// request finishes, and the slot then RECYCLES its whole variable block
+/// (BddManager::reset_variables): the slot cache is cleared first (its
+/// entries pin edges), every node is freed, and num_vars drops to zero —
+/// so each request parses into variables 0..width-1 and a slot's
+/// variable count stays bounded by the widest single request it ever
+/// served, however long the pool lives (PoolResult::manager_num_vars
+/// witnesses this; rank-table construction stays O(request width)).
+/// Because the slot `SubproblemCache` is emptied at every request
+/// boundary, a later request can never be pruned by a stale raw-edge
+/// key even though variable indices repeat; *cross*-request reuse flows
+/// exclusively through the GlobalMemo, whose entries are plain data and
+/// pin nothing.
 ///
 /// The per-request engine configuration is fixed at pool construction
 /// (`PoolOptions::solver`) — one objective, one mode — which is exactly
@@ -107,6 +107,11 @@ struct PoolResult {
   double cost = 0.0;          ///< == solution.cost
   SolverStats stats;
   std::size_t worker_id = 0;  ///< slot that served the request
+  /// Variable count of the serving slot's manager right after this solve
+  /// — the boundedness witness of the slot-recycling scheme (it equals
+  /// the REQUEST's width, not a sum over the slot's history, because the
+  /// slot reclaims its whole variable block between requests).
+  std::uint32_t manager_num_vars = 0;
 };
 
 /// Materialize `result`'s solution in `mgr` for relation `r` (the same

@@ -85,6 +85,48 @@ TEST(GlobalMemoTest, KeysAreManagerAndOffsetIndependent) {
                make_memo_key(make_memo_space(c), c.characteristic()));
 }
 
+TEST(GlobalMemoTest, KeysAreIdenticalFromAReorderedManager) {
+  // The acceptance pin for dynamic reordering x the service layer: the
+  // canonical key is the identity-order serialized characteristic, so a
+  // manager whose variable order was sifted away from var == level still
+  // produces byte-identical keys — warm memo entries written before a
+  // reorder keep hitting after it, in any slot, at any order.
+  BddManager plain{0};
+  RelationSpace space_a = make_space(plain, 2, 2);
+  const BooleanRelation a = fig10_relation(plain, space_a);
+  const GlobalMemoKey key_plain =
+      make_memo_key(make_memo_space(a), a.characteristic());
+
+  BddManager sifted{0};
+  RelationSpace space_b = make_space(sifted, 2, 2);
+  const BooleanRelation b = fig10_relation(sifted, space_b);
+  // A reversed-pair side function drags the relation's variables away
+  // from var == level when sifted (the relation alone is too small to
+  // guarantee the order actually moves).
+  const std::uint32_t extra = sifted.add_vars(4);
+  Bdd skew = sifted.zero();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    skew = skew | (sifted.var(i) & sifted.var(extra + 3 - i));
+  }
+  sifted.reorder();
+  ASSERT_FALSE(sifted.has_identity_order());
+  const GlobalMemoKey key_sifted =
+      make_memo_key(make_memo_space(b), b.characteristic());
+  EXPECT_EQ(key_plain, key_sifted);
+
+  // And a solution memoized by an identity-order run materializes
+  // correctly inside the reordered manager (the warm-hit import path).
+  const SolveResult solved = SearchEngine(a, deterministic_options(6)).run();
+  const PortableSolution portable = make_portable_solution(
+      make_memo_space(a), solved.function, solved.cost);
+  const MultiFunction imported =
+      import_portable_solution(sifted, make_memo_space(b), portable);
+  EXPECT_TRUE(b.is_compatible(imported));
+  // Re-serializing from the reordered destination closes the loop.
+  EXPECT_EQ(make_portable_solution(make_memo_space(b), imported, solved.cost),
+            portable);
+}
+
 TEST(GlobalMemoTest, SameChiDifferentSpacesKeyDifferently) {
   // The constant-ONE characteristic describes both "2 in / 2 out" and
   // "3 in / 1 out" complete relations; the solutions differ, so the keys
@@ -121,7 +163,7 @@ TEST(GlobalMemoTest, SolutionsRoundTripAcrossManagers) {
             portable);
 }
 
-TEST(GlobalMemoTest, CapacityDropsNewKeysButImprovesPresentOnes) {
+TEST(GlobalMemoTest, CapacityEvictsLruButImprovesPresentKeysInPlace) {
   BddManager mgr{4};
   const BooleanRelation r22 = BooleanRelation::full(mgr, {0, 1}, {2, 3});
   const BooleanRelation r31 = BooleanRelation::full(mgr, {0, 1, 2}, {3});
@@ -145,15 +187,10 @@ TEST(GlobalMemoTest, CapacityDropsNewKeysButImprovesPresentOnes) {
   ASSERT_TRUE(memo.lookup(*key_a).has_value());
   EXPECT_DOUBLE_EQ(memo.lookup(*key_a)->cost, 10.0);
 
-  // At capacity: a new key is dropped...
-  memo.publish(*key_b, sol);
-  EXPECT_EQ(memo.size(), 1u);
-  EXPECT_FALSE(memo.lookup(*key_b).has_value());
-
-  // ...but a better solution for the present key still lands (and the
-  // completeness bit is sticky — a refinement does not hide the entry).
+  // A better solution for a present key lands in place: no eviction.
   sol.cost = 4.0;
   memo.publish(*key_a, sol);
+  EXPECT_EQ(memo.evictions(), 0u);
   ASSERT_TRUE(memo.lookup(*key_a).has_value());
   EXPECT_DOUBLE_EQ(memo.lookup(*key_a)->cost, 4.0);
 
@@ -161,6 +198,104 @@ TEST(GlobalMemoTest, CapacityDropsNewKeysButImprovesPresentOnes) {
   sol.cost = 7.0;
   memo.publish(*key_a, sol);
   EXPECT_DOUBLE_EQ(memo.lookup(*key_a)->cost, 4.0);
+
+  // At capacity a brand-new key is ADMITTED and the least-recently-used
+  // entry makes room for it (the old policy dropped the newcomer, which
+  // froze a long-lived service's memo at its first working set).
+  memo.publish(*key_b, sol);
+  EXPECT_EQ(memo.size(), 1u);
+  EXPECT_EQ(memo.evictions(), 1u);
+  EXPECT_FALSE(memo.lookup(*key_a).has_value());  // evicted
+  // The newcomer is present (still incomplete, hence unservable).
+  memo.mark_complete({&key_b, 1});
+  ASSERT_TRUE(memo.lookup(*key_b).has_value());
+}
+
+TEST(GlobalMemoTest, MarkCompleteRefusesForeignEntriesRecreatedAfterEviction) {
+  // The eviction hole the run stamps close: run A's entry for key K is
+  // evicted mid-run, a concurrent run B re-creates K holding only B's
+  // partial solution, then A drains and marks its touched keys.  A must
+  // NOT flip B's entry — that would serve B's degraded partial as a
+  // final result forever.
+  BddManager mgr{4};
+  const BooleanRelation rk = BooleanRelation::full(mgr, {0, 1}, {2, 3});
+  const BooleanRelation rj = BooleanRelation::full(mgr, {0, 1, 2}, {3});
+  const auto key_k = std::make_shared<const GlobalMemoKey>(
+      make_memo_key(make_memo_space(rk), rk.characteristic()));
+  const auto key_j = std::make_shared<const GlobalMemoKey>(
+      make_memo_key(make_memo_space(rj), rj.characteristic()));
+
+  GlobalMemo memo{1};
+  PortableSolution good;
+  good.outputs.push_back(SerializedBdd{});
+  good.cost = 1.0;
+  PortableSolution partial = good;
+  partial.cost = 9.0;
+
+  const MemoRunStamp run_a = memo.begin_run();
+  memo.publish(*key_k, good, run_a.run_id);   // A's subtree best
+  memo.publish(*key_j, good, 0);              // flood: evicts K
+  const MemoRunStamp run_b = memo.begin_run();
+  memo.publish(*key_k, partial, run_b.run_id);  // B re-creates K, evicting J
+
+  memo.mark_complete({&key_k, 1}, run_a);  // A drains: must not vouch
+  EXPECT_FALSE(memo.lookup(*key_k).has_value())
+      << "a foreign mid-run entry was stamped complete";
+
+  memo.mark_complete({&key_k, 1}, run_b);  // B drains: its own entry
+  ASSERT_TRUE(memo.lookup(*key_k).has_value());
+  EXPECT_DOUBLE_EQ(memo.lookup(*key_k)->cost, 9.0);
+
+  // Pre-existing entries (created before a run started) are always
+  // vouched for — the normal warm-service case.
+  const MemoRunStamp run_c = memo.begin_run();
+  memo.mark_complete({&key_k, 1}, run_c);  // still complete, no change
+  EXPECT_TRUE(memo.lookup(*key_k).has_value());
+}
+
+TEST(GlobalMemoTest, HotKeySurvivesColdKeyFlood) {
+  // The property LRU buys a long-lived service: a key that keeps being
+  // probed stays resident while a stream of one-shot keys churns through
+  // the capacity bound.
+  BddManager mgr{6};
+  // Structurally distinct characteristics (rank remapping would fold
+  // same-shape relations over different variables into ONE key, so the
+  // flood uses 32 distinct minterm cubes over the same space instead).
+  const auto key_for = [&](std::uint32_t pattern) {
+    Bdd chi = mgr.one();
+    for (std::uint32_t b = 0; b < 5; ++b) {
+      chi = chi & mgr.literal(b, ((pattern >> b) & 1u) != 0);
+    }
+    GlobalMemoKey key;
+    key.chi = serialize_bdd(chi);
+    key.input_ranks = {0, 1, 2, 3, 4};
+    key.output_ranks = {5};
+    return key;
+  };
+  const auto hot = std::make_shared<const GlobalMemoKey>(key_for(0));
+
+  constexpr std::size_t kCapacity = 8;
+  GlobalMemo memo{kCapacity};
+  PortableSolution sol;
+  sol.outputs.push_back(SerializedBdd{});
+  sol.cost = 1.0;
+  memo.publish(*hot, sol);
+  memo.mark_complete({&hot, 1});
+  ASSERT_TRUE(memo.lookup(*hot).has_value());
+
+  // Flood with ~4x capacity distinct cold keys (the 31 remaining minterm
+  // patterns), probing the hot key along the way (that is what "hot"
+  // means).  Each cold key is published once and never touched again.
+  constexpr std::uint32_t kFloods = 31;
+  for (std::uint32_t i = 1; i <= kFloods; ++i) {
+    memo.publish(key_for(i), sol);
+    ASSERT_TRUE(memo.lookup(*hot).has_value())
+        << "hot key evicted after " << i << " cold publishes";
+  }
+  EXPECT_EQ(memo.size(), kCapacity);
+  EXPECT_GT(memo.evictions(), 0u);
+  EXPECT_TRUE(memo.lookup(*hot).has_value());
+  EXPECT_DOUBLE_EQ(memo.lookup(*hot)->cost, 1.0);
 }
 
 TEST(GlobalMemoTest, TruncatedRunsDoNotPoisonTheMemo) {
@@ -336,6 +471,34 @@ TEST(SolverPoolTest, ConcurrentSubmissionFromManyThreadsIsSafe) {
     EXPECT_TRUE(r.is_compatible(import_pool_solution(check, r, result)));
   }
   EXPECT_EQ(pool.requests_served(), futures.size());
+}
+
+TEST(SolverPoolTest, RecycledSlotsKeepNumVarsBounded) {
+  // ROADMAP follow-up pinned here: a slot manager reclaims its whole
+  // variable block between requests (reset_variables), so a long-lived
+  // pool's num_vars equals the width of ONE request — the 100th recycled
+  // request sees exactly the same variable count as the first, instead
+  // of the old fresh-block-per-request linear growth.
+  BddManager mgr{0};
+  RelationSpace space = make_space(mgr, 2, 2);
+  const std::string text = write_relation_bdd(fig1_relation(mgr, space));
+
+  PoolOptions pool_options;
+  pool_options.workers = 1;  // every request lands on the same slot
+  pool_options.solver = deterministic_options(4);
+  SolverPool pool(pool_options);
+
+  std::uint32_t width = 0;
+  for (int i = 0; i < 100; ++i) {
+    const PoolResult result = pool.submit(text).get();
+    if (i == 0) {
+      width = result.manager_num_vars;
+      EXPECT_GT(width, 0u);
+    }
+    ASSERT_EQ(result.manager_num_vars, width)
+        << "slot num_vars grew on request " << i;
+  }
+  EXPECT_EQ(pool.requests_served(), 100u);
 }
 
 TEST(SolverPoolTest, ParseAndValidationErrorsFlowThroughTheFuture) {

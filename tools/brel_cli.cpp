@@ -18,6 +18,14 @@
 //                                            worker threads, one private BDD
 //                                            manager each (0 = one per
 //                                            hardware thread; default 1)
+//     --reorder=off|on|auto                  dynamic variable reordering of
+//                                            the solving manager(s): off =
+//                                            never (default, bit-identical
+//                                            results), on = sift once before
+//                                            exploring, auto = sift whenever
+//                                            live nodes cross the GC-coupled
+//                                            threshold; prints a reorder
+//                                            stats line when sifting ran
 //     --no-bound                             disable the line-6 cost bound
 //     --symmetry                             enable the symmetry cache
 //     --seed-cache                           enable the subproblem cache,
@@ -65,6 +73,7 @@ struct CliOptions {
   std::size_t fifo = static_cast<std::size_t>(-1);
   std::size_t max_depth = static_cast<std::size_t>(-1);
   std::size_t workers = 1;
+  brel::ReorderMode reorder = brel::ReorderMode::Off;
   bool no_bound = false;
   bool exact = false;
   brel::ExplorationOrder order = brel::ExplorationOrder::BreadthFirst;
@@ -85,6 +94,7 @@ struct CliOptions {
                "                [--max-relations=N] [--budget=N] [--fifo=N]\n"
                "                [--max-depth=N] [--exact] [--no-bound]\n"
                "                [--order=bfs|dfs|best] [--workers=N]\n"
+               "                [--reorder=off|on|auto]\n"
                "                [--symmetry] [--seed-cache] [--totalize]\n"
                "                [--solver=brel|quick|gyocro|herb]\n"
                "                [--serve] [--no-memo]\n"
@@ -92,6 +102,20 @@ struct CliOptions {
                "  --serve solves every listed file over a SolverPool of\n"
                "  --workers slots sharing one cross-solve memo\n");
   std::exit(code);
+}
+
+brel::ReorderMode reorder_by_name(const std::string& name) {
+  if (name == "off") {
+    return brel::ReorderMode::Off;
+  }
+  if (name == "on") {
+    return brel::ReorderMode::On;
+  }
+  if (name == "auto") {
+    return brel::ReorderMode::Auto;
+  }
+  std::fprintf(stderr, "unknown reorder mode '%s'\n", name.c_str());
+  usage(2);
 }
 
 brel::ExplorationOrder order_by_name(const std::string& name) {
@@ -138,6 +162,8 @@ CliOptions parse_args(int argc, char** argv) {
       options.exact = true;
     } else if (const char* v = value_of("--order=")) {
       options.order = order_by_name(v);  // validated before any input I/O
+    } else if (const char* v = value_of("--reorder=")) {
+      options.reorder = reorder_by_name(v);
     } else if (arg == "--symmetry") {
       options.symmetry = true;
     } else if (arg == "--seed-cache") {
@@ -236,6 +262,7 @@ brel::SolverOptions solver_options_from_cli(const CliOptions& cli) {
   options.use_symmetry = cli.symmetry;
   options.use_subproblem_cache = cli.seed_cache;
   options.order = cli.order;
+  options.reorder = cli.reorder;
   return options;
 }
 
@@ -277,9 +304,11 @@ int run_serve(const CliOptions& cli) {
   }
 
   int failures = 0;
+  std::size_t total_reorders = 0;
   for (std::size_t i = 0; i < futures.size(); ++i) {
     try {
       const brel::PoolResult result = futures[i].get();
+      total_reorders += result.stats.reorders;
       // Independent check in a fresh manager: re-parse the request and
       // materialize the portable solution against it.
       brel::BddManager check_mgr{0};
@@ -325,6 +354,9 @@ int run_serve(const CliOptions& cli) {
                   pool.memo()->size(),
                   static_cast<unsigned long long>(pool.memo()->hits()),
                   static_cast<unsigned long long>(pool.memo()->probes()));
+    }
+    if (total_reorders > 0) {
+      std::printf(" | reorders: %zu", total_reorders);
     }
     std::printf("\n");
   }
@@ -406,6 +438,21 @@ int main(int argc, char** argv) {
     if (result.stats.workers > 1) {
       std::printf("# workers=%zu steals=%zu\n", result.stats.workers,
                   result.stats.steals);
+    }
+    if (result.stats.reorders > 0) {
+      // Serial runs sift the manager above; parallel runs sift their
+      // private worker managers, so the swap/node detail lives there and
+      // only the run count is meaningful here.
+      const brel::BddStats& kernel = mgr.stats();
+      if (kernel.reorders > 0) {
+        std::printf("# reorder: runs=%zu swaps=%llu nodes %zu->%zu\n",
+                    result.stats.reorders,
+                    static_cast<unsigned long long>(kernel.reorder_swaps),
+                    kernel.reorder_nodes_before, kernel.reorder_nodes_after);
+      } else {
+        std::printf("# reorder: runs=%zu (in worker managers)\n",
+                    result.stats.reorders);
+      }
     }
   }
   print_covers(mgr, relation, result.function);
