@@ -20,17 +20,37 @@
 // solutions) and exits non-zero if any acceptance property fails, so CI
 // can run it as a smoke check.  `--json <path>` records everything
 // machine-readably (BENCH_solver_pool.json at the repo root).
+//
+// Contention proof: every throughput round resets the process-global
+// lock-stats registry and records, per named lock (memo / inject /
+// pool), the blocked-acquire wait that round accrued, plus
+// `scaling_efficiency` = rps / (workers * rps@1).  On a real multi-core
+// host two more acceptance bars arm (they are vacuous on one hardware
+// thread, where the OS serializes everything): throughput at 4 workers
+// must not INVERT below 1 worker, and no lock may eat more than 25% of
+// the round's aggregate worker time in blocked acquires.
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "benchgen/relation_suite.hpp"
+#include "brel/lock_stats.hpp"
 #include "brel/search.hpp"
 #include "brel/solver_pool.hpp"
 #include "relation/relation_io.hpp"
+
+namespace {
+
+/// Fraction of the round's aggregate worker-seconds a lock may spend
+/// blocked before the bench fails (only judged on multi-core hosts).
+constexpr double kMaxLockWaitShare = 0.25;
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace brel;
@@ -74,6 +94,9 @@ int main(int argc, char** argv) {
   json.field_int("instances", texts.size());
   json.field_int("max_depth", depth);
   json.field_int("hardware_threads", std::thread::hardware_concurrency());
+  json.field_str("lock_stats_compiled",
+                 lock_stats_compiled() ? "true" : "false");
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
 
   bool ok = true;
 
@@ -156,6 +179,7 @@ int main(int argc, char** argv) {
   json.field_int("memo_hits", warm_pool.memo()->hits());
   json.field_int("memo_probes", warm_pool.memo()->probes());
   json.end_object();
+  json.field_int("memo_shards", warm_pool.memo()->shard_count());
   warm_pool.shutdown();
 
   // ------------------------------------------------------- throughput
@@ -163,15 +187,19 @@ int main(int argc, char** argv) {
       "\nThroughput: %zu rounds x %zu requests, memo off\n"
       "(%u hardware thread(s) available — scaling needs real cores)\n\n",
       rounds, texts.size(), std::thread::hardware_concurrency());
-  std::printf("%-8s %12s %12s %10s\n", "workers", "CPU [s]", "req/s",
-              "speedup");
+  std::printf("%-8s %12s %12s %10s %10s %12s\n", "workers", "CPU [s]",
+              "req/s", "speedup", "efficiency", "lock wait");
   json.begin_array("throughput");
   double base_cpu = 0.0;
+  double base_rps = 0.0;
+  double last_rps = 0.0;
+  std::uint64_t total_wait_ns = 0;
   for (const std::size_t workers : {1u, 2u, 4u}) {
     PoolOptions scaling;
     scaling.workers = workers;
     scaling.solver = solver;
     scaling.share_memo = false;  // every request pays full exploration
+    LockStatsRegistry::instance().reset();
     SolverPool pool(scaling);
     bench::Stopwatch timer;
     std::vector<std::future<PoolResult>> futures;
@@ -196,17 +224,71 @@ int main(int argc, char** argv) {
       base_cpu = cpu;
     }
     const double rps = static_cast<double>(futures.size()) / cpu;
-    std::printf("%-8zu %12.3f %12.1f %9.2fx\n", workers, cpu, rps,
-                base_cpu / cpu);
+    const std::uint64_t memo_wait =
+        LockStatsRegistry::instance().wait_ns(lock_names::kMemo);
+    const std::uint64_t inject_wait =
+        LockStatsRegistry::instance().wait_ns(lock_names::kInject);
+    const std::uint64_t pool_wait =
+        LockStatsRegistry::instance().wait_ns(lock_names::kPool);
+    const std::uint64_t round_wait = memo_wait + inject_wait + pool_wait;
+    total_wait_ns += round_wait;
+    if (workers == 1) {
+      base_rps = rps;
+    }
+    last_rps = rps;
+    // Efficiency: per-worker throughput relative to the 1-worker round.
+    // 1.0 = perfect scaling; a 1-CPU host legitimately reads ~1/workers.
+    const double efficiency =
+        base_rps > 0.0
+            ? rps / (static_cast<double>(workers) * base_rps)
+            : 0.0;
+    std::printf("%-8zu %12.3f %12.1f %9.2fx %9.2f %10.3fms\n", workers, cpu,
+                rps, base_cpu / cpu, efficiency,
+                static_cast<double>(round_wait) / 1e6);
     json.begin_element();
     json.field_int("workers", workers);
     json.field_num("cpu_s", cpu);
     json.field_num("requests_per_s", rps);
+    json.field_num("scaling_efficiency", efficiency);
     json.field_num("total_cost", cost);
+    json.field_num("lock_wait_memo_ms", static_cast<double>(memo_wait) / 1e6);
+    json.field_num("lock_wait_inject_ms",
+                   static_cast<double>(inject_wait) / 1e6);
+    json.field_num("lock_wait_pool_ms", static_cast<double>(pool_wait) / 1e6);
     json.end_element();
+    // The contention bar: blocked-acquire time as a share of the round's
+    // aggregate worker-seconds.  Only judged on multi-core hosts (with
+    // one hardware thread, wall time already includes every worker's
+    // serialized slice, so the share is not meaningful) and only when
+    // the instrumentation is compiled in.
+    if (hardware_threads > 1 && lock_stats_compiled() && cpu > 0.0) {
+      const double budget_ns = static_cast<double>(workers) * cpu * 1e9;
+      for (const auto& [name, wait] :
+           {std::pair<const char*, std::uint64_t>{"memo", memo_wait},
+            {"inject", inject_wait},
+            {"pool", pool_wait}}) {
+        const double share = static_cast<double>(wait) / budget_ns;
+        if (share > kMaxLockWaitShare) {
+          std::printf(
+              "!! lock '%s' ate %.0f%% of %zu workers' time in blocked "
+              "acquires (bar: %.0f%%)\n",
+              name, share * 100.0, workers, kMaxLockWaitShare * 100.0);
+          ok = false;
+        }
+      }
+    }
     pool.shutdown();
   }
   json.end_array();
+  json.field_num("lock_wait_total_ms", static_cast<double>(total_wait_ns) / 1e6);
+  // Scaling must not INVERT: 4 workers may not be slower than 1.  A
+  // single hardware thread cannot scale, so the bar arms only on real
+  // multi-core hosts.
+  if (hardware_threads > 1 && last_rps < base_rps) {
+    std::printf("!! throughput inversion: %.1f req/s at 4 workers < %.1f at 1\n",
+                last_rps, base_rps);
+    ok = false;
+  }
   json.field_str("acceptance", ok ? "pass" : "FAIL");
   json.end_object();
   if (!json_path.empty() && !json.save(json_path)) {

@@ -194,6 +194,9 @@ struct BddStats {
   // -- dynamic reordering (bdd_reorder.cpp) --
   std::uint64_t reorders = 0;       ///< completed sifting runs
   std::uint64_t reorder_swaps = 0;  ///< adjacent-level swaps performed
+  /// Swaps short-circuited to a pure table flip because the interaction
+  /// matrix proved the two variables share no root function's support.
+  std::uint64_t reorder_swap_skips = 0;
   std::size_t reorder_nodes_before = 0;  ///< live nodes entering last sift
   std::size_t reorder_nodes_after = 0;   ///< live nodes leaving last sift
   /// Per-op computed-table probes/hits, indexed by BddOp.
@@ -582,6 +585,17 @@ class BddManager {
   /// Drop one sift-session reference from the node under `e`, freeing it
   /// (and cascading into its children) when the count hits zero.
   void sift_deref(detail::Edge e) noexcept;
+  /// Build `interaction_` for the current sift session: variables a and b
+  /// interact iff both lie in the support of some externally-referenced
+  /// root function.  One DFS per root over the post-GC store.
+  void build_interaction_matrix();
+  /// True when `interaction_` marks (a, b) as sharing a root's support.
+  /// Only meaningful while a sift session holds a built matrix.
+  [[nodiscard]] bool vars_interact(std::uint32_t a,
+                                   std::uint32_t b) const noexcept {
+    return (interaction_[a * interaction_words_ + (b >> 6)] >> (b & 63)) &
+           1u;
+  }
   [[nodiscard]] std::size_t live_nodes() const noexcept {
     return nodes_.size() - 1 - free_count_;
   }
@@ -622,6 +636,15 @@ class BddManager {
   /// Sift-session reference counts: internal parents plus one for "has
   /// any external handle".  Only meaningful while sifting_ is true.
   std::vector<std::uint32_t> sift_refs_;
+  /// Symmetric num_vars × num_vars bitmatrix (row-major, 64-bit words):
+  /// bit (a, b) set iff a and b appear together in some root function's
+  /// support.  Root functions are invariant under adjacent swaps and a
+  /// node's variables stay inside its root's support, so a CLEAR bit
+  /// proves — for the whole session — that no a-node can test b, making
+  /// their swap a pure table/map flip (swap_adjacent's fast path).
+  /// Built by reorder_internal, cleared when the session ends.
+  std::vector<std::uint64_t> interaction_;
+  std::size_t interaction_words_ = 0;  ///< words per matrix row
   // Reused work lists (a Rudell pass performs O(vars^2) swaps; per-swap
   // allocation would be pure allocator traffic in the innermost loop).
   std::vector<std::uint32_t> sift_scratch_;     ///< sift_deref death list

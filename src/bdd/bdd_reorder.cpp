@@ -83,12 +83,23 @@ void BddManager::swap_adjacent(std::uint32_t level) {
   const std::uint32_t y = var_at_level_[level + 1];
   ++stats_.reorder_swaps;
 
+  // Interaction fast path: when the session's matrix proves x and y
+  // share no root function's support, no x-node can test y — every live
+  // node descends from an externally-referenced root whose function
+  // (and therefore support) the swaps preserve — so the bucket scan
+  // below cannot find anything to rewrite.
+  const bool disjoint = !interaction_.empty() && !vars_interact(x, y);
+  if (disjoint) {
+    ++stats_.reorder_swap_skips;
+  }
+
   // Empty-side fast path: with no x-nodes there is nothing to rewrite,
   // and with no y-nodes nothing can interact (no child can test y), so
   // the swap is a pure table/map flip.  This keeps sifting through
   // sparse or empty levels from paying the bucket scan below — on wide
   // managers most of a variable's journey crosses such levels.
-  if (subtables_[level].count == 0 || subtables_[level + 1].count == 0) {
+  if (disjoint || subtables_[level].count == 0 ||
+      subtables_[level + 1].count == 0) {
     std::swap(subtables_[level], subtables_[level + 1]);
     var_at_level_[level] = y;
     var_at_level_[level + 1] = x;
@@ -170,6 +181,62 @@ void BddManager::swap_adjacent(std::uint32_t level) {
     sift_deref(e);
   }
   stats_.live_nodes = live_nodes();
+}
+
+void BddManager::build_interaction_matrix() {
+  interaction_words_ = (num_vars_ + 63) / 64;
+  interaction_.assign(static_cast<std::size_t>(num_vars_) *
+                          interaction_words_,
+                      0u);
+  const auto mark = [this](std::uint32_t a, std::uint32_t b) {
+    interaction_[a * interaction_words_ + (b >> 6)] |= 1ull << (b & 63);
+    interaction_[b * interaction_words_ + (a >> 6)] |= 1ull << (a & 63);
+  };
+  // One DFS per externally-referenced root, collecting its support and
+  // marking every pair in it.  Shared nodes are re-walked per root (each
+  // root needs its own support set); stamps make the per-root visited
+  // set O(1) to reset.  Cost is O(Σ root DAG sizes) on the post-GC
+  // store, once per sift session, against O(vars²) swaps saved from
+  // bucket scans.
+  std::vector<std::uint32_t> visited(nodes_.size(), 0u);
+  std::vector<char> in_support(num_vars_, 0);
+  std::vector<std::uint32_t> support;
+  std::vector<std::uint32_t> stack;
+  std::uint32_t stamp = 0;
+  for (std::uint32_t root = 1; root < nodes_.size(); ++root) {
+    if (nodes_[root].var == kTerminalVar || refcount_[root] == 0) {
+      continue;
+    }
+    ++stamp;
+    support.clear();
+    stack.clear();
+    stack.push_back(root);
+    visited[root] = stamp;
+    while (!stack.empty()) {
+      const std::uint32_t idx = stack.back();
+      stack.pop_back();
+      const Node& n = nodes_[idx];
+      if (!in_support[n.var]) {
+        in_support[n.var] = 1;
+        support.push_back(n.var);
+      }
+      const auto follow = [&](Edge e) {
+        const std::uint32_t c = edge_index(e);
+        if (c != 0 && visited[c] != stamp) {
+          visited[c] = stamp;
+          stack.push_back(c);
+        }
+      };
+      follow(n.hi);
+      follow(n.lo);
+    }
+    for (std::size_t p = 0; p < support.size(); ++p) {
+      in_support[support[p]] = 0;
+      for (std::size_t q = p + 1; q < support.size(); ++q) {
+        mark(support[p], support[q]);
+      }
+    }
+  }
 }
 
 void BddManager::sift_var(std::uint32_t var, std::size_t size_limit) {
@@ -266,6 +333,7 @@ void BddManager::reorder_internal(double max_growth, bool already_collected) {
       ++sift_refs_[i];
     }
   }
+  build_interaction_matrix();
   sifting_ = true;
 
   // Rudell order: densest level first; empty variables are skipped (a
@@ -293,6 +361,7 @@ void BddManager::reorder_internal(double max_growth, bool already_collected) {
 
   sifting_ = false;
   sift_refs_.clear();
+  interaction_.clear();
   order_is_identity_ = true;
   for (std::uint32_t level = 0; level < num_vars_; ++level) {
     if (var_at_level_[level] != level) {

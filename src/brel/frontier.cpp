@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <iterator>
 #include <stdexcept>
 
 namespace brel {
@@ -63,6 +64,16 @@ Subproblem LifoFrontier::steal() {
   Subproblem item = std::move(stack_.front());
   stack_.erase(stack_.begin());
   return item;
+}
+
+void LifoFrontier::steal_into(std::vector<Subproblem>& out,
+                              std::size_t count) {
+  count = std::min(count, stack_.size());
+  const auto first = stack_.begin();
+  const auto last = first + static_cast<std::ptrdiff_t>(count);
+  out.reserve(out.size() + count);
+  std::move(first, last, std::back_inserter(out));
+  stack_.erase(first, last);
 }
 
 std::size_t LifoFrontier::size() const noexcept { return stack_.size(); }

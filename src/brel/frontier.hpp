@@ -121,6 +121,17 @@ class Frontier {
   /// leaving the victim's hot path untouched).
   [[nodiscard]] virtual Subproblem steal() { return pop(); }
 
+  /// Bulk donation: append up to `count` steal() picks to `out`, in steal
+  /// order.  The default loops steal(); LIFO overrides it to slice its
+  /// stack bottom with ONE range erase instead of `count` O(size) erases.
+  /// Donating a batch moves already-admitted items between workers, so
+  /// the depth-capped explored SET is unchanged for any batch size.
+  virtual void steal_into(std::vector<Subproblem>& out, std::size_t count) {
+    for (std::size_t i = 0; i < count && !empty(); ++i) {
+      out.push_back(steal());
+    }
+  }
+
   [[nodiscard]] virtual std::size_t size() const noexcept = 0;
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -158,6 +169,8 @@ class LifoFrontier final : public Frontier {
   explicit LifoFrontier(std::size_t capacity);
   [[nodiscard]] Subproblem pop() override;
   [[nodiscard]] Subproblem steal() override;  ///< shallowest: stack bottom
+  /// Bottom `count` stack slots in one range erase (batched donation).
+  void steal_into(std::vector<Subproblem>& out, std::size_t count) override;
   [[nodiscard]] std::size_t size() const noexcept override;
 
  protected:

@@ -42,6 +42,33 @@ struct Fnv {
   }
 };
 
+constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+std::size_t resolve_shard_count(std::size_t capacity, std::size_t shards) {
+  if (shards == 0) {
+    // Auto policy: shard the unlimited (service) configuration; keep a
+    // finite capacity on one shard for exact global-LRU semantics.
+    shards = capacity == kUnlimited ? GlobalMemo::kDefaultShards : 1;
+  }
+  return std::min(round_up_pow2(shards), GlobalMemo::kMaxShards);
+}
+
+std::size_t resolve_shard_capacity(std::size_t capacity,
+                                   std::size_t shard_count) {
+  if (capacity == kUnlimited) {
+    return kUnlimited;
+  }
+  return (capacity + shard_count - 1) / shard_count;  // ceil; 0 stays 0
+}
+
 }  // namespace
 
 MemoSpace make_memo_space(const BooleanRelation& r) {
@@ -117,10 +144,38 @@ std::size_t GlobalMemo::KeyHash::operator()(const GlobalMemoKey& key) const {
   return static_cast<std::size_t>(h.state);
 }
 
-GlobalMemo::GlobalMemo(std::size_t capacity) : capacity_(capacity) {}
+GlobalMemo::GlobalMemo(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity),
+      shard_capacity_(
+          resolve_shard_capacity(capacity,
+                                 resolve_shard_count(capacity, shards))) {
+  const std::size_t count = resolve_shard_count(capacity, shards);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::size_t GlobalMemo::shard_of(const GlobalMemoKey& key) const noexcept {
+  if (shards_.size() == 1) {
+    return 0;
+  }
+  // Fibonacci-mix the FNV hash and pick TOP bits: the shard index must
+  // not correlate with the map's bucket index, which consumes the same
+  // hash from the bottom.
+  const std::uint64_t mixed =
+      static_cast<std::uint64_t>(KeyHash{}(key)) * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(mixed >> 56) & (shards_.size() - 1);
+}
+
+std::size_t GlobalMemo::shard_size(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  const std::scoped_lock lock(s.mutex);
+  return s.map.size();
+}
 
 void GlobalMemo::bind(const MemoFingerprint& fp) {
-  const std::scoped_lock lock(mutex_);
+  const std::scoped_lock lock(meta_mutex_);
   if (!fingerprint_.has_value()) {
     fingerprint_ = fp;
     return;
@@ -137,69 +192,76 @@ void GlobalMemo::bind(const MemoFingerprint& fp) {
 
 std::optional<PortableSolution> GlobalMemo::lookup(
     const GlobalMemoKey& key) const {
-  const std::scoped_lock lock(mutex_);
-  ++probes_;
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
+  const Shard& shard = *shards_[shard_of(key)];
+  shard.probes.fetch_add(1, std::memory_order_relaxed);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
     return std::nullopt;
   }
   // Any probe that finds the key counts as interest: refresh recency
   // even for entries still too incomplete to serve, so an in-progress
   // subtree is not the first thing the capacity bound throws away.
-  touch(it->second);
+  touch(shard, it->second);
   if (!it->second.complete || !it->second.solution.has_solution()) {
     return std::nullopt;
   }
-  ++hits_;
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   return it->second.solution;
 }
 
 MemoRunStamp GlobalMemo::begin_run() {
-  const std::scoped_lock lock(mutex_);
-  return MemoRunStamp{++run_counter_, insert_seq_};
+  // Plain atomics, no lock.  A publish racing with begin_run may land a
+  // created_seq just above the start watermark — mark_complete then
+  // falls back to the creator_run check and at worst SKIPS the mark,
+  // the safe direction.
+  return MemoRunStamp{run_counter_.fetch_add(1) + 1, insert_seq_.load()};
 }
 
 void GlobalMemo::publish(const GlobalMemoKey& key,
                          const PortableSolution& solution,
                          std::uint64_t run_id) {
-  const std::scoped_lock lock(mutex_);
-  ++publishes_;
-  if (const auto it = map_.find(key); it != map_.end()) {
+  Shard& shard = *shards_[shard_of(key)];
+  shard.publishes.fetch_add(1, std::memory_order_relaxed);
+  const std::scoped_lock lock(shard.mutex);
+  if (const auto it = shard.map.find(key); it != shard.map.end()) {
     // Improvements to present entries never evict; the completeness bit
     // is sticky (same-fingerprint runs only ever refine a completed
     // subtree result downward in cost).
-    touch(it->second);
+    touch(shard, it->second);
     if (!it->second.solution.has_solution() ||
         solution.cost < it->second.solution.cost) {
       it->second.solution = solution;
     }
     return;
   }
-  if (capacity_ == 0) {
+  if (shard_capacity_ == 0) {
     return;
   }
-  if (map_.size() >= capacity_) {
-    // LRU eviction (ROADMAP follow-up to the old drop-new-keys policy):
-    // the victim is the entry longest untouched by any lookup/publish.
-    const GlobalMemoKey* victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(*victim);
-    ++evictions_;
+  if (shard.map.size() >= shard_capacity_) {
+    // LRU eviction, per shard: the victim is this shard's entry longest
+    // untouched by any lookup/publish.
+    const GlobalMemoKey* victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(*victim);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
   const auto it =
-      map_.emplace(key, Entry{solution, false, run_id, ++insert_seq_,
-                              lru_.end()})
+      shard.map
+          .emplace(key, Entry{solution, false, run_id,
+                              insert_seq_.fetch_add(1) + 1, shard.lru.end()})
           .first;
-  lru_.push_front(&it->first);
-  it->second.lru = lru_.begin();
+  shard.lru.push_front(&it->first);
+  it->second.lru = shard.lru.begin();
 }
 
 void GlobalMemo::mark_complete(
     std::span<const std::shared_ptr<const GlobalMemoKey>> keys,
     const MemoRunStamp& stamp) {
-  const std::scoped_lock lock(mutex_);
   for (const std::shared_ptr<const GlobalMemoKey>& key : keys) {
-    if (const auto it = map_.find(*key); it != map_.end()) {
+    Shard& shard = *shards_[shard_of(*key)];
+    const std::scoped_lock lock(shard.mutex);
+    if (const auto it = shard.map.find(*key); it != shard.map.end()) {
       Entry& entry = it->second;
       // Only vouch for entries this run found already present or
       // created itself (possibly re-created after an eviction): an
@@ -218,24 +280,44 @@ void GlobalMemo::mark_complete(
 }
 
 std::size_t GlobalMemo::size() const {
-  const std::scoped_lock lock(mutex_);
-  return map_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
 }
+
 std::uint64_t GlobalMemo::hits() const {
-  const std::scoped_lock lock(mutex_);
-  return hits_;
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->hits.load(std::memory_order_relaxed);
+  }
+  return total;
 }
+
 std::uint64_t GlobalMemo::probes() const {
-  const std::scoped_lock lock(mutex_);
-  return probes_;
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->probes.load(std::memory_order_relaxed);
+  }
+  return total;
 }
+
 std::uint64_t GlobalMemo::publishes() const {
-  const std::scoped_lock lock(mutex_);
-  return publishes_;
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->publishes.load(std::memory_order_relaxed);
+  }
+  return total;
 }
+
 std::uint64_t GlobalMemo::evictions() const {
-  const std::scoped_lock lock(mutex_);
-  return evictions_;
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->evictions.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace brel

@@ -34,10 +34,17 @@
 /// serialization per probe/publish instead of O(1), which is why the
 /// engine gates memo traffic by `SolverOptions::global_memo_depth`.
 ///
-/// Concurrency: one internal mutex serializes the map; keys and entries
-/// are value types, so probes and publishes from any number of worker
-/// threads are safe, and no BDD manager is ever touched under the memo
-/// lock (serialization happens in the caller, on the caller's manager).
+/// Concurrency: the table is SHARDED by canonical-key hash into
+/// independently locked shards (per-shard mutex, map, LRU list).  A probe
+/// or publish takes exactly one shard lock, so workers hashing to
+/// different shards never contend.  Keys and entries are value types, and
+/// no BDD manager is ever touched under a shard lock (serialization
+/// happens in the caller, on the caller's manager).  Counters
+/// (probes/hits/publishes/evictions) are per-shard relaxed atomics folded
+/// lazily on read, off the locked path entirely — the `BddStats` idiom.
+/// Run ids and the entry-creation sequence are process-wide atomics: a
+/// global watermark is still a valid per-shard watermark, and any race
+/// errs toward *skipping* a mark_complete, the safe direction.
 ///
 /// Comparability: like `SubproblemCache`, memos are only sound between
 /// runs minimizing the same objective in the same mode.  bind() stamps
@@ -46,6 +53,7 @@
 /// — share among runs of one configuration (the pool enforces this by
 /// fixing one SolverOptions for all requests).
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -58,6 +66,7 @@
 #include <vector>
 
 #include "bdd/bdd_transfer.hpp"
+#include "brel/lock_stats.hpp"
 #include "relation/relation.hpp"
 
 namespace brel {
@@ -160,10 +169,23 @@ struct MemoRunStamp {
 /// the next identical request re-explores instead of being served the
 /// degraded result forever.  Completeness is sticky — a later, strictly
 /// better publish (same fingerprint, so the same objective) refines a
-/// complete entry without un-completing it.
+/// complete entry without un-completing it.  The protocol is purely
+/// per-entry, so it holds unchanged per shard.
 class GlobalMemo {
  public:
-  explicit GlobalMemo(std::size_t capacity = static_cast<std::size_t>(-1));
+  /// Default (auto) shard policy when `shards == 0`: an UNLIMITED memo
+  /// shards kDefaultShards ways — the long-lived service configuration,
+  /// where contention matters and the capacity bound never fires.  A
+  /// FINITE capacity resolves to ONE shard, preserving exact global-LRU
+  /// semantics (per-shard LRU cannot promise a global recency order).
+  /// Explicit shard counts are rounded up to a power of two and clamped
+  /// to [1, kMaxShards]; a finite capacity is then split as
+  /// ceil(capacity / shards) per shard, enforced per shard.
+  explicit GlobalMemo(std::size_t capacity = static_cast<std::size_t>(-1),
+                      std::size_t shards = 0);
+
+  static constexpr std::size_t kDefaultShards = 16;
+  static constexpr std::size_t kMaxShards = 256;
 
   /// Stamp with the run configuration; mismatched reuse throws
   /// std::invalid_argument (cf. SubproblemCache::bind).
@@ -182,14 +204,14 @@ class GlobalMemo {
 
   /// Insert-or-improve: record `solution` for `key` when the key is new
   /// or when the cost beats the stored entry.  At capacity a brand-new
-  /// key EVICTS the least-recently-touched entry (recency is refreshed
-  /// by every lookup or publish that finds the key present), so a
-  /// long-lived service retains its hot working set instead of freezing
-  /// whatever happened to arrive first; improvements to present keys
-  /// never evict anything.  Never sets completeness.  `run_id`
-  /// (begin_run) records who created a newly inserted entry, which is
-  /// what lets mark_complete tell its own re-created entries from a
-  /// concurrent run's.
+  /// key EVICTS the least-recently-touched entry of its shard (recency
+  /// is refreshed by every lookup or publish that finds the key
+  /// present), so a long-lived service retains its hot working set
+  /// instead of freezing whatever happened to arrive first;
+  /// improvements to present keys never evict anything.  Never sets
+  /// completeness.  `run_id` (begin_run) records who created a newly
+  /// inserted entry, which is what lets mark_complete tell its own
+  /// re-created entries from a concurrent run's.
   void publish(const GlobalMemoKey& key, const PortableSolution& solution,
                std::uint64_t run_id = 0);
 
@@ -208,6 +230,22 @@ class GlobalMemo {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Number of independently locked shards (≥ 1, power of two).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// Shard index `key` hashes to (stable for the memo's lifetime).
+  [[nodiscard]] std::size_t shard_of(const GlobalMemoKey& key) const noexcept;
+  /// Entry count of one shard (for distribution diagnostics/tests).
+  [[nodiscard]] std::size_t shard_size(std::size_t shard) const;
+  /// Per-shard slice of the capacity bound (SIZE_MAX when unlimited).
+  [[nodiscard]] std::size_t shard_capacity() const noexcept {
+    return shard_capacity_;
+  }
+
+  // Lazily folded totals over the per-shard relaxed atomics — no shard
+  // lock is taken, so polling stats never perturbs the hot path.
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t probes() const;
   [[nodiscard]] std::uint64_t publishes() const;
@@ -223,28 +261,45 @@ class GlobalMemo {
     bool complete = false;
     std::uint64_t creator_run = 0;  ///< run_id of the inserting publish
     std::uint64_t created_seq = 0;  ///< insertion order (for run stamps)
-    /// Position in lru_ (most-recently-touched at the front).  List
-    /// iterators survive splices, so a const lookup can refresh recency
-    /// without touching the entry itself.
+    /// Position in the shard's lru (most-recently-touched at the
+    /// front).  List iterators survive splices, so a const lookup can
+    /// refresh recency without touching the entry itself.
     std::list<const GlobalMemoKey*>::iterator lru;
   };
 
-  /// Move `entry` to the most-recently-touched position (under mutex_).
-  void touch(const Entry& entry) const { lru_.splice(lru_.begin(), lru_, entry.lru); }
+  /// One independently locked slice of the table.  All shard mutexes
+  /// share the "memo" lock-stats group, so contention reports aggregate
+  /// across shards automatically.
+  struct Shard {
+    mutable TimedMutex mutex{lock_names::kMemo};
+    std::unordered_map<GlobalMemoKey, Entry, KeyHash> map;
+    /// Recency order over this shard's keys (pointers into the
+    /// node-based map, stable across rehash); back() is the victim.
+    mutable std::list<const GlobalMemoKey*> lru;
+    // Folded lazily by the accessors; never read under the mutex.
+    mutable std::atomic<std::uint64_t> hits{0};
+    mutable std::atomic<std::uint64_t> probes{0};
+    std::atomic<std::uint64_t> publishes{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
 
-  std::size_t capacity_;
-  mutable std::mutex mutex_;
+  /// Move `entry` to `shard`'s most-recently-touched position (call
+  /// with the shard's mutex held).
+  static void touch(const Shard& shard, const Entry& entry) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru);
+  }
+
+  std::size_t capacity_;        ///< total bound across shards
+  std::size_t shard_capacity_;  ///< per-shard slice of the bound
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex meta_mutex_;  ///< guards fingerprint_ only (cold)
   std::optional<MemoFingerprint> fingerprint_;
-  std::unordered_map<GlobalMemoKey, Entry, KeyHash> map_;
-  /// Recency order over the map's keys (pointers into the node-based
-  /// map, stable across rehash); back() is the eviction victim.
-  mutable std::list<const GlobalMemoKey*> lru_;
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t probes_ = 0;
-  std::uint64_t publishes_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t run_counter_ = 0;  ///< begin_run ids (0 stays anonymous)
-  std::uint64_t insert_seq_ = 0;   ///< entry-creation sequence
+
+  // Process-wide identity counters; see the concurrency note above for
+  // why a global watermark is sound per shard.
+  std::atomic<std::uint64_t> run_counter_{0};
+  std::atomic<std::uint64_t> insert_seq_{0};
 };
 
 }  // namespace brel

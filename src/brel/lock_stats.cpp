@@ -1,0 +1,76 @@
+#include "brel/lock_stats.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace brel {
+
+#if BREL_LOCK_STATS
+
+LockStatsRegistry& LockStatsRegistry::instance() {
+  static LockStatsRegistry registry;
+  return registry;
+}
+
+LockCounters* LockStatsRegistry::counters(const char* name) {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [existing, group] : groups_) {
+    if (existing == name) {
+      return group.get();
+    }
+  }
+  groups_.emplace_back(name, std::make_unique<LockCounters>());
+  return groups_.back().second.get();
+}
+
+std::vector<LockSnapshot> LockStatsRegistry::snapshot() const {
+  std::vector<LockSnapshot> out;
+  {
+    const std::scoped_lock lock(mutex_);
+    out.reserve(groups_.size());
+    for (const auto& [name, group] : groups_) {
+      LockSnapshot snap;
+      snap.name = name;
+      snap.wait_ns = group->wait_ns.load(std::memory_order_relaxed);
+      snap.acquires = group->acquires.load(std::memory_order_relaxed);
+      snap.contended = group->contended.load(std::memory_order_relaxed);
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LockSnapshot& a, const LockSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::uint64_t LockStatsRegistry::wait_ns(const char* name) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [existing, group] : groups_) {
+    if (existing == name) {
+      return group->wait_ns.load(std::memory_order_relaxed);
+    }
+  }
+  return 0;
+}
+
+void LockStatsRegistry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, group] : groups_) {
+    group->wait_ns.store(0, std::memory_order_relaxed);
+    group->acquires.store(0, std::memory_order_relaxed);
+    group->contended.store(0, std::memory_order_relaxed);
+  }
+}
+
+#endif  // BREL_LOCK_STATS
+
+std::uint64_t total_lock_wait_ns(std::initializer_list<const char*> names) {
+  std::uint64_t total = 0;
+  for (const char* name : names) {
+    total += LockStatsRegistry::instance().wait_ns(name);
+  }
+  return total;
+}
+
+}  // namespace brel

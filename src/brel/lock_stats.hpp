@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file lock_stats.hpp
+/// Lightweight contention profiler: a timed-mutex wrapper that records
+/// acquire-wait nanoseconds and hold counts per *named* lock, plus a global
+/// registry the CLI and benches can snapshot.
+///
+/// Contract:
+///  - Every TimedMutex is constructed with a name; all mutexes sharing a
+///    name (e.g. the N GlobalMemo shard locks, all named "memo") feed one
+///    counter group, so reports aggregate automatically.
+///  - The uncontended path pays no clock read: `lock()` first issues a
+///    `try_lock()`, and only a *contended* acquire brackets the blocking
+///    `lock()` with two steady_clock reads.  Counters are relaxed atomics.
+///  - `wait_ns` therefore measures time spent *blocked* on the lock, not
+///    hold time; `acquires` counts every successful acquisition (a proxy
+///    for hold count); `contended` counts acquisitions that had to block.
+///  - Compiled to zero cost when disabled: configure with
+///    `-DBREL_LOCK_STATS=OFF` (CMake option) and TimedMutex degenerates to
+///    a plain std::mutex forwarder — no counters, no registry traffic.
+///
+/// TimedMutex satisfies Lockable, so it works with std::scoped_lock,
+/// std::unique_lock, and std::condition_variable_any.
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef BREL_LOCK_STATS
+#define BREL_LOCK_STATS 1
+#endif
+
+#if BREL_LOCK_STATS
+#include <atomic>
+#include <chrono>
+#endif
+
+namespace brel {
+
+namespace lock_names {
+/// The three contention walls this profiler exists to watch.
+inline constexpr const char* kMemo = "memo";    ///< GlobalMemo shard locks
+inline constexpr const char* kInject = "inject";  ///< parallel injection queue
+inline constexpr const char* kPool = "pool";    ///< solver-pool mailboxes
+}  // namespace lock_names
+
+/// Point-in-time copy of one named lock's counters.
+struct LockSnapshot {
+  std::string name;
+  std::uint64_t wait_ns = 0;    ///< total ns spent blocked acquiring
+  std::uint64_t acquires = 0;   ///< successful acquisitions (hold count)
+  std::uint64_t contended = 0;  ///< acquisitions that had to block
+};
+
+/// True when the profiler is compiled in (BREL_LOCK_STATS != 0).
+constexpr bool lock_stats_compiled() noexcept { return BREL_LOCK_STATS != 0; }
+
+#if BREL_LOCK_STATS
+
+/// One shared counter group per lock *name*.  Stable address for the
+/// lifetime of the process; updated with relaxed atomics only.
+struct LockCounters {
+  std::atomic<std::uint64_t> wait_ns{0};
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> contended{0};
+};
+
+/// Process-global registry of named counter groups.  Registration happens
+/// once per TimedMutex construction (cold); the hot path only touches the
+/// returned LockCounters.
+class LockStatsRegistry {
+ public:
+  static LockStatsRegistry& instance();
+
+  /// Get-or-create the counter group for `name`.  Never returns null; the
+  /// pointer stays valid for the process lifetime.
+  LockCounters* counters(const char* name);
+
+  /// Copy out every named group (sorted by name).
+  [[nodiscard]] std::vector<LockSnapshot> snapshot() const;
+
+  /// Total blocked-wait ns currently recorded for `name` (0 if unknown).
+  [[nodiscard]] std::uint64_t wait_ns(const char* name) const;
+
+  /// Zero every counter (bench rounds reset between configurations).
+  void reset();
+
+ private:
+  LockStatsRegistry() = default;
+  mutable std::mutex mutex_;
+  // Pointers handed out must survive rehashing, hence unique_ptr values.
+  std::vector<std::pair<std::string, std::unique_ptr<LockCounters>>> groups_;
+};
+
+/// Mutex wrapper feeding the named counter group.  See file header for the
+/// exact accounting contract.
+class TimedMutex {
+ public:
+  explicit TimedMutex(const char* name)
+      : counters_(LockStatsRegistry::instance().counters(name)) {}
+
+  TimedMutex(const TimedMutex&) = delete;
+  TimedMutex& operator=(const TimedMutex&) = delete;
+
+  void lock() {
+    if (mutex_.try_lock()) {
+      counters_->acquires.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    counters_->contended.fetch_add(1, std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    mutex_.lock();
+    const auto waited = std::chrono::steady_clock::now() - start;
+    counters_->wait_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                .count()),
+        std::memory_order_relaxed);
+    counters_->acquires.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool try_lock() {
+    if (mutex_.try_lock()) {
+      counters_->acquires.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  void unlock() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+  LockCounters* counters_;  // never null
+};
+
+#else  // BREL_LOCK_STATS == 0: zero-cost forwarders
+
+class LockStatsRegistry {
+ public:
+  static LockStatsRegistry& instance() {
+    static LockStatsRegistry registry;
+    return registry;
+  }
+  [[nodiscard]] std::vector<LockSnapshot> snapshot() const { return {}; }
+  [[nodiscard]] std::uint64_t wait_ns(const char*) const { return 0; }
+  void reset() {}
+};
+
+class TimedMutex {
+ public:
+  explicit TimedMutex(const char* /*name*/) {}
+  TimedMutex(const TimedMutex&) = delete;
+  TimedMutex& operator=(const TimedMutex&) = delete;
+  void lock() { mutex_.lock(); }
+  bool try_lock() { return mutex_.try_lock(); }
+  void unlock() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+#endif  // BREL_LOCK_STATS
+
+/// Convenience: total blocked-wait ns across the given lock names right
+/// now.  Callers diff two calls to attribute waits to a run (best effort:
+/// the registry is process-global, so concurrent runs overlap).
+std::uint64_t total_lock_wait_ns(std::initializer_list<const char*> names);
+
+}  // namespace brel

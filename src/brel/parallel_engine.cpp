@@ -1,5 +1,6 @@
 #include "brel/parallel_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "bdd/bdd_transfer.hpp"
+#include "brel/lock_stats.hpp"
 #include "brel/quick_solver.hpp"
 #include "brel/search.hpp"
 
@@ -37,20 +39,30 @@ struct InjectedSubproblem {
   std::vector<std::shared_ptr<const GlobalMemoKey>> memo_chain;
 };
 
+/// One donation: up to SolverOptions::steal_batch subproblems serialized
+/// together, so a steal pays the transfer round trip once per SUBTREE
+/// BATCH instead of once per node.
+using InjectedBatch = std::vector<InjectedSubproblem>;
+
 /// The only cross-worker state (see the ownership rules in the header).
 struct SharedState {
   explicit SharedState(std::size_t worker_count) : workers(worker_count) {}
 
   const std::size_t workers;
 
-  std::mutex mutex;                      ///< guards queue / idle / done
-  std::condition_variable work_ready;
-  std::deque<InjectedSubproblem> queue;  ///< the injection queue
-  std::size_t idle = 0;                  ///< workers blocked on the queue
-  bool done = false;                     ///< all idle and nothing queued
+  TimedMutex mutex{lock_names::kInject};  ///< guards queue / idle / done
+  std::condition_variable_any work_ready;
+  std::deque<InjectedBatch> queue;  ///< the injection queue (of batches)
+  std::size_t idle = 0;             ///< workers blocked on the queue
+  bool done = false;                ///< all idle and nothing queued
+
+  /// Mirror of queue.size(), readable without the lock: victims size
+  /// their donations against it so the build happens OUTSIDE the lock.
+  std::atomic<std::size_t> queued_batches{0};
 
   std::atomic<std::size_t> steal_requests{0};  ///< waiting thieves
-  std::atomic<std::size_t> steals{0};          ///< donations performed
+  std::atomic<std::size_t> steals{0};          ///< subproblems donated
+  std::atomic<std::size_t> steal_batches{0};   ///< donation batches
   std::atomic<std::size_t> explored{0};        ///< global budget tickets
   std::atomic<bool> stop{false};               ///< budget/timeout/failure
   std::atomic<bool> budget_exhausted{false};
@@ -89,34 +101,65 @@ struct WorkerOutcome {
   std::vector<std::shared_ptr<const GlobalMemoKey>> memo_touched;
 };
 
-/// Serve pending steal requests from this worker's surplus: donate
-/// Frontier::steal() picks until every waiting thief has an item queued,
-/// always keeping at least one subproblem for ourselves.  Serialization
-/// happens under the queue mutex — it only *reads* the victim's manager
-/// and the donated DAGs are small next to a single expansion's BDD work.
-void donate_work(SharedState& shared, Frontier& frontier, BddManager& mgr) {
-  if (shared.steal_requests.load() == 0 || frontier.size() <= 1) {
+/// Serve pending steal requests from this worker's surplus: donate one
+/// BATCH of up to `batch_limit` Frontier::steal() picks per waiting thief
+/// not already covered by a queued batch, always keeping at least one
+/// subproblem for ourselves.  The batch is serialized OUTSIDE the queue
+/// lock — serialization only reads the victim's private frontier and
+/// manager — so the critical section is reduced to deque pointer swaps.
+/// Over-donation (a thief that found work elsewhere meanwhile) is safe:
+/// surplus batches drain to the next idle worker.
+void donate_work(SharedState& shared, Frontier& frontier, BddManager& mgr,
+                 std::size_t batch_limit) {
+  const std::size_t waiting = shared.steal_requests.load();
+  if (waiting == 0 || frontier.size() <= 1) {
     return;
   }
-  const std::scoped_lock lock(shared.mutex);
-  while (shared.steal_requests.load() > shared.queue.size() &&
-         frontier.size() > 1) {
-    Subproblem victim = frontier.steal();
-    shared.queue.push_back(InjectedSubproblem{
-        mgr.serialize_bdd(victim.rel.characteristic()), victim.depth,
-        std::move(victim.memo_chain)});
-    shared.steals.fetch_add(1);
-    shared.work_ready.notify_one();
+  const std::size_t queued = shared.queued_batches.load();
+  if (waiting <= queued) {
+    return;
   }
+  std::size_t need = waiting - queued;
+
+  std::vector<InjectedBatch> batches;
+  std::vector<Subproblem> picks;
+  std::size_t donated_items = 0;
+  while (need-- > 0 && frontier.size() > 1) {
+    const std::size_t take = std::min(batch_limit, frontier.size() - 1);
+    picks.clear();
+    frontier.steal_into(picks, take);
+    InjectedBatch batch;
+    batch.reserve(picks.size());
+    for (Subproblem& victim : picks) {
+      batch.push_back(InjectedSubproblem{
+          mgr.serialize_bdd(victim.rel.characteristic()), victim.depth,
+          std::move(victim.memo_chain)});
+    }
+    donated_items += batch.size();
+    batches.push_back(std::move(batch));
+  }
+  if (batches.empty()) {
+    return;
+  }
+  {
+    const std::scoped_lock lock(shared.mutex);
+    for (InjectedBatch& batch : batches) {
+      shared.queue.push_back(std::move(batch));
+    }
+    shared.queued_batches.store(shared.queue.size());
+  }
+  shared.steals.fetch_add(donated_items);
+  shared.steal_batches.fetch_add(batches.size());
+  shared.work_ready.notify_all();
 }
 
-/// Idle path: take an injected subproblem (materializing it in OUR
-/// manager) or detect global termination.  Returns false when the worker
-/// should exit (all workers idle with an empty queue, stop flag, or
-/// deadline).
+/// Idle path: take one injected BATCH (materializing every subproblem in
+/// OUR manager) or detect global termination.  Returns false when the
+/// worker should exit (all workers idle with an empty queue, stop flag,
+/// or deadline).
 bool acquire_injected(SearchContext& ctx, SharedState& shared,
                       Frontier& frontier, const BooleanRelation& root) {
-  std::unique_lock lock(shared.mutex);
+  std::unique_lock<TimedMutex> lock(shared.mutex);
   if (shared.done || shared.stop.load()) {
     return false;
   }
@@ -148,29 +191,34 @@ bool acquire_injected(SearchContext& ctx, SharedState& shared,
     }
     --shared.idle;
   }
-  InjectedSubproblem item = std::move(shared.queue.front());
+  InjectedBatch batch = std::move(shared.queue.front());
   shared.queue.pop_front();
+  shared.queued_batches.store(shared.queue.size());
   lock.unlock();
 
-  Bdd chi = ctx.mgr.deserialize_bdd(item.chi);
-  Subproblem sub{BooleanRelation(ctx.mgr, root.inputs(), root.outputs(),
-                                 std::move(chi)),
-                 item.depth};
-  if (ctx.cache != nullptr) {
-    // The victim's ancestor chain is meaningless here (other manager's
-    // edges); enter this subtree into our cache and restart the chain.
-    (void)ctx.cache->seen_before_or_insert(sub.rel.characteristic());
-    sub.ancestors.push_back(sub.rel.characteristic().raw_edge());
+  // Materialize the whole batch locally — deserialization happens in OUR
+  // manager, outside any shared lock.
+  for (InjectedSubproblem& item : batch) {
+    Bdd chi = ctx.mgr.deserialize_bdd(item.chi);
+    Subproblem sub{BooleanRelation(ctx.mgr, root.inputs(), root.outputs(),
+                                   std::move(chi)),
+                   item.depth};
+    if (ctx.cache != nullptr) {
+      // The victim's ancestor chain is meaningless here (other manager's
+      // edges); enter this subtree into our cache and restart the chain.
+      (void)ctx.cache->seen_before_or_insert(sub.rel.characteristic());
+      sub.ancestors.push_back(sub.rel.characteristic().raw_edge());
+    }
+    // The global-memo chain travels with the work (it is plain data and
+    // already ends with this node's own key): the stolen subtree keeps
+    // publishing for its true ancestors, root included.  No probe here —
+    // the victim already published this child's quick solution when it
+    // generated the node, so a probe would "hit" our own fleet's pending
+    // work and silently drop the stolen subtree.
+    sub.memo_chain = std::move(item.memo_chain);
+    seed_priority(ctx, sub, frontier);
+    frontier.push_root(std::move(sub));  // stolen work is never dropped
   }
-  // The global-memo chain travels with the work (it is plain data and
-  // already ends with this node's own key): the stolen subtree keeps
-  // publishing for its true ancestors, root included.  No probe here —
-  // the victim already published this child's quick solution when it
-  // generated the node, so a probe would "hit" our own fleet's pending
-  // work and silently drop the stolen subtree.
-  sub.memo_chain = std::move(item.memo_chain);
-  seed_priority(ctx, sub, frontier);
-  frontier.push_root(std::move(sub));  // stolen work is never dropped
   return true;
 }
 
@@ -286,7 +334,8 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
       }
       continue;
     }
-    donate_work(shared, *frontier, mgr);
+    donate_work(shared, *frontier, mgr,
+                std::max<std::size_t>(1, options.steal_batch));
     if (!options.exact) {
       // One global ticket per expansion, so N workers share the serial
       // budget instead of multiplying it.
@@ -334,7 +383,9 @@ void accumulate_stats(SolverStats& into, const SolverStats& from) {
   into.fifo_overflow += from.fifo_overflow;
   into.depth_limited += from.depth_limited;
   into.solutions_seen += from.solutions_seen;
+  into.steal_batches += from.steal_batches;
   into.reorders += from.reorders;
+  into.lock_wait_ns += from.lock_wait_ns;
   into.budget_exhausted = into.budget_exhausted || from.budget_exhausted;
 }
 
@@ -373,6 +424,10 @@ ParallelEngine::ParallelEngine(const BooleanRelation& root,
 
 SolveResult ParallelEngine::run() {
   const auto start = std::chrono::steady_clock::now();
+  // Best-effort attribution (the registry is process-global): waits that
+  // accrue on the memo/injection locks between here and join.
+  const std::uint64_t lock_wait_before =
+      total_lock_wait_ns({lock_names::kMemo, lock_names::kInject});
   BddManager& root_mgr = root_.manager();
   const std::size_t count = workers_;
 
@@ -480,6 +535,10 @@ SolveResult ParallelEngine::run() {
   }
   result.stats.workers = count;
   result.stats.steals = shared.steals.load();
+  result.stats.steal_batches = shared.steal_batches.load();
+  result.stats.lock_wait_ns =
+      total_lock_wait_ns({lock_names::kMemo, lock_names::kInject}) -
+      lock_wait_before;
   result.stats.budget_exhausted =
       result.stats.budget_exhausted || shared.budget_exhausted.load();
   result.stats.runtime_seconds =

@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 
@@ -137,6 +138,15 @@ struct SolverOptions {
   /// across solves are most valuable.  Unlimited by default.
   std::size_t global_memo_depth = static_cast<std::size_t>(-1);
 
+  /// Subproblems a victim donates per steal request (parallel engine
+  /// only).  Each donation serializes up to this many frontier picks into
+  /// ONE injection-queue batch, amortizing the per-donation SerializedBdd
+  /// round trip that single-node stealing pays on fine-grained trees.
+  /// 1 reproduces the old node-at-a-time donation.  Donation only moves
+  /// already-admitted frontier items between workers, so the depth-capped
+  /// schedule-independence contract holds for any batch size.
+  std::size_t steal_batch = 8;
+
   /// Wall-clock budget; zero means unlimited.
   std::chrono::milliseconds timeout{0};
 
@@ -174,8 +184,14 @@ struct SolverStats {
   std::size_t solutions_seen = 0;      ///< compatible functions encountered
   std::size_t workers = 1;             ///< threads that ran the exploration
   std::size_t steals = 0;              ///< subproblems migrated via injection
+  std::size_t steal_batches = 0;       ///< donation batches through the queue
   std::size_t reorders = 0;            ///< sifting passes during this run
   bool budget_exhausted = false;       ///< stopped on max_relations/timeout
+  /// Time threads of this run spent BLOCKED on the memo/injection locks
+  /// (lock_stats.hpp), in ns.  Best effort: the underlying registry is
+  /// process-global, so concurrent runs (pool slots) overlap in it; 0
+  /// when BREL_LOCK_STATS is compiled out.
+  std::uint64_t lock_wait_ns = 0;
   double runtime_seconds = 0.0;
 };
 

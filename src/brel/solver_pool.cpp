@@ -1,6 +1,7 @@
 #include "brel/solver_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -9,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "brel/lock_stats.hpp"
 #include "brel/parallel_engine.hpp"  // resolve_worker_count
 #include "brel/search.hpp"
 #include "relation/relation_io.hpp"
@@ -29,7 +31,31 @@ MultiFunction import_pool_solution(BddManager& mgr, const BooleanRelation& r,
   return import_portable_solution(mgr, make_memo_space(r), result.solution);
 }
 
+/// Request distribution: instead of one mutex+condvar deque that every
+/// submitter and every slot hammers, each slot owns a MAILBOX (its own
+/// small mutex + deque).  submit() picks a mailbox round-robin with a
+/// relaxed atomic counter — concurrent submitters land on different
+/// mailboxes and never serialize behind each other — and idle slots
+/// STEAL from other mailboxes before parking, so an unlucky round-robin
+/// burst cannot strand work behind a slow request.  The shared sleep
+/// mutex/condvar exists only for parking: the saturated (throughput)
+/// path never touches it, because submit only notifies when the
+/// `sleepers` count says somebody is actually asleep.
+///
+/// Shutdown ordering makes the drain airtight without a global lock:
+/// shutdown() first CLOSES every mailbox (under its own lock — later
+/// submits throw), then sets `stop`.  A slot that observes `stop` does
+/// one more full scan before exiting; any job enqueued before its
+/// mailbox closed happened-before the close, the close
+/// sequenced-before the `stop` store, so the post-`stop` scan is
+/// guaranteed to see it.  Every accepted job is therefore served.
 struct SolverPool::Impl {
+  struct Mailbox {
+    TimedMutex mutex{lock_names::kPool};
+    std::deque<Job> jobs;
+    bool closed = false;
+  };
+
   explicit Impl(PoolOptions options)
       : options(std::move(options)),
         workers(resolve_worker_count(this->options.workers)) {
@@ -45,7 +71,8 @@ struct SolverPool::Impl {
     // clash (e.g. a memo that served a different objective).
     memo = this->options.solver.global_memo;
     if (memo == nullptr && this->options.share_memo) {
-      memo = std::make_shared<GlobalMemo>(this->options.memo_capacity);
+      memo = std::make_shared<GlobalMemo>(this->options.memo_capacity,
+                                          this->options.memo_shards);
     }
     if (memo != nullptr) {
       memo->bind(MemoFingerprint{
@@ -56,6 +83,10 @@ struct SolverPool::Impl {
     }
     this->options.solver.global_memo = memo;
 
+    mailboxes.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      mailboxes.push_back(std::make_unique<Mailbox>());
+    }
     threads.reserve(workers);
     try {
       for (std::size_t w = 0; w < workers; ++w) {
@@ -64,6 +95,59 @@ struct SolverPool::Impl {
     } catch (...) {
       shutdown();  // join whoever already started before rethrowing
       throw;
+    }
+  }
+
+  /// Pop the oldest job of one mailbox, if any.
+  bool try_take(std::size_t slot, Job& out) {
+    Mailbox& box = *mailboxes[slot];
+    const std::scoped_lock lock(box.mutex);
+    if (box.jobs.empty()) {
+      return false;
+    }
+    out = std::move(box.jobs.front());
+    box.jobs.pop_front();
+    return true;
+  }
+
+  /// Next job for slot `id`: own mailbox first, then steal the oldest
+  /// job of the other mailboxes, then park.  Returns false when the pool
+  /// stopped and nothing is left anywhere.
+  bool acquire(std::size_t id, Job& out) {
+    while (true) {
+      if (try_take(id, out)) {
+        pending.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      for (std::size_t i = 1; i < workers; ++i) {
+        if (try_take((id + i) % workers, out)) {
+          pending.fetch_sub(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      if (stop.load(std::memory_order_acquire)) {
+        // Final drain: `stop` is only stored after every mailbox was
+        // closed, so a scan made after observing it sees every job that
+        // was ever accepted (see the file comment on the ordering).
+        for (std::size_t s = 0; s < workers; ++s) {
+          if (try_take(s, out)) {
+            pending.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+          }
+        }
+        return false;
+      }
+      // Park.  The pending/sleepers handshake with enqueue() makes the
+      // lost-wakeup window benign, and the timed wait bounds even that
+      // to one period.
+      sleepers.fetch_add(1);
+      {
+        std::unique_lock lock(sleep_mutex);
+        if (pending.load() == 0 && !stop.load()) {
+          sleep_cv.wait_for(lock, std::chrono::milliseconds(50));
+        }
+      }
+      sleepers.fetch_sub(1);
     }
   }
 
@@ -80,14 +164,8 @@ struct SolverPool::Impl {
 
     while (true) {
       Job job;
-      {
-        std::unique_lock lock(mutex);
-        queue_ready.wait(lock, [this] { return stop || !queue.empty(); });
-        if (queue.empty()) {
-          return;  // stop && drained
-        }
-        job = std::move(queue.front());
-        queue.pop_front();
+      if (!acquire(id, job)) {
+        return;  // stop && drained
       }
       // Counted before the promise resolves, so a caller that joined
       // every future observes the full tally.
@@ -143,26 +221,43 @@ struct SolverPool::Impl {
     Job job;
     job.text = std::move(text);
     std::future<PoolResult> future = job.promise.get_future();
+    const std::size_t slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed) % workers;
     {
-      const std::scoped_lock lock(mutex);
-      if (stop) {
+      Mailbox& box = *mailboxes[slot];
+      const std::scoped_lock lock(box.mutex);
+      if (box.closed) {
         throw std::runtime_error("SolverPool: submit after shutdown");
       }
-      queue.push_back(std::move(job));
+      box.jobs.push_back(std::move(job));
     }
-    queue_ready.notify_one();
+    pending.fetch_add(1, std::memory_order_release);
+    if (sleepers.load() > 0) {
+      // Only parked slots cost a shared-lock touch; the saturated path
+      // (sleepers == 0) never contends anything beyond its one mailbox.
+      const std::scoped_lock lock(sleep_mutex);
+      sleep_cv.notify_one();
+    }
     return future;
   }
 
   void shutdown() {
-    {
-      const std::scoped_lock lock(mutex);
-      if (stop) {
-        return;
-      }
-      stop = true;
+    const std::scoped_lock guard(shutdown_mutex);
+    if (stopped) {
+      return;
     }
-    queue_ready.notify_all();
+    stopped = true;
+    // Close every mailbox BEFORE raising stop — the ordering the
+    // workers' final drain scan relies on (see the file comment).
+    for (const std::unique_ptr<Mailbox>& box : mailboxes) {
+      const std::scoped_lock lock(box->mutex);
+      box->closed = true;
+    }
+    stop.store(true, std::memory_order_release);
+    {
+      const std::scoped_lock lock(sleep_mutex);
+      sleep_cv.notify_all();
+    }
     for (std::thread& t : threads) {
       if (t.joinable()) {
         t.join();
@@ -174,11 +269,17 @@ struct SolverPool::Impl {
   std::size_t workers;
   std::shared_ptr<GlobalMemo> memo;
 
-  std::mutex mutex;
-  std::condition_variable queue_ready;
-  std::deque<Job> queue;
-  bool stop = false;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::atomic<std::size_t> next_slot{0};  ///< round-robin submit cursor
+  std::atomic<std::size_t> pending{0};    ///< accepted, not yet taken
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> sleepers{0};   ///< slots parked on sleep_cv
+  std::mutex sleep_mutex;                 ///< parking only — never hot
+  std::condition_variable sleep_cv;
   std::atomic<std::uint64_t> served{0};
+
+  std::mutex shutdown_mutex;  ///< serializes shutdown() callers
+  bool stopped = false;       ///< under shutdown_mutex
 
   std::vector<std::thread> threads;
 };

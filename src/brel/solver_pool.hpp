@@ -87,6 +87,15 @@ struct PoolOptions {
   /// memory, not pinned BDD nodes).
   std::size_t memo_capacity = static_cast<std::size_t>(-1);
 
+  /// Lock shards of the pool memo (GlobalMemo's second constructor
+  /// argument).  0 = auto: an unlimited memo shards
+  /// GlobalMemo::kDefaultShards ways so concurrent slots probing
+  /// different keys never contend; a finite memo_capacity stays on one
+  /// shard for exact global-LRU semantics.  Ignored when a caller memo
+  /// is adopted via `solver.global_memo` (its sharding is fixed at its
+  /// construction).
+  std::size_t memo_shards = 0;
+
   /// Keep a persistent per-slot SubproblemCache, recycled across
   /// requests with rebind_or_clear (an in-run invariant guard; see the
   /// file comment for why cross-request hits cannot occur).

@@ -106,6 +106,51 @@ TEST(BddReorderTest, WorstOrderPairFunctionShrinksAtLeast2x) {
   EXPECT_DOUBLE_EQ(mgr.sat_count(f, 2 * k), ref.sat_count(g, 2 * k));
 }
 
+TEST(BddReorderTest, DisjointSupportsSkipSwapsAndSurviveSifting) {
+  // Two pair functions over DISJOINT variable halves: no root depends on
+  // both halves, so the interaction matrix lets every swap of a
+  // cross-half level pair reduce to a pure table flip (counted in
+  // reorder_swap_skips), while within-half swaps still do real work —
+  // both functions must shrink and keep their truth tables.
+  constexpr std::uint32_t k = 4;
+  BddManager mgr{8 * k};
+  Bdd f = mgr.zero();  // over variables [0, 4k)
+  for (std::uint32_t i = 0; i < k; ++i) {
+    f = f | (mgr.var(i) & mgr.var(2 * k + i));
+  }
+  Bdd g = mgr.zero();  // over variables [4k, 8k)
+  for (std::uint32_t i = 0; i < k; ++i) {
+    g = g | (mgr.var(4 * k + i) & mgr.var(6 * k + i));
+  }
+  const std::size_t before = f.size() + g.size();
+
+  mgr.reorder();
+  mgr.check_integrity();
+
+  EXPECT_GT(mgr.stats().reorder_swaps, 0u);
+  EXPECT_GT(mgr.stats().reorder_swap_skips, 0u)
+      << "sifting a variable across the foreign half must skip";
+  EXPECT_LT(f.size() + g.size(), before);
+
+  // Semantics: both functions intact against a no-reorder reference.
+  BddManager ref{8 * k};
+  Bdd rf = ref.zero();
+  Bdd rg = ref.zero();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    rf = rf | (ref.var(i) & ref.var(2 * k + i));
+    rg = rg | (ref.var(4 * k + i) & ref.var(6 * k + i));
+  }
+  std::vector<bool> assignment(8 * k, false);
+  std::mt19937 rng{11};
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (std::uint32_t v = 0; v < 8 * k; ++v) {
+      assignment[v] = (rng() & 1u) != 0;
+    }
+    ASSERT_EQ(f.eval(assignment), rf.eval(assignment));
+    ASSERT_EQ(g.eval(assignment), rg.eval(assignment));
+  }
+}
+
 TEST(BddReorderTest, RandomizedDifferentialAgainstNoReorderReference) {
   // Forced sifting on one manager, none on the other, truth tables must
   // match exactly — across many seeds, with several functions alive per

@@ -103,6 +103,35 @@ TEST(ParallelEngineTest, DepthCappedCostsEqualSerialAcrossFullSuite) {
   }
 }
 
+TEST(ParallelEngineTest, BatchedDonationPreservesScheduleIndependence) {
+  // Donation batch size only changes WHO explores a node, never WHETHER
+  // it is explored: donations move already-admitted frontier items, so
+  // the depth-capped explored set — and the returned cost — must be
+  // invariant across every (workers, steal_batch) combination,
+  // including batches far larger than the frontier ever gets.
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = make_benchmark_relation(
+      mgr, relation_suite().front(), inputs, outputs);
+  SolverOptions options = deterministic_options(6);
+  const SolveResult serial = SearchEngine(r, options).run();
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t batch : {1u, 4u, 16u}) {
+      options.num_workers = workers;
+      options.steal_batch = batch;
+      const SolveResult parallel = ParallelEngine(r, options).run();
+      EXPECT_DOUBLE_EQ(parallel.cost, serial.cost)
+          << workers << " workers, batch " << batch;
+      EXPECT_EQ(parallel.stats.relations_explored,
+                serial.stats.relations_explored)
+          << workers << " workers, batch " << batch;
+      EXPECT_TRUE(r.is_compatible(parallel.function))
+          << workers << " workers, batch " << batch;
+    }
+  }
+}
+
 TEST(ParallelEngineTest, DepthCappedEqualityHoldsForDfsAndBestFirst) {
   // The fixed-set argument is strategy-agnostic: any frontier order over
   // the same truncated tree sees the same solutions.

@@ -47,6 +47,13 @@
 //                                            a throughput/memo summary
 //     --no-memo                              disable the pool's cross-solve
 //                                            memo in --serve mode
+//     --memo-shards=N                        lock shards of the pool memo
+//                                            (--serve; 0 = auto: 16 for an
+//                                            unbounded memo, 1 when capped)
+//     --steal-batch=N                        subproblems a parallel-engine
+//                                            victim donates per steal request
+//                                            as one serialized batch
+//                                            (default 8; 1 = old behaviour)
 //     --dump-table                           print the relation table
 //     --quiet                                covers only
 
@@ -60,6 +67,7 @@
 #include <string>
 #include <vector>
 
+#include "brel/lock_stats.hpp"
 #include "brel/solver.hpp"
 #include "brel/solver_pool.hpp"
 #include "gyocro/gyocro.hpp"
@@ -84,6 +92,8 @@ struct CliOptions {
   bool quiet = false;
   bool serve = false;
   bool no_memo = false;
+  std::size_t memo_shards = 0;  ///< 0 = GlobalMemo auto policy
+  std::size_t steal_batch = 8;
   std::string solver = "brel";
   std::vector<std::string> files;  ///< positionals; empty = stdin
 };
@@ -97,7 +107,8 @@ struct CliOptions {
                "                [--reorder=off|on|auto]\n"
                "                [--symmetry] [--seed-cache] [--totalize]\n"
                "                [--solver=brel|quick|gyocro|herb]\n"
-               "                [--serve] [--no-memo]\n"
+               "                [--serve] [--no-memo] [--memo-shards=N]\n"
+               "                [--steal-batch=N]\n"
                "                [--dump-table] [--quiet] [file.br|-]...\n"
                "  --serve solves every listed file over a SolverPool of\n"
                "  --workers slots sharing one cross-solve memo\n");
@@ -172,6 +183,12 @@ CliOptions parse_args(int argc, char** argv) {
       options.serve = true;
     } else if (arg == "--no-memo") {
       options.no_memo = true;
+    } else if (const char* v = value_of("--memo-shards=")) {
+      options.memo_shards =
+          static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--steal-batch=")) {
+      options.steal_batch =
+          static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--totalize") {
       options.totalize = true;
     } else if (const char* v = value_of("--solver=")) {
@@ -250,6 +267,34 @@ std::string slurp(const std::string& file) {
   return buffer.str();
 }
 
+/// One `# locks:` line from the process-global registry: blocked-acquire
+/// wait per named lock.  Silent when lock stats were compiled out or no
+/// named lock was ever taken (e.g. serial single-solve, memo-less pool).
+void print_lock_stats() {
+  if (!brel::lock_stats_compiled()) {
+    return;
+  }
+  bool any = false;
+  std::string line = "# locks:";
+  char item[128];
+  for (const brel::LockSnapshot& s :
+       brel::LockStatsRegistry::instance().snapshot()) {
+    if (s.acquires == 0) {
+      continue;
+    }
+    any = true;
+    std::snprintf(item, sizeof(item),
+                  " %s wait=%.3fms acquires=%llu contended=%llu",
+                  s.name.c_str(), static_cast<double>(s.wait_ns) / 1e6,
+                  static_cast<unsigned long long>(s.acquires),
+                  static_cast<unsigned long long>(s.contended));
+    line += item;
+  }
+  if (any) {
+    std::printf("%s\n", line.c_str());
+  }
+}
+
 brel::SolverOptions solver_options_from_cli(const CliOptions& cli) {
   brel::SolverOptions options;
   options.cost = cost_by_name(cli.cost);
@@ -263,6 +308,7 @@ brel::SolverOptions solver_options_from_cli(const CliOptions& cli) {
   options.use_subproblem_cache = cli.seed_cache;
   options.order = cli.order;
   options.reorder = cli.reorder;
+  options.steal_batch = cli.steal_batch;
   return options;
 }
 
@@ -293,6 +339,7 @@ int run_serve(const CliOptions& cli) {
   pool_options.workers = cli.workers;
   pool_options.solver = solver_options_from_cli(cli);
   pool_options.share_memo = !cli.no_memo;
+  pool_options.memo_shards = cli.memo_shards;
   pool_options.totalize = cli.totalize;
 
   const auto start = std::chrono::steady_clock::now();
@@ -350,8 +397,8 @@ int run_serve(const CliOptions& cli) {
                 static_cast<unsigned long long>(pool.requests_served()),
                 pool.worker_count(), seconds);
     if (pool.memo() != nullptr) {
-      std::printf(" | memo: %zu entries, %llu/%llu probe hits",
-                  pool.memo()->size(),
+      std::printf(" | memo: %zu entries (%zu shards), %llu/%llu probe hits",
+                  pool.memo()->size(), pool.memo()->shard_count(),
                   static_cast<unsigned long long>(pool.memo()->hits()),
                   static_cast<unsigned long long>(pool.memo()->probes()));
     }
@@ -359,6 +406,7 @@ int run_serve(const CliOptions& cli) {
       std::printf(" | reorders: %zu", total_reorders);
     }
     std::printf("\n");
+    print_lock_stats();
   }
   return failures == 0 ? 0 : 1;
 }
@@ -436,8 +484,10 @@ int main(int argc, char** argv) {
         result.stats.runtime_seconds,
         result.stats.budget_exhausted ? " (budget exhausted)" : "");
     if (result.stats.workers > 1) {
-      std::printf("# workers=%zu steals=%zu\n", result.stats.workers,
-                  result.stats.steals);
+      std::printf("# workers=%zu steals=%zu batches=%zu\n",
+                  result.stats.workers, result.stats.steals,
+                  result.stats.steal_batches);
+      print_lock_stats();
     }
     if (result.stats.reorders > 0) {
       // Serial runs sift the manager above; parallel runs sift their
