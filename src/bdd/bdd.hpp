@@ -358,6 +358,20 @@ class BddManager {
   /// external_root_count() != 0.
   bool reset_variables();
 
+  /// Pre-seed the relative order of a freshly added trailing variable
+  /// block: variable first+ranks[L] moves to level first+L for every L,
+  /// where `ranks` is a permutation of 0..ranks.size()-1 covering the
+  /// block [first, num_vars).  This is how a `.order` sidecar (a solved
+  /// manager's known-good order, relation_io.hpp) is installed BEFORE
+  /// the request's BDDs are built, so a pool slot skips re-sifting from
+  /// scratch.  Requires every level of the block to be empty of nodes
+  /// (the state add_vars leaves it in) — an empty-level permutation is
+  /// a pure index-map rewrite, no node motion — and throws
+  /// std::invalid_argument on a malformed permutation, a block not at
+  /// the tail of the order, or a non-empty level.
+  void seed_block_order(std::uint32_t first,
+                        std::span<const std::uint32_t> ranks);
+
   /// Full structural validation of the node store (testing/diagnostic;
   /// O(nodes)): canonical form (then-edges regular), order (children
   /// strictly below parents by level), per-level unique-table membership

@@ -397,6 +397,50 @@ bool BddManager::reset_variables() {
   return true;
 }
 
+void BddManager::seed_block_order(std::uint32_t first,
+                                  std::span<const std::uint32_t> ranks) {
+  assert_owning_thread();
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("seed_block_order: ") + what);
+  };
+  if (first > num_vars_ || ranks.size() != num_vars_ - first) {
+    fail("block does not cover the trailing variables");
+  }
+  const std::uint32_t count = static_cast<std::uint32_t>(ranks.size());
+  std::vector<bool> seen(count, false);
+  for (const std::uint32_t r : ranks) {
+    if (r >= count || seen[r]) {
+      fail("ranks are not a permutation of the block");
+    }
+    seen[r] = true;
+  }
+  // The block must sit at the tail of the order in identity relative
+  // order with every level empty — exactly what add_vars leaves behind.
+  // Then moving variable first+ranks[L] to level first+L is a pure
+  // rewrite of the two inverse index maps: with no nodes at any touched
+  // level there is nothing to re-hash or re-order.
+  for (std::uint32_t l = 0; l < count; ++l) {
+    if (var_at_level_[first + l] != first + l) {
+      fail("block is not at the tail of the order");
+    }
+    if (subtables_[first + l].count != 0) {
+      fail("a level of the block already holds nodes");
+    }
+  }
+  for (std::uint32_t l = 0; l < count; ++l) {
+    const std::uint32_t v = first + ranks[l];
+    var_at_level_[first + l] = v;
+    level_of_var_[v] = first + l;
+  }
+  order_is_identity_ = true;
+  for (std::uint32_t level = 0; level < num_vars_; ++level) {
+    if (var_at_level_[level] != level) {
+      order_is_identity_ = false;
+      break;
+    }
+  }
+}
+
 void BddManager::check_integrity() const {
   const auto fail = [](const std::string& what) {
     throw std::logic_error("BddManager::check_integrity: " + what);

@@ -172,4 +172,67 @@ BooleanRelation make_benchmark_relation(BddManager& mgr,
   return BooleanRelation(mgr, inputs, outputs, std::move(chi));
 }
 
+BooleanRelation flip_minterms(const BooleanRelation& r, std::size_t count,
+                              std::uint32_t seed) {
+  BddManager& mgr = r.manager();
+  const std::vector<std::uint32_t>& inputs = r.inputs();
+  const std::vector<std::uint32_t>& outputs = r.outputs();
+  std::mt19937 rng{seed};
+
+  // One full (input, output) assignment: the bit vectors first (so a
+  // failed removal can be re-realized with one output bit flipped), the
+  // BDDs built from them.
+  std::vector<bool> in_bits(inputs.size());
+  std::vector<bool> out_bits(outputs.size());
+  const auto build_input_vertex = [&] {
+    Bdd vertex = mgr.one();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      vertex = vertex & mgr.literal(inputs[i], in_bits[i]);
+    }
+    return vertex;
+  };
+  const auto build_minterm = [&](const Bdd& input_vertex) {
+    Bdd minterm = input_vertex;
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      minterm = minterm & mgr.literal(outputs[o], out_bits[o]);
+    }
+    return minterm;
+  };
+
+  Bdd chi = r.characteristic();
+  for (std::size_t flip = 0; flip < count; ++flip) {
+    bool flipped = false;
+    Bdd input_vertex;
+    Bdd minterm;
+    for (int attempt = 0; attempt < 32 && !flipped; ++attempt) {
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        in_bits[i] = rng() % 2 == 0;
+      }
+      for (std::size_t o = 0; o < outputs.size(); ++o) {
+        out_bits[o] = rng() % 2 == 0;
+      }
+      input_vertex = build_input_vertex();
+      minterm = build_minterm(input_vertex);
+      if ((chi & minterm).is_zero()) {
+        chi = chi | minterm;  // additions never threaten well-definedness
+        flipped = true;
+      } else if (!(chi & input_vertex & !minterm).is_zero()) {
+        chi = chi & !minterm;  // the row keeps at least one other image
+        flipped = true;
+      }
+      // else: removing the row's only image would leave the relation
+      // ill defined — redraw.
+    }
+    if (!flipped) {
+      // Pathological draw streak: every attempt found a singleton-image
+      // row's only minterm.  That row admits nothing else, so flipping
+      // one output bit of the last draw is guaranteed absent — realize
+      // the flip as that addition.
+      out_bits[0] = !out_bits[0];
+      chi = chi | build_minterm(input_vertex);
+    }
+  }
+  return BooleanRelation(mgr, inputs, outputs, std::move(chi));
+}
+
 }  // namespace brel

@@ -37,4 +37,15 @@ struct RelationBenchmark {
     BddManager& mgr, const RelationBenchmark& bench,
     std::vector<std::uint32_t>& inputs, std::vector<std::uint32_t>& outputs);
 
+/// Deterministically flip `count` minterms of `r`'s characteristic — the
+/// edit model of the incremental-re-solve experiments (a small ECO
+/// against an already-solved relation).  Each flip toggles one full
+/// (input, output) assignment, drawn from `seed`; a removal that would
+/// empty an input vertex's image is redrawn (bounded retries, then
+/// realized as an addition instead), so the result is always well
+/// defined.  Same (relation, count, seed) → same result, in any manager.
+[[nodiscard]] BooleanRelation flip_minterms(const BooleanRelation& r,
+                                            std::size_t count,
+                                            std::uint32_t seed);
+
 }  // namespace brel

@@ -1,0 +1,56 @@
+#include "brel/delta_context.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace brel {
+
+const SerializedBdd* DeltaRegistry::find_base(
+    const GlobalMemoKey& key) const {
+  for (const BaseEntry& base : bases_) {
+    if (base.input_ranks == key.input_ranks &&
+        base.output_ranks == key.output_ranks) {
+      return &base.chi;
+    }
+  }
+  return nullptr;
+}
+
+void DeltaRegistry::remember(const GlobalMemoKey& key) {
+  ++next_stamp_;
+  for (BaseEntry& base : bases_) {
+    if (base.input_ranks == key.input_ranks &&
+        base.output_ranks == key.output_ranks) {
+      base.chi = key.chi;
+      base.stamp = next_stamp_;
+      return;
+    }
+  }
+  if (bases_.size() >= capacity_) {
+    const auto victim = std::min_element(
+        bases_.begin(), bases_.end(),
+        [](const BaseEntry& a, const BaseEntry& b) {
+          return a.stamp < b.stamp;
+        });
+    bases_.erase(victim);
+  }
+  bases_.push_back(
+      BaseEntry{key.input_ranks, key.output_ranks, key.chi, next_stamp_});
+}
+
+bool resolve_incremental(bool configured) {
+  const char* env = std::getenv("BREL_INCREMENTAL");
+  if (env == nullptr) {
+    return configured;
+  }
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) {
+    return false;
+  }
+  if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0) {
+    return true;
+  }
+  return configured;  // unknown value: keep the configured mode
+}
+
+}  // namespace brel

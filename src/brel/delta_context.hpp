@@ -1,0 +1,81 @@
+#pragma once
+/// \file delta_context.hpp
+/// Incremental re-solve support: remember the characteristic of the last
+/// solved relation per variable space so the next solve of a *nearly*
+/// identical relation can diff against it and reuse every untouched
+/// subtree.
+///
+/// The mechanism (DESIGN.md §incremental): when a run starts and its
+/// root misses the GlobalMemo, the engine asks its DeltaRegistry for the
+/// most recent base relation over the same input/output rank spaces.
+/// The base characteristic is materialized in the solving manager
+/// (import_canonical_bdd) and the run carries delta = chi_new XOR
+/// chi_base down the recursive decomposition: Split constrains both
+/// relations identically (relation.hpp split_removals), so constraining
+/// the root XOR by the same path yields the XOR of the two subproblems
+/// at that path.  A ZERO delta cofactor therefore proves the subproblem
+/// is byte-identical to the base run's — its depth-indexed GlobalMemo
+/// entry (global_memo.hpp) is exact for this prober, and the memo probe
+/// the engine performs anyway serves it without re-search.  The delta
+/// itself never decides reuse (the memo's completeness protocol does);
+/// it classifies subtrees for the `# delta:` observability counters and
+/// pays for itself by explaining *why* a warm-delta solve explores only
+/// the changed region.
+///
+/// Threading: a DeltaRegistry belongs to ONE embedder thread (a pool
+/// slot's worker_loop, or the CLI main thread).  It stores only plain
+/// rank-form data — no Bdd handles — so it survives the pool's slot
+/// recycling protocol (reset_variables between requests) untouched.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "brel/global_memo.hpp"
+
+namespace brel {
+
+/// Per-embedder memory of previously solved root relations in canonical
+/// rank form, keyed by their input/output rank spaces.  Small: one base
+/// per space signature, a handful of signatures (LRU beyond capacity).
+class DeltaRegistry {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8;
+
+  explicit DeltaRegistry(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The most recent base characteristic solved over the same rank
+  /// spaces as `key`, or nullptr.  The pointer is owned by the registry
+  /// and invalidated by the next remember().
+  [[nodiscard]] const SerializedBdd* find_base(
+      const GlobalMemoKey& key) const;
+
+  /// Record `key` (a solved root in canonical rank form) as the base
+  /// for its spaces, replacing any previous base of the same spaces and
+  /// evicting the least-recently refreshed signature beyond capacity.
+  void remember(const GlobalMemoKey& key);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bases_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct BaseEntry {
+    std::vector<std::uint32_t> input_ranks;
+    std::vector<std::uint32_t> output_ranks;
+    SerializedBdd chi;
+    std::uint64_t stamp = 0;  ///< recency (higher = fresher)
+  };
+
+  std::size_t capacity_;
+  std::uint64_t next_stamp_ = 0;
+  std::vector<BaseEntry> bases_;  ///< linear scan; capacity is tiny
+};
+
+/// Incremental-mode policy resolution, mirroring resolve_reorder_mode:
+/// the BREL_INCREMENTAL environment variable ("1"/"on" force-arms,
+/// "0"/"off" force-disarms) overrides `configured`, so CI can exercise
+/// the delta path across every suite without per-call plumbing.
+[[nodiscard]] bool resolve_incremental(bool configured);
+
+}  // namespace brel

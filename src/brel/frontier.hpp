@@ -62,6 +62,13 @@ struct Subproblem {
   /// ever make the copies show.  Empty when no global memo is active.
   std::vector<std::shared_ptr<const GlobalMemoKey>> memo_chain;
 
+  /// Incremental-delta cofactor (delta_context.hpp): the XOR of this
+  /// subproblem's characteristic against the corresponding base-run
+  /// subproblem, maintained by constraining the parent's delta with the
+  /// same split removals.  A null handle means no delta is being tracked
+  /// this run; a ZERO BDD proves the subproblem identical to the base's.
+  Bdd delta;
+
   /// Ordering key for best-first frontiers: the cost of the MISF candidate
   /// computed when the subproblem was generated.  Unused (0) otherwise.
   double priority = 0.0;

@@ -131,6 +131,62 @@ MultiFunction import_portable_solution(BddManager& mgr,
   return f;
 }
 
+Bdd import_canonical_bdd(BddManager& mgr, const MemoSpace& space,
+                         const SerializedBdd& s) {
+  return mgr.deserialize_bdd(
+      remap_vars(s, space.sorted_vars, MemoSpace::kUnranked));
+}
+
+namespace {
+
+/// Three-way lexicographic compare of rank-form serialized BDDs.  The
+/// serializer emits a deterministic traversal of the canonical DAG, so
+/// equal functions compare equal and distinct functions compare stably
+/// in either direction — exactly the properties canonically_before
+/// needs; the specific order is otherwise arbitrary.
+int compare_serialized(const SerializedBdd& a, const SerializedBdd& b) {
+  if (a.nodes.size() != b.nodes.size()) {
+    return a.nodes.size() < b.nodes.size() ? -1 : 1;
+  }
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    const SerializedBdd::Node& x = a.nodes[i];
+    const SerializedBdd::Node& y = b.nodes[i];
+    if (x.var != y.var) {
+      return x.var < y.var ? -1 : 1;
+    }
+    if (x.hi != y.hi) {
+      return x.hi < y.hi ? -1 : 1;
+    }
+    if (x.lo != y.lo) {
+      return x.lo < y.lo ? -1 : 1;
+    }
+  }
+  if (a.root != b.root) {
+    return a.root < b.root ? -1 : 1;
+  }
+  if (a.num_vars != b.num_vars) {
+    return a.num_vars < b.num_vars ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool canonically_before(const PortableSolution& a,
+                        const PortableSolution& b) {
+  if (a.outputs.size() != b.outputs.size()) {
+    // Unreachable for same-relation candidates; ordered for totality.
+    return a.outputs.size() < b.outputs.size();
+  }
+  for (std::size_t o = 0; o < a.outputs.size(); ++o) {
+    if (const int c = compare_serialized(a.outputs[o], b.outputs[o]);
+        c != 0) {
+      return c < 0;
+    }
+  }
+  return false;
+}
+
 std::size_t GlobalMemo::KeyHash::operator()(const GlobalMemoKey& key) const {
   Fnv h;
   h.feed(key.chi.nodes.size());
@@ -190,8 +246,8 @@ void GlobalMemo::bind(const MemoFingerprint& fp) {
   }
 }
 
-std::optional<PortableSolution> GlobalMemo::lookup(
-    const GlobalMemoKey& key) const {
+std::optional<MemoHit> GlobalMemo::lookup_at(const GlobalMemoKey& key,
+                                             std::uint64_t depth) const {
   const Shard& shard = *shards_[shard_of(key)];
   shard.probes.fetch_add(1, std::memory_order_relaxed);
   const std::scoped_lock lock(shard.mutex);
@@ -203,11 +259,29 @@ std::optional<PortableSolution> GlobalMemo::lookup(
   // even for entries still too incomplete to serve, so an in-progress
   // subtree is not the first thing the capacity bound throws away.
   touch(shard, it->second);
-  if (!it->second.complete || !it->second.solution.has_solution()) {
+  const Entry& entry = it->second;
+  if (!entry.complete || !entry.solution.has_solution()) {
+    return std::nullopt;
+  }
+  // Depth validity (see the protocol): natural entries cover every
+  // prober at or above their producing depth, truncated entries only
+  // the exact depth whose remaining budget they reflect.
+  const bool covers = entry.complete_truncated
+                          ? depth == entry.complete_depth
+                          : depth <= entry.complete_depth;
+  if (!covers) {
     return std::nullopt;
   }
   shard.hits.fetch_add(1, std::memory_order_relaxed);
-  return it->second.solution;
+  return MemoHit{entry.solution, entry.complete_truncated};
+}
+
+std::optional<PortableSolution> GlobalMemo::lookup(
+    const GlobalMemoKey& key) const {
+  if (auto hit = lookup_at(key, 0)) {
+    return std::move(hit->solution);
+  }
+  return std::nullopt;
 }
 
 MemoRunStamp GlobalMemo::begin_run() {
@@ -227,10 +301,15 @@ void GlobalMemo::publish(const GlobalMemoKey& key,
   if (const auto it = shard.map.find(key); it != shard.map.end()) {
     // Improvements to present entries never evict; the completeness bit
     // is sticky (same-fingerprint runs only ever refine a completed
-    // subtree result downward in cost).
+    // subtree result downward in cost).  Cost ties fall through to the
+    // canonical order so the accumulated winner is independent of which
+    // run/worker published first — a served entry must reproduce the
+    // exact function a cold deterministic solve would keep.
     touch(shard, it->second);
     if (!it->second.solution.has_solution() ||
-        solution.cost < it->second.solution.cost) {
+        solution.cost < it->second.solution.cost ||
+        (solution.cost == it->second.solution.cost &&
+         canonically_before(solution, it->second.solution))) {
       it->second.solution = solution;
     }
     return;
@@ -248,20 +327,21 @@ void GlobalMemo::publish(const GlobalMemoKey& key,
   }
   const auto it =
       shard.map
-          .emplace(key, Entry{solution, false, run_id,
-                              insert_seq_.fetch_add(1) + 1, shard.lru.end()})
+          .emplace(key, Entry{.solution = solution,
+                              .creator_run = run_id,
+                              .created_seq = insert_seq_.fetch_add(1) + 1,
+                              .lru = shard.lru.end()})
           .first;
   shard.lru.push_front(&it->first);
   it->second.lru = shard.lru.begin();
 }
 
-void GlobalMemo::mark_complete(
-    std::span<const std::shared_ptr<const GlobalMemoKey>> keys,
-    const MemoRunStamp& stamp) {
-  for (const std::shared_ptr<const GlobalMemoKey>& key : keys) {
-    Shard& shard = *shards_[shard_of(*key)];
+void GlobalMemo::mark_complete(std::span<const MemoMark> marks,
+                               const MemoRunStamp& stamp) {
+  for (const MemoMark& mark : marks) {
+    Shard& shard = *shards_[shard_of(*mark.key)];
     const std::scoped_lock lock(shard.mutex);
-    if (const auto it = shard.map.find(*key); it != shard.map.end()) {
+    if (const auto it = shard.map.find(*mark.key); it != shard.map.end()) {
       Entry& entry = it->second;
       // Only vouch for entries this run found already present or
       // created itself (possibly re-created after an eviction): an
@@ -272,11 +352,38 @@ void GlobalMemo::mark_complete(
       const bool vouched =
           entry.created_seq <= stamp.start_seq ||
           (stamp.run_id != 0 && entry.creator_run == stamp.run_id);
-      if (vouched) {
+      if (!vouched) {
+        continue;
+      }
+      if (!entry.complete) {
         entry.complete = true;
+        entry.complete_depth = mark.depth;
+        entry.complete_truncated = mark.truncated;
+      } else if (!mark.truncated) {
+        // Upgrade only: a natural claim replaces a truncated one and a
+        // deeper natural claim widens a shallower one.  A truncated
+        // claim never narrows an existing mark — both claims are
+        // individually sound, so we keep the wider.
+        if (entry.complete_truncated) {
+          entry.complete_depth = mark.depth;
+          entry.complete_truncated = false;
+        } else {
+          entry.complete_depth = std::max(entry.complete_depth, mark.depth);
+        }
       }
     }
   }
+}
+
+void GlobalMemo::mark_complete(
+    std::span<const std::shared_ptr<const GlobalMemoKey>> keys,
+    const MemoRunStamp& stamp) {
+  std::vector<MemoMark> marks;
+  marks.reserve(keys.size());
+  for (const std::shared_ptr<const GlobalMemoKey>& key : keys) {
+    marks.push_back(MemoMark{key, kAnyDepth, false});
+  }
+  mark_complete(std::span<const MemoMark>(marks), stamp);
 }
 
 std::size_t GlobalMemo::size() const {

@@ -129,6 +129,27 @@ struct PortableSolution {
 [[nodiscard]] MultiFunction import_portable_solution(
     BddManager& mgr, const MemoSpace& space, const PortableSolution& s);
 
+/// Materialize one rank-form serialized BDD (e.g. a GlobalMemoKey::chi)
+/// in `mgr` under `space`'s variable assignment — the same inverse remap
+/// import_portable_solution applies per output, exposed for callers that
+/// need the characteristic itself (the incremental delta path diffs a
+/// remembered base characteristic against a fresh one).
+[[nodiscard]] Bdd import_canonical_bdd(BddManager& mgr,
+                                       const MemoSpace& space,
+                                       const SerializedBdd& s);
+
+/// Strict total order on same-space portable solutions, used to break
+/// COST TIES everywhere a winner is chosen — the engine incumbent, the
+/// memo's cross-run accumulation, the parallel coordinator's merge.
+/// Minimum under a total order is associative/commutative, so the tied
+/// winner is the same no matter which schedule, worker, or run produced
+/// the candidates — without it, equal-cost ties make repeat solves (and
+/// memo-served solves) compatible-but-not-bit-identical.  The order is
+/// lexicographic over the rank-form serialized outputs; it carries no
+/// semantic meaning beyond being total and space-canonical.
+[[nodiscard]] bool canonically_before(const PortableSolution& a,
+                                      const PortableSolution& b);
+
 /// The comparability stamp (see CacheFingerprint for the rationale; the
 /// variable spaces live inside each GlobalMemoKey here, as ranks, so the
 /// fingerprint only carries objective and mode).
@@ -152,24 +173,66 @@ struct MemoRunStamp {
   std::uint64_t start_seq = 0;  ///< entries created at or before: trusted
 };
 
+/// One engine-side completeness claim about a touched key, consumed by
+/// the depth-indexed mark_complete overload.  `depth` is the root
+/// distance at which the producing run generated the subproblem;
+/// `truncated` records that the subtree under it was cut by the run's
+/// depth cap (directly, or by importing another truncated entry) rather
+/// than bottoming out naturally.  kAnyDepth marks a naturally drained
+/// subtree of a run with no depth cap at all — valid for a prober at
+/// any depth.
+struct MemoMark {
+  std::shared_ptr<const GlobalMemoKey> key;
+  std::uint64_t depth = 0;
+  bool truncated = false;
+};
+
+/// A complete-entry probe result: the memoized solution plus whether the
+/// entry is only depth-truncated complete (see MemoMark).  Probers that
+/// import a truncated entry must propagate truncated-ness to their own
+/// ancestry or their later marks would overclaim.
+struct MemoHit {
+  PortableSolution solution;
+  bool depth_truncated = false;
+};
+
 /// The cross-solve memo.  Thread-safe; entries are plain data.
 ///
 /// Completeness protocol: publishes made *during* a run only accumulate
-/// an entry's best-so-far; lookup() returns nothing until the entry is
-/// marked **complete**.  A run that ends at its natural frontier drain
-/// (not stopped by budget/timeout, no children dropped to frontier
-/// overflow) marks its ROOT key — the root entry is exactly what that
-/// solve returned, so serving it warm is faithful by construction — and
-/// marks its interior keys only when it truncated no subtree at all (no
-/// cost-bound prunes, no depth-cap cuts; a bound-pruned subtree holds
-/// only its quick memo, and a depth cap is root-relative, so such
-/// interior entries are not subtree-final even under the same
-/// configuration).  This is what keeps a long-lived service sound: a
-/// request that times out publishes only invisible partial memos, so
-/// the next identical request re-explores instead of being served the
-/// degraded result forever.  Completeness is sticky — a later, strictly
-/// better publish (same fingerprint, so the same objective) refines a
-/// complete entry without un-completing it.  The protocol is purely
+/// an entry's best-so-far; lookup()/lookup_at() return nothing until the
+/// entry is marked **complete**.  A run that ends at its natural
+/// frontier drain (not stopped by budget/timeout) marks, per touched
+/// subproblem, what it can vouch for:
+///
+///   - a subtree cut by NOTHING (no cost-bound prune, no symmetry or
+///     subproblem-cache prune, no frontier-overflow drop, no depth-cap
+///     cut anywhere under it) is **naturally complete**: its entry is the
+///     subtree-final optimum under the memo's fingerprint.  It is marked
+///     at its producing depth d — or at kAnyDepth when the run had no
+///     depth cap — and serves any prober at depth d' <= d, because a
+///     subtree that bottomed naturally within budget d does so verbatim
+///     for every shallower (more generous) prober;
+///   - a subtree cut ONLY by the depth cap is **depth-truncated
+///     complete**: its entry is the exact result of exploring that
+///     characteristic with the remaining budget D - d, a pure function
+///     of (key, d) under one configuration, so it serves a prober at
+///     exactly d' == d (the pool fixes one SolverOptions for all
+///     requests, and the fingerprint rejects cross-objective reuse);
+///   - a subtree cut by anything else (cost bound, symmetry, cache hit,
+///     overflow) holds only a lower-quality partial memo and is not
+///     marked at all — as is every ancestor of such a cut.  The ROOT is
+///     the one exception: unless the run dropped children to frontier
+///     overflow, the root entry is exactly what the solve returned, so
+///     it is marked depth-truncated at depth 0 — faithful by
+///     construction for a prober re-solving the identical relation.
+///
+/// This is what keeps a long-lived service sound: a request that times
+/// out publishes only invisible partial memos, so the next identical
+/// request re-explores instead of being served the degraded result
+/// forever.  Completeness is sticky — a later, strictly better publish
+/// (same fingerprint, so the same objective) refines a complete entry
+/// without un-completing it, and a later natural mark upgrades a
+/// truncated one (never the reverse).  The protocol is purely
 /// per-entry, so it holds unchanged per shard.
 class GlobalMemo {
  public:
@@ -196,9 +259,23 @@ class GlobalMemo {
   /// final mark_complete.
   [[nodiscard]] MemoRunStamp begin_run();
 
-  /// Probe for `key`; returns the memoized solution only when the entry
-  /// is complete (see the protocol above) — and counts a hit only then.
-  /// By-value so the record is immune to concurrent publish().
+  /// Probe depth marking a no-depth-cap natural drain: valid for a
+  /// prober at any depth (see the protocol above).
+  static constexpr std::uint64_t kAnyDepth = static_cast<std::uint64_t>(-1);
+
+  /// Probe for `key` on behalf of a subproblem at root distance `depth`;
+  /// returns the memoized solution only when the entry is complete AND
+  /// its completeness covers that depth: naturally complete entries
+  /// serve depth' <= depth, depth-truncated entries serve exactly their
+  /// own depth (see the protocol above).  Counts a hit only when it
+  /// serves.  By-value so the record is immune to concurrent publish().
+  [[nodiscard]] std::optional<MemoHit> lookup_at(const GlobalMemoKey& key,
+                                                 std::uint64_t depth) const;
+
+  /// Depth-agnostic probe (root position): lookup_at(key, 0) without the
+  /// truncated-ness flag.  Every complete entry serves at depth 0 except
+  /// interior truncated ones, which only a matching-depth prober may
+  /// import.
   [[nodiscard]] std::optional<PortableSolution> lookup(
       const GlobalMemoKey& key) const;
 
@@ -215,14 +292,24 @@ class GlobalMemo {
   void publish(const GlobalMemoKey& key, const PortableSolution& solution,
                std::uint64_t run_id = 0);
 
-  /// Flip the completeness bit on entries of `keys` — the engine calls
-  /// this with all keys its run touched, once the run has provably
-  /// drained (see the protocol above).  Absent keys (evicted by the
-  /// capacity bound) are skipped, and so is any entry the marking run
-  /// cannot vouch for: one created after `stamp.start_seq` by a
-  /// different run (an eviction hole re-filled by a concurrent solve's
-  /// partial publishes).  The default stamp trusts everything — the
-  /// single-producer configuration, where no foreign entry can exist.
+  /// Record the engine's per-subproblem completeness claims — the
+  /// engine calls this once its run has provably drained (see the
+  /// protocol above).  Absent keys (evicted by the capacity bound) are
+  /// skipped, and so is any entry the marking run cannot vouch for: one
+  /// created after `stamp.start_seq` by a different run (an eviction
+  /// hole re-filled by a concurrent solve's partial publishes).
+  /// Upgrade rules on an already-complete entry: a natural mark
+  /// replaces a truncated one, a deeper natural mark widens a shallower
+  /// one, and a truncated mark never downgrades anything.  The default
+  /// stamp trusts everything — the single-producer configuration, where
+  /// no foreign entry can exist.
+  void mark_complete(std::span<const MemoMark> marks,
+                     const MemoRunStamp& stamp = MemoRunStamp{
+                         0, static_cast<std::uint64_t>(-1)});
+
+  /// Legacy whole-run overload: every key marked naturally complete at
+  /// kAnyDepth (valid for any prober) — the pre-depth-indexed protocol,
+  /// kept for callers that vouch for full natural drains themselves.
   void mark_complete(
       std::span<const std::shared_ptr<const GlobalMemoKey>> keys,
       const MemoRunStamp& stamp = MemoRunStamp{
@@ -259,6 +346,12 @@ class GlobalMemo {
   struct Entry {
     PortableSolution solution;
     bool complete = false;
+    /// Depth the completeness claim covers (kAnyDepth = any prober);
+    /// meaningful only while `complete` is set.
+    std::uint64_t complete_depth = 0;
+    /// Depth-truncated completeness: serves only probers at exactly
+    /// complete_depth (see the protocol above).
+    bool complete_truncated = false;
     std::uint64_t creator_run = 0;  ///< run_id of the inserting publish
     std::uint64_t created_seq = 0;  ///< insertion order (for run stamps)
     /// Position in the shard's lru (most-recently-touched at the

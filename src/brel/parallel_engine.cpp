@@ -6,12 +6,15 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -37,6 +40,11 @@ struct InjectedSubproblem {
   SerializedBdd chi;
   std::size_t depth = 0;
   std::vector<std::shared_ptr<const GlobalMemoKey>> memo_chain;
+  /// Incremental-delta cofactor (delta_context.hpp), present iff the
+  /// victim was tracking a delta; it migrates with the subtree so the
+  /// thief keeps classifying (and short-circuiting) exactly as the
+  /// victim would have.
+  std::optional<SerializedBdd> delta;
 };
 
 /// One donation: up to SolverOptions::steal_batch subproblems serialized
@@ -94,11 +102,21 @@ void atomic_min(std::atomic<double>& target, double value) {
 struct WorkerOutcome {
   MultiFunction best;
   double best_cost = std::numeric_limits<double>::infinity();
+  /// Rank form of `best` (workers mirror the coordinator's layout, so
+  /// forms are comparable fleet-wide): the coordinator breaks equal-cost
+  /// merge ties with canonically_before instead of worker index, which
+  /// would leak the schedule into the returned function.
+  std::optional<PortableSolution> best_portable;
   SolverStats stats;
-  /// Memo keys this worker's expansions created (plain data).  Whether
-  /// the fleet drained naturally is only known after join, so the
-  /// coordinator — not the worker — flips the completeness bits.
-  std::vector<std::shared_ptr<const GlobalMemoKey>> memo_touched;
+  /// Memo keys this worker's expansions created, with their depths, plus
+  /// the worker's taint sets (plain data; the taint pointers stay alive
+  /// through the shared_ptrs in the touched lists).  Whether the fleet
+  /// drained naturally is only known after join, so the coordinator —
+  /// not the worker — turns the fleet-wide union into completeness
+  /// marks.
+  std::vector<SearchContext::MemoTouch> memo_touched;
+  std::unordered_set<const GlobalMemoKey*> memo_hard_tainted;
+  std::unordered_set<const GlobalMemoKey*> memo_soft_tainted;
 };
 
 /// Serve pending steal requests from this worker's surplus: donate one
@@ -131,9 +149,13 @@ void donate_work(SharedState& shared, Frontier& frontier, BddManager& mgr,
     InjectedBatch batch;
     batch.reserve(picks.size());
     for (Subproblem& victim : picks) {
+      std::optional<SerializedBdd> delta;
+      if (!victim.delta.is_null()) {
+        delta = mgr.serialize_bdd(victim.delta);
+      }
       batch.push_back(InjectedSubproblem{
           mgr.serialize_bdd(victim.rel.characteristic()), victim.depth,
-          std::move(victim.memo_chain)});
+          std::move(victim.memo_chain), std::move(delta)});
     }
     donated_items += batch.size();
     batches.push_back(std::move(batch));
@@ -216,6 +238,9 @@ bool acquire_injected(SearchContext& ctx, SharedState& shared,
     // generated the node, so a probe would "hit" our own fleet's pending
     // work and silently drop the stolen subtree.
     sub.memo_chain = std::move(item.memo_chain);
+    if (item.delta.has_value()) {
+      sub.delta = ctx.mgr.deserialize_bdd(*item.delta);
+    }
     seed_priority(ctx, sub, frontier);
     frontier.push_root(std::move(sub));  // stolen work is never dropped
   }
@@ -225,10 +250,16 @@ bool acquire_injected(SearchContext& ctx, SharedState& shared,
 /// One worker: the serial engine's loop (same step-0 seeding on worker 0,
 /// same expansion order within the local frontier) plus the donation /
 /// injection / shared-bound / global-budget hooks.
+/// `root_delta` is the root's serialized XOR change region when the
+/// coordinator armed incremental mode (delta_context.hpp), null
+/// otherwise; worker 0 materializes it onto the root subproblem, every
+/// worker classifies while it is armed (stolen work carries its own
+/// delta cofactor through the injection queue).
 void run_worker(std::size_t worker_id, BddManager& mgr,
                 const BooleanRelation& root, const SolverOptions& options,
                 std::chrono::steady_clock::time_point start,
-                const MemoRunStamp& memo_stamp, SharedState& shared,
+                const MemoRunStamp& memo_stamp,
+                const SerializedBdd* root_delta, SharedState& shared,
                 WorkerOutcome& out) {
   SearchContext ctx{mgr,
                     options,
@@ -252,17 +283,24 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
     cache->bind(make_cache_fingerprint(root, options, ctx.cost));
     ctx.cache = cache.get();
   }
+  // The rank tables are per-worker because they reference this worker's
+  // manager variables; all workers mirror the coordinator's variable
+  // layout, so every worker produces identical canonical forms.  Built
+  // even without a memo: the space anchors the canonical equal-cost tie
+  // order (canonically_before) for the incumbent and the merge.
   std::optional<MemoSpace> memo_space;
+  memo_space.emplace(make_memo_space(root));
+  ctx.tie_space = &*memo_space;
   if (options.global_memo != nullptr) {
-    // The memo itself is shared (thread-safe, plain-data entries); the
-    // rank tables are per-worker because they reference this worker's
-    // manager variables.  All workers mirror the coordinator's variable
-    // layout, so every worker produces identical canonical keys.
-    memo_space.emplace(make_memo_space(root));
+    // The memo itself is shared (thread-safe, plain-data entries).
     ctx.memo = options.global_memo.get();
     ctx.memo_space = &*memo_space;
     // One stamp for the whole fleet: the fleet is one producing run.
     ctx.memo_stamp = memo_stamp;
+  }
+  if (root_delta != nullptr) {
+    ctx.delta_active = true;
+    ctx.stats.delta_active = true;
   }
   const std::unique_ptr<Frontier> frontier =
       make_frontier(options.order, options.fifo_capacity);
@@ -297,7 +335,10 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
       // the publish chain here.
       root_item.memo_chain.push_back(std::make_shared<const GlobalMemoKey>(
           make_memo_key(*ctx.memo_space, root.characteristic())));
-      ctx.memo_touched.push_back(root_item.memo_chain.back());
+      ctx.memo_touched.push_back({root_item.memo_chain.back(), 0});
+    }
+    if (root_delta != nullptr) {
+      root_item.delta = mgr.deserialize_bdd(*root_delta);
     }
     MultiFunction quick = quick_solve(root, options.minimizer);
     ++ctx.stats.quick_solutions;
@@ -365,8 +406,17 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
           .count();
   out.best = std::move(ctx.best);
   out.best_cost = ctx.best_cost;
+  if (!out.best.outputs.empty()) {
+    out.best_portable =
+        ctx.best_portable.has_value()
+            ? std::move(ctx.best_portable)
+            : std::optional<PortableSolution>(make_portable_solution(
+                  *memo_space, out.best, out.best_cost));
+  }
   out.stats = ctx.stats;
   out.memo_touched = std::move(ctx.memo_touched);
+  out.memo_hard_tainted = std::move(ctx.memo_hard_tainted);
+  out.memo_soft_tainted = std::move(ctx.memo_soft_tainted);
 }
 
 /// Counter-wise sum of two stats records (the flags merge by OR).
@@ -385,6 +435,9 @@ void accumulate_stats(SolverStats& into, const SolverStats& from) {
   into.solutions_seen += from.solutions_seen;
   into.steal_batches += from.steal_batches;
   into.reorders += from.reorders;
+  into.delta_active = into.delta_active || from.delta_active;
+  into.delta_reused += from.delta_reused;
+  into.delta_researched += from.delta_researched;
   into.lock_wait_ns += from.lock_wait_ns;
   into.budget_exhausted = into.budget_exhausted || from.budget_exhausted;
 }
@@ -434,14 +487,22 @@ SolveResult ParallelEngine::run() {
   // Warm-memo fast path: probe the cross-solve memo with the root's
   // canonical key before paying for managers and threads.  A hit is the
   // memoized best of an identical earlier solve — return it directly.
+  // The space and key outlive the probe: the incremental overlay below
+  // and the end-of-run base registration reuse them.
+  std::optional<MemoSpace> memo_space;
+  std::optional<GlobalMemoKey> root_key;
   if (options_.global_memo != nullptr) {
-    const MemoSpace space = make_memo_space(root_);
-    const GlobalMemoKey root_key =
-        make_memo_key(space, root_.characteristic());
+    memo_space.emplace(make_memo_space(root_));
+    root_key.emplace(make_memo_key(*memo_space, root_.characteristic()));
     if (const std::optional<PortableSolution> entry =
-            options_.global_memo->lookup(root_key)) {
+            options_.global_memo->lookup(*root_key)) {
+      if (options_.delta_registry != nullptr) {
+        // A served root is as good as a drained one for the next diff.
+        options_.delta_registry->remember(*root_key);
+      }
       SolveResult result;
-      result.function = import_portable_solution(root_mgr, space, *entry);
+      result.function =
+          import_portable_solution(root_mgr, *memo_space, *entry);
       result.cost = entry->cost;
       result.stats.memo_hits = 1;
       result.stats.solutions_seen = 1;
@@ -451,6 +512,23 @@ SolveResult ParallelEngine::run() {
                                         start)
               .count();
       return result;
+    }
+  }
+
+  // Incremental delta (delta_context.hpp): on a root miss, diff against
+  // the registry's most recent base while both BDDs live in the
+  // caller's manager (the registry belongs to the calling thread), then
+  // ship the change region to the fleet in serialized form — worker 0
+  // materializes it onto the root, donations carry the per-subtree
+  // cofactors from there.
+  std::optional<SerializedBdd> root_delta;
+  if (options_.delta_registry != nullptr && root_key.has_value()) {
+    if (const SerializedBdd* base =
+            options_.delta_registry->find_base(*root_key)) {
+      const Bdd base_chi =
+          import_canonical_bdd(root_mgr, *memo_space, *base);
+      root_delta =
+          root_mgr.serialize_bdd(root_.characteristic() ^ base_chi);
     }
   }
 
@@ -484,7 +562,8 @@ SolveResult ParallelEngine::run() {
         managers[w]->bind_to_current_thread();
         try {
           run_worker(w, *managers[w], *roots[w], options_, start,
-                     memo_stamp, shared, outcomes[w]);
+                     memo_stamp, root_delta ? &*root_delta : nullptr,
+                     shared, outcomes[w]);
         } catch (...) {
           failures[w] = std::current_exception();
           shared.halt();
@@ -525,8 +604,15 @@ SolveResult ParallelEngine::run() {
     // NaN-safe: a NaN cost never displaces an earlier incumbent, and the
     // first non-empty one (worker 0's unconditional quick seed) always
     // enters, so even a pathological cost function yields a compatible
-    // function — same contract as the serial engine.
-    if (winner == count || outcome.best_cost < outcomes[winner].best_cost) {
+    // function — same contract as the serial engine.  Equal-cost ties
+    // resolve through the canonical order, not worker index: which
+    // worker happened to find a tied function is scheduling noise.
+    if (winner == count || outcome.best_cost < outcomes[winner].best_cost ||
+        (outcome.best_cost == outcomes[winner].best_cost &&
+         outcome.best_portable.has_value() &&
+         outcomes[winner].best_portable.has_value() &&
+         canonically_before(*outcome.best_portable,
+                            *outcomes[winner].best_portable))) {
       winner = w;
     }
   }
@@ -545,25 +631,42 @@ SolveResult ParallelEngine::run() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  // Completeness marking, mirroring SearchEngine::run (the per-worker
-  // key lists only become safe to publish once the fleet-wide outcome
-  // is known): a natural drain always marks the root; interior keys
-  // only when no subtree anywhere in the fleet was truncated by the
-  // cost bound or the depth cap (both make interior entries
-  // non-subtree-final — see the comment there).
-  if (options_.global_memo != nullptr && !result.stats.budget_exhausted &&
-      result.stats.fifo_overflow == 0) {
-    if (result.stats.pruned_by_cost == 0 &&
-        result.stats.depth_limited == 0) {
-      for (const WorkerOutcome& outcome : outcomes) {
-        options_.global_memo->mark_complete(outcome.memo_touched,
-                                            memo_stamp);
+  // Depth-indexed completeness marking, mirroring SearchEngine::run (the
+  // per-worker key lists only become safe to publish once the fleet-wide
+  // outcome is known).  Taints are fleet-global — a bound prune in
+  // worker A invalidates a chain that may continue in worker B's stolen
+  // work — so the per-worker touched lists and taint sets are unioned
+  // before make_memo_marks.  Key identity survives migration: chains
+  // travel through the injection queue as shared_ptr copies, never
+  // re-serialized, so one canonical key stays one object fleet-wide.
+  if (options_.global_memo != nullptr && !result.stats.budget_exhausted) {
+    std::vector<SearchContext::MemoTouch> touched;
+    std::unordered_set<const GlobalMemoKey*> hard_tainted;
+    std::unordered_set<const GlobalMemoKey*> soft_tainted;
+    for (WorkerOutcome& outcome : outcomes) {
+      touched.insert(touched.end(),
+                     std::make_move_iterator(outcome.memo_touched.begin()),
+                     std::make_move_iterator(outcome.memo_touched.end()));
+      hard_tainted.insert(outcome.memo_hard_tainted.begin(),
+                          outcome.memo_hard_tainted.end());
+      soft_tainted.insert(outcome.memo_soft_tainted.begin(),
+                          outcome.memo_soft_tainted.end());
+    }
+    if (!touched.empty()) {
+      // touched.front() is worker 0's root key (pushed before any child
+      // anywhere — the other workers start empty).
+      const std::vector<MemoMark> marks = make_memo_marks(
+          touched, hard_tainted, soft_tainted,
+          options_.max_depth == static_cast<std::size_t>(-1),
+          touched.front().key.get(), result.stats.fifo_overflow == 0);
+      options_.global_memo->mark_complete(std::span<const MemoMark>(marks),
+                                          memo_stamp);
+      if (options_.delta_registry != nullptr &&
+          result.stats.fifo_overflow == 0) {
+        // The root entry is now marked: this run's relation becomes the
+        // freshest base for the next nearly-identical request.
+        options_.delta_registry->remember(*root_key);
       }
-    } else {
-      const MemoSpace space = make_memo_space(root_);
-      const auto root_key = std::make_shared<const GlobalMemoKey>(
-          make_memo_key(space, root_.characteristic()));
-      options_.global_memo->mark_complete({&root_key, 1}, memo_stamp);
     }
   }
 

@@ -1,0 +1,45 @@
+#pragma once
+/// \file partition.hpp
+/// Delta-localization pre-split for incremental re-solve traffic.
+///
+/// The Fig. 6 decomposition refines *output* constraints: Split(x, i)
+/// removes (x, y_i)-pairs but every subrelation still covers the whole
+/// input space, so a point edit (a flipped minterm at input vertex x*)
+/// stays inside BOTH children of every split that does not land exactly
+/// on x*.  Content-addressed subtree reuse (delta_context.hpp) therefore
+/// only pays off when the search happens to split the edited vertex on a
+/// base-aligned path — sound, but structurally rare for point edits.
+///
+/// This layer restores locality with a decomposition that IS position
+/// stable: cofactor the relation on its first `q` input variables (a
+/// fixed, canonical order — the relation's own input list), solve each
+/// of the 2^q block relations independently with the ordinary engine,
+/// and compose the result as f_o = OR_a cube(a) & f_{a,o}.  Input
+/// cofactoring commutes with the edit: block a of the new relation
+/// equals block a of the base relation whenever the change region's
+/// cofactor at `a` is the zero BDD, so a k-minterm edit dirties at most
+/// k blocks and every clean block is served by its base run's root memo
+/// entry at zero exploration.  Both cold and warm solves of a
+/// partitioned configuration use the same decomposition, so results
+/// stay bit-identical to a cold solve of the same options.
+///
+/// The driver publishes NO entry for the full relation: block entries
+/// are ordinary engine results, comparable with any run of the same
+/// cost fingerprint, while a composed full-root entry would not be —
+/// a non-partitioned solve of the same relation must never inherit it.
+/// Identical re-solves stay near-free anyway: every block root-hits.
+
+#include "brel/solver.hpp"
+#include "relation/relation.hpp"
+
+namespace brel {
+
+/// Solve `r` by the input-cofactor decomposition described above.
+/// Pre-conditions (the BrelSolver::solve dispatch enforces them):
+/// `options.partition_inputs > 0`, `r.num_inputs() >= 2`, not exact
+/// mode.  The effective block count is 2^min(partition_inputs,
+/// num_inputs - 1).
+[[nodiscard]] SolveResult solve_partitioned(const BooleanRelation& r,
+                                            const SolverOptions& options);
+
+}  // namespace brel

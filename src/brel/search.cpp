@@ -46,12 +46,20 @@ double sanitize_priority(double cost) noexcept {
 /// QuickSolver safety net, optional best-first priority seeding, frontier
 /// push.  `parent` supplies the symmetry depth gate (exactly like the
 /// original loop) and the ancestor chain for solution memoization.
-void enqueue_child(SearchContext& ctx, BooleanRelation&& child,
+/// `delta` is the child's incremental change-region cofactor (null when
+/// no delta is tracked this run; see delta_context.hpp).  Every cut that
+/// is not a pure function of (characteristic, remaining depth) taints
+/// the affected ancestor chain so the completeness marks stay honest
+/// (see SearchContext's taint sets).
+void enqueue_child(SearchContext& ctx, BooleanRelation&& child, Bdd&& delta,
                    const Subproblem& parent, Frontier& frontier) {
   if (ctx.symmetries.has_value() &&
       parent.depth < ctx.options.symmetry_depth &&
       ctx.symmetries->seen_before_or_insert(child.characteristic())) {
     ++ctx.stats.pruned_by_symmetry;
+    // The symmetric twin's solutions surface in ANOTHER subtree: every
+    // relation on this chain loses them, so none is subtree-final.
+    ctx.taint_hard(parent.memo_chain);
     return;
   }
   // Dedup re-encounters (only possible across solves sharing the cache —
@@ -70,6 +78,9 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child,
       // the branch is pruned, so nothing below will publish for them.
       ctx.publish_to_memo(parent.memo_chain, prior->best, prior->cost);
       ctx.offer_solution(prior->best, prior->cost);
+      // A cached best reflects however deeply an EARLIER solve explored
+      // this subtree — not provably subtree-final for this run's budget.
+      ctx.taint_hard(parent.memo_chain);
       return;
     }
   }
@@ -84,32 +95,47 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child,
   // (Property 5.4 again: the key is a faithful image of the
   // characteristic), so a cold solve is unaffected by an empty memo.
   const std::size_t child_depth = parent.depth + 1;
+  const bool delta_untouched = !delta.is_null() && delta.is_zero();
   std::shared_ptr<const GlobalMemoKey> memo_key;
   if (ctx.memo_active(child_depth)) {
     memo_key = std::make_shared<const GlobalMemoKey>(
         make_memo_key(*ctx.memo_space, child.characteristic()));
-    ctx.memo_touched.push_back(memo_key);
-    // lookup() only surfaces COMPLETE entries (subtrees some run of this
-    // configuration explored to its natural end), so a truncated run's
-    // partial publishes can never prune us.
-    if (const std::optional<PortableSolution> entry =
-            ctx.memo->lookup(*memo_key)) {
+    ctx.memo_touched.push_back({memo_key, child_depth});
+    // lookup_at() only surfaces COMPLETE entries whose claim covers this
+    // depth (subtrees some run of this configuration explored to its
+    // natural end, or truncated exactly as our depth budget would), so a
+    // truncated run's partial publishes can never prune us.
+    if (const std::optional<MemoHit> hit = ctx.memo->lookup_at(
+            *memo_key, ctx.memo_probe_depth(child_depth))) {
       ++ctx.stats.memo_hits;
       ++ctx.stats.solutions_seen;
+      if (ctx.delta_active && delta_untouched) {
+        // The incremental path's payoff: a zero change cofactor proved
+        // this subproblem byte-identical to the base run's, and its
+        // marked entry pruned the whole re-search.
+        ++ctx.stats.delta_reused;
+      }
+      if (hit->depth_truncated) {
+        // Importing a depth-truncated result truncates US: ancestors may
+        // only claim truncated completeness from here on.
+        ctx.taint_soft(parent.memo_chain);
+        ctx.memo_soft_tainted.insert(memo_key.get());
+      }
       // Propagate the hit up the chain: the pruned branch's ancestors
       // (this run's root included) must memoize at least this well.
       for (const std::shared_ptr<const GlobalMemoKey>& key :
            parent.memo_chain) {
-        ctx.memo->publish(*key, *entry, ctx.memo_stamp.run_id);
+        ctx.memo->publish(*key, hit->solution, ctx.memo_stamp.run_id);
       }
       ctx.offer_solution(
-          import_portable_solution(ctx.mgr, *ctx.memo_space, *entry),
-          entry->cost);
+          import_portable_solution(ctx.mgr, *ctx.memo_space, hit->solution),
+          hit->solution.cost);
       return;
     }
   }
 
   Subproblem sub{std::move(child), child_depth};
+  sub.delta = std::move(delta);
   if (ctx.cache != nullptr) {
     sub.ancestors = parent.ancestors;
     sub.ancestors.push_back(sub.rel.characteristic().raw_edge());
@@ -132,8 +158,14 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child,
   const double qc = ctx.cost(q);
   ctx.record_solution(sub, std::move(q), qc);
 
+  if (ctx.delta_active) {
+    ++ctx.stats.delta_researched;
+  }
   seed_priority(ctx, sub, frontier);
   if (!frontier.try_push(std::move(sub))) {
+    // The dropped child's subtree is lost to every relation on its
+    // chain; only the QuickSolver result above survives.
+    ctx.taint_hard(sub.memo_chain);
     ++ctx.stats.fifo_overflow;
   }
 }
@@ -163,6 +195,23 @@ void SearchContext::offer_solution(MultiFunction f, double solution_cost) {
   if (solution_cost < best_cost) {
     best = std::move(f);
     best_cost = solution_cost;
+    best_portable.reset();
+    return;
+  }
+  // Equal-cost ties resolve through the canonical total order so the
+  // kept incumbent does not depend on arrival order (memo-served
+  // candidates arrive earlier than a cold search would produce them).
+  if (solution_cost == best_cost && tie_space != nullptr &&
+      !best.outputs.empty()) {
+    if (!best_portable.has_value()) {
+      best_portable = make_portable_solution(*tie_space, best, best_cost);
+    }
+    PortableSolution candidate =
+        make_portable_solution(*tie_space, f, solution_cost);
+    if (canonically_before(candidate, *best_portable)) {
+      best = std::move(f);
+      best_portable = std::move(candidate);
+    }
   }
 }
 
@@ -191,6 +240,49 @@ void SearchContext::record_solution(const Subproblem& from, MultiFunction f,
   }
   publish_to_memo(from.memo_chain, f, solution_cost);
   offer_solution(std::move(f), solution_cost);
+}
+
+void SearchContext::taint_hard(
+    std::span<const std::shared_ptr<const GlobalMemoKey>> chain) {
+  for (const std::shared_ptr<const GlobalMemoKey>& key : chain) {
+    memo_hard_tainted.insert(key.get());
+  }
+}
+
+void SearchContext::taint_soft(
+    std::span<const std::shared_ptr<const GlobalMemoKey>> chain) {
+  for (const std::shared_ptr<const GlobalMemoKey>& key : chain) {
+    memo_soft_tainted.insert(key.get());
+  }
+}
+
+std::vector<MemoMark> make_memo_marks(
+    std::span<const SearchContext::MemoTouch> touched,
+    const std::unordered_set<const GlobalMemoKey*>& hard_tainted,
+    const std::unordered_set<const GlobalMemoKey*>& soft_tainted,
+    bool unlimited_depth, const GlobalMemoKey* root_key, bool allow_root) {
+  std::vector<MemoMark> marks;
+  marks.reserve(touched.size());
+  for (const SearchContext::MemoTouch& t : touched) {
+    if (hard_tainted.count(t.key.get()) == 0) {
+      if (soft_tainted.count(t.key.get()) != 0) {
+        marks.push_back(
+            MemoMark{t.key, static_cast<std::uint64_t>(t.depth), true});
+      } else {
+        marks.push_back(MemoMark{
+            t.key,
+            unlimited_depth ? GlobalMemo::kAnyDepth
+                            : static_cast<std::uint64_t>(t.depth),
+            false});
+      }
+    } else if (t.key.get() == root_key && allow_root) {
+      // Root exception (see the protocol in global_memo.hpp): whatever
+      // cut the run's subtrees, the root entry IS the returned result —
+      // truncated-at-0 serves exactly a re-solve of the same relation.
+      marks.push_back(MemoMark{t.key, 0, true});
+    }
+  }
+  return marks;
 }
 
 CacheFingerprint make_cache_fingerprint(const BooleanRelation& root,
@@ -285,6 +377,10 @@ void expand_subproblem(SearchContext& ctx, Subproblem item,
   if (!ctx.options.exact && ctx.options.use_cost_bound &&
       candidate_cost >= ctx.bound_cost) {
     ++ctx.stats.pruned_by_cost;
+    // The bound depends on exploration order, not on this subproblem:
+    // everything on the chain lost this subtree's solutions for a reason
+    // no later prober can reproduce from the key alone.
+    ctx.taint_hard(item.memo_chain);
     return;
   }
 
@@ -306,6 +402,10 @@ void expand_subproblem(SearchContext& ctx, Subproblem item,
     }
     if (depth_capped) {
       ++ctx.stats.depth_limited;
+      // Depth-cap cuts are a pure function of (characteristic, remaining
+      // budget): the chain's entries stay exact for probers at the SAME
+      // depths — truncated, not unmarkable (see the taint sets).
+      ctx.taint_soft(item.memo_chain);
       return;
     }
     // Exact mode: the branch may still hide cheaper functions; keep
@@ -319,17 +419,35 @@ void expand_subproblem(SearchContext& ctx, Subproblem item,
     ++ctx.stats.conflicts;
     if (depth_capped) {
       ++ctx.stats.depth_limited;
+      ctx.taint_soft(item.memo_chain);
       return;
     }
     choice = select_conflict_split(ctx, rel, incomp);
   }
 
   // Lines 11-12: both halves enter the frontier through the caches and
-  // the QuickSolver safety net.
+  // the QuickSolver safety net.  When a delta is tracked, Split
+  // constrains base and new relation identically, so constraining the
+  // parent's XOR with the same removals yields each child's XOR
+  // (BooleanRelation::split_removals); a delta already at zero stays
+  // zero without touching the kernels.
   ++ctx.stats.splits;
   auto [r0, r1] = rel.split(choice->vertex, choice->output);
-  enqueue_child(ctx, std::move(r0), item, frontier);
-  enqueue_child(ctx, std::move(r1), item, frontier);
+  Bdd delta0;
+  Bdd delta1;
+  if (!item.delta.is_null()) {
+    if (item.delta.is_zero()) {
+      delta0 = item.delta;
+      delta1 = item.delta;
+    } else {
+      const auto [removed0, removed1] =
+          rel.split_removals(choice->vertex, choice->output);
+      delta0 = item.delta & !removed0;
+      delta1 = item.delta & !removed1;
+    }
+  }
+  enqueue_child(ctx, std::move(r0), std::move(delta0), item, frontier);
+  enqueue_child(ctx, std::move(r1), std::move(delta1), item, frontier);
 }
 
 SearchEngine::SearchEngine(const BooleanRelation& root,
@@ -365,10 +483,14 @@ SearchEngine::SearchEngine(const BooleanRelation& root,
     cache_->bind(make_cache_fingerprint(root_, options_, ctx_.cost));
     ctx_.cache = cache_.get();
   }
+  // The rank space is built unconditionally: besides keying the memo it
+  // anchors the canonical equal-cost tie order, which must be identical
+  // between memo-less and memo-backed runs of the same relation.
+  memo_space_.emplace(make_memo_space(root_));
+  ctx_.tie_space = &*memo_space_;
   if (options_.global_memo != nullptr) {
     memo_ = options_.global_memo;
     memo_->bind(MemoFingerprint{ctx_.cost.id(), options_.exact});
-    memo_space_.emplace(make_memo_space(root_));
     ctx_.memo = memo_.get();
     ctx_.memo_space = &*memo_space_;
     ctx_.memo_stamp = memo_->begin_run();
@@ -410,11 +532,16 @@ SolveResult SearchEngine::run() {
     // equals the returned incumbent.
     auto root_key = std::make_shared<const GlobalMemoKey>(
         make_memo_key(*ctx_.memo_space, root_.characteristic()));
-    ctx_.memo_touched.push_back(root_key);
+    ctx_.memo_touched.push_back({root_key, 0});
     if (const std::optional<PortableSolution> entry =
             ctx_.memo->lookup(*root_key)) {
       ++ctx_.stats.memo_hits;
       ++ctx_.stats.solutions_seen;
+      if (options_.delta_registry != nullptr) {
+        // A served root is as good as a drained one for the next diff:
+        // its interior entries are whatever its producing run marked.
+        options_.delta_registry->remember(*root_key);
+      }
       SolveResult result;
       result.function =
           import_portable_solution(ctx_.mgr, *ctx_.memo_space, *entry);
@@ -427,6 +554,22 @@ SolveResult SearchEngine::run() {
       return result;
     }
     root_item.memo_chain.push_back(std::move(root_key));
+  }
+
+  // Incremental delta (delta_context.hpp): on a root miss, diff against
+  // the registry's most recent base over the same variable spaces and
+  // carry the change region down the decomposition.  Purely an overlay —
+  // reuse itself happens through the ordinary memo probes above.
+  if (options_.delta_registry != nullptr && !root_item.memo_chain.empty()) {
+    const GlobalMemoKey& root_key = *root_item.memo_chain.front();
+    if (const SerializedBdd* base =
+            options_.delta_registry->find_base(root_key)) {
+      const Bdd base_chi =
+          import_canonical_bdd(ctx_.mgr, *ctx_.memo_space, *base);
+      root_item.delta = root_.characteristic() ^ base_chi;
+      ctx_.delta_active = true;
+      ctx_.stats.delta_active = true;
+    }
   }
 
   // Apply the reordering policy only past the warm-memo fast path (keys
@@ -486,25 +629,30 @@ SolveResult SearchEngine::run() {
     expand_subproblem(ctx_, frontier_->pop(), *frontier_);
   }
 
-  // Completeness marking (see global_memo.hpp).  An interrupted run
-  // (budget/timeout stop, frontier-overflow drops) marks nothing — a
-  // later identical solve must re-explore rather than inherit the
-  // degraded result forever.  A natural drain always marks the ROOT:
-  // its entry is exactly what this solve returned, so serving it warm
-  // is faithful by construction.  Interior keys are only marked when
-  // the run truncated no subtree at all (no line-6 cost-bound prunes,
-  // no depth-cap cuts): a bound-pruned subtree holds only its quick
-  // memo, and a depth cap is *root-relative* — the same subrelation
-  // solved as its own root would explore deeper — so such entries are
-  // not subtree-final even under this exact configuration.
+  // Depth-indexed completeness marking (see global_memo.hpp).  An
+  // interrupted run (budget/timeout stop) marks nothing — a later
+  // identical solve must re-explore rather than inherit the degraded
+  // result forever.  A drained run marks per subtree: untainted keys
+  // naturally complete at their depth, depth-cap-truncated keys
+  // truncated at theirs, hard-tainted keys not at all — except the
+  // root, which is exactly what this solve returned and is marked
+  // truncated-at-0 unless children were dropped to frontier overflow
+  // (make_memo_marks).
   if (ctx_.memo != nullptr && !ctx_.stats.budget_exhausted &&
-      ctx_.stats.fifo_overflow == 0 && !ctx_.memo_touched.empty()) {
-    if (ctx_.stats.pruned_by_cost == 0 && ctx_.stats.depth_limited == 0) {
-      ctx_.memo->mark_complete(ctx_.memo_touched, ctx_.memo_stamp);
-    } else {
-      // memo_touched.front() is the root key (pushed before any child).
-      ctx_.memo->mark_complete({&ctx_.memo_touched.front(), 1},
-                               ctx_.memo_stamp);
+      !ctx_.memo_touched.empty()) {
+    // memo_touched.front() is the root key (pushed before any child).
+    const std::vector<MemoMark> marks = make_memo_marks(
+        ctx_.memo_touched, ctx_.memo_hard_tainted, ctx_.memo_soft_tainted,
+        options_.max_depth == static_cast<std::size_t>(-1),
+        ctx_.memo_touched.front().key.get(),
+        ctx_.stats.fifo_overflow == 0);
+    ctx_.memo->mark_complete(std::span<const MemoMark>(marks),
+                             ctx_.memo_stamp);
+    if (options_.delta_registry != nullptr &&
+        ctx_.stats.fifo_overflow == 0) {
+      // The root entry is now marked: this run's relation becomes the
+      // freshest base for the next nearly-identical request.
+      options_.delta_registry->remember(*ctx_.memo_touched.front().key);
     }
   }
 

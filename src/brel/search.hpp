@@ -25,9 +25,12 @@
 /// child's MISF candidate at push time to order the frontier by it.
 
 #include <chrono>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "brel/frontier.hpp"
@@ -70,18 +73,54 @@ struct SearchContext {
   GlobalMemo* memo = nullptr;
   const MemoSpace* memo_space = nullptr;
 
+  /// Rank space for the canonical equal-cost tie order (see
+  /// canonically_before).  The engines always set it — memo or not — so
+  /// a cold memo-less run and a memo-served warm run break every tie
+  /// the same way and stay bit-identical.  `best_portable` caches the
+  /// incumbent's rank form; empty until the first cost tie forces a
+  /// comparison, invalidated whenever a strictly better incumbent wins.
+  const MemoSpace* tie_space = nullptr;
+  std::optional<PortableSolution> best_portable = {};
+
   /// This run's memo identity (GlobalMemo::begin_run), threaded through
   /// every publish so the final mark_complete can tell its own entries
   /// from a concurrent run's re-creations (see MemoRunStamp).
   MemoRunStamp memo_stamp = {};
 
-  /// Every memo key this run created (root + generated children within
-  /// the depth gate).  A run that ends at its natural frontier drain —
-  /// no budget/timeout stop, no frontier-overflow drops — passes the
-  /// list to GlobalMemo::mark_complete, publishing its subtree results
-  /// for future probes; an interrupted run leaves them invisible (see
-  /// the completeness protocol in global_memo.hpp).
-  std::vector<std::shared_ptr<const GlobalMemoKey>> memo_touched = {};
+  /// One memo key this run created, with the split depth it was created
+  /// at — the raw material of the per-subtree completeness marks (see
+  /// the protocol in global_memo.hpp).
+  struct MemoTouch {
+    std::shared_ptr<const GlobalMemoKey> key;
+    std::size_t depth = 0;
+  };
+
+  /// Every memo key this run created (root first, then generated
+  /// children within the depth gate).  A run that ends at its natural
+  /// frontier drain — no budget/timeout stop — turns the list into
+  /// depth-indexed MemoMarks (filtered through the taint sets below)
+  /// for GlobalMemo::mark_complete; an interrupted run leaves every
+  /// entry invisible.
+  std::vector<MemoTouch> memo_touched = {};
+
+  /// Taint tracking for the per-subtree completeness marks.  A key is
+  /// HARD-tainted when its subtree lost solutions to a cut whose result
+  /// is not a pure function of (characteristic, remaining depth) — a
+  /// cost-bound prune, a symmetry or subproblem-cache prune, a
+  /// frontier-overflow drop — and must not be marked at all.  A key is
+  /// SOFT-tainted when its subtree was cut only by the depth cap
+  /// (directly, or by importing a depth-truncated memo entry): its
+  /// entry is still exact for a prober at the same depth and is marked
+  /// depth-truncated.  Tracked by raw key address: within one run each
+  /// canonical key is one shared object (chains copy shared_ptrs), and
+  /// the pointers are kept alive by memo_touched.
+  std::unordered_set<const GlobalMemoKey*> memo_hard_tainted = {};
+  std::unordered_set<const GlobalMemoKey*> memo_soft_tainted = {};
+
+  /// Incremental delta (delta_context.hpp): true while this run diffs
+  /// against a remembered base relation and Subproblem::delta carries
+  /// change-region cofactors (mirrored into stats.delta_active).
+  bool delta_active = false;
 
   [[nodiscard]] bool timed_out() const;
 
@@ -89,6 +128,25 @@ struct SearchContext {
   [[nodiscard]] bool memo_active(std::size_t depth) const noexcept {
     return memo != nullptr && depth <= options.global_memo_depth;
   }
+
+  /// The depth to probe the memo at for a node at `depth`: with a finite
+  /// depth cap an entry is only valid relative to the prober's remaining
+  /// budget, so the true depth is passed; without a cap every naturally
+  /// complete entry is exact anywhere and probing at 0 also admits
+  /// root-truncated entries (the legacy warm-root fast path).
+  [[nodiscard]] std::uint64_t memo_probe_depth(std::size_t depth)
+      const noexcept {
+    return options.max_depth == static_cast<std::size_t>(-1)
+               ? 0
+               : static_cast<std::uint64_t>(depth);
+  }
+
+  /// Hard/soft-taint every key on `chain` (see the taint sets above).
+  void taint_hard(
+      std::span<const std::shared_ptr<const GlobalMemoKey>> chain);
+  void taint_soft(
+      std::span<const std::shared_ptr<const GlobalMemoKey>> chain);
+
 
   /// Offer a compatible solution to the incumbent (does not touch the
   /// bound).  The one-argument form evaluates the cost function itself.
@@ -112,6 +170,21 @@ struct SearchContext {
       std::span<const std::shared_ptr<const GlobalMemoKey>> chain,
       const MultiFunction& f, double solution_cost);
 };
+
+/// Turn touched keys + taint sets into depth-indexed completeness marks
+/// (see the protocol in global_memo.hpp): untainted keys are naturally
+/// complete at their depth (kAnyDepth when `unlimited_depth`),
+/// soft-tainted keys are depth-truncated at their depth, hard-tainted
+/// keys are skipped — except `root_key` (the run's root), which is
+/// exactly what the run returned and is marked truncated-at-0 whenever
+/// `allow_root` (no frontier-overflow drops anywhere in the run).
+/// Shared by the serial engine and the parallel coordinator (which
+/// passes fleet-unioned taint sets).
+[[nodiscard]] std::vector<MemoMark> make_memo_marks(
+    std::span<const SearchContext::MemoTouch> touched,
+    const std::unordered_set<const GlobalMemoKey*>& hard_tainted,
+    const std::unordered_set<const GlobalMemoKey*>& soft_tainted,
+    bool unlimited_depth, const GlobalMemoKey* root_key, bool allow_root);
 
 /// The comparability stamp the engines bind their caches with (see
 /// CacheFingerprint): the resolved cost identity, the exploration mode,

@@ -1,6 +1,7 @@
 #include "brel/solver.hpp"
 
 #include "brel/parallel_engine.hpp"
+#include "brel/partition.hpp"
 #include "brel/search.hpp"
 
 namespace brel {
@@ -8,6 +9,10 @@ namespace brel {
 BrelSolver::BrelSolver(SolverOptions options) : options_(std::move(options)) {}
 
 SolveResult BrelSolver::solve(const BooleanRelation& r) const {
+  if (options_.partition_inputs > 0 && !options_.exact &&
+      r.num_inputs() >= 2) {
+    return solve_partitioned(r, options_);
+  }
   if (resolve_worker_count(options_.num_workers) > 1) {
     return ParallelEngine(r, options_).run();
   }

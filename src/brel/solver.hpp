@@ -23,6 +23,7 @@
 #include <optional>
 
 #include "brel/cost.hpp"
+#include "brel/delta_context.hpp"
 #include "brel/frontier.hpp"
 #include "brel/global_memo.hpp"
 #include "brel/isf_minimizer.hpp"
@@ -166,6 +167,33 @@ struct SolverOptions {
   /// managers sift independently); results remain compatible solutions
   /// of the relation in every mode.
   ReorderMode reorder = ReorderMode::Off;
+
+  /// Incremental re-solve (delta_context.hpp): when set (non-owning; the
+  /// caller's registry must outlive the run and belong to the calling
+  /// thread), a run whose root misses the global memo diffs its relation
+  /// against the registry's most recent base over the same variable
+  /// spaces and carries the XOR change region down the decomposition —
+  /// untouched subtrees (zero delta cofactor) are exactly the base run's
+  /// subproblems, so their depth-indexed memo entries serve without
+  /// re-search, and SolverStats reports the reused/re-searched counts.
+  /// Every naturally drained (or root-hit) run then remembers its own
+  /// root as the next base.  Requires `global_memo`; ignored without it.
+  DeltaRegistry* delta_registry = nullptr;
+
+  /// Delta-localization pre-split (partition.hpp): when > 0, solve() first
+  /// cofactors the relation on its first min(partition_inputs,
+  /// num_inputs - 1) input variables and solves the 2^q block relations
+  /// independently (each through the ordinary engine, sharing
+  /// `global_memo`), composing f_o = OR_a cube(a) & f_{a,o}.  Input
+  /// cofactoring is position stable — a k-minterm edit dirties at most k
+  /// blocks, every clean block root-hits its base entry at zero
+  /// exploration — which is what makes warm-delta traffic nearly free
+  /// (the Fig. 6 output-refinement splits alone cannot localize a point
+  /// edit; see partition.hpp).  The composed solution is compatible but
+  /// generally not the same function a non-partitioned solve returns, so
+  /// cold/warm comparisons must hold this setting fixed.  Ignored in
+  /// exact mode and for relations with fewer than two inputs.
+  std::size_t partition_inputs = 0;
 };
 
 /// Counters describing one solve() run.
@@ -186,6 +214,11 @@ struct SolverStats {
   std::size_t steals = 0;              ///< subproblems migrated via injection
   std::size_t steal_batches = 0;       ///< donation batches through the queue
   std::size_t reorders = 0;            ///< sifting passes during this run
+  /// Incremental-delta classification (delta_context.hpp); all zero when
+  /// no base relation was available for this run.
+  bool delta_active = false;           ///< a base was found and diffed
+  std::size_t delta_reused = 0;        ///< untouched subtrees served by memo
+  std::size_t delta_researched = 0;    ///< subtrees re-entered the frontier
   bool budget_exhausted = false;       ///< stopped on max_relations/timeout
   /// Time threads of this run spent BLOCKED on the memo/injection locks
   /// (lock_stats.hpp), in ns.  Best effort: the underlying registry is

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -161,6 +162,16 @@ struct SolverPool::Impl {
       slot_cache = std::make_shared<SubproblemCache>(
           options.solver.subproblem_cache_capacity);
     }
+    // Incremental base retention (PoolOptions::incremental): slot-
+    // private and thread-confined like the cache above, but — holding
+    // only plain serialized data — it SURVIVES the per-request
+    // variable-block recycle, which is exactly what makes warm delta
+    // re-solves work across requests.  Meaningless without the memo
+    // (reuse flows through marked memo entries).
+    std::optional<DeltaRegistry> slot_registry;
+    if (memo != nullptr && resolve_incremental(options.incremental)) {
+      slot_registry.emplace();
+    }
 
     while (true) {
       Job job;
@@ -188,6 +199,9 @@ struct SolverPool::Impl {
               solve_options.cost ? solve_options.cost
                                  : sum_of_bdd_sizes()));
           solve_options.subproblem_cache = slot_cache;
+        }
+        if (slot_registry.has_value()) {
+          solve_options.delta_registry = &*slot_registry;
         }
         SolveResult solved = SearchEngine(r, solve_options).run();
         PoolResult out;

@@ -106,6 +106,19 @@ struct PoolOptions {
   /// std::invalid_argument.  Note the memo key is the *totalized*
   /// characteristic, so the same partial relation keys consistently.
   bool totalize = false;
+
+  /// Incremental re-solve (delta_context.hpp): each slot keeps a
+  /// private DeltaRegistry of the relations it most recently solved,
+  /// per variable space.  A request whose root misses the memo is
+  /// diffed against the slot's base; the XOR change region then rides
+  /// the decomposition, so only subtrees the edit touches are
+  /// re-searched — the rest serve from their depth-indexed memo
+  /// entries.  Registry entries are plain serialized data, so they
+  /// survive the slot's variable-block recycling unharmed.  Requires a
+  /// pool memo (no-op when the pool is memo-less); the BREL_INCREMENTAL
+  /// environment variable ("0"/"off", "1"/"on") overrides this setting
+  /// (resolve_incremental).
+  bool incremental = false;
 };
 
 /// Outcome of one pool request: the solution in manager-independent form

@@ -208,12 +208,18 @@ bool BooleanRelation::can_split(const std::vector<bool>& x,
   return isf.dc().eval(x);
 }
 
-std::pair<BooleanRelation, BooleanRelation> BooleanRelation::split(
+std::pair<Bdd, Bdd> BooleanRelation::split_removals(
     const std::vector<bool>& x, std::size_t output_index) const {
   const Bdd vertex = vertex_bdd(*mgr_, inputs_, x);
   const Bdd y = mgr_->var(outputs_.at(output_index));
-  BooleanRelation r0(*mgr_, inputs_, outputs_, chi_ & !(vertex & y));
-  BooleanRelation r1(*mgr_, inputs_, outputs_, chi_ & !(vertex & !y));
+  return {vertex & y, vertex & !y};
+}
+
+std::pair<BooleanRelation, BooleanRelation> BooleanRelation::split(
+    const std::vector<bool>& x, std::size_t output_index) const {
+  const auto [removed0, removed1] = split_removals(x, output_index);
+  BooleanRelation r0(*mgr_, inputs_, outputs_, chi_ & !removed0);
+  BooleanRelation r1(*mgr_, inputs_, outputs_, chi_ & !removed1);
   return {std::move(r0), std::move(r1)};
 }
 

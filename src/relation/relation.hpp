@@ -128,6 +128,16 @@ class BooleanRelation {
   [[nodiscard]] bool can_split(const std::vector<bool>& x,
                                std::size_t output_index) const;
 
+  /// The two pair regions split(x, i) subtracts: {(x, y_i = 1),
+  /// (x, y_i = 0)} as BDDs — first is removed from `first`, second from
+  /// `second`.  Exposed so a caller tracking a second function through
+  /// the decomposition (the incremental delta cofactor) can apply the
+  /// identical constraints: (A xor B) & c == (A & c) xor (B & c), so
+  /// constraining a root-level XOR by every split on a path yields the
+  /// XOR of the two subproblems at that path.
+  [[nodiscard]] std::pair<Bdd, Bdd> split_removals(
+      const std::vector<bool>& x, std::size_t output_index) const;
+
   /// New relation with the same spaces but characteristic chi ∧ constraint.
   [[nodiscard]] BooleanRelation constrain_with(const Bdd& constraint) const;
 

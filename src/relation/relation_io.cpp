@@ -69,6 +69,7 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
   std::optional<SerializedBdd> serialized;
   std::vector<std::uint32_t> input_ranks;
   std::vector<std::uint32_t> output_ranks;
+  std::vector<std::uint32_t> order_ranks;  // `.order` sidecar (optional)
 
   std::string line;
   std::size_t line_number = 0;
@@ -115,6 +116,24 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
       ranks = parse_ranks(tokens, is_input ? num_inputs : num_outputs,
                           num_inputs + num_outputs, line_number,
                           head.c_str());
+    } else if (head == ".order") {
+      if (!saw_inputs || !saw_outputs || in_rows ||
+          serialized.has_value()) {
+        fail(line_number, ".order requires .i and .o, before the body");
+      }
+      if (!order_ranks.empty()) {
+        fail(line_number, "duplicate .order");
+      }
+      const std::size_t total = num_inputs + num_outputs;
+      order_ranks =
+          parse_ranks(tokens, total, total, line_number, ".order");
+      std::vector<bool> seen(total, false);
+      for (const std::uint32_t rank : order_ranks) {
+        if (seen[rank]) {
+          fail(line_number, ".order repeats a rank");
+        }
+        seen[rank] = true;
+      }
     } else if (head == ".bdd") {
       std::size_t node_count = 0;
       if (!saw_inputs || !saw_outputs || in_rows ||
@@ -138,10 +157,11 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
           serialized.has_value()) {
         fail(line_number, ".r requires .i and .o first");
       }
-      if (!input_ranks.empty() || !output_ranks.empty()) {
+      if (!input_ranks.empty() || !output_ranks.empty() ||
+          !order_ranks.empty()) {
         // Ranks only apply to the compact body; silently dropping them
         // would hand back a differently-wired relation.
-        fail(line_number, ".iv/.ov require a .bdd body, not .r rows");
+        fail(line_number, ".iv/.ov/.order require a .bdd body, not .r rows");
       }
       in_rows = true;
       const std::uint32_t first =
@@ -221,6 +241,15 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
     }
     const std::uint32_t base =
         mgr.add_vars(static_cast<std::uint32_t>(total));
+    if (!order_ranks.empty()) {
+      // Install the writer's order on the still-empty fresh block before
+      // any BDD of the request is built (see relation_io.hpp).
+      try {
+        mgr.seed_block_order(base, order_ranks);
+      } catch (const std::invalid_argument& error) {
+        fail(line_number, error.what());
+      }
+    }
     for (const std::uint32_t rank : input_ranks) {
       inputs.push_back(base + rank);
     }
@@ -273,6 +302,21 @@ std::string write_relation_bdd(const BooleanRelation& r) {
   };
   write_ranks(".iv", r.inputs());
   write_ranks(".ov", r.outputs());
+  // `.order` sidecar: the manager's relative order over the relation's
+  // block, emitted only when it deviates from the identity so that
+  // never-reordered managers keep producing byte-identical output.
+  std::vector<std::uint32_t> by_level(vars);
+  std::sort(by_level.begin(), by_level.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return r.manager().level_of_var(a) < r.manager().level_of_var(b);
+            });
+  if (by_level != vars) {
+    os << ".order";
+    for (const std::uint32_t v : by_level) {
+      os << ' ' << rank_of[v];
+    }
+    os << '\n';
+  }
   os << ".bdd " << s.nodes.size() << '\n';
   write_serialized_bdd(os, s);
   os << ".e\n";

@@ -35,6 +35,21 @@
 /// allocates n+m fresh variables and shifts every rank by the base index —
 /// relative order (and hence canonical BDD structure) is preserved.  No
 /// comments are allowed between `.bdd` and `.root`.
+///
+/// An optional `.order` sidecar line (compact body only, before `.bdd`)
+/// carries the writing manager's variable order over the relation's
+/// block — the ranks top-to-bottom by level:
+///
+///   .order 2 0 3 1  the rank at each level of the block (a permutation
+///                   of 0..n+m-1; omitted when the order is the identity)
+///
+/// The `.bdd` body itself is order-independent (serialization is
+/// canonical from any order), so `.order` changes no function — it lets
+/// a reader seed its fresh block with the writer's known-good order
+/// (BddManager::seed_block_order) instead of re-discovering it by
+/// sifting.  write_relation_bdd emits it exactly when the source
+/// manager's relative order over the relation's variables is not the
+/// identity, keeping identity-order outputs byte-identical to PR 5.
 
 #include <iosfwd>
 #include <string>

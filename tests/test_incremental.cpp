@@ -1,0 +1,372 @@
+// Differential tests for the incremental re-solve path (tentpole of the
+// delta-driven search-reuse work):
+//
+//   - the depth-indexed memo completeness rules (global_memo.hpp) that
+//     make warm entries servable at interior depths of a depth-capped
+//     run without ever overclaiming;
+//   - randomized minterm-flip differentials: for every benchmark
+//     instance, flipping k in {1, 4, 32} minterms and re-solving
+//     incrementally (warm memo + DeltaRegistry base) must be
+//     BIT-IDENTICAL — cost and rank-mapped solution BDDs — to a cold
+//     solve of the edited relation, at 1, 2 and 4 workers;
+//   - edge cases: identical re-solve (delta = nothing, served at the
+//     root), a completely different base (delta = everything), a
+//     one-minterm edit of a tiny paper relation (delta confined to the
+//     root split), and a base solved from a reordered manager (keys are
+//     canonical, so reuse must survive variable-order divergence).
+//
+// The configuration is the schedule-independent one throughout
+// (use_cost_bound=false plus a depth cap; cf. test_parallel_engine.cpp):
+// that is what makes "bit-identical to cold" a meaningful contract, and
+// it is also the configuration where the new per-subtree completeness
+// marks bite (no hard taints, so every touched key gets marked).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "benchgen/paper_relations.hpp"
+#include "benchgen/relation_suite.hpp"
+#include "brel/parallel_engine.hpp"
+#include "brel/search.hpp"
+#include "brel/solver.hpp"
+
+namespace brel {
+namespace {
+
+/// The schedule-independent configuration (see the header comment).
+SolverOptions deterministic_options(std::size_t max_depth) {
+  SolverOptions options;
+  options.cost = sum_of_bdd_sizes();
+  options.max_relations = static_cast<std::size_t>(-1);
+  options.use_cost_bound = false;
+  options.max_depth = max_depth;
+  return options;
+}
+
+/// A solve result in the manager-independent rank form, so "the same
+/// solution" is plain struct equality across managers.
+PortableSolution portable(const BooleanRelation& r, const SolveResult& s) {
+  return make_portable_solution(make_memo_space(r), s.function, s.cost);
+}
+
+/// Run base then edited through a shared memo + registry and compare the
+/// edited result against a cold memo-less solve of the same options.
+/// `bit_identical` additionally requires the solution BDDs to match in
+/// rank form.  With the schedule-independent configuration this holds
+/// for BOTH engines: equal-cost ties resolve through the canonical
+/// total order (canonically_before) at every selection point, so the
+/// surviving incumbent no longer depends on worker schedule or memo
+/// arrival order.
+/// Returns the warm run's stats so callers can aggregate reuse counters.
+SolverStats expect_warm_equals_cold(const BooleanRelation& base,
+                                    const BooleanRelation& edited,
+                                    SolverOptions options, const char* label,
+                                    bool bit_identical) {
+  SolverOptions cold_options = options;
+  cold_options.global_memo = nullptr;
+  cold_options.delta_registry = nullptr;
+  const SolveResult cold = BrelSolver(cold_options).solve(edited);
+  EXPECT_TRUE(edited.is_compatible(cold.function)) << label;
+
+  const auto memo = std::make_shared<GlobalMemo>();
+  DeltaRegistry registry;
+  options.global_memo = memo;
+  options.delta_registry = &registry;
+  const SolveResult warm_base = BrelSolver(options).solve(base);
+  EXPECT_FALSE(warm_base.stats.budget_exhausted) << label;
+  const SolveResult warm = BrelSolver(options).solve(edited);
+
+  EXPECT_TRUE(warm.stats.delta_active) << label;
+  EXPECT_EQ(warm.cost, cold.cost) << label;
+  if (bit_identical) {
+    EXPECT_EQ(portable(edited, warm), portable(edited, cold)) << label;
+  }
+  EXPECT_TRUE(edited.is_compatible(warm.function)) << label;
+  // Memo-hit pruning can only shrink the re-explored set, never grow it.
+  EXPECT_LE(warm.stats.relations_explored, cold.stats.relations_explored)
+      << label;
+  return warm.stats;
+}
+
+TEST(IncrementalTest, DepthIndexedCompletenessRules) {
+  // The memo-side contract under everything else in this file: a
+  // truncated entry serves ONLY probers with the same remaining budget,
+  // a natural entry serves everyone at or above its depth, upgrades
+  // widen and never narrow.
+  BddManager mgr{0};
+  const RelationSpace space = make_space(mgr, 2, 2);
+  const BooleanRelation r = fig1_relation(mgr, space);
+  const MemoSpace memo_space = make_memo_space(r);
+  const auto key = std::make_shared<const GlobalMemoKey>(
+      make_memo_key(memo_space, r.characteristic()));
+  const MultiFunction f = quick_solve(r);
+  const PortableSolution solution =
+      make_portable_solution(memo_space, f, 42.0);
+
+  GlobalMemo memo;
+  memo.bind(MemoFingerprint{sum_of_bdd_sizes().id(), false});
+  const MemoRunStamp stamp = memo.begin_run();
+  memo.publish(*key, solution, stamp.run_id);
+
+  // Unmarked: invisible at every depth.
+  EXPECT_FALSE(memo.lookup_at(*key, 0).has_value());
+  EXPECT_FALSE(memo.lookup_at(*key, 3).has_value());
+
+  // Truncated at depth 2: serves depth 2 exactly, nothing else.
+  {
+    const MemoMark marks[] = {MemoMark{key, 2, true}};
+    memo.mark_complete(std::span<const MemoMark>(marks), stamp);
+  }
+  ASSERT_TRUE(memo.lookup_at(*key, 2).has_value());
+  EXPECT_TRUE(memo.lookup_at(*key, 2)->depth_truncated);
+  EXPECT_EQ(memo.lookup_at(*key, 2)->solution, solution);
+  EXPECT_FALSE(memo.lookup_at(*key, 1).has_value());
+  EXPECT_FALSE(memo.lookup_at(*key, 3).has_value());
+
+  // Natural at depth 2 replaces the truncated claim: depths 0..2 serve
+  // (shallower probers have MORE remaining budget below a fixed cap),
+  // depth 3 still does not.
+  {
+    const MemoMark marks[] = {MemoMark{key, 2, false}};
+    memo.mark_complete(std::span<const MemoMark>(marks), stamp);
+  }
+  ASSERT_TRUE(memo.lookup_at(*key, 1).has_value());
+  EXPECT_FALSE(memo.lookup_at(*key, 1)->depth_truncated);
+  EXPECT_FALSE(memo.lookup_at(*key, 3).has_value());
+
+  // A deeper natural mark widens; a later truncated mark never narrows.
+  {
+    const MemoMark marks[] = {MemoMark{key, GlobalMemo::kAnyDepth, false}};
+    memo.mark_complete(std::span<const MemoMark>(marks), stamp);
+  }
+  EXPECT_TRUE(memo.lookup_at(*key, 3).has_value());
+  {
+    const MemoMark marks[] = {MemoMark{key, 1, true}};
+    memo.mark_complete(std::span<const MemoMark>(marks), stamp);
+  }
+  EXPECT_TRUE(memo.lookup_at(*key, 3).has_value());
+  EXPECT_FALSE(memo.lookup_at(*key, 3)->depth_truncated);
+}
+
+TEST(IncrementalTest, FlipDifferentialsAreBitIdenticalSerial) {
+  // The acceptance bar, serial engine: every suite instance, k flips of
+  // the characteristic, incremental result == cold result byte for byte.
+  // Subtree-level reuse (no pre-split) requires the edited tree to both
+  // retrace the base run's split path AND remove the change on it, which
+  // depends on where the flip lands — so the reuse counter is asserted
+  // as a suite aggregate, not per instance (the partitioned test below
+  // pins the per-instance localization guarantee).
+  std::size_t total_reused = 0;
+  for (const RelationBenchmark& bench : relation_suite()) {
+    for (const std::size_t flips : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{32}}) {
+      BddManager mgr{0};
+      std::vector<std::uint32_t> inputs;
+      std::vector<std::uint32_t> outputs;
+      const BooleanRelation base =
+          make_benchmark_relation(mgr, bench, inputs, outputs);
+      const BooleanRelation edited = flip_minterms(
+          base, flips, bench.seed ^ static_cast<std::uint32_t>(flips));
+      if (edited.characteristic() == base.characteristic()) {
+        continue;  // flips cancelled out (astronomically unlikely)
+      }
+      const std::string label =
+          bench.name + " k=" + std::to_string(flips);
+      total_reused += expect_warm_equals_cold(base, edited,
+                                              deterministic_options(6),
+                                              label.c_str(), true)
+                          .delta_reused;
+    }
+  }
+  EXPECT_GT(total_reused, 0u);
+}
+
+TEST(IncrementalTest, PartitionedFlipLocalizesToOneBlock) {
+  // The near-free-repeat-traffic guarantee (partition.hpp): with the
+  // delta-localization pre-split armed, a 1-minterm flip dirties exactly
+  // one input-cofactor block — every other block root-hits its base
+  // entry at zero exploration — and the composed result is bit-identical
+  // to a cold partitioned solve.
+  for (const RelationBenchmark& bench : relation_suite()) {
+    BddManager mgr{0};
+    std::vector<std::uint32_t> inputs;
+    std::vector<std::uint32_t> outputs;
+    const BooleanRelation base =
+        make_benchmark_relation(mgr, bench, inputs, outputs);
+    const BooleanRelation edited = flip_minterms(base, 1, bench.seed ^ 1u);
+    ASSERT_FALSE(edited.characteristic() == base.characteristic())
+        << bench.name;
+    SolverOptions options = deterministic_options(6);
+    options.partition_inputs = 5;
+    const std::size_t blocks =
+        std::size_t{1} << std::min<std::size_t>(5, bench.num_inputs - 1);
+    const SolverStats warm = expect_warm_equals_cold(
+        base, edited, options, bench.name.c_str(), true);
+    EXPECT_EQ(warm.delta_researched, 1u) << bench.name;
+    EXPECT_GE(warm.delta_reused, blocks - 1) << bench.name;
+  }
+}
+
+TEST(IncrementalTest, PartitionedIdenticalResolveExploresNothing) {
+  // Warm-identical traffic under the pre-split: all blocks root-hit, so
+  // the whole re-solve explores zero relations and returns the identical
+  // composed solution.
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = make_benchmark_relation(
+      mgr, relation_suite()[2], inputs, outputs);  // int3: 6 inputs
+  SolverOptions options = deterministic_options(6);
+  options.partition_inputs = 5;
+  options.global_memo = std::make_shared<GlobalMemo>();
+  DeltaRegistry registry;
+  options.delta_registry = &registry;
+  const SolveResult cold = BrelSolver(options).solve(r);
+  const SolveResult warm = BrelSolver(options).solve(r);
+  EXPECT_EQ(warm.cost, cold.cost);
+  EXPECT_EQ(portable(r, warm), portable(r, cold));
+  EXPECT_EQ(warm.stats.relations_explored, 0u);
+  EXPECT_EQ(warm.stats.memo_hits, 32u);  // one root hit per block
+}
+
+TEST(IncrementalTest, FlipDifferentialsAreBitIdenticalParallel) {
+  // Same bar across worker counts, on a suite subset (the parallel
+  // engine's schedule-independence is pinned by its own suite-wide
+  // differential tests; here the interesting axis is delta + injection).
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{8},
+                        std::size_t{12}}) {
+    const RelationBenchmark& bench = relation_suite()[i];
+    for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+      for (const std::size_t flips : {std::size_t{1}, std::size_t{4}}) {
+        BddManager mgr{0};
+        std::vector<std::uint32_t> inputs;
+        std::vector<std::uint32_t> outputs;
+        const BooleanRelation base =
+            make_benchmark_relation(mgr, bench, inputs, outputs);
+        const BooleanRelation edited = flip_minterms(
+            base, flips, bench.seed ^ static_cast<std::uint32_t>(flips));
+        if (edited.characteristic() == base.characteristic()) {
+          continue;
+        }
+        SolverOptions options = deterministic_options(6);
+        options.num_workers = workers;
+        const std::string label = bench.name + " k=" +
+                                  std::to_string(flips) + " w=" +
+                                  std::to_string(workers);
+        (void)expect_warm_equals_cold(base, edited, options, label.c_str(),
+                                      true);
+      }
+    }
+  }
+}
+
+TEST(IncrementalTest, IdenticalResolveIsServedAtTheRoot) {
+  // Delta = nothing degenerates to the PR 4 warm-root fast path: the
+  // unchanged relation root-hits the memo, explores zero nodes, and the
+  // registry still learns it as the freshest base.
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r = make_benchmark_relation(
+      mgr, relation_suite().front(), inputs, outputs);
+  SolverOptions options = deterministic_options(6);
+  options.global_memo = std::make_shared<GlobalMemo>();
+  DeltaRegistry registry;
+  options.delta_registry = &registry;
+
+  const SolveResult cold = BrelSolver(options).solve(r);
+  const SolveResult warm = BrelSolver(options).solve(r);
+  EXPECT_EQ(warm.cost, cold.cost);
+  EXPECT_EQ(portable(r, warm), portable(r, cold));
+  EXPECT_EQ(warm.stats.relations_explored, 0u);
+  EXPECT_EQ(warm.stats.memo_hits, 1u);
+  EXPECT_FALSE(warm.stats.delta_active);  // a hit needs no diff
+
+  // ...and a subsequent genuine edit still arms against that base.
+  const BooleanRelation edited = flip_minterms(r, 1, 99);
+  ASSERT_FALSE(edited.characteristic() == r.characteristic());
+  const SolveResult delta_run = BrelSolver(options).solve(edited);
+  EXPECT_TRUE(delta_run.stats.delta_active);
+  EXPECT_TRUE(edited.is_compatible(delta_run.function));
+}
+
+TEST(IncrementalTest, CompletelyDifferentBaseStillYieldsColdResult) {
+  // Delta = everything: the registry offers a base that shares nothing
+  // with the request beyond its variable spaces.  The diff is then a
+  // near-total change region — no reuse, but the overlay must stay
+  // invisible in the result.
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const RelationBenchmark& spec = relation_suite().front();
+  const BooleanRelation base =
+      make_benchmark_relation(mgr, spec, inputs, outputs);
+  const RelationBenchmark other_spec{"unrelated", spec.num_inputs,
+                                     spec.num_outputs, 0xBADC0DEu};
+  std::vector<std::uint32_t> other_inputs;
+  std::vector<std::uint32_t> other_outputs;
+  const BooleanRelation other =
+      make_benchmark_relation(mgr, other_spec, other_inputs, other_outputs);
+  ASSERT_FALSE(other.characteristic() == base.characteristic());
+  (void)expect_warm_equals_cold(base, other, deterministic_options(6),
+                                "disjoint base", true);
+}
+
+TEST(IncrementalTest, RootSplitOnlyEditOnTinyRelation) {
+  // A one-minterm edit of the 2x2 Fig. 1 relation: the change region is
+  // confined to one root-split half, the smallest nontrivial delta.
+  BddManager mgr{0};
+  const RelationSpace space = make_space(mgr, 2, 2);
+  const BooleanRelation base = fig1_relation(mgr, space);
+  const BooleanRelation edited = flip_minterms(base, 1, 7);
+  ASSERT_FALSE(edited.characteristic() == base.characteristic());
+  (void)expect_warm_equals_cold(base, edited, deterministic_options(6),
+                                "fig1 one-minterm", true);
+}
+
+TEST(IncrementalTest, ReorderedBaseManagerStillServesTheDelta) {
+  // The PR 5 interaction: the base was solved from a manager whose
+  // variable order diverged from identity.  Memo keys and registry
+  // bases are canonical (identity-order serialized forms), so the
+  // edited request — parsed into a plain identity-order manager — must
+  // still find the base, arm the delta, and return the cold result.
+  BddManager reordered{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const RelationBenchmark& spec = relation_suite().front();
+  const BooleanRelation base_reordered =
+      make_benchmark_relation(reordered, spec, inputs, outputs);
+  reordered.reorder();
+
+  const auto memo = std::make_shared<GlobalMemo>();
+  DeltaRegistry registry;
+  SolverOptions options = deterministic_options(6);
+  options.global_memo = memo;
+  options.delta_registry = &registry;
+  const SolveResult warm_base = BrelSolver(options).solve(base_reordered);
+  ASSERT_FALSE(warm_base.stats.budget_exhausted);
+
+  BddManager plain{0};
+  std::vector<std::uint32_t> plain_inputs;
+  std::vector<std::uint32_t> plain_outputs;
+  const BooleanRelation base_plain =
+      make_benchmark_relation(plain, spec, plain_inputs, plain_outputs);
+  const BooleanRelation edited = flip_minterms(base_plain, 1, 12345);
+  ASSERT_FALSE(edited.characteristic() == base_plain.characteristic());
+
+  SolverOptions cold_options = deterministic_options(6);
+  const SolveResult cold = BrelSolver(cold_options).solve(edited);
+  const SolveResult warm = BrelSolver(options).solve(edited);
+  EXPECT_TRUE(warm.stats.delta_active);
+  EXPECT_EQ(warm.cost, cold.cost);
+  EXPECT_EQ(portable(edited, warm), portable(edited, cold));
+  EXPECT_TRUE(edited.is_compatible(warm.function));
+}
+
+}  // namespace
+}  // namespace brel

@@ -160,6 +160,26 @@ TEST(RelationIoTest, MalformedBddBodiesAlwaysThrowNeverUB) {
       {"overlapping .iv/.ov ranks",
        ".i 1\n.o 1\n.iv 0\n.ov 0\n.bdd 1\n1 0 1\n.root 2\n.e\n",
        "overlapping"},
+      {".order with too few ranks",
+       ".i 1\n.o 1\n.order 0\n.bdd 1\n1 0 1\n.root 2\n.e\n",
+       "rank count mismatch"},
+      {".order rank out of range",
+       ".i 1\n.o 1\n.order 0 5\n.bdd 1\n1 0 1\n.root 2\n.e\n",
+       "rank out of range"},
+      {".order repeating a rank",
+       ".i 1\n.o 1\n.order 0 0\n.bdd 1\n1 0 1\n.root 2\n.e\n",
+       "repeats a rank"},
+      {".order with a .r body", ".i 1\n.o 1\n.order 0 1\n.r\n0 1\n.e\n",
+       "require a .bdd body"},
+      {"duplicate .order",
+       ".i 1\n.o 1\n.order 0 1\n.order 0 1\n.bdd 1\n1 0 1\n.root 2\n.e\n",
+       "duplicate .order"},
+      {".order after the body",
+       ".i 1\n.o 1\n.bdd 1\n1 0 1\n.root 2\n.order 0 1\n.e\n",
+       "before the body"},
+      {".order before .i/.o",
+       ".order 0 1\n.i 1\n.o 1\n.bdd 1\n1 0 1\n.root 2\n.e\n",
+       "requires .i and .o"},
   };
   for (const MalformedCase& test : cases) {
     BddManager mgr{0};
@@ -172,6 +192,56 @@ TEST(RelationIoTest, MalformedBddBodiesAlwaysThrowNeverUB) {
           << test.name << " raised the wrong error: " << error.what();
     }
   }
+}
+
+TEST(RelationIoTest, OrderSidecarOmittedForIdentityOrderManagers) {
+  // A manager that never reordered keeps producing byte-identical
+  // compact output — no `.order` line sneaks in.
+  BddManager mgr{0};
+  const RelationSpace space = make_space(mgr, 2, 2);
+  const BooleanRelation r = fig1_relation(mgr, space);
+  EXPECT_EQ(write_relation_bdd(r).find(".order"), std::string::npos);
+}
+
+TEST(RelationIoTest, OrderSidecarRoundTripSeedsTheReaderManager) {
+  // Writer side: a relation living in a manager with a non-identity
+  // block order emits `.order`.  Reader side: parsing seeds the fresh
+  // manager with the same relative order BEFORE the body deserializes,
+  // so warm slots start from the writer's known-good order — and the
+  // relation itself survives unchanged.
+  BddManager mgr{0};
+  const RelationSpace space = make_space(mgr, 2, 2);
+  mgr.seed_block_order(
+      0, std::vector<std::uint32_t>{2, 0, 3, 1});
+  const BooleanRelation r = fig1_relation(mgr, space);
+  const std::string text = write_relation_bdd(r);
+  EXPECT_NE(text.find(".order 2 0 3 1"), std::string::npos) << text;
+
+  BddManager fresh{0};
+  const BooleanRelation parsed = read_relation(fresh, text);
+  EXPECT_EQ(parsed.to_table(), r.to_table());
+  EXPECT_FALSE(fresh.has_identity_order());
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(fresh.level_of_var(v), mgr.level_of_var(v)) << "var " << v;
+  }
+  // Idempotence: writing from the seeded reader reproduces the text.
+  EXPECT_EQ(write_relation_bdd(parsed), text);
+}
+
+TEST(RelationIoTest, OrderSidecarUsesBlockRelativeRanks) {
+  // The sidecar must survive a variable-offset shift: ranks are relative
+  // to the relation's own block, not absolute manager indices.
+  BddManager mgr{0};
+  (void)mgr.add_vars(3);  // unrelated prefix block
+  const RelationSpace space = make_space(mgr, 2, 2);
+  mgr.seed_block_order(
+      3, std::vector<std::uint32_t>{1, 0, 3, 2});
+  const BooleanRelation r = fig10_relation(mgr, space);
+  const std::string text = write_relation_bdd(r);
+  EXPECT_NE(text.find(".order 1 0 3 2"), std::string::npos) << text;
+  BddManager fresh{0};
+  const BooleanRelation parsed = read_relation(fresh, text);
+  EXPECT_EQ(parsed.to_table(), r.to_table());
 }
 
 TEST(RelationIoTest, CompactBodyRoundTripStillWorksAfterHardening) {

@@ -47,6 +47,20 @@
 //                                            a throughput/memo summary
 //     --no-memo                              disable the pool's cross-solve
 //                                            memo in --serve mode
+//     --incremental                          delta-driven re-solve: diff each
+//                                            request against the most recent
+//                                            solved relation over the same
+//                                            variable spaces and re-search
+//                                            only the subtrees the change
+//                                            region touches (--serve slots
+//                                            keep per-slot bases; single-solve
+//                                            mode accepts the flag for parity
+//                                            but has no prior base).  Also
+//                                            arms the delta-localization
+//                                            partition (first 4 inputs), so
+//                                            point edits re-search one block.
+//                                            Requires the memo;
+//                                            BREL_INCREMENTAL=0|1 overrides
 //     --memo-shards=N                        lock shards of the pool memo
 //                                            (--serve; 0 = auto: 16 for an
 //                                            unbounded memo, 1 when capped)
@@ -92,6 +106,7 @@ struct CliOptions {
   bool quiet = false;
   bool serve = false;
   bool no_memo = false;
+  bool incremental = false;
   std::size_t memo_shards = 0;  ///< 0 = GlobalMemo auto policy
   std::size_t steal_batch = 8;
   std::string solver = "brel";
@@ -107,7 +122,8 @@ struct CliOptions {
                "                [--reorder=off|on|auto]\n"
                "                [--symmetry] [--seed-cache] [--totalize]\n"
                "                [--solver=brel|quick|gyocro|herb]\n"
-               "                [--serve] [--no-memo] [--memo-shards=N]\n"
+               "                [--serve] [--no-memo] [--incremental]\n"
+               "                [--memo-shards=N]\n"
                "                [--steal-batch=N]\n"
                "                [--dump-table] [--quiet] [file.br|-]...\n"
                "  --serve solves every listed file over a SolverPool of\n"
@@ -183,6 +199,8 @@ CliOptions parse_args(int argc, char** argv) {
       options.serve = true;
     } else if (arg == "--no-memo") {
       options.no_memo = true;
+    } else if (arg == "--incremental") {
+      options.incremental = true;
     } else if (const char* v = value_of("--memo-shards=")) {
       options.memo_shards =
           static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
@@ -341,6 +359,14 @@ int run_serve(const CliOptions& cli) {
   pool_options.share_memo = !cli.no_memo;
   pool_options.memo_shards = cli.memo_shards;
   pool_options.totalize = cli.totalize;
+  pool_options.incremental = cli.incremental;
+  if (brel::resolve_incremental(cli.incremental)) {
+    // Delta localization (partition.hpp): cofactor on the first inputs
+    // so a point edit dirties one block and the clean blocks root-hit.
+    // Fig. 6 splits alone cannot localize point edits — they refine
+    // output constraints, never the input space.
+    pool_options.solver.partition_inputs = 4;
+  }
 
   const auto start = std::chrono::steady_clock::now();
   brel::SolverPool pool(pool_options);
@@ -352,10 +378,18 @@ int run_serve(const CliOptions& cli) {
 
   int failures = 0;
   std::size_t total_reorders = 0;
+  std::size_t delta_runs = 0;
+  std::size_t delta_reused = 0;
+  std::size_t delta_researched = 0;
   for (std::size_t i = 0; i < futures.size(); ++i) {
     try {
       const brel::PoolResult result = futures[i].get();
       total_reorders += result.stats.reorders;
+      if (result.stats.delta_active) {
+        ++delta_runs;
+        delta_reused += result.stats.delta_reused;
+        delta_researched += result.stats.delta_researched;
+      }
       // Independent check in a fresh manager: re-parse the request and
       // materialize the portable solution against it.
       brel::BddManager check_mgr{0};
@@ -371,11 +405,18 @@ int run_serve(const CliOptions& cli) {
       const bool ok = relation.is_compatible(f);
       // --quiet means "covers only", exactly like single-solve mode.
       if (!cli.quiet) {
+        char delta_item[96] = "";
+        if (result.stats.delta_active) {
+          std::snprintf(delta_item, sizeof(delta_item),
+                        " delta_reused=%zu delta_researched=%zu",
+                        result.stats.delta_reused,
+                        result.stats.delta_researched);
+        }
         std::printf(
-            "%s: cost=%.0f explored=%zu memo_hits=%zu worker=%zu%s\n",
+            "%s: cost=%.0f explored=%zu memo_hits=%zu%s worker=%zu%s\n",
             cli.files[i].c_str(), result.cost,
             result.stats.relations_explored, result.stats.memo_hits,
-            result.worker_id, ok ? "" : " INCOMPATIBLE");
+            delta_item, result.worker_id, ok ? "" : " INCOMPATIBLE");
       }
       if (!ok) {
         ++failures;
@@ -397,10 +438,25 @@ int run_serve(const CliOptions& cli) {
                 static_cast<unsigned long long>(pool.requests_served()),
                 pool.worker_count(), seconds);
     if (pool.memo() != nullptr) {
-      std::printf(" | memo: %zu entries (%zu shards), %llu/%llu probe hits",
-                  pool.memo()->size(), pool.memo()->shard_count(),
-                  static_cast<unsigned long long>(pool.memo()->hits()),
-                  static_cast<unsigned long long>(pool.memo()->probes()));
+      const unsigned long long hits = pool.memo()->hits();
+      const unsigned long long probes = pool.memo()->probes();
+      // The hit RATE is the number that tells an operator whether the
+      // memo is earning its memory: raw hit/probe counts alone scale
+      // with traffic and say nothing.
+      std::printf(
+          " | memo: %zu entries (%zu shards), %llu/%llu probe hits (%.1f%%)",
+          pool.memo()->size(), pool.memo()->shard_count(), hits, probes,
+          probes == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(probes));
+    }
+    if (delta_runs > 0) {
+      const std::size_t classified = delta_reused + delta_researched;
+      std::printf(
+          " | delta: %zu run(s), reused=%zu re-searched=%zu (%.1f%% reuse)",
+          delta_runs, delta_reused, delta_researched,
+          classified == 0 ? 0.0
+                          : 100.0 * static_cast<double>(delta_reused) /
+                                static_cast<double>(classified));
     }
     if (total_reorders > 0) {
       std::printf(" | reorders: %zu", total_reorders);
@@ -471,7 +527,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const brel::SolverOptions options = solver_options_from_cli(cli);
+  brel::SolverOptions options = solver_options_from_cli(cli);
+  // Single-solve parity for --incremental: one process-lifetime registry
+  // and memo.  The first (only) solve finds no base, so the flag is
+  // inert here — it exists so scripted pipelines can pass one option set
+  // to both modes; the delta machinery pays off under --serve, where
+  // slots persist across requests.
+  brel::DeltaRegistry registry;
+  if (brel::resolve_incremental(cli.incremental)) {
+    if (options.global_memo == nullptr) {
+      options.global_memo = std::make_shared<brel::GlobalMemo>();
+    }
+    options.delta_registry = &registry;
+    // Same delta-localization pre-split as --serve slots, so both modes
+    // produce identical results for identical option sets.
+    options.partition_inputs = 4;
+  }
   const brel::SolveResult result = brel::BrelSolver(options).solve(relation);
   if (!cli.quiet) {
     std::printf("# cost(%s) = %.0f\n", cli.cost.c_str(), result.cost);
@@ -488,6 +559,16 @@ int main(int argc, char** argv) {
                   result.stats.workers, result.stats.steals,
                   result.stats.steal_batches);
       print_lock_stats();
+    }
+    if (result.stats.delta_active) {
+      const std::size_t classified =
+          result.stats.delta_reused + result.stats.delta_researched;
+      std::printf("# delta: reused=%zu re-searched=%zu (%.1f%% reuse)\n",
+                  result.stats.delta_reused, result.stats.delta_researched,
+                  classified == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(result.stats.delta_reused) /
+                            static_cast<double>(classified));
     }
     if (result.stats.reorders > 0) {
       // Serial runs sift the manager above; parallel runs sift their
