@@ -1,0 +1,192 @@
+// Service front-end harness: a real Server on an ephemeral loopback
+// port, driven closed-loop through real sockets by N client threads —
+// the full network round trip (framing, admission, pool, portable
+// solution serialization) that bench_solver_pool.cpp's in-process
+// submits skip.
+//
+// For 1 / 2 / 4 connections (server slots sized to match, memo off so
+// every request pays full exploration), the harness reports answered
+// requests per second and the p50/p99 request latency, and cross-checks
+// every answer bit-identically against the serial engine in the
+// schedule-independent configuration.  Exits non-zero on any
+// divergence, protocol error, or transport failure, so CI can run it
+// as a smoke check.  `--json <path>` records everything machine-
+// readably (BENCH_server.json at the repo root).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "benchgen/relation_suite.hpp"
+#include "brel/search.hpp"
+#include "brel/server.hpp"
+#include "relation/relation_io.hpp"
+
+namespace {
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace brel;
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  const std::size_t depth = bench::budget_from_env("BREL_SERVER_DEPTH", 6);
+  const std::size_t rounds = bench::budget_from_env("BREL_SERVER_ROUNDS", 5);
+
+  SolverOptions solver;
+  solver.cost = sum_of_bdd_sizes();
+  solver.max_relations = static_cast<std::size_t>(-1);
+  solver.use_cost_bound = false;
+  solver.max_depth = depth;
+
+  // Request list in the wire form, plus serial references.
+  std::vector<std::string> texts;
+  std::vector<std::string> names;
+  std::vector<PortableSolution> serial;
+  for (const RelationBenchmark& instance : relation_suite()) {
+    BddManager mgr{0};
+    std::vector<std::uint32_t> inputs;
+    std::vector<std::uint32_t> outputs;
+    const BooleanRelation r =
+        make_benchmark_relation(mgr, instance, inputs, outputs);
+    texts.push_back(write_relation_bdd(r));
+    names.push_back(instance.name);
+    const SolveResult solved = SearchEngine(r, solver).run();
+    serial.push_back(make_portable_solution(make_memo_space(r),
+                                            solved.function, solved.cost));
+  }
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.field_str("bench", "bench_server");
+  json.field_int("instances", texts.size());
+  json.field_int("max_depth", depth);
+  json.field_int("rounds", rounds);
+  json.field_int("hardware_threads", std::thread::hardware_concurrency());
+
+  bool ok = true;
+  std::printf(
+      "Framed service round trips: %zu rounds x %zu requests per client\n\n",
+      rounds, texts.size());
+  std::printf("%-12s %-8s %10s %12s %12s %12s\n", "connections", "workers",
+              "answered", "req/s", "p50 [us]", "p99 [us]");
+  json.begin_array("load");
+  for (const std::size_t connections : {1u, 2u, 4u}) {
+    ServerOptions options;
+    options.pool.workers = connections;
+    options.pool.solver = solver;
+    options.pool.share_memo = false;  // full price per request
+    Server server(options);
+    server.start();
+    const std::uint16_t port = server.port();
+
+    std::atomic<std::uint64_t> failures{0};
+    std::vector<std::vector<std::uint64_t>> latencies(connections);
+    bench::Stopwatch timer;
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < connections; ++c) {
+      clients.emplace_back([&, c] {
+        const int fd = wire::connect_tcp("127.0.0.1", port);
+        if (fd < 0) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (std::size_t round = 0; round < rounds; ++round) {
+          for (std::size_t i = 0; i < texts.size(); ++i) {
+            const auto sent = std::chrono::steady_clock::now();
+            std::string reply;
+            if (!wire::write_frame(fd, "SOLVE\n" + texts[i]) ||
+                wire::read_frame(fd, reply,
+                                 static_cast<std::size_t>(-1)) !=
+                    wire::ReadStatus::Ok) {
+              failures.fetch_add(1);
+              ::close(fd);
+              return;
+            }
+            latencies[c].push_back(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - sent)
+                    .count()));
+            const std::size_t nl = reply.find('\n');
+            if (reply.rfind("OK", 0) != 0 || nl == std::string::npos) {
+              std::printf("!! %s: unexpected reply\n", names[i].c_str());
+              failures.fetch_add(1);
+              continue;
+            }
+            std::istringstream body(reply.substr(nl + 1));
+            if (read_portable_solution(body) != serial[i]) {
+              std::printf("!! %s: served solution differs from serial\n",
+                          names[i].c_str());
+              failures.fetch_add(1);
+            }
+          }
+        }
+        ::close(fd);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double wall = timer.seconds();
+    server.begin_drain();
+    server.wait();
+    const ServerMetrics m = server.metrics();
+
+    std::vector<std::uint64_t> merged;
+    for (const auto& v : latencies) {
+      merged.insert(merged.end(), v.begin(), v.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    const double rps =
+        wall > 0.0 ? static_cast<double>(merged.size()) / wall : 0.0;
+    const std::uint64_t p50 = percentile(merged, 0.50);
+    const std::uint64_t p99 = percentile(merged, 0.99);
+    std::printf("%-12zu %-8zu %10zu %12.1f %12llu %12llu\n", connections,
+                connections, merged.size(), rps,
+                static_cast<unsigned long long>(p50),
+                static_cast<unsigned long long>(p99));
+    if (failures.load() != 0 || m.protocol_errors != 0 ||
+        m.request_errors != 0 || m.accepted != m.answered) {
+      std::printf(
+          "!! %zu connection(s): failures=%llu protocol_errors=%llu "
+          "request_errors=%llu accepted=%llu answered=%llu\n",
+          connections, static_cast<unsigned long long>(failures.load()),
+          static_cast<unsigned long long>(m.protocol_errors),
+          static_cast<unsigned long long>(m.request_errors),
+          static_cast<unsigned long long>(m.accepted),
+          static_cast<unsigned long long>(m.answered));
+      ok = false;
+    }
+    json.begin_element();
+    json.field_int("connections", connections);
+    json.field_int("workers", connections);
+    json.field_int("answered", merged.size());
+    json.field_num("requests_per_s", rps);
+    json.field_int("latency_p50_us", p50);
+    json.field_int("latency_p99_us", p99);
+    json.field_int("accepted", m.accepted);
+    json.field_int("protocol_errors", m.protocol_errors);
+    json.end_element();
+  }
+  json.end_array();
+  json.field_str("acceptance", ok ? "pass" : "FAIL");
+  json.end_object();
+  if (!json_path.empty() && !json.save(json_path)) {
+    return 1;
+  }
+  std::printf("\nacceptance: %s\n", ok ? "pass" : "FAIL");
+  return ok ? 0 : 1;
+}

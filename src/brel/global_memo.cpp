@@ -1,6 +1,11 @@
 #include "brel/global_memo.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace brel {
@@ -135,6 +140,76 @@ Bdd import_canonical_bdd(BddManager& mgr, const MemoSpace& space,
                          const SerializedBdd& s) {
   return mgr.deserialize_bdd(
       remap_vars(s, space.sorted_vars, MemoSpace::kUnranked));
+}
+
+void write_portable_solution(std::ostream& os, const PortableSolution& s) {
+  // %.17g-precision cost so the round trip is bit-faithful for every
+  // double a cost function can produce (cf. support_balance_cost's id).
+  char cost_text[64];
+  std::snprintf(cost_text, sizeof(cost_text), "%.17g", s.cost);
+  os << ".cost " << cost_text << '\n';
+  os << ".outputs " << s.outputs.size() << '\n';
+  for (const SerializedBdd& g : s.outputs) {
+    os << ".bdd " << g.nodes.size() << '\n';
+    write_serialized_bdd(os, g);
+  }
+}
+
+PortableSolution read_portable_solution(std::istream& in) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("read_portable_solution: ") +
+                                what);
+  };
+  // Same sanity ceilings as relation_io's `.bdd` parser: a lying header
+  // must fail loudly, never allocate unbounded memory.
+  constexpr std::size_t kMaxOutputs = 1u << 16;
+  constexpr std::size_t kMaxNodes = 1u << 28;
+  std::string keyword;
+  PortableSolution out;
+  std::string cost_text;
+  if (!(in >> keyword) || keyword != ".cost" || !(in >> cost_text)) {
+    fail("malformed .cost line");
+  }
+  // strtod, not stream extraction: num_get refuses "inf"/"nan", and an
+  // empty best-so-far (deadline-expired) solution carries cost = inf.
+  char* cost_end = nullptr;
+  out.cost = std::strtod(cost_text.c_str(), &cost_end);
+  if (cost_end == cost_text.c_str() || *cost_end != '\0') {
+    fail("malformed .cost value");
+  }
+  std::size_t output_count = 0;
+  if (!(in >> keyword) || keyword != ".outputs" || !(in >> output_count)) {
+    fail("malformed .outputs line");
+  }
+  if (output_count > kMaxOutputs) {
+    fail(".outputs declares too many outputs");
+  }
+  out.outputs.reserve(std::min<std::size_t>(output_count, 1u << 8));
+  std::string line;
+  std::getline(in, line);  // consume the rest of the .outputs line
+  for (std::size_t o = 0; o < output_count; ++o) {
+    if (!std::getline(in, line)) {
+      fail("truncated output list");
+    }
+    std::istringstream header(line);
+    std::size_t node_count = 0;
+    std::string extra;
+    if (!(header >> keyword) || keyword != ".bdd" ||
+        !(header >> node_count)) {
+      fail("malformed .bdd line");
+    }
+    if (header >> extra) {
+      fail("trailing tokens on .bdd line");
+    }
+    if (node_count > kMaxNodes) {
+      fail(".bdd declares too many nodes");
+    }
+    out.outputs.push_back(read_serialized_bdd(in, node_count));
+  }
+  if (in >> keyword) {
+    fail("trailing tokens after the last output");
+  }
+  return out;
 }
 
 namespace {

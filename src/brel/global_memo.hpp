@@ -138,6 +138,16 @@ struct PortableSolution {
                                        const MemoSpace& space,
                                        const SerializedBdd& s);
 
+/// Text form of a portable solution — the response body of the socket
+/// service (server.hpp), built from the same node-line grammar as the
+/// `.bdd` relation format: a `.cost` line, an `.outputs` count, then per
+/// output a `.bdd <node_count>` section (write_serialized_bdd).  An
+/// empty-bodied solution (has_solution() == false) round-trips too.
+void write_portable_solution(std::ostream& os, const PortableSolution& s);
+/// Inverse of write_portable_solution.  Throws std::invalid_argument on
+/// malformed input (bad counts, malformed node lines, trailing tokens).
+[[nodiscard]] PortableSolution read_portable_solution(std::istream& in);
+
 /// Strict total order on same-space portable solutions, used to break
 /// COST TIES everywhere a winner is chosen — the engine incumbent, the
 /// memo's cross-run accumulation, the parallel coordinator's merge.

@@ -1,9 +1,11 @@
 #include "brel/solver_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -22,8 +24,13 @@ namespace {
 
 struct Job {
   std::string text;
+  RequestOptions request;
+  std::chrono::steady_clock::time_point submitted;
   std::promise<PoolResult> promise;
 };
+
+/// Number of RequestPriority classes (one deque per class per mailbox).
+constexpr std::size_t kPriorityClasses = 2;
 
 }  // namespace
 
@@ -53,7 +60,9 @@ MultiFunction import_pool_solution(BddManager& mgr, const BooleanRelation& r,
 struct SolverPool::Impl {
   struct Mailbox {
     TimedMutex mutex{lock_names::kPool};
-    std::deque<Job> jobs;
+    /// One FIFO per RequestPriority class; pops drain class 0
+    /// (Interactive) before class 1 (Batch), FIFO within a class.
+    std::deque<Job> jobs[kPriorityClasses];
     bool closed = false;
   };
 
@@ -99,31 +108,47 @@ struct SolverPool::Impl {
     }
   }
 
-  /// Pop the oldest job of one mailbox, if any.
-  bool try_take(std::size_t slot, Job& out) {
+  /// Pop the oldest job of one mailbox's priority class `cls`, if any.
+  bool try_take_class(std::size_t slot, std::size_t cls, Job& out) {
     Mailbox& box = *mailboxes[slot];
     const std::scoped_lock lock(box.mutex);
-    if (box.jobs.empty()) {
+    if (box.jobs[cls].empty()) {
       return false;
     }
-    out = std::move(box.jobs.front());
-    box.jobs.pop_front();
+    out = std::move(box.jobs[cls].front());
+    box.jobs[cls].pop_front();
     return true;
   }
 
-  /// Next job for slot `id`: own mailbox first, then steal the oldest
-  /// job of the other mailboxes, then park.  Returns false when the pool
-  /// stopped and nothing is left anywhere.
-  bool acquire(std::size_t id, Job& out) {
-    while (true) {
-      if (try_take(id, out)) {
-        pending.fetch_sub(1, std::memory_order_relaxed);
+  /// Pop the oldest job of one mailbox, highest priority class first.
+  bool try_take(std::size_t slot, Job& out) {
+    Mailbox& box = *mailboxes[slot];
+    const std::scoped_lock lock(box.mutex);
+    for (std::deque<Job>& jobs : box.jobs) {
+      if (!jobs.empty()) {
+        out = std::move(jobs.front());
+        jobs.pop_front();
         return true;
       }
-      for (std::size_t i = 1; i < workers; ++i) {
-        if (try_take((id + i) % workers, out)) {
-          pending.fetch_sub(1, std::memory_order_relaxed);
-          return true;
+    }
+    return false;
+  }
+
+  /// Next job for slot `id`: sweep every mailbox (own first, then the
+  /// others — the idle steal) for an Interactive job before taking any
+  /// Batch job anywhere, then park.  The class-major sweep is what
+  /// "priorities honored at mailbox pop" means under round-robin
+  /// submission: an interactive request never waits behind another
+  /// mailbox's batch backlog while any slot is free to notice it.
+  /// Returns false when the pool stopped and nothing is left anywhere.
+  bool acquire(std::size_t id, Job& out) {
+    while (true) {
+      for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+        for (std::size_t i = 0; i < workers; ++i) {
+          if (try_take_class((id + i) % workers, cls, out)) {
+            pending.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+          }
         }
       }
       if (stop.load(std::memory_order_acquire)) {
@@ -181,7 +206,29 @@ struct SolverPool::Impl {
       // Counted before the promise resolves, so a caller that joined
       // every future observes the full tally.
       served.fetch_add(1);
+      const auto picked_up = std::chrono::steady_clock::now();
+      const std::uint64_t queue_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              picked_up - job.submitted)
+              .count());
       try {
+        // Deadline pre-check: a request whose deadline was spent while
+        // it queued must still RESOLVE its future — skip even the parse
+        // (the one potentially expensive step left) and report an
+        // empty best-so-far with budget_exhausted set, exactly what the
+        // engine would report had it been given zero time.
+        if (job.request.deadline.has_value() &&
+            picked_up >= *job.request.deadline) {
+          PoolResult out;
+          out.cost = std::numeric_limits<double>::infinity();
+          out.stats.budget_exhausted = true;
+          out.worker_id = id;
+          out.manager_num_vars = mgr.num_vars();
+          out.deadline_expired = true;
+          out.queue_ns = queue_ns;
+          job.promise.set_value(std::move(out));
+          continue;
+        }
         // The slot recycled its variable block after the previous
         // request (reset_variables below), so this request parses into
         // variables 0..width-1; its handles die with this scope.
@@ -190,6 +237,30 @@ struct SolverPool::Impl {
           r = r.totalized();
         }
         SolverOptions solve_options = options.solver;
+        if (job.request.deadline.has_value()) {
+          // Map what remains of the request deadline onto the engine's
+          // timeout machinery (per request — the pool-wide setting stays
+          // the ceiling when tighter).  Re-read the clock AFTER the
+          // parse: the engine clocks its timeout from its own start, so
+          // this is what keeps the deadline absolute.
+          // Round the remainder UP: truncating would have the engine
+          // stop a fraction of a millisecond BEFORE the deadline, and
+          // the absolute now-vs-deadline check below would then read a
+          // deadline stop as an ordinary budget stop.
+          const auto remaining =
+              std::chrono::ceil<std::chrono::milliseconds>(
+                  *job.request.deadline - std::chrono::steady_clock::now());
+          // Ceil to 1ms: timeout 0 means UNLIMITED, which would invert
+          // an almost-spent deadline into no deadline at all.
+          const auto budget =
+              remaining > std::chrono::milliseconds(1)
+                  ? remaining
+                  : std::chrono::milliseconds(1);
+          solve_options.timeout =
+              solve_options.timeout.count() > 0
+                  ? std::min(solve_options.timeout, budget)
+                  : budget;
+        }
         if (slot_cache != nullptr) {
           // The cache was emptied at the previous request's end (raw-edge
           // keys must not survive a variable-block recycle); re-stamp it
@@ -211,6 +282,14 @@ struct SolverPool::Impl {
         out.stats = solved.stats;
         out.worker_id = id;
         out.manager_num_vars = mgr.num_vars();
+        // A deadline stop is an ordinary engine timeout whose budget
+        // came from the request: the run ended with the clock past the
+        // deadline.  (A run that drained naturally just inside its
+        // budget ends with the clock still before it.)
+        out.deadline_expired =
+            job.request.deadline.has_value() && out.stats.budget_exhausted &&
+            std::chrono::steady_clock::now() >= *job.request.deadline;
+        out.queue_ns = queue_ns;
         job.promise.set_value(std::move(out));
       } catch (...) {
         job.promise.set_exception(std::current_exception());
@@ -231,10 +310,16 @@ struct SolverPool::Impl {
     }
   }
 
-  std::future<PoolResult> enqueue(std::string text) {
+  std::future<PoolResult> enqueue(std::string text, RequestOptions request) {
     Job job;
     job.text = std::move(text);
+    job.request = request;
+    job.submitted = std::chrono::steady_clock::now();
     std::future<PoolResult> future = job.promise.get_future();
+    const std::size_t cls =
+        static_cast<std::size_t>(request.priority) < kPriorityClasses
+            ? static_cast<std::size_t>(request.priority)
+            : kPriorityClasses - 1;
     const std::size_t slot =
         next_slot.fetch_add(1, std::memory_order_relaxed) % workers;
     {
@@ -243,7 +328,7 @@ struct SolverPool::Impl {
       if (box.closed) {
         throw std::runtime_error("SolverPool: submit after shutdown");
       }
-      box.jobs.push_back(std::move(job));
+      box.jobs[cls].push_back(std::move(job));
     }
     pending.fetch_add(1, std::memory_order_release);
     if (sleepers.load() > 0) {
@@ -304,11 +389,16 @@ SolverPool::SolverPool(PoolOptions options)
 SolverPool::~SolverPool() { impl_->shutdown(); }
 
 std::future<PoolResult> SolverPool::submit(std::string relation_text) {
-  return impl_->enqueue(std::move(relation_text));
+  return impl_->enqueue(std::move(relation_text), RequestOptions{});
+}
+
+std::future<PoolResult> SolverPool::submit(std::string relation_text,
+                                           RequestOptions request) {
+  return impl_->enqueue(std::move(relation_text), request);
 }
 
 std::future<PoolResult> SolverPool::submit(const BooleanRelation& r) {
-  return impl_->enqueue(write_relation_bdd(r));
+  return impl_->enqueue(write_relation_bdd(r), RequestOptions{});
 }
 
 void SolverPool::shutdown() { impl_->shutdown(); }
@@ -323,6 +413,10 @@ const std::shared_ptr<GlobalMemo>& SolverPool::memo() const noexcept {
 
 std::uint64_t SolverPool::requests_served() const {
   return impl_->served.load();
+}
+
+std::size_t SolverPool::queue_depth() const noexcept {
+  return impl_->pending.load(std::memory_order_relaxed);
 }
 
 }  // namespace brel

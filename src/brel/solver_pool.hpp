@@ -56,10 +56,12 @@
 /// when bit-reproducible results are required while submitting
 /// overlapping relations concurrently.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "brel/global_memo.hpp"
@@ -121,6 +123,34 @@ struct PoolOptions {
   bool incremental = false;
 };
 
+/// Service class of one request, honored when a slot pops its mailbox:
+/// every pending Interactive job of a mailbox is taken before any Batch
+/// job (steals scan the other mailboxes in the same two passes).  Within
+/// one class, FIFO order is preserved — a pool fed a single class
+/// behaves exactly like the pre-priority pool.
+enum class RequestPriority : std::uint8_t {
+  Interactive = 0,  ///< latency-sensitive traffic, served first
+  Batch = 1,        ///< throughput traffic, served when no interactive waits
+};
+
+/// Per-request options of the submit() overload below.  The plain
+/// submit() is equivalent to RequestOptions{} (no deadline, Interactive).
+struct RequestOptions {
+  /// Absolute wall-clock deadline.  Unlike the pool-wide
+  /// `SolverOptions::timeout` (which clocks each ENGINE run from its own
+  /// start), the deadline covers the request's whole pool residency —
+  /// queue wait included.  The worker maps whatever remains at solve
+  /// start onto the existing timeout machinery (taking the minimum with
+  /// a configured pool-wide timeout); a request whose deadline expired
+  /// before (or while) parsing still RESOLVES its future, with
+  /// `stats.budget_exhausted` set, `deadline_expired` set, and the
+  /// best-so-far solution — possibly empty when no time was left to
+  /// find one.  No deadline (nullopt) preserves the old behavior.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  RequestPriority priority = RequestPriority::Interactive;
+};
+
 /// Outcome of one pool request: the solution in manager-independent form
 /// plus the solve statistics.  `import_pool_solution` materializes the
 /// function in a caller-owned manager.
@@ -134,6 +164,16 @@ struct PoolResult {
   /// the REQUEST's width, not a sum over the slot's history, because the
   /// slot reclaims its whole variable block between requests).
   std::uint32_t manager_num_vars = 0;
+  /// The request's RequestOptions::deadline passed before the solve ran
+  /// to its natural end: either it was already spent at pickup (the
+  /// solution is then empty and `cost` infinite) or the engine stopped
+  /// on the mapped timeout (the solution is the best found so far).
+  /// `stats.budget_exhausted` is set in both cases; this flag
+  /// distinguishes a deadline stop from an ordinary exploration-budget
+  /// stop, which service front ends report differently (TIMEOUT vs OK).
+  bool deadline_expired = false;
+  /// Time the request spent queued (submit → worker pickup), in ns.
+  std::uint64_t queue_ns = 0;
 };
 
 /// Materialize `result`'s solution in `mgr` for relation `r` (the same
@@ -158,6 +198,12 @@ class SolverPool {
   /// Enqueue a relation in the `.br`/`.bdd` text formats.
   [[nodiscard]] std::future<PoolResult> submit(std::string relation_text);
 
+  /// Enqueue with per-request options: a deadline that maps onto the
+  /// timeout machinery for THIS request only, and a priority class
+  /// honored when slots pop their mailboxes (see RequestOptions).
+  [[nodiscard]] std::future<PoolResult> submit(std::string relation_text,
+                                               RequestOptions request);
+
   /// Convenience: serialize `r` (compact `.bdd` form, on the calling
   /// thread, touching only r's manager) and enqueue it.
   [[nodiscard]] std::future<PoolResult> submit(const BooleanRelation& r);
@@ -171,6 +217,11 @@ class SolverPool {
   [[nodiscard]] const std::shared_ptr<GlobalMemo>& memo() const noexcept;
   /// Requests fully served (successfully or exceptionally) so far.
   [[nodiscard]] std::uint64_t requests_served() const;
+  /// Requests accepted but not yet picked up by a slot — the mailbox
+  /// backlog a service front end feeds its admission control with
+  /// (in-flight solves are not counted; track accepted-minus-answered
+  /// on the caller side for the full residency figure).
+  [[nodiscard]] std::size_t queue_depth() const noexcept;
 
  private:
   struct Impl;

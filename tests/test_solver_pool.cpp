@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
 #include <future>
 #include <stdexcept>
 #include <string>
@@ -524,6 +526,118 @@ TEST(SolverPoolTest, SubmitAfterShutdownThrows) {
   pool.shutdown();  // idempotent
   EXPECT_THROW((void)pool.submit(std::string(".i 1\n.o 1\n.r\n0 1\n.e\n")),
                std::runtime_error);
+}
+
+/// int3 (6 inputs, 4 outputs) serialized — large enough that an
+/// unbounded exploration cannot drain within a short deadline.
+std::string large_instance_text() {
+  BddManager mgr{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const BooleanRelation r =
+      make_benchmark_relation(mgr, relation_suite()[2], inputs, outputs);
+  return write_relation_bdd(r);
+}
+
+/// Pool whose requests explore without budget or depth caps — only a
+/// deadline (or the pool-wide timeout) can stop them on int3.
+PoolOptions unbounded_pool(std::size_t workers) {
+  PoolOptions options;
+  options.workers = workers;
+  options.solver.cost = sum_of_bdd_sizes();
+  options.solver.max_relations = static_cast<std::size_t>(-1);
+  options.solver.use_cost_bound = false;
+  return options;
+}
+
+/// The satellite pin: a request whose deadline expires mid-solve must
+/// still RESOLVE its future (flagged, best-so-far solution) rather than
+/// leave the caller blocked forever — at 1 worker and at 4.
+TEST(SolverPoolDeadlineTest, ShortDeadlineResolvesEveryFuture) {
+  const std::string text = large_instance_text();
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    SolverPool pool(unbounded_pool(workers));
+    RequestOptions request;
+    request.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+    std::vector<std::future<PoolResult>> futures;
+    for (std::size_t i = 0; i < workers + 1; ++i) {
+      futures.push_back(pool.submit(text, request));
+    }
+    for (auto& future : futures) {
+      // A hang here IS the regression; give a generous hard bound so a
+      // failure reports instead of wedging the suite.
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(60)),
+                std::future_status::ready)
+          << workers << " workers";
+      const PoolResult result = future.get();
+      EXPECT_TRUE(result.stats.budget_exhausted) << workers << " workers";
+      EXPECT_TRUE(result.deadline_expired) << workers << " workers";
+      // The engine seeds its incumbent before exploring, so a request
+      // that got ANY solve time reports a usable best-so-far solution.
+      if (!result.solution.outputs.empty()) {
+        BddManager mgr{0};
+        const BooleanRelation r = read_relation(mgr, text);
+        const MultiFunction f = import_pool_solution(mgr, r, result);
+        EXPECT_TRUE(r.is_compatible(f)) << workers << " workers";
+      }
+    }
+  }
+}
+
+TEST(SolverPoolDeadlineTest, AlreadyExpiredDeadlineResolvesEmpty) {
+  SolverPool pool(unbounded_pool(1));
+  RequestOptions request;
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(10);
+  const PoolResult result = pool.submit(large_instance_text(), request).get();
+  EXPECT_TRUE(result.deadline_expired);
+  EXPECT_TRUE(result.stats.budget_exhausted);
+  EXPECT_TRUE(result.solution.outputs.empty());
+  EXPECT_TRUE(std::isinf(result.cost));
+}
+
+TEST(SolverPoolDeadlineTest, NoDeadlineRequestsAreUnflagged) {
+  SolverPool pool(PoolOptions{});
+  const PoolResult result =
+      pool.submit(std::string(".i 1\n.o 1\n.r\n0 1\n1 0\n.e\n")).get();
+  EXPECT_FALSE(result.deadline_expired);
+}
+
+TEST(SolverPoolPriorityTest, InteractiveOvertakesQueuedBatch) {
+  // One worker, blocked on a slow request; a Batch job queued FIRST must
+  // lose its mailbox to an Interactive job queued after it.
+  const std::string slow = large_instance_text();
+  BddManager mgr{0};
+  RelationSpace space = make_space(mgr, 2, 2);
+  const std::string fast = write_relation_bdd(fig1_relation(mgr, space));
+
+  PoolOptions options = unbounded_pool(1);
+  options.solver.timeout = std::chrono::milliseconds(300);
+  SolverPool pool(options);
+
+  auto blocker = pool.submit(slow);
+  // The blocker must be IN a slot (not queued) before the contenders
+  // arrive, or the pop order under test never happens.
+  while (pool.queue_depth() != 0) {
+    std::this_thread::yield();
+  }
+  RequestOptions batch;
+  batch.priority = RequestPriority::Batch;
+  auto batch_future = pool.submit(slow, batch);
+  auto interactive_future = pool.submit(fast);  // default = Interactive
+
+  ASSERT_EQ(interactive_future.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready);
+  // The interactive answer arrived while the batch job was still queued
+  // or (at worst) just picked up — it cannot have been SERVED first, or
+  // its 300ms-timeout solve would have delayed the interactive answer
+  // past it.
+  EXPECT_NE(batch_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  (void)blocker.get();
+  (void)batch_future.get();
+  (void)interactive_future.get();
 }
 
 TEST(SolverPoolTest, PoolRejectsMemoWarmedUnderAnotherObjective) {

@@ -268,21 +268,36 @@ void print_covers(brel::BddManager& mgr, const brel::BooleanRelation& r,
   }
 }
 
-/// Read one input (a path or "-" for stdin) fully into a string; exits
-/// with status 2 when the file cannot be opened.
-std::string slurp(const std::string& file) {
+/// Non-fatal slurp for batch (--serve) mode: reads a path or "-"
+/// (stdin) fully into `out`; returns false when the file cannot be
+/// opened, so one bad path skips that request instead of killing the
+/// whole batch.
+bool try_slurp(const std::string& file, std::string& out) {
   std::ostringstream buffer;
   if (file == "-") {
     buffer << std::cin.rdbuf();
   } else {
     std::ifstream in(file);
     if (!in) {
-      std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
-      std::exit(2);
+      return false;
     }
     buffer << in.rdbuf();
   }
-  return buffer.str();
+  out = buffer.str();
+  return true;
+}
+
+/// Read one input (a path or "-" for stdin) fully into a string; exits
+/// with status 2 when the file cannot be opened.  Single-solve mode
+/// only — there is exactly one input, so there is nothing else to keep
+/// serving.
+std::string slurp(const std::string& file) {
+  std::string text;
+  if (!try_slurp(file, text)) {
+    std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+    std::exit(2);
+  }
+  return text;
 }
 
 /// One `# locks:` line from the process-global registry: blocked-acquire
@@ -347,10 +362,37 @@ int run_serve(const CliOptions& cli) {
     std::fprintf(stderr, "--dump-table is not supported with --serve\n");
     return 2;
   }
-  std::vector<std::string> texts;
-  texts.reserve(cli.files.size());
+  // stdin is a stream: the first "-" drains it, so a second "-" would
+  // silently submit an empty request.  Reject the duplicate up front.
+  std::size_t stdin_mentions = 0;
   for (const std::string& file : cli.files) {
-    texts.push_back(slurp(file));
+    if (file == "-") {
+      ++stdin_mentions;
+    }
+  }
+  if (stdin_mentions > 1) {
+    std::fprintf(stderr,
+                 "--serve: '-' (stdin) may be listed at most once (it is "
+                 "drained by the first mention)\n");
+    return 2;
+  }
+
+  // Slurp what is readable; an unreadable file fails ITS request (stderr
+  // line, nonzero exit at the end) without aborting the batch.
+  std::vector<std::string> texts;
+  std::vector<std::string> names;  ///< cli.files entry per slurped text
+  texts.reserve(cli.files.size());
+  names.reserve(cli.files.size());
+  int failures = 0;
+  for (const std::string& file : cli.files) {
+    std::string text;
+    if (!try_slurp(file, text)) {
+      std::fprintf(stderr, "%s: error: cannot open file\n", file.c_str());
+      ++failures;
+      continue;
+    }
+    texts.push_back(std::move(text));
+    names.push_back(file);
   }
 
   brel::PoolOptions pool_options;
@@ -376,7 +418,6 @@ int run_serve(const CliOptions& cli) {
     futures.push_back(pool.submit(text));
   }
 
-  int failures = 0;
   std::size_t total_reorders = 0;
   std::size_t delta_runs = 0;
   std::size_t delta_reused = 0;
@@ -414,7 +455,7 @@ int run_serve(const CliOptions& cli) {
         }
         std::printf(
             "%s: cost=%.0f explored=%zu memo_hits=%zu%s worker=%zu%s\n",
-            cli.files[i].c_str(), result.cost,
+            names[i].c_str(), result.cost,
             result.stats.relations_explored, result.stats.memo_hits,
             delta_item, result.worker_id, ok ? "" : " INCOMPATIBLE");
       }
@@ -423,7 +464,7 @@ int run_serve(const CliOptions& cli) {
       }
       print_covers(check_mgr, relation, f);
     } catch (const std::exception& error) {
-      std::fprintf(stderr, "%s: error: %s\n", cli.files[i].c_str(),
+      std::fprintf(stderr, "%s: error: %s\n", names[i].c_str(),
                    error.what());
       ++failures;
     }

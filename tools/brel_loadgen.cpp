@@ -1,0 +1,333 @@
+// brel_loadgen — load generator for brel_server.
+//
+// Opens N connections and drives framed SOLVE requests at the server,
+// closed-loop (next request as soon as the reply lands) or paced at a
+// target request rate.  Reports throughput, latency percentiles, and
+// the reply mix (OK / TIMEOUT / BUSY / ERROR / transport).
+//
+//   brel_loadgen --port=N [options] [file.br|file.bdd]...
+//     --host=A            server address (default 127.0.0.1)
+//     --port=N            server port (required)
+//     --connections=N     concurrent connections (default 4)
+//     --requests=N        total requests to send (default 64)
+//     --duration-s=S      stop after S seconds instead of a count
+//     --rps=R             target aggregate request rate (0 = closed loop)
+//     --deadline-ms=N     attach a deadline to every SOLVE
+//     --priority=P        interactive (default) or batch
+//     --check             re-parse each request in a fresh manager and
+//                         verify the returned solution is compatible
+//                         (exit 1 on any incompatibility)
+//
+// Request bodies: the positional files, or — when none are given — the
+// built-in 17-instance synthetic suite (benchgen/relation_suite.hpp),
+// serialized to the compact .bdd form.  Requests round-robin over the
+// bodies across all connections.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bdd/bdd.hpp"
+#include "benchgen/relation_suite.hpp"
+#include "brel/server.hpp"
+#include "brel/solver_pool.hpp"
+#include "relation/relation_io.hpp"
+
+namespace {
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 4;
+  std::size_t requests = 64;
+  double duration_s = 0.0;  ///< 0 = use the request count
+  double rps = 0.0;         ///< 0 = closed loop
+  long deadline_ms = 0;     ///< 0 = none
+  std::string priority;     ///< "" = header carries no priority token
+  bool check = false;
+  std::vector<std::string> files;
+};
+
+struct Tally {
+  std::uint64_t ok = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t shutdown = 0;
+  std::uint64_t error = 0;      ///< ERROR replies
+  std::uint64_t transport = 0;  ///< connect/send/recv failures
+  std::uint64_t incompatible = 0;
+  std::vector<std::uint64_t> latencies_us;  ///< answered (OK/TIMEOUT) only
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: brel_loadgen --port=N [--host=A] [--connections=N]\n"
+               "                    [--requests=N] [--duration-s=S] [--rps=R]\n"
+               "                    [--deadline-ms=N]\n"
+               "                    [--priority=interactive|batch] [--check]\n"
+               "                    [file.br|file.bdd]...\n");
+  std::exit(code);
+}
+
+LoadOptions parse_args(int argc, char** argv) {
+  LoadOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (const char* v = value_of("--host=")) {
+      options.host = v;
+    } else if (const char* v = value_of("--port=")) {
+      options.port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--connections=")) {
+      options.connections =
+          static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--requests=")) {
+      options.requests =
+          static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--duration-s=")) {
+      options.duration_s = std::strtod(v, nullptr);
+    } else if (const char* v = value_of("--rps=")) {
+      options.rps = std::strtod(v, nullptr);
+    } else if (const char* v = value_of("--deadline-ms=")) {
+      options.deadline_ms = std::strtol(v, nullptr, 10);
+    } else if (const char* v = value_of("--priority=")) {
+      options.priority = v;
+    } else if (arg == "--check") {
+      options.check = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(2);
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr, "--port is required\n");
+    usage(2);
+  }
+  if (options.connections == 0) options.connections = 1;
+  if (!options.priority.empty() && options.priority != "interactive" &&
+      options.priority != "batch") {
+    std::fprintf(stderr, "unknown priority '%s'\n", options.priority.c_str());
+    usage(2);
+  }
+  return options;
+}
+
+/// Request bodies: listed files, or the built-in 17-instance suite.
+std::vector<std::string> request_bodies(const LoadOptions& options) {
+  std::vector<std::string> bodies;
+  if (!options.files.empty()) {
+    for (const std::string& file : options.files) {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+        std::exit(2);
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      bodies.push_back(buffer.str());
+    }
+    return bodies;
+  }
+  for (const brel::RelationBenchmark& bench : brel::relation_suite()) {
+    brel::BddManager mgr{0};
+    std::vector<std::uint32_t> inputs;
+    std::vector<std::uint32_t> outputs;
+    const brel::BooleanRelation r =
+        brel::make_benchmark_relation(mgr, bench, inputs, outputs);
+    bodies.push_back(brel::write_relation_bdd(r));
+  }
+  return bodies;
+}
+
+/// Verify an answered body against the request it solved, in a fresh
+/// manager (the same independent re-check brel_cli --serve performs).
+bool compatible(const std::string& request, const std::string& reply_body) {
+  std::istringstream body(reply_body);
+  brel::PoolResult result;
+  result.solution = brel::read_portable_solution(body);
+  result.cost = result.solution.cost;
+  brel::BddManager mgr{0};
+  const brel::BooleanRelation relation = brel::read_relation(mgr, request);
+  const brel::MultiFunction f =
+      brel::import_pool_solution(mgr, relation, result);
+  return relation.is_compatible(f);
+}
+
+void worker(const LoadOptions& options, const std::vector<std::string>& bodies,
+            std::atomic<std::size_t>& next_request,
+            std::chrono::steady_clock::time_point start_time, Tally& tally) {
+  const int fd = brel::wire::connect_tcp(options.host, options.port);
+  if (fd < 0) {
+    ++tally.transport;
+    return;
+  }
+  std::string header = "SOLVE";
+  if (options.deadline_ms > 0) {
+    header += " deadline_ms=" + std::to_string(options.deadline_ms);
+  }
+  if (!options.priority.empty()) {
+    header += " priority=" + options.priority;
+  }
+  const double interval_s =
+      options.rps > 0.0
+          ? static_cast<double>(options.connections) / options.rps
+          : 0.0;
+  std::uint64_t sent_here = 0;
+  for (;;) {
+    if (options.duration_s > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_time)
+              .count();
+      if (elapsed >= options.duration_s) break;
+    }
+    const std::size_t id =
+        next_request.fetch_add(1, std::memory_order_relaxed);
+    if (options.duration_s <= 0.0 && id >= options.requests) break;
+    if (interval_s > 0.0) {
+      // Paced mode: this connection owns every connections-th slot of
+      // the aggregate schedule; skip sleeping when already behind.
+      const auto slot =
+          start_time + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               static_cast<double>(sent_here) * interval_s));
+      std::this_thread::sleep_until(slot);
+    }
+    ++sent_here;
+    const std::string& body = bodies[id % bodies.size()];
+    const auto sent_at = std::chrono::steady_clock::now();
+    if (!brel::wire::write_frame(fd, header + "\n" + body)) {
+      ++tally.transport;
+      break;
+    }
+    std::string reply;
+    if (brel::wire::read_frame(fd, reply, static_cast<std::size_t>(-1)) !=
+        brel::wire::ReadStatus::Ok) {
+      ++tally.transport;
+      break;
+    }
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - sent_at)
+            .count());
+    const std::size_t nl = reply.find('\n');
+    const std::string status_line =
+        nl == std::string::npos ? reply : reply.substr(0, nl);
+    const std::string verb = status_line.substr(0, status_line.find(' '));
+    if (verb == "OK" || verb == "TIMEOUT") {
+      verb == "OK" ? ++tally.ok : ++tally.timeout;
+      tally.latencies_us.push_back(us);
+      if (options.check && nl != std::string::npos) {
+        try {
+          if (!compatible(body, reply.substr(nl + 1))) {
+            ++tally.incompatible;
+            std::fprintf(stderr, "request %zu: INCOMPATIBLE solution\n", id);
+          }
+        } catch (const std::exception& e) {
+          ++tally.incompatible;
+          std::fprintf(stderr, "request %zu: bad reply body: %s\n", id,
+                       e.what());
+        }
+      }
+    } else if (verb == "BUSY") {
+      ++tally.busy;
+    } else if (verb == "SHUTDOWN") {
+      ++tally.shutdown;
+      break;  // the server is draining; stop offering it load
+    } else {
+      ++tally.error;
+      std::fprintf(stderr, "request %zu: %s\n", id, status_line.c_str());
+    }
+  }
+  ::close(fd);
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const LoadOptions options = parse_args(argc, argv);
+  const std::vector<std::string> bodies = request_bodies(options);
+
+  std::vector<Tally> tallies(options.connections);
+  std::atomic<std::size_t> next_request{0};
+  const auto start_time = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  for (std::size_t c = 0; c < options.connections; ++c) {
+    threads.emplace_back(worker, std::cref(options), std::cref(bodies),
+                         std::ref(next_request), start_time,
+                         std::ref(tallies[c]));
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+
+  Tally total;
+  for (const Tally& t : tallies) {
+    total.ok += t.ok;
+    total.timeout += t.timeout;
+    total.busy += t.busy;
+    total.shutdown += t.shutdown;
+    total.error += t.error;
+    total.transport += t.transport;
+    total.incompatible += t.incompatible;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              t.latencies_us.begin(), t.latencies_us.end());
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  const std::uint64_t answered = total.ok + total.timeout;
+  std::printf(
+      "requests: ok=%llu timeout=%llu busy=%llu shutdown=%llu error=%llu "
+      "transport=%llu incompatible=%llu\n",
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.timeout),
+      static_cast<unsigned long long>(total.busy),
+      static_cast<unsigned long long>(total.shutdown),
+      static_cast<unsigned long long>(total.error),
+      static_cast<unsigned long long>(total.transport),
+      static_cast<unsigned long long>(total.incompatible));
+  std::printf("throughput: %.1f answered/s over %.3fs (%zu connection(s))\n",
+              wall > 0.0 ? static_cast<double>(answered) / wall : 0.0, wall,
+              options.connections);
+  std::printf("latency_us: p50=%llu p90=%llu p99=%llu max=%llu\n",
+              static_cast<unsigned long long>(
+                  percentile(total.latencies_us, 0.50)),
+              static_cast<unsigned long long>(
+                  percentile(total.latencies_us, 0.90)),
+              static_cast<unsigned long long>(
+                  percentile(total.latencies_us, 0.99)),
+              static_cast<unsigned long long>(total.latencies_us.empty()
+                                                  ? 0
+                                                  : total.latencies_us.back()));
+  // BUSY/TIMEOUT/SHUTDOWN are the server doing its job under load;
+  // transport failures and incompatible solutions are OUR failures.
+  return (total.transport == 0 && total.incompatible == 0) ? 0 : 1;
+}
