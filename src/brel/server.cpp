@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -92,6 +93,10 @@ RecvStatus recv_exact(int fd, char* sink, std::size_t len,
 }  // namespace
 
 bool write_frame(int fd, const std::string& payload) {
+  // Responses are not bounded by max_frame_bytes; a body the 32-bit
+  // length prefix cannot express must fail the write, not silently
+  // truncate the prefix and desynchronize the peer's framing.
+  if (payload.size() > UINT32_MAX) return false;
   const auto len = static_cast<std::uint32_t>(payload.size());
   char header[4] = {static_cast<char>(len >> 24), static_cast<char>(len >> 16),
                     static_cast<char>(len >> 8), static_cast<char>(len)};
@@ -238,7 +243,16 @@ struct Server::Impl {
   std::atomic<std::uint64_t> delta_reused{0};
   std::atomic<std::uint64_t> delta_researched{0};
 
-  // Admission state (hysteresis; see admit()/release()).
+  // Admission state (hysteresis; see admit()/release()).  Transitions
+  // are serialized by `admission_mutex`; the atomics exist so gather()
+  // and render_stats() can read without taking it.  Two independent
+  // atomics are NOT enough here: a delayed admit() could observe
+  // overload, lose the CPU while release() drained residency below the
+  // low watermark (clearing `shedding`), and then store a stale
+  // shedding=true with nothing in flight left to ever clear it —
+  // permanent BUSY.  Under the mutex that interleaving cannot happen,
+  // and admission is micro-seconds against multi-millisecond solves.
+  std::mutex admission_mutex;
   std::atomic<std::size_t> inflight{0};
   std::atomic<bool> shedding{false};
 
@@ -254,25 +268,28 @@ struct Server::Impl {
   /// residency to the low watermark — the hysteresis that keeps a
   /// saturating client from flapping admission open/closed per request.
   bool admit() {
-    for (;;) {
-      if (shedding.load(std::memory_order_acquire)) return false;
-      std::size_t cur = inflight.load(std::memory_order_relaxed);
-      if (cur >= opts.max_pending) {
-        shedding.store(true, std::memory_order_release);
-        return false;
-      }
-      if (inflight.compare_exchange_weak(cur, cur + 1,
-                                         std::memory_order_acq_rel)) {
-        return true;
-      }
+    std::lock_guard<std::mutex> lk(admission_mutex);
+    const std::size_t cur = inflight.load(std::memory_order_relaxed);
+    if (shedding.load(std::memory_order_relaxed)) {
+      if (cur > opts.resume_pending) return false;
+      // Residency already reached the low watermark (belt-and-braces:
+      // release() normally clears the flag itself) — reopen and admit.
+      shedding.store(false, std::memory_order_relaxed);
     }
+    if (cur >= opts.max_pending) {
+      shedding.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    inflight.store(cur + 1, std::memory_order_relaxed);
+    return true;
   }
 
   void release() {
-    const std::size_t now =
-        inflight.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    std::lock_guard<std::mutex> lk(admission_mutex);
+    const std::size_t now = inflight.load(std::memory_order_relaxed) - 1;
+    inflight.store(now, std::memory_order_relaxed);
     if (now <= opts.resume_pending) {
-      shedding.store(false, std::memory_order_release);
+      shedding.store(false, std::memory_order_relaxed);
     }
   }
 
@@ -405,10 +422,17 @@ struct Server::Impl {
     std::string tok;
     while (args >> tok) {
       if (tok.rfind("deadline_ms=", 0) == 0) {
+        // strtoull alone is not a validator: it accepts "-5" (wrapping
+        // it to a huge value), and values past the cap would overflow
+        // the steady_clock representation in `received + ms` — so
+        // reject sign characters, ERANGE, and anything above 24h.
+        constexpr unsigned long long kMaxDeadlineMs = 24ull * 60 * 60 * 1000;
+        const char* value = tok.c_str() + 12;
         char* end = nullptr;
-        const unsigned long long ms =
-            std::strtoull(tok.c_str() + 12, &end, 10);
-        if (end == nullptr || *end != '\0' || end == tok.c_str() + 12) {
+        errno = 0;
+        const unsigned long long ms = std::strtoull(value, &end, 10);
+        if (value[0] < '0' || value[0] > '9' || end == nullptr ||
+            *end != '\0' || errno == ERANGE || ms > kMaxDeadlineMs) {
           protocol_errors.fetch_add(1, std::memory_order_relaxed);
           (void)wire::write_frame(fd, "ERROR bad deadline_ms value");
           return;
@@ -512,27 +536,39 @@ struct Server::Impl {
     connections_open.fetch_sub(1, std::memory_order_relaxed);
   }
 
+  /// Join and drop connections whose threads already finished (bounds
+  /// the list by the CONCURRENT connection count, not the lifetime
+  /// total).  Caller must hold conns_mutex.
+  void reap_finished_locked() {
+    for (auto it = conns.begin(); it != conns.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   void listener_loop() {
     for (;;) {
       pollfd pfd{listen_fd, POLLIN, 0};
       const int pr = ::poll(&pfd, 1, wire::kPollMs);
       if (draining.load(std::memory_order_acquire)) break;
-      if (pr <= 0) continue;
+      if (pr <= 0) {
+        // Idle tick: reap here too, so a burst followed by quiet does
+        // not leave exited-but-unjoined threads lingering until the
+        // next accept (or shutdown).
+        std::lock_guard<std::mutex> lk(conns_mutex);
+        reap_finished_locked();
+        continue;
+      }
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) continue;
       connections_opened.fetch_add(1, std::memory_order_relaxed);
       connections_open.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lk(conns_mutex);
-      // Reap connections that already finished (bounds the list by the
-      // CONCURRENT connection count, not the lifetime total).
-      for (auto it = conns.begin(); it != conns.end();) {
-        if ((*it)->done.load(std::memory_order_acquire)) {
-          (*it)->thread.join();
-          it = conns.erase(it);
-        } else {
-          ++it;
-        }
-      }
+      reap_finished_locked();
       auto conn = std::make_unique<Conn>();
       Conn* raw = conn.get();
       conn->thread = std::thread([this, fd, raw] {
@@ -575,10 +611,17 @@ void Server::start() {
   if (im.started) throw std::runtime_error("server: already started");
   im.listen_fd = listen_on(im.opts.host, im.opts.port, im.bound_port);
   if (im.opts.metrics_port >= 0) {
-    im.metrics_fd =
-        listen_on(im.opts.host,
-                  static_cast<std::uint16_t>(im.opts.metrics_port),
-                  im.bound_metrics_port);
+    try {
+      im.metrics_fd =
+          listen_on(im.opts.host,
+                    static_cast<std::uint16_t>(im.opts.metrics_port),
+                    im.bound_metrics_port);
+    } catch (...) {
+      // No listener thread owns listen_fd yet — close it here or leak.
+      ::close(im.listen_fd);
+      im.listen_fd = -1;
+      throw;
+    }
   }
   im.started = true;
   im.started_at = std::chrono::steady_clock::now();

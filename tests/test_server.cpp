@@ -203,6 +203,16 @@ TEST(ServerTest, MalformedAndOversizedFramesKeepTheConnectionAlive) {
   EXPECT_EQ(verb_of(client.request("SOLVE")), "ERROR");
   // Bad SOLVE option.
   EXPECT_EQ(verb_of(client.request("SOLVE deadline_ms=soon\nx")), "ERROR");
+  // Negative deadline (strtoull would silently wrap it positive).
+  EXPECT_EQ(verb_of(client.request("SOLVE deadline_ms=-5\nx")), "ERROR");
+  // Deadline beyond unsigned long long (ERANGE).
+  EXPECT_EQ(verb_of(client.request(
+                "SOLVE deadline_ms=99999999999999999999999999\nx")),
+            "ERROR");
+  // Large-but-representable deadline past the 24h cap (would overflow
+  // the steady_clock representation when added to now()).
+  EXPECT_EQ(verb_of(client.request("SOLVE deadline_ms=10000000000000\nx")),
+            "ERROR");
   // Relation that fails to parse: the ERROR comes through the pool.
   EXPECT_EQ(verb_of(client.request("SOLVE\n.i 1\n.o 1\n.r\nxx 1\n.e\n")),
             "ERROR");
@@ -216,7 +226,7 @@ TEST(ServerTest, MalformedAndOversizedFramesKeepTheConnectionAlive) {
   EXPECT_EQ(verb_of(reply), "OK");
 
   const ServerMetrics m = server.metrics();
-  EXPECT_EQ(m.protocol_errors, 5u);  // the pool parse error counts apart
+  EXPECT_EQ(m.protocol_errors, 8u);  // the pool parse error counts apart
   EXPECT_EQ(m.request_errors, 1u);
   EXPECT_EQ(m.accepted, 2u);  // bad relation + fig1 both passed admission
   EXPECT_EQ(m.answered, 2u);
