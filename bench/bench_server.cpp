@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
   json.field_int("max_depth", depth);
   json.field_int("rounds", rounds);
   json.field_int("hardware_threads", std::thread::hardware_concurrency());
+  bench::write_authoring_host(json);
 
   bool ok = true;
   std::printf(
@@ -182,6 +184,105 @@ int main(int argc, char** argv) {
     json.end_element();
   }
   json.end_array();
+
+  // Restart persistence: a server that drained into a memo snapshot
+  // hands its warm state to a FRESH process.  Round 1 (cold, saving)
+  // pays full exploration; round 2 (a new Server restoring the
+  // snapshot) must answer every suite request as a root hit — zero
+  // exploration, bit-identical bodies — at a p50 no worse than half
+  // the cold p50 (the tentpole's acceptance bar).
+  const std::string snapshot_path =
+      "/tmp/bench_server_memo_" + std::to_string(::getpid()) + ".snap";
+  std::uint64_t cold_p50 = 0;
+  std::uint64_t warm_p50 = 0;
+  std::uint64_t warm_explored = 0;
+  std::uint64_t snapshot_entries = 0;
+  std::vector<std::string> cold_bodies(texts.size());
+  for (const bool warm : {false, true}) {
+    ServerOptions options;
+    options.pool.workers = 1;
+    options.pool.solver = solver;
+    options.pool.share_memo = true;
+    (warm ? options.pool.memo_load_path : options.pool.memo_save_path) =
+        snapshot_path;
+    Server server(options);
+    server.start();
+    const int fd = wire::connect_tcp("127.0.0.1", server.port());
+    std::vector<std::uint64_t> lat;
+    if (fd < 0) {
+      ok = false;
+    } else {
+      for (std::size_t i = 0; i < texts.size(); ++i) {
+        const auto sent = std::chrono::steady_clock::now();
+        std::string reply;
+        if (!wire::write_frame(fd, "SOLVE\n" + texts[i]) ||
+            wire::read_frame(fd, reply, static_cast<std::size_t>(-1)) !=
+                wire::ReadStatus::Ok ||
+            reply.rfind("OK", 0) != 0) {
+          std::printf("!! restart round %d: request %zu failed\n",
+                      warm ? 2 : 1, i);
+          ok = false;
+          continue;
+        }
+        lat.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - sent)
+                .count()));
+        const std::string body = reply.substr(reply.find('\n') + 1);
+        if (warm) {
+          const std::size_t at = reply.find(" explored=");
+          warm_explored += at == std::string::npos
+                               ? 1
+                               : std::strtoull(reply.c_str() + at + 10,
+                                               nullptr, 10);
+          if (body != cold_bodies[i]) {
+            std::printf("!! %s: restart-warm body differs from cold\n",
+                        names[i].c_str());
+            ok = false;
+          }
+        } else {
+          cold_bodies[i] = body;
+        }
+      }
+      ::close(fd);
+    }
+    server.begin_drain();
+    server.wait();
+    std::sort(lat.begin(), lat.end());
+    (warm ? warm_p50 : cold_p50) = percentile(lat, 0.50);
+    if (!warm) {
+      snapshot_entries = server.metrics().snapshot_entries_saved;
+    } else if (server.metrics().snapshot_entries_loaded == 0) {
+      std::printf("!! restart round 2 loaded an empty snapshot\n");
+      ok = false;
+    }
+  }
+  std::remove(snapshot_path.c_str());
+  if (warm_explored != 0) {
+    std::printf("!! restart-warm explored %llu relations (want 0)\n",
+                static_cast<unsigned long long>(warm_explored));
+    ok = false;
+  }
+  if (warm_p50 * 2 > cold_p50) {
+    std::printf("!! restart-warm p50 %llu us > half of cold p50 %llu us\n",
+                static_cast<unsigned long long>(warm_p50),
+                static_cast<unsigned long long>(cold_p50));
+    ok = false;
+  }
+  std::printf(
+      "\nrestart: cold p50 %llu us -> snapshot (%llu entries) -> warm p50 "
+      "%llu us, warm explored %llu\n",
+      static_cast<unsigned long long>(cold_p50),
+      static_cast<unsigned long long>(snapshot_entries),
+      static_cast<unsigned long long>(warm_p50),
+      static_cast<unsigned long long>(warm_explored));
+  json.begin_object("restart");
+  json.field_int("cold_p50_us", cold_p50);
+  json.field_int("warm_p50_us", warm_p50);
+  json.field_int("snapshot_entries", snapshot_entries);
+  json.field_int("warm_explored", warm_explored);
+  json.end_object();
+
   json.field_str("acceptance", ok ? "pass" : "FAIL");
   json.end_object();
   if (!json_path.empty() && !json.save(json_path)) {

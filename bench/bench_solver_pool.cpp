@@ -94,6 +94,7 @@ int main(int argc, char** argv) {
   json.field_int("instances", texts.size());
   json.field_int("max_depth", depth);
   json.field_int("hardware_threads", std::thread::hardware_concurrency());
+  bench::write_authoring_host(json);
   json.field_str("lock_stats_compiled",
                  lock_stats_compiled() ? "true" : "false");
   const unsigned hardware_threads = std::thread::hardware_concurrency();

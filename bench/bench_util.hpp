@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "brel/solver.hpp"
 #include "synth/gate_network.hpp"
@@ -135,5 +136,21 @@ class JsonWriter {
   std::ostringstream out_;
   bool fresh_ = true;
 };
+
+/// The `authoring_host` block every BENCH_*.json carries: the core count
+/// of the machine the committed record was produced on, plus a note
+/// telling downstream diff tooling what that implies.  Regression
+/// checks (tools/check_bench_regression.py) must treat a CORE-COUNT
+/// difference as "numbers not comparable, skip", never as a failure —
+/// the committed reference may come from a 1-core authoring box while
+/// CI reruns on a many-core runner.
+inline void write_authoring_host(JsonWriter& json) {
+  json.begin_object("authoring_host");
+  json.field_int("cores", std::thread::hardware_concurrency());
+  json.field_str("note",
+                 "timings and scaling figures are only comparable "
+                 "against a record authored at the same core count");
+  json.end_object();
+}
 
 }  // namespace brel::bench

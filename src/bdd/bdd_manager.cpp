@@ -503,12 +503,23 @@ void BddManager::garbage_collect_if_needed(std::size_t dead_node_threshold) {
   }
   // Auto-reorder hook: a live count that stays high after collection is
   // genuine BDD growth, the signal that the order — not garbage — is the
-  // problem.  The threshold doubles from the post-sift size so a
-  // workload sifting cannot shrink does not re-sift every check.
+  // problem.  A count over the threshold that was NOT just collected may
+  // be mostly garbage (deserialization scaffolding right after a parse
+  // sits far below the GC threshold above) — collect first and re-check,
+  // so only genuine growth pays for a sifting pass.  The threshold
+  // doubles from the post-sift size so a workload sifting cannot shrink
+  // does not re-sift every check.
   if (auto_reorder_ && live >= reorder_threshold_) {
-    reorder_internal(reorder_max_growth_, collected);
-    reorder_threshold_ =
-        std::max(stats_.live_nodes * 2, reorder_first_threshold_);
+    if (!collected) {
+      garbage_collect();
+      live = live_nodes();
+      collected = true;
+    }
+    if (live >= reorder_threshold_) {
+      reorder_internal(reorder_max_growth_, collected);
+      reorder_threshold_ =
+          std::max(stats_.live_nodes * 2, reorder_first_threshold_);
+    }
   }
 }
 

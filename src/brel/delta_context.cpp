@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace brel {
 
 const SerializedBdd* DeltaRegistry::find_base(
     const GlobalMemoKey& key) const {
   for (const BaseEntry& base : bases_) {
-    if (base.input_ranks == key.input_ranks &&
+    if (base.has_chi && base.input_ranks == key.input_ranks &&
         base.output_ranks == key.output_ranks) {
       return &base.chi;
     }
@@ -17,14 +18,27 @@ const SerializedBdd* DeltaRegistry::find_base(
   return nullptr;
 }
 
-void DeltaRegistry::remember(const GlobalMemoKey& key) {
+const std::vector<std::uint32_t>* DeltaRegistry::find_order(
+    const std::vector<std::uint32_t>& input_ranks,
+    const std::vector<std::uint32_t>& output_ranks) const {
+  for (const BaseEntry& base : bases_) {
+    if (base.input_ranks == input_ranks &&
+        base.output_ranks == output_ranks) {
+      return base.order.empty() ? nullptr : &base.order;
+    }
+  }
+  return nullptr;
+}
+
+DeltaRegistry::BaseEntry& DeltaRegistry::entry_for(
+    const std::vector<std::uint32_t>& input_ranks,
+    const std::vector<std::uint32_t>& output_ranks) {
   ++next_stamp_;
   for (BaseEntry& base : bases_) {
-    if (base.input_ranks == key.input_ranks &&
-        base.output_ranks == key.output_ranks) {
-      base.chi = key.chi;
+    if (base.input_ranks == input_ranks &&
+        base.output_ranks == output_ranks) {
       base.stamp = next_stamp_;
-      return;
+      return base;
     }
   }
   if (bases_.size() >= capacity_) {
@@ -35,8 +49,26 @@ void DeltaRegistry::remember(const GlobalMemoKey& key) {
         });
     bases_.erase(victim);
   }
-  bases_.push_back(
-      BaseEntry{key.input_ranks, key.output_ranks, key.chi, next_stamp_});
+  BaseEntry fresh;
+  fresh.input_ranks = input_ranks;
+  fresh.output_ranks = output_ranks;
+  fresh.stamp = next_stamp_;
+  bases_.push_back(std::move(fresh));
+  return bases_.back();
+}
+
+void DeltaRegistry::remember(const GlobalMemoKey& key) {
+  BaseEntry& base = entry_for(key.input_ranks, key.output_ranks);
+  base.chi = key.chi;
+  base.has_chi = true;
+}
+
+void DeltaRegistry::remember_order(
+    const std::vector<std::uint32_t>& input_ranks,
+    const std::vector<std::uint32_t>& output_ranks,
+    std::vector<std::uint32_t> order) {
+  BaseEntry& base = entry_for(input_ranks, output_ranks);
+  base.order = std::move(order);
 }
 
 bool resolve_incremental(bool configured) {

@@ -56,6 +56,25 @@ class DeltaRegistry {
   /// evicting the least-recently refreshed signature beyond capacity.
   void remember(const GlobalMemoKey& key);
 
+  /// The block order (relation_io's `.order` grammar: the rank at each
+  /// level) the last same-signature solve drained with, or nullptr.
+  /// Pool slots seed a recycled variable block with this via
+  /// read_relation's order_hint, so a warm re-solve starts at the order
+  /// the previous solve sifted into instead of re-discovering it.
+  /// Invalidated by the next remember_order()/remember().
+  [[nodiscard]] const std::vector<std::uint32_t>* find_order(
+      const std::vector<std::uint32_t>& input_ranks,
+      const std::vector<std::uint32_t>& output_ranks) const;
+
+  /// Record the drained solve's block order for its signature (empty =
+  /// identity; remembered too, so a solve that sifted AWAY from a
+  /// previously remembered order clears the stale hint).  Shares the
+  /// signature entries (and their LRU) with the delta bases; an
+  /// order-only entry never serves find_base.
+  void remember_order(const std::vector<std::uint32_t>& input_ranks,
+                      const std::vector<std::uint32_t>& output_ranks,
+                      std::vector<std::uint32_t> order);
+
   [[nodiscard]] std::size_t size() const noexcept { return bases_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
@@ -64,8 +83,17 @@ class DeltaRegistry {
     std::vector<std::uint32_t> input_ranks;
     std::vector<std::uint32_t> output_ranks;
     SerializedBdd chi;
+    bool has_chi = false;  ///< false while the entry only holds an order
+    /// Last drained solve's block order over these spaces (empty =
+    /// identity / unknown).
+    std::vector<std::uint32_t> order;
     std::uint64_t stamp = 0;  ///< recency (higher = fresher)
   };
+
+  /// The entry for (input_ranks, output_ranks), created (with LRU
+  /// eviction) if absent; refreshes the recency stamp.
+  BaseEntry& entry_for(const std::vector<std::uint32_t>& input_ranks,
+                       const std::vector<std::uint32_t>& output_ranks);
 
   std::size_t capacity_;
   std::uint64_t next_stamp_ = 0;

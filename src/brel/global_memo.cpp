@@ -1,51 +1,12 @@
 #include "brel/global_memo.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
-#include <istream>
-#include <ostream>
-#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace brel {
 
 namespace {
-
-/// Remap a serialized BDD's variables through `table` (var → rank or
-/// rank → var).  Both directions are strictly monotone over the
-/// relation's variables, so the node list remains a valid ordered BDD.
-SerializedBdd remap_vars(SerializedBdd s,
-                         const std::vector<std::uint32_t>& table,
-                         std::uint32_t unmapped_sentinel) {
-  s.num_vars = 0;
-  for (SerializedBdd::Node& node : s.nodes) {
-    if (node.var >= table.size() || table[node.var] == unmapped_sentinel) {
-      throw std::logic_error(
-          "GlobalMemo: BDD depends on a variable outside the relation's "
-          "input/output spaces");
-    }
-    node.var = table[node.var];
-    s.num_vars = std::max(s.num_vars, node.var + 1);
-  }
-  return s;
-}
-
-/// 64-bit FNV-1a over the words of a key.
-struct Fnv {
-  std::uint64_t state = 14695981039346656037ull;
-
-  void feed(std::uint64_t word) noexcept {
-    state ^= word;
-    state *= 1099511628211ull;
-  }
-  void feed_list(const std::vector<std::uint32_t>& list) noexcept {
-    feed(list.size());
-    for (const std::uint32_t v : list) {
-      feed(v);
-    }
-  }
-};
 
 constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
 
@@ -74,206 +35,19 @@ std::size_t resolve_shard_capacity(std::size_t capacity,
   return (capacity + shard_count - 1) / shard_count;  // ceil; 0 stays 0
 }
 
-}  // namespace
-
-MemoSpace make_memo_space(const BooleanRelation& r) {
-  MemoSpace space;
-  space.sorted_vars.reserve(r.num_inputs() + r.num_outputs());
-  space.sorted_vars.insert(space.sorted_vars.end(), r.inputs().begin(),
-                           r.inputs().end());
-  space.sorted_vars.insert(space.sorted_vars.end(), r.outputs().begin(),
-                           r.outputs().end());
-  std::sort(space.sorted_vars.begin(), space.sorted_vars.end());
-  space.rank_of.assign(r.manager().num_vars(), MemoSpace::kUnranked);
-  for (std::size_t rank = 0; rank < space.sorted_vars.size(); ++rank) {
-    space.rank_of[space.sorted_vars[rank]] =
-        static_cast<std::uint32_t>(rank);
+/// Does `candidate` beat `incumbent` under the publish rules (strictly
+/// cheaper, or equal cost and canonically earlier, or incumbent empty)?
+bool improves(const PortableSolution& candidate,
+              const PortableSolution& incumbent) {
+  if (!incumbent.has_solution()) {
+    return candidate.has_solution();
   }
-  space.input_ranks.reserve(r.num_inputs());
-  for (const std::uint32_t v : r.inputs()) {
-    space.input_ranks.push_back(space.rank_of[v]);
-  }
-  space.output_ranks.reserve(r.num_outputs());
-  for (const std::uint32_t v : r.outputs()) {
-    space.output_ranks.push_back(space.rank_of[v]);
-  }
-  return space;
-}
-
-GlobalMemoKey make_memo_key(const MemoSpace& space, const Bdd& chi) {
-  GlobalMemoKey key;
-  key.chi = remap_vars(serialize_bdd(chi), space.rank_of,
-                       MemoSpace::kUnranked);
-  key.input_ranks = space.input_ranks;
-  key.output_ranks = space.output_ranks;
-  return key;
-}
-
-PortableSolution make_portable_solution(const MemoSpace& space,
-                                        const MultiFunction& f,
-                                        double cost) {
-  PortableSolution out;
-  out.outputs.reserve(f.outputs.size());
-  for (const Bdd& g : f.outputs) {
-    out.outputs.push_back(
-        remap_vars(serialize_bdd(g), space.rank_of, MemoSpace::kUnranked));
-  }
-  out.cost = cost;
-  return out;
-}
-
-MultiFunction import_portable_solution(BddManager& mgr,
-                                       const MemoSpace& space,
-                                       const PortableSolution& s) {
-  MultiFunction f;
-  f.outputs.reserve(s.outputs.size());
-  for (const SerializedBdd& g : s.outputs) {
-    // Inverse remap (rank → manager variable) is monotone too, so the
-    // rebuilt function has the destination's canonical structure.
-    f.outputs.push_back(mgr.deserialize_bdd(
-        remap_vars(g, space.sorted_vars, MemoSpace::kUnranked)));
-  }
-  return f;
-}
-
-Bdd import_canonical_bdd(BddManager& mgr, const MemoSpace& space,
-                         const SerializedBdd& s) {
-  return mgr.deserialize_bdd(
-      remap_vars(s, space.sorted_vars, MemoSpace::kUnranked));
-}
-
-void write_portable_solution(std::ostream& os, const PortableSolution& s) {
-  // %.17g-precision cost so the round trip is bit-faithful for every
-  // double a cost function can produce (cf. support_balance_cost's id).
-  char cost_text[64];
-  std::snprintf(cost_text, sizeof(cost_text), "%.17g", s.cost);
-  os << ".cost " << cost_text << '\n';
-  os << ".outputs " << s.outputs.size() << '\n';
-  for (const SerializedBdd& g : s.outputs) {
-    os << ".bdd " << g.nodes.size() << '\n';
-    write_serialized_bdd(os, g);
-  }
-}
-
-PortableSolution read_portable_solution(std::istream& in) {
-  const auto fail = [](const char* what) {
-    throw std::invalid_argument(std::string("read_portable_solution: ") +
-                                what);
-  };
-  // Same sanity ceilings as relation_io's `.bdd` parser: a lying header
-  // must fail loudly, never allocate unbounded memory.
-  constexpr std::size_t kMaxOutputs = 1u << 16;
-  constexpr std::size_t kMaxNodes = 1u << 28;
-  std::string keyword;
-  PortableSolution out;
-  std::string cost_text;
-  if (!(in >> keyword) || keyword != ".cost" || !(in >> cost_text)) {
-    fail("malformed .cost line");
-  }
-  // strtod, not stream extraction: num_get refuses "inf"/"nan", and an
-  // empty best-so-far (deadline-expired) solution carries cost = inf.
-  char* cost_end = nullptr;
-  out.cost = std::strtod(cost_text.c_str(), &cost_end);
-  if (cost_end == cost_text.c_str() || *cost_end != '\0') {
-    fail("malformed .cost value");
-  }
-  std::size_t output_count = 0;
-  if (!(in >> keyword) || keyword != ".outputs" || !(in >> output_count)) {
-    fail("malformed .outputs line");
-  }
-  if (output_count > kMaxOutputs) {
-    fail(".outputs declares too many outputs");
-  }
-  out.outputs.reserve(std::min<std::size_t>(output_count, 1u << 8));
-  std::string line;
-  std::getline(in, line);  // consume the rest of the .outputs line
-  for (std::size_t o = 0; o < output_count; ++o) {
-    if (!std::getline(in, line)) {
-      fail("truncated output list");
-    }
-    std::istringstream header(line);
-    std::size_t node_count = 0;
-    std::string extra;
-    if (!(header >> keyword) || keyword != ".bdd" ||
-        !(header >> node_count)) {
-      fail("malformed .bdd line");
-    }
-    if (header >> extra) {
-      fail("trailing tokens on .bdd line");
-    }
-    if (node_count > kMaxNodes) {
-      fail(".bdd declares too many nodes");
-    }
-    out.outputs.push_back(read_serialized_bdd(in, node_count));
-  }
-  if (in >> keyword) {
-    fail("trailing tokens after the last output");
-  }
-  return out;
-}
-
-namespace {
-
-/// Three-way lexicographic compare of rank-form serialized BDDs.  The
-/// serializer emits a deterministic traversal of the canonical DAG, so
-/// equal functions compare equal and distinct functions compare stably
-/// in either direction — exactly the properties canonically_before
-/// needs; the specific order is otherwise arbitrary.
-int compare_serialized(const SerializedBdd& a, const SerializedBdd& b) {
-  if (a.nodes.size() != b.nodes.size()) {
-    return a.nodes.size() < b.nodes.size() ? -1 : 1;
-  }
-  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
-    const SerializedBdd::Node& x = a.nodes[i];
-    const SerializedBdd::Node& y = b.nodes[i];
-    if (x.var != y.var) {
-      return x.var < y.var ? -1 : 1;
-    }
-    if (x.hi != y.hi) {
-      return x.hi < y.hi ? -1 : 1;
-    }
-    if (x.lo != y.lo) {
-      return x.lo < y.lo ? -1 : 1;
-    }
-  }
-  if (a.root != b.root) {
-    return a.root < b.root ? -1 : 1;
-  }
-  if (a.num_vars != b.num_vars) {
-    return a.num_vars < b.num_vars ? -1 : 1;
-  }
-  return 0;
+  return candidate.cost < incumbent.cost ||
+         (candidate.cost == incumbent.cost &&
+          canonically_before(candidate, incumbent));
 }
 
 }  // namespace
-
-bool canonically_before(const PortableSolution& a,
-                        const PortableSolution& b) {
-  if (a.outputs.size() != b.outputs.size()) {
-    // Unreachable for same-relation candidates; ordered for totality.
-    return a.outputs.size() < b.outputs.size();
-  }
-  for (std::size_t o = 0; o < a.outputs.size(); ++o) {
-    if (const int c = compare_serialized(a.outputs[o], b.outputs[o]);
-        c != 0) {
-      return c < 0;
-    }
-  }
-  return false;
-}
-
-std::size_t GlobalMemo::KeyHash::operator()(const GlobalMemoKey& key) const {
-  Fnv h;
-  h.feed(key.chi.nodes.size());
-  for (const SerializedBdd::Node& n : key.chi.nodes) {
-    h.feed((static_cast<std::uint64_t>(n.var) << 32) ^ n.hi);
-    h.feed(n.lo);
-  }
-  h.feed(key.chi.root);
-  h.feed_list(key.input_ranks);
-  h.feed_list(key.output_ranks);
-  return static_cast<std::size_t>(h.state);
-}
 
 GlobalMemo::GlobalMemo(std::size_t capacity, std::size_t shards)
     : capacity_(capacity),
@@ -294,8 +68,7 @@ std::size_t GlobalMemo::shard_of(const GlobalMemoKey& key) const noexcept {
   // Fibonacci-mix the FNV hash and pick TOP bits: the shard index must
   // not correlate with the map's bucket index, which consumes the same
   // hash from the bottom.
-  const std::uint64_t mixed =
-      static_cast<std::uint64_t>(KeyHash{}(key)) * 0x9E3779B97F4A7C15ull;
+  const std::uint64_t mixed = memo_key_hash(key) * 0x9E3779B97F4A7C15ull;
   return static_cast<std::size_t>(mixed >> 56) & (shards_.size() - 1);
 }
 
@@ -319,6 +92,11 @@ void GlobalMemo::bind(const MemoFingerprint& fp) {
         "' or different mode — memoized solutions are only comparable "
         "under the configuration that produced them");
   }
+}
+
+std::optional<MemoFingerprint> GlobalMemo::fingerprint() const {
+  const std::scoped_lock lock(meta_mutex_);
+  return fingerprint_;
 }
 
 std::optional<MemoHit> GlobalMemo::lookup_at(const GlobalMemoKey& key,
@@ -348,15 +126,38 @@ std::optional<MemoHit> GlobalMemo::lookup_at(const GlobalMemoKey& key,
     return std::nullopt;
   }
   shard.hits.fetch_add(1, std::memory_order_relaxed);
+  shard.hits_by_origin[static_cast<std::size_t>(entry.origin)].fetch_add(
+      1, std::memory_order_relaxed);
   return MemoHit{entry.solution, entry.complete_truncated};
 }
 
-std::optional<PortableSolution> GlobalMemo::lookup(
-    const GlobalMemoKey& key) const {
+std::optional<PortableSolution> GlobalMemo::lookup(const GlobalMemoKey& key) {
   if (auto hit = lookup_at(key, 0)) {
     return std::move(hit->solution);
   }
-  return std::nullopt;
+  MemoBackend* const tier = fault_tier_.load(std::memory_order_acquire);
+  if (tier == nullptr) {
+    return std::nullopt;
+  }
+  // Root-miss fault: the next tier resolves the key (a peer pull) and —
+  // by contract — installs the full record, with its ORIGINAL mark,
+  // into this memo itself before returning, so no depth information is
+  // lost to the MemoHit narrowing.  Count the serving hit under the
+  // faulted origin; the local probe above already counted its miss.
+  auto faulted = tier->probe(key, 0);
+  if (!faulted.has_value()) {
+    return std::nullopt;
+  }
+  const Shard& shard = *shards_[shard_of(key)];
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  shard.hits_by_origin[static_cast<std::size_t>(MemoOrigin::kPeer)].fetch_add(
+      1, std::memory_order_relaxed);
+  return std::move(faulted->solution);
+}
+
+std::optional<MemoHit> GlobalMemo::probe(const GlobalMemoKey& key,
+                                         std::uint64_t depth) {
+  return lookup_at(key, depth);
 }
 
 MemoRunStamp GlobalMemo::begin_run() {
@@ -365,6 +166,32 @@ MemoRunStamp GlobalMemo::begin_run() {
   // falls back to the creator_run check and at worst SKIPS the mark,
   // the safe direction.
   return MemoRunStamp{run_counter_.fetch_add(1) + 1, insert_seq_.load()};
+}
+
+GlobalMemo::Entry* GlobalMemo::emplace_entry(Shard& shard,
+                                             const GlobalMemoKey& key,
+                                             std::uint64_t run_id,
+                                             MemoOrigin origin) {
+  if (shard_capacity_ == 0) {
+    return nullptr;
+  }
+  if (shard.map.size() >= shard_capacity_) {
+    // LRU eviction, per shard: the victim is this shard's entry longest
+    // untouched by any lookup/publish.
+    const GlobalMemoKey* victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(*victim);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  Entry fresh;
+  fresh.origin = origin;
+  fresh.creator_run = run_id;
+  fresh.created_seq = insert_seq_.fetch_add(1) + 1;
+  fresh.lru = shard.lru.end();
+  const auto it = shard.map.emplace(key, std::move(fresh)).first;
+  shard.lru.push_front(&it->first);
+  it->second.lru = shard.lru.begin();
+  return &it->second;
 }
 
 void GlobalMemo::publish(const GlobalMemoKey& key,
@@ -381,38 +208,24 @@ void GlobalMemo::publish(const GlobalMemoKey& key,
     // run/worker published first — a served entry must reproduce the
     // exact function a cold deterministic solve would keep.
     touch(shard, it->second);
-    if (!it->second.solution.has_solution() ||
-        solution.cost < it->second.solution.cost ||
-        (solution.cost == it->second.solution.cost &&
-         canonically_before(solution, it->second.solution))) {
+    if (improves(solution, it->second.solution)) {
       it->second.solution = solution;
     }
     return;
   }
-  if (shard_capacity_ == 0) {
-    return;
+  if (Entry* entry = emplace_entry(shard, key, run_id, MemoOrigin::kRun)) {
+    entry->solution = solution;
   }
-  if (shard.map.size() >= shard_capacity_) {
-    // LRU eviction, per shard: the victim is this shard's entry longest
-    // untouched by any lookup/publish.
-    const GlobalMemoKey* victim = shard.lru.back();
-    shard.lru.pop_back();
-    shard.map.erase(*victim);
-    shard.evictions.fetch_add(1, std::memory_order_relaxed);
-  }
-  const auto it =
-      shard.map
-          .emplace(key, Entry{.solution = solution,
-                              .creator_run = run_id,
-                              .created_seq = insert_seq_.fetch_add(1) + 1,
-                              .lru = shard.lru.end()})
-          .first;
-  shard.lru.push_front(&it->first);
-  it->second.lru = shard.lru.begin();
 }
 
 void GlobalMemo::mark_complete(std::span<const MemoMark> marks,
                                const MemoRunStamp& stamp) {
+  // Keys whose fresh mark made the entry export-eligible; notified to
+  // the completion listener AFTER the marking loop, outside every shard
+  // lock (the listener may serialize or take its own locks).  The
+  // shared_ptr from the mark itself is retained, so a concurrent
+  // eviction cannot invalidate what we hand the listener.
+  std::vector<std::shared_ptr<const GlobalMemoKey>> fresh;
   for (const MemoMark& mark : marks) {
     Shard& shard = *shards_[shard_of(*mark.key)];
     const std::scoped_lock lock(shard.mutex);
@@ -430,10 +243,12 @@ void GlobalMemo::mark_complete(std::span<const MemoMark> marks,
       if (!vouched) {
         continue;
       }
+      bool changed = false;
       if (!entry.complete) {
         entry.complete = true;
         entry.complete_depth = mark.depth;
         entry.complete_truncated = mark.truncated;
+        changed = true;
       } else if (!mark.truncated) {
         // Upgrade only: a natural claim replaces a truncated one and a
         // deeper natural claim widens a shallower one.  A truncated
@@ -442,10 +257,28 @@ void GlobalMemo::mark_complete(std::span<const MemoMark> marks,
         if (entry.complete_truncated) {
           entry.complete_depth = mark.depth;
           entry.complete_truncated = false;
-        } else {
-          entry.complete_depth = std::max(entry.complete_depth, mark.depth);
+          changed = true;
+        } else if (mark.depth > entry.complete_depth) {
+          entry.complete_depth = mark.depth;
+          changed = true;
         }
       }
+      if (changed && exportable(entry)) {
+        fresh.push_back(mark.key);
+      }
+    }
+  }
+  if (fresh.empty()) {
+    return;
+  }
+  std::function<void(const GlobalMemoKey&)> listener;
+  {
+    const std::scoped_lock lock(listener_mutex_);
+    listener = complete_listener_;
+  }
+  if (listener) {
+    for (const std::shared_ptr<const GlobalMemoKey>& key : fresh) {
+      listener(*key);
     }
   }
 }
@@ -459,6 +292,97 @@ void GlobalMemo::mark_complete(
     marks.push_back(MemoMark{key, kAnyDepth, false});
   }
   mark_complete(std::span<const MemoMark>(marks), stamp);
+}
+
+bool GlobalMemo::install(const MemoExportEntry& record, MemoOrigin origin) {
+  // The record's mark, translated back to entry form: natural at its
+  // recorded depth, or the root-exact truncated-at-0 shape.
+  const std::uint64_t depth = record.root_exact ? 0 : record.complete_depth;
+  const bool truncated = record.root_exact;
+  Shard& shard = *shards_[shard_of(record.key)];
+  const std::scoped_lock lock(shard.mutex);
+  if (const auto it = shard.map.find(record.key); it != shard.map.end()) {
+    Entry& entry = it->second;
+    touch(shard, entry);
+    bool changed = false;
+    // Solution improves under exactly the publish rules; the mark
+    // upgrades under exactly the mark_complete rules.  No run-stamp
+    // voucher: that voucher guards in-process races on entries still
+    // being BUILT, whereas an imported record was finished and vouched
+    // for by the drained run that exported it (and validated against
+    // this memo's fingerprint by the importing tier).
+    if (improves(record.solution, entry.solution)) {
+      entry.solution = record.solution;
+      changed = true;
+    }
+    if (!entry.complete) {
+      entry.complete = true;
+      entry.complete_depth = depth;
+      entry.complete_truncated = truncated;
+      changed = true;
+    } else if (!truncated) {
+      if (entry.complete_truncated) {
+        entry.complete_depth = depth;
+        entry.complete_truncated = false;
+        changed = true;
+      } else if (depth > entry.complete_depth) {
+        entry.complete_depth = depth;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+  Entry* entry = emplace_entry(shard, record.key, 0, origin);
+  if (entry == nullptr) {
+    return false;
+  }
+  entry->solution = record.solution;
+  entry->complete = true;
+  entry->complete_depth = depth;
+  entry->complete_truncated = truncated;
+  return true;
+}
+
+void GlobalMemo::export_complete(
+    const std::function<void(const MemoExportEntry&)>& sink) const {
+  for (const auto& shard : shards_) {
+    // Copy the eligible entries out under the lock, emit after: the
+    // sink serializes (snapshot) or sends (push) — never under a shard
+    // mutex the hot path contends on.
+    std::vector<MemoExportEntry> batch;
+    {
+      const std::scoped_lock lock(shard->mutex);
+      for (const auto& [key, entry] : shard->map) {
+        if (exportable(entry)) {
+          batch.push_back(to_export(key, entry));
+        }
+      }
+    }
+    for (const MemoExportEntry& record : batch) {
+      sink(record);
+    }
+  }
+}
+
+std::optional<MemoExportEntry> GlobalMemo::export_entry(
+    const GlobalMemoKey& key) const {
+  const Shard& shard = *shards_[shard_of(key)];
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end() || !exportable(it->second)) {
+    return std::nullopt;
+  }
+  return to_export(it->first, it->second);
+}
+
+void GlobalMemo::set_fault_tier(MemoBackend* tier) {
+  fault_tier_.store(tier, std::memory_order_release);
+}
+
+void GlobalMemo::set_complete_listener(
+    std::function<void(const GlobalMemoKey&)> fn) {
+  const std::scoped_lock lock(listener_mutex_);
+  complete_listener_ = std::move(fn);
 }
 
 std::size_t GlobalMemo::size() const {
@@ -498,6 +422,15 @@ std::uint64_t GlobalMemo::evictions() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->evictions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t GlobalMemo::hits_from(MemoOrigin origin) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->hits_by_origin[static_cast<std::size_t>(origin)].load(
+        std::memory_order_relaxed);
   }
   return total;
 }

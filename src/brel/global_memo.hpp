@@ -1,7 +1,8 @@
 #pragma once
 /// \file global_memo.hpp
-/// Cross-solve subproblem memo keyed by the *manager-independent*
-/// serialized BDD form (bdd_transfer.hpp).
+/// Tier 0 of the tiered memo store: the sharded in-memory cross-solve
+/// memo, keyed by the *manager-independent* serialized BDD form
+/// (memo_backend.hpp holds the canonical forms and the tier interface).
 ///
 /// `SubproblemCache` memoizes subtree results by raw manager-local edge:
 /// O(1) probes, but the memos are only meaningful inside the one manager
@@ -11,21 +12,11 @@
 /// first explored by worker A (in A's manager, at A's variable offsets)
 /// must be recognizable when worker B re-generates it in B's manager
 /// while solving a later request.  `GlobalMemo` achieves that by keying
-/// on a canonical portable form:
-///
-///   - the characteristic function is serialized (`serialize_bdd`) and
-///     its variables remapped to *ranks* — the position of each variable
-///     in the ascending order of the relation's inputs+outputs.  The
-///     remap is monotone, so the node list stays a valid ordered BDD and
-///     two structurally equal relations produce byte-identical keys in
-///     any manager at any variable offset;
-///   - the key also carries the input/output rank split: the same
-///     characteristic over the same ranks still describes different
-///     subproblems when the spaces differ (cf. CacheFingerprint);
-///   - memoized solutions are stored in the same rank-mapped serialized
-///     form and materialized into the prober's manager with
-///     `deserialize_bdd` (after the inverse rank→variable remap) — never
-///     a cross-manager handle.
+/// on the canonical portable form (GlobalMemoKey): the rank-remapped
+/// characteristic plus the input/output rank split.  Memoized solutions
+/// are stored in the same rank-mapped serialized form and materialized
+/// into the prober's manager with `deserialize_bdd` — never a
+/// cross-manager handle.
 ///
 /// Lifetime/GC contract: entries are PLAIN DATA — no `Bdd` handles, no
 /// pinned edges, no reference counts.  Any manager may garbage-collect at
@@ -52,10 +43,33 @@
 /// memo additionally only reflects how deeply its producing run explored
 /// — share among runs of one configuration (the pool enforces this by
 /// fixing one SolverOptions for all requests).
+///
+/// Tiering (this PR's refactor): GlobalMemo is the hot tier of a
+/// `MemoBackend` stack.  Its own probe/publish/mark paths are untouched
+/// — probe order, run-stamp vouching, and the depth-indexed completeness
+/// semantics below are exactly what they were when it was the only tier.
+/// Two cold-path hooks integrate the other tiers:
+///
+///   - a FAULT TIER (set_fault_tier): a ROOT-position lookup() that
+///     misses locally consults the next tier (the peer exchange) and, on
+///     a hit, installs the faulted entry locally before serving it.
+///     Interior probes (lookup_at at depth > 0) never fault — the hot
+///     per-subproblem path pays zero network I/O;
+///   - a COMPLETE LISTENER (set_complete_listener): mark_complete
+///     notifies it, outside any shard lock, of every key whose new mark
+///     is eligible to cross a tier boundary — the push-gossip feed of
+///     the peer exchange.
+///
+/// install() / export_complete() / export_entry() translate between the
+/// in-memory entries and the tier-crossing `MemoExportEntry` form under
+/// the export policy documented in memo_backend.hpp: only
+/// naturally-complete entries and root-exact (truncated-at-depth-0)
+/// records ever leave; interior truncated and unmarked entries never do.
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -65,110 +79,10 @@
 #include <unordered_map>
 #include <vector>
 
-#include "bdd/bdd_transfer.hpp"
 #include "brel/lock_stats.hpp"
-#include "relation/relation.hpp"
+#include "brel/memo_backend.hpp"
 
 namespace brel {
-
-/// Rank tables of one relation's variable spaces: everything needed to
-/// translate between manager variables and canonical ranks.  Build once
-/// per solve (make_memo_space) and reuse for every key/solution.
-struct MemoSpace {
-  /// Relation variables (inputs ∪ outputs) in ascending manager order;
-  /// rank r corresponds to manager variable sorted_vars[r].
-  std::vector<std::uint32_t> sorted_vars;
-  /// var → rank for every manager variable in the relation (entries for
-  /// foreign variables hold kUnranked).
-  std::vector<std::uint32_t> rank_of;
-  std::vector<std::uint32_t> input_ranks;   ///< ranks of inputs, in order
-  std::vector<std::uint32_t> output_ranks;  ///< ranks of outputs, in order
-
-  static constexpr std::uint32_t kUnranked = 0xFFFFFFFFu;
-};
-
-/// Rank tables for `r` (ascending inputs+outputs order).
-[[nodiscard]] MemoSpace make_memo_space(const BooleanRelation& r);
-
-/// Canonical identity of one subproblem: rank-mapped characteristic plus
-/// the input/output split.  Equal keys mean structurally identical
-/// subrelations regardless of manager or variable offset.
-struct GlobalMemoKey {
-  SerializedBdd chi;  ///< node vars are ranks, not manager variables
-  std::vector<std::uint32_t> input_ranks;
-  std::vector<std::uint32_t> output_ranks;
-
-  [[nodiscard]] bool operator==(const GlobalMemoKey&) const = default;
-};
-
-/// Canonical key for a subrelation with characteristic `chi` living in
-/// `space`.  Throws std::logic_error if chi depends on a variable
-/// outside the space (a subrelation never does).
-[[nodiscard]] GlobalMemoKey make_memo_key(const MemoSpace& space,
-                                          const Bdd& chi);
-
-/// A manager-independent multi-output solution: one rank-mapped
-/// serialized BDD per output, over the *input* ranks of its space.
-struct PortableSolution {
-  std::vector<SerializedBdd> outputs;
-  double cost = 0.0;
-
-  [[nodiscard]] bool has_solution() const noexcept {
-    return !outputs.empty();
-  }
-  [[nodiscard]] bool operator==(const PortableSolution&) const = default;
-};
-
-/// Flatten `f` (BDDs of one manager) into the portable rank form.
-[[nodiscard]] PortableSolution make_portable_solution(const MemoSpace& space,
-                                                      const MultiFunction& f,
-                                                      double cost);
-
-/// Materialize a portable solution in `mgr` under `space`'s variable
-/// assignment (the inverse remap of make_portable_solution).
-[[nodiscard]] MultiFunction import_portable_solution(
-    BddManager& mgr, const MemoSpace& space, const PortableSolution& s);
-
-/// Materialize one rank-form serialized BDD (e.g. a GlobalMemoKey::chi)
-/// in `mgr` under `space`'s variable assignment — the same inverse remap
-/// import_portable_solution applies per output, exposed for callers that
-/// need the characteristic itself (the incremental delta path diffs a
-/// remembered base characteristic against a fresh one).
-[[nodiscard]] Bdd import_canonical_bdd(BddManager& mgr,
-                                       const MemoSpace& space,
-                                       const SerializedBdd& s);
-
-/// Text form of a portable solution — the response body of the socket
-/// service (server.hpp), built from the same node-line grammar as the
-/// `.bdd` relation format: a `.cost` line, an `.outputs` count, then per
-/// output a `.bdd <node_count>` section (write_serialized_bdd).  An
-/// empty-bodied solution (has_solution() == false) round-trips too.
-void write_portable_solution(std::ostream& os, const PortableSolution& s);
-/// Inverse of write_portable_solution.  Throws std::invalid_argument on
-/// malformed input (bad counts, malformed node lines, trailing tokens).
-[[nodiscard]] PortableSolution read_portable_solution(std::istream& in);
-
-/// Strict total order on same-space portable solutions, used to break
-/// COST TIES everywhere a winner is chosen — the engine incumbent, the
-/// memo's cross-run accumulation, the parallel coordinator's merge.
-/// Minimum under a total order is associative/commutative, so the tied
-/// winner is the same no matter which schedule, worker, or run produced
-/// the candidates — without it, equal-cost ties make repeat solves (and
-/// memo-served solves) compatible-but-not-bit-identical.  The order is
-/// lexicographic over the rank-form serialized outputs; it carries no
-/// semantic meaning beyond being total and space-canonical.
-[[nodiscard]] bool canonically_before(const PortableSolution& a,
-                                      const PortableSolution& b);
-
-/// The comparability stamp (see CacheFingerprint for the rationale; the
-/// variable spaces live inside each GlobalMemoKey here, as ranks, so the
-/// fingerprint only carries objective and mode).
-struct MemoFingerprint {
-  std::string cost_id;
-  bool exact = false;
-
-  [[nodiscard]] bool operator==(const MemoFingerprint&) const = default;
-};
 
 /// Identity of one producing run, handed out by begin_run(): a unique
 /// run id plus the entry-creation sequence watermark at run start.
@@ -195,15 +109,6 @@ struct MemoMark {
   std::shared_ptr<const GlobalMemoKey> key;
   std::uint64_t depth = 0;
   bool truncated = false;
-};
-
-/// A complete-entry probe result: the memoized solution plus whether the
-/// entry is only depth-truncated complete (see MemoMark).  Probers that
-/// import a truncated entry must propagate truncated-ness to their own
-/// ancestry or their later marks would overclaim.
-struct MemoHit {
-  PortableSolution solution;
-  bool depth_truncated = false;
 };
 
 /// The cross-solve memo.  Thread-safe; entries are plain data.
@@ -244,7 +149,7 @@ struct MemoHit {
 /// without un-completing it, and a later natural mark upgrades a
 /// truncated one (never the reverse).  The protocol is purely
 /// per-entry, so it holds unchanged per shard.
-class GlobalMemo {
+class GlobalMemo : public MemoBackend {
  public:
   /// Default (auto) shard policy when `shards == 0`: an UNLIMITED memo
   /// shards kDefaultShards ways — the long-lived service configuration,
@@ -264,6 +169,10 @@ class GlobalMemo {
   /// std::invalid_argument (cf. SubproblemCache::bind).
   void bind(const MemoFingerprint& fp);
 
+  /// The bound fingerprint (nullopt before the first bind) — the
+  /// snapshot and exchange tiers stamp/validate their records with it.
+  [[nodiscard]] std::optional<MemoFingerprint> fingerprint() const;
+
   /// Hand out this run's identity (see MemoRunStamp): call once when a
   /// producing run starts, pass the stamp to every publish and to the
   /// final mark_complete.
@@ -271,7 +180,7 @@ class GlobalMemo {
 
   /// Probe depth marking a no-depth-cap natural drain: valid for a
   /// prober at any depth (see the protocol above).
-  static constexpr std::uint64_t kAnyDepth = static_cast<std::uint64_t>(-1);
+  static constexpr std::uint64_t kAnyDepth = kMemoAnyDepth;
 
   /// Probe for `key` on behalf of a subproblem at root distance `depth`;
   /// returns the memoized solution only when the entry is complete AND
@@ -279,15 +188,23 @@ class GlobalMemo {
   /// serve depth' <= depth, depth-truncated entries serve exactly their
   /// own depth (see the protocol above).  Counts a hit only when it
   /// serves.  By-value so the record is immune to concurrent publish().
+  /// LOCAL only — never faults to another tier (the hot interior path).
   [[nodiscard]] std::optional<MemoHit> lookup_at(const GlobalMemoKey& key,
                                                  std::uint64_t depth) const;
 
   /// Depth-agnostic probe (root position): lookup_at(key, 0) without the
   /// truncated-ness flag.  Every complete entry serves at depth 0 except
   /// interior truncated ones, which only a matching-depth prober may
-  /// import.
+  /// import.  On a local miss this — and only this — path faults
+  /// through the configured fault tier (set_fault_tier): a peer-owned
+  /// entry is pulled, installed locally, and served; the next identical
+  /// root probe is a plain local hit.
   [[nodiscard]] std::optional<PortableSolution> lookup(
-      const GlobalMemoKey& key) const;
+      const GlobalMemoKey& key);
+
+  /// MemoBackend: the local lookup_at, in tier form (never faults).
+  [[nodiscard]] std::optional<MemoHit> probe(const GlobalMemoKey& key,
+                                             std::uint64_t depth) override;
 
   /// Insert-or-improve: record `solution` for `key` when the key is new
   /// or when the cost beats the stored entry.  At capacity a brand-new
@@ -325,6 +242,40 @@ class GlobalMemo {
       const MemoRunStamp& stamp = MemoRunStamp{
           0, static_cast<std::uint64_t>(-1)});
 
+  /// Install a tier-crossing record (snapshot load, peer pull/push).
+  /// The record arrives ALREADY COMPLETE — vouched for by the drained
+  /// run that exported it, content-addressed by its canonical key, and
+  /// fingerprint-validated by the calling tier — so installation
+  /// bypasses the run-stamp voucher (that voucher guards against
+  /// in-process races on entries still being built; an imported record
+  /// was finished in another process).  A new key inserts complete with
+  /// the record's original mark (natural at complete_depth, or
+  /// truncated-at-0 for root_exact); a present key upgrades under
+  /// exactly the mark_complete rules, and its solution improves under
+  /// exactly the publish rules.  Returns true when anything changed.
+  bool install(const MemoExportEntry& entry, MemoOrigin origin) override;
+
+  /// Enumerate every entry of the export policy (naturally complete at
+  /// any depth, or root-exact truncated-at-0) — the snapshot writer and
+  /// the push path.  Entries are copied out shard by shard; the sink
+  /// runs outside any shard lock.
+  void export_complete(const std::function<void(const MemoExportEntry&)>&
+                           sink) const override;
+
+  /// Export one key under the same policy (nullopt when absent or not
+  /// eligible) — the MEMO_PULL server path.
+  [[nodiscard]] std::optional<MemoExportEntry> export_entry(
+      const GlobalMemoKey& key) const;
+
+  /// Wire the next tier for root-miss faulting (nullptr disconnects).
+  /// The tier must outlive the memo or be disconnected first.
+  void set_fault_tier(MemoBackend* tier);
+
+  /// Register the completion listener (empty function disconnects): it
+  /// receives, outside any shard lock, each key whose fresh
+  /// mark_complete made it export-eligible.  The push-gossip feed.
+  void set_complete_listener(std::function<void(const GlobalMemoKey&)> fn);
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
@@ -348,10 +299,15 @@ class GlobalMemo {
   [[nodiscard]] std::uint64_t publishes() const;
   /// Entries removed by the capacity bound's LRU policy so far.
   [[nodiscard]] std::uint64_t evictions() const;
+  /// Hits broken down by the serving entry's origin (run / snapshot /
+  /// peer) — the per-tier accounting the STATS surface reports.
+  [[nodiscard]] std::uint64_t hits_from(MemoOrigin origin) const;
 
  private:
   struct KeyHash {
-    [[nodiscard]] std::size_t operator()(const GlobalMemoKey& key) const;
+    [[nodiscard]] std::size_t operator()(const GlobalMemoKey& key) const {
+      return static_cast<std::size_t>(memo_key_hash(key));
+    }
   };
   struct Entry {
     PortableSolution solution;
@@ -362,6 +318,7 @@ class GlobalMemo {
     /// Depth-truncated completeness: serves only probers at exactly
     /// complete_depth (see the protocol above).
     bool complete_truncated = false;
+    MemoOrigin origin = MemoOrigin::kRun;  ///< who created the entry
     std::uint64_t creator_run = 0;  ///< run_id of the inserting publish
     std::uint64_t created_seq = 0;  ///< insertion order (for run stamps)
     /// Position in the shard's lru (most-recently-touched at the
@@ -384,6 +341,7 @@ class GlobalMemo {
     mutable std::atomic<std::uint64_t> probes{0};
     std::atomic<std::uint64_t> publishes{0};
     std::atomic<std::uint64_t> evictions{0};
+    mutable std::atomic<std::uint64_t> hits_by_origin[kMemoOriginCount] = {};
   };
 
   /// Move `entry` to `shard`'s most-recently-touched position (call
@@ -392,12 +350,40 @@ class GlobalMemo {
     shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru);
   }
 
+  /// Is `entry` eligible to cross a tier boundary?  (Call with the
+  /// shard's mutex held.)
+  [[nodiscard]] static bool exportable(const Entry& entry) noexcept {
+    return entry.complete && entry.solution.has_solution() &&
+           (!entry.complete_truncated || entry.complete_depth == 0);
+  }
+  /// Tier-crossing form of an exportable entry (mutex held).
+  [[nodiscard]] static MemoExportEntry to_export(const GlobalMemoKey& key,
+                                                const Entry& entry) {
+    return MemoExportEntry{key, entry.solution, entry.complete_depth,
+                           entry.complete_truncated};
+  }
+
+  /// Insert-or-touch an entry for `key`, evicting per the LRU policy
+  /// (mutex held).  Returns nullptr when shard_capacity_ is 0.
+  Entry* emplace_entry(Shard& shard, const GlobalMemoKey& key,
+                       std::uint64_t run_id, MemoOrigin origin);
+
   std::size_t capacity_;        ///< total bound across shards
   std::size_t shard_capacity_;  ///< per-shard slice of the bound
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable std::mutex meta_mutex_;  ///< guards fingerprint_ only (cold)
   std::optional<MemoFingerprint> fingerprint_;
+
+  /// Next tier for root-miss faulting; plain atomic pointer because the
+  /// hookup happens before traffic (server start) and teardown after
+  /// the drain.
+  std::atomic<MemoBackend*> fault_tier_{nullptr};
+
+  /// Completion listener (push-gossip feed); guarded by its own mutex —
+  /// mark_complete is a cold once-per-run path.
+  mutable std::mutex listener_mutex_;
+  std::function<void(const GlobalMemoKey&)> complete_listener_;
 
   // Process-wide identity counters; see the concurrency note above for
   // why a global watermark is sound per shard.

@@ -507,6 +507,7 @@ SolveResult SearchEngine::run() {
   const ReorderMode reorder_mode = resolve_reorder_mode(options_.reorder);
   const bool auto_was_armed = ctx_.mgr.auto_reorder();
   const std::uint64_t reorders_before = ctx_.mgr.stats().reorders;
+  const std::uint64_t swaps_before = ctx_.mgr.stats().reorder_swaps;
 
   // Step 0 (Sec. 7.2): QuickSolver guarantees at least one solution.
   // Its cost does NOT seed the branch-and-bound bound: Fig. 6 starts the
@@ -589,7 +590,7 @@ SolveResult SearchEngine::run() {
   if (reorder_mode == ReorderMode::On) {
     ctx_.mgr.reorder();
   } else if (reorder_mode == ReorderMode::Auto && !auto_was_armed) {
-    ctx_.mgr.set_auto_reorder(true);
+    ctx_.mgr.set_auto_reorder(true, options_.reorder_trigger);
     disarm_guard.mgr = &ctx_.mgr;
   }
 
@@ -658,6 +659,8 @@ SolveResult SearchEngine::run() {
 
   ctx_.stats.reorders = static_cast<std::size_t>(
       ctx_.mgr.stats().reorders - reorders_before);
+  ctx_.stats.reorder_swaps = static_cast<std::size_t>(
+      ctx_.mgr.stats().reorder_swaps - swaps_before);
 
   ctx_.stats.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

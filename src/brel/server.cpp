@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "brel/lock_stats.hpp"
+#include "brel/memo_exchange.hpp"
+#include "brel/memo_snapshot.hpp"
 
 namespace brel {
 
@@ -100,6 +102,20 @@ bool write_frame(int fd, const std::string& payload) {
   const auto len = static_cast<std::uint32_t>(payload.size());
   char header[4] = {static_cast<char>(len >> 24), static_cast<char>(len >> 16),
                     static_cast<char>(len >> 8), static_cast<char>(len)};
+  // Small frames go out in ONE send: a separate 4-byte header write
+  // interacts with Nagle + delayed ACK into a ~40ms stall per direction
+  // — invisible while the solve dominates, but it would put a hard
+  // floor under memo-warm round trips.  (Connected sockets also set
+  // TCP_NODELAY; belt and suspenders, since callers may hand us fds
+  // from elsewhere.)
+  constexpr std::size_t kCoalesceBytes = 1u << 16;
+  if (payload.size() <= kCoalesceBytes) {
+    std::string frame;
+    frame.reserve(sizeof header + payload.size());
+    frame.append(header, sizeof header);
+    frame.append(payload);
+    return send_all(fd, frame.data(), frame.size());
+  }
   return send_all(fd, header, sizeof header) &&
          send_all(fd, payload.data(), payload.size());
 }
@@ -151,6 +167,10 @@ int connect_tcp(const std::string& host, std::uint16_t port) {
     ::close(fd);
     return -1;
   }
+  // Request/reply traffic in small frames: never trade latency for
+  // segment count (cf. the Nagle note in write_frame).
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return fd;
 }
 
@@ -242,6 +262,14 @@ struct Server::Impl {
   std::atomic<std::uint64_t> delta_runs{0};
   std::atomic<std::uint64_t> delta_reused{0};
   std::atomic<std::uint64_t> delta_researched{0};
+  std::atomic<std::uint64_t> peer_pulls_served{0};
+  std::atomic<std::uint64_t> peer_pushes_received{0};
+
+  /// Tier 2 (nullptr when no peers were configured).  Created in
+  /// start() once the bound port is known (the default self identity),
+  /// disconnected from the memo's hooks and stopped in wait() after the
+  /// connection threads joined, BEFORE the pool drains.
+  std::unique_ptr<MemoExchange> exchange;
 
   // Admission state (hysteresis; see admit()/release()).  Transitions
   // are serialized by `admission_mutex`; the atomics exist so gather()
@@ -351,6 +379,35 @@ struct Server::Impl {
                                         started_at)
               .count();
     }
+    if (const auto& memo = pool.memo()) {
+      m.memo_hits_run = memo->hits_from(MemoOrigin::kRun);
+      m.memo_hits_snapshot = memo->hits_from(MemoOrigin::kSnapshot);
+      m.memo_hits_peer = memo->hits_from(MemoOrigin::kPeer);
+    }
+    const MemoSnapshotInfo snap = pool.snapshot_info();
+    m.snapshot_entries_loaded = snap.entries_loaded;
+    m.snapshot_entries_saved = snap.entries_saved;
+    if (snap.loaded_saved_at > 0) {
+      const std::uint64_t now_unix = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::seconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      m.snapshot_age_seconds = now_unix > snap.loaded_saved_at
+                                   ? now_unix - snap.loaded_saved_at
+                                   : 0;
+    }
+    if (exchange != nullptr) {
+      const PeerExchangeStats ps = exchange->stats();
+      m.peer_pulls = ps.pulls;
+      m.peer_pull_hits = ps.pull_hits;
+      m.peer_pull_failures = ps.pull_failures;
+      m.peer_pushes = ps.pushes;
+      m.peer_push_failures = ps.push_failures;
+      m.peer_push_dropped = ps.push_dropped;
+    }
+    m.peer_pulls_served = peer_pulls_served.load(std::memory_order_relaxed);
+    m.peer_pushes_received =
+        peer_pushes_received.load(std::memory_order_relaxed);
     return m;
   }
 
@@ -384,6 +441,20 @@ struct Server::Impl {
       os << "memo_hit_rate " << rate << '\n';
     }
     os << "memo_hits_served " << m.memo_hits_total << '\n'
+       << "memo_hits_run " << m.memo_hits_run << '\n'
+       << "memo_hits_snapshot " << m.memo_hits_snapshot << '\n'
+       << "memo_hits_peer " << m.memo_hits_peer << '\n'
+       << "snapshot_entries_loaded " << m.snapshot_entries_loaded << '\n'
+       << "snapshot_entries_saved " << m.snapshot_entries_saved << '\n'
+       << "snapshot_age_seconds " << m.snapshot_age_seconds << '\n'
+       << "peer_pulls " << m.peer_pulls << '\n'
+       << "peer_pull_hits " << m.peer_pull_hits << '\n'
+       << "peer_pull_failures " << m.peer_pull_failures << '\n'
+       << "peer_pushes " << m.peer_pushes << '\n'
+       << "peer_push_failures " << m.peer_push_failures << '\n'
+       << "peer_push_dropped " << m.peer_push_dropped << '\n'
+       << "peer_pulls_served " << m.peer_pulls_served << '\n'
+       << "peer_pushes_received " << m.peer_pushes_received << '\n'
        << "reorders " << m.reorders << '\n'
        << "delta_runs " << m.delta_runs << '\n'
        << "delta_reused " << m.delta_reused << '\n'
@@ -499,6 +570,89 @@ struct Server::Impl {
     release();
   }
 
+  /// Validate the fingerprint preamble of a MEMO_PULL/MEMO_PUSH body
+  /// against the pool memo's.  Writes the ERROR reply itself on any
+  /// mismatch and returns false.  Exchange verbs bypass admission
+  /// control — they are bounded local map operations, not solves, and
+  /// shedding them would starve exactly the warm-up that relieves load.
+  bool check_exchange_preamble(int fd, std::istream& in) {
+    const auto& memo = pool.memo();
+    if (memo == nullptr) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      (void)wire::write_frame(fd, "ERROR no memo on this server");
+      return false;
+    }
+    const std::optional<MemoFingerprint> theirs = read_memo_fingerprint(in);
+    if (!theirs.has_value()) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      (void)wire::write_frame(fd, "ERROR malformed memo fingerprint");
+      return false;
+    }
+    // Compare against the POOL'S configured objective, not the memo's
+    // current binding: the fingerprint is static config, and a fresh
+    // server must accept exchange traffic before its first solve binds
+    // the memo.  A still-unbound memo adopts the (matching) fingerprint
+    // here — bind() is idempotent and our own solves bind the same one.
+    const MemoFingerprint ours{opts.pool.solver.cost.id(),
+                               opts.pool.solver.exact};
+    if (!(ours == *theirs)) {
+      // Not a protocol error: both sides speak the protocol, they just
+      // serve different objectives — reuse between them is unsound.
+      (void)wire::write_frame(fd, "ERROR memo fingerprint mismatch");
+      return false;
+    }
+    memo->bind(ours);
+    return true;
+  }
+
+  /// MEMO_PULL: body is fingerprint preamble + one canonical key; the
+  /// reply is "OK entry\n" + the export-policy record, or MISS.  Answers
+  /// from the LOCAL memo only (export_entry, never lookup) — a miss here
+  /// must not fault to OUR peers, or two servers could pull each other
+  /// in a cycle.
+  void handle_memo_pull(int fd, const std::string& body) {
+    std::istringstream in(body);
+    if (!check_exchange_preamble(fd, in)) {
+      return;
+    }
+    try {
+      const GlobalMemoKey key = read_memo_key(in);
+      const std::optional<MemoExportEntry> entry =
+          pool.memo()->export_entry(key);
+      if (!entry.has_value()) {
+        (void)wire::write_frame(fd, "MISS");
+        return;
+      }
+      std::ostringstream os;
+      os << "OK entry\n";
+      write_memo_entry(os, *entry);
+      peer_pulls_served.fetch_add(1, std::memory_order_relaxed);
+      (void)wire::write_frame(fd, os.str());
+    } catch (const std::invalid_argument& e) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      (void)wire::write_frame(fd, std::string("ERROR ") + e.what());
+    }
+  }
+
+  /// MEMO_PUSH: body is fingerprint preamble + one export-policy record;
+  /// install it (the codec already rejects any shape outside the export
+  /// policy, so a partial/tainted record cannot enter here either).
+  void handle_memo_push(int fd, const std::string& body) {
+    std::istringstream in(body);
+    if (!check_exchange_preamble(fd, in)) {
+      return;
+    }
+    try {
+      const MemoExportEntry entry = read_memo_entry(in);
+      (void)pool.memo()->install(entry, MemoOrigin::kPeer);
+      peer_pushes_received.fetch_add(1, std::memory_order_relaxed);
+      (void)wire::write_frame(fd, "OK installed");
+    } catch (const std::invalid_argument& e) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      (void)wire::write_frame(fd, std::string("ERROR ") + e.what());
+    }
+  }
+
   void serve_connection(int fd) {
     std::string payload;
     for (;;) {
@@ -526,6 +680,10 @@ struct Server::Impl {
       } else if (header == "SOLVE" || header.rfind("SOLVE ", 0) == 0) {
         handle_solve(fd, header.size() > 5 ? header.substr(6) : std::string(),
                      std::move(body), received);
+      } else if (header == "MEMO_PULL") {
+        handle_memo_pull(fd, body);
+      } else if (header == "MEMO_PUSH") {
+        handle_memo_push(fd, body);
       } else {
         protocol_errors.fetch_add(1, std::memory_order_relaxed);
         const std::string verb = header.substr(0, header.find(' '));
@@ -565,6 +723,9 @@ struct Server::Impl {
       }
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) continue;
+      // Reply latency over segment count (cf. write_frame's Nagle note).
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       connections_opened.fetch_add(1, std::memory_order_relaxed);
       connections_open.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lk(conns_mutex);
@@ -623,6 +784,24 @@ void Server::start() {
       throw;
     }
   }
+  // Tier-2 hookup, after binding (the default self identity needs the
+  // resolved port) and before any traffic: root misses fault through the
+  // exchange, fresh completions feed its push queue.
+  if (!im.opts.memo_peers.empty() && im.pool.memo() != nullptr) {
+    PeerExchangeOptions px;
+    px.self = im.opts.memo_self.empty()
+                  ? im.opts.host + ':' + std::to_string(im.bound_port)
+                  : im.opts.memo_self;
+    px.peers = im.opts.memo_peers;
+    px.pull_timeout_ms = im.opts.memo_pull_timeout_ms;
+    im.exchange = std::make_unique<MemoExchange>(*im.pool.memo(), px);
+    im.exchange->start();
+    im.pool.memo()->set_fault_tier(im.exchange.get());
+    im.pool.memo()->set_complete_listener(
+        [ex = im.exchange.get()](const GlobalMemoKey& key) {
+          ex->enqueue_push(key);
+        });
+  }
   im.started = true;
   im.started_at = std::chrono::steady_clock::now();
   im.listener = std::thread([&im] { im.listener_loop(); });
@@ -660,6 +839,18 @@ void Server::wait() {
       im.conns.pop_front();
     }
     conn->thread.join();
+  }
+  // Exchange teardown between the connection drain and the pool drain:
+  // disconnect the memo's hooks first (no worker may fault into a
+  // stopped exchange), then join the push thread.  The pool's shutdown
+  // below — including the tier-1 snapshot flush — runs with tier 2
+  // fully quiesced, so the drain order is answer → stop gossip → flush.
+  if (im.exchange != nullptr) {
+    if (const auto& memo = im.pool.memo()) {
+      memo->set_fault_tier(nullptr);
+      memo->set_complete_listener(nullptr);
+    }
+    im.exchange->stop();
   }
   im.pool.shutdown();
 }

@@ -56,6 +56,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "brel/solver_pool.hpp"
 
@@ -120,6 +121,19 @@ struct ServerOptions {
   /// Latency ring size (most recent answered requests kept for the
   /// p50/p99 estimate).  Must be > 0.
   std::size_t latency_ring = 1024;
+
+  /// Tier-2 peer exchange (memo_exchange.hpp): "host:port" of every
+  /// OTHER member of the memo ring.  Empty = exchange off.  Requires a
+  /// pool memo; the server also answers the `MEMO_PULL`/`MEMO_PUSH`
+  /// wire verbs whenever it has one, peers configured or not.
+  std::vector<std::string> memo_peers;
+  /// This member's own ring identity.  Empty = "<host>:<port>" after
+  /// binding — fine unless peers address this server by a different
+  /// name than it binds (then every member must be told the name its
+  /// peers use, or ownership would disagree across the ring).
+  std::string memo_self;
+  /// Deadline of one MEMO_PULL round trip (an expired pull is a miss).
+  int memo_pull_timeout_ms = 250;
 };
 
 /// Point-in-time counters (STATS in struct form, for tests/benches).
@@ -147,6 +161,21 @@ struct ServerMetrics {
   std::uint64_t latency_p50_us = 0;
   std::uint64_t latency_p99_us = 0;
   double uptime_seconds = 0.0;
+  // Tiered-memo surface (zeros when the tier is not configured).
+  std::uint64_t snapshot_entries_loaded = 0;  ///< installed at start
+  std::uint64_t snapshot_entries_saved = 0;   ///< nonzero after the drain
+  std::uint64_t snapshot_age_seconds = 0;  ///< now − loaded `.saved_at`
+  std::uint64_t memo_hits_run = 0;       ///< served by this process's runs
+  std::uint64_t memo_hits_snapshot = 0;  ///< served by restored entries
+  std::uint64_t memo_hits_peer = 0;      ///< served by pulled/pushed entries
+  std::uint64_t peer_pulls = 0;          ///< MEMO_PULL round trips sent
+  std::uint64_t peer_pull_hits = 0;
+  std::uint64_t peer_pull_failures = 0;
+  std::uint64_t peer_pushes = 0;  ///< MEMO_PUSH frames delivered
+  std::uint64_t peer_push_failures = 0;
+  std::uint64_t peer_push_dropped = 0;
+  std::uint64_t peer_pulls_served = 0;     ///< MEMO_PULL answered OK here
+  std::uint64_t peer_pushes_received = 0;  ///< MEMO_PUSH installed here
 };
 
 /// The service.  Construct, start(), then begin_drain() + wait() to shut

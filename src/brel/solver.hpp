@@ -168,6 +168,13 @@ struct SolverOptions {
   /// of the relation in every mode.
   ReorderMode reorder = ReorderMode::Off;
 
+  /// Node-count threshold arming the Auto reorder trigger
+  /// (BddManager::set_auto_reorder's first_trigger).  Only meaningful
+  /// with ReorderMode::Auto.  The default matches the manager's; pool
+  /// embedders lower it in tests to make "the seeded order never
+  /// re-sifts" observable at small sizes.
+  std::size_t reorder_trigger = 1u << 16;
+
   /// Incremental re-solve (delta_context.hpp): when set (non-owning; the
   /// caller's registry must outlive the run and belong to the calling
   /// thread), a run whose root misses the global memo diffs its relation
@@ -214,6 +221,7 @@ struct SolverStats {
   std::size_t steals = 0;              ///< subproblems migrated via injection
   std::size_t steal_batches = 0;       ///< donation batches through the queue
   std::size_t reorders = 0;            ///< sifting passes during this run
+  std::size_t reorder_swaps = 0;       ///< adjacent-level swaps those made
   /// Incremental-delta classification (delta_context.hpp); all zero when
   /// no base relation was available for this run.
   bool delta_active = false;           ///< a base was found and diffed

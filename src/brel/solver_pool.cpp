@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "brel/lock_stats.hpp"
+#include "brel/memo_snapshot.hpp"
 #include "brel/parallel_engine.hpp"  // resolve_worker_count
 #include "brel/search.hpp"
 #include "relation/relation_io.hpp"
@@ -92,6 +93,21 @@ struct SolverPool::Impl {
           this->options.solver.exact});
     }
     this->options.solver.global_memo = memo;
+
+    // Tier-1 restore, BEFORE any worker starts: a request served after
+    // construction already sees yesterday's entries.  A bad file is a
+    // partial/empty load recorded in snapshot_info(), never a throw —
+    // a service must come up cold rather than not at all.
+    if (memo != nullptr && !this->options.memo_load_path.empty()) {
+      const SnapshotLoadResult loaded =
+          load_memo_snapshot(*memo, this->options.memo_load_path);
+      snapshot.load_attempted = true;
+      snapshot.load_ok = loaded.ok;
+      snapshot.entries_loaded = loaded.entries_installed;
+      snapshot.entries_skipped = loaded.entries_skipped;
+      snapshot.loaded_saved_at = loaded.saved_at;
+      snapshot.load_error = loaded.error;
+    }
 
     mailboxes.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
@@ -191,10 +207,12 @@ struct SolverPool::Impl {
     // private and thread-confined like the cache above, but — holding
     // only plain serialized data — it SURVIVES the per-request
     // variable-block recycle, which is exactly what makes warm delta
-    // re-solves work across requests.  Meaningless without the memo
-    // (reuse flows through marked memo entries).
+    // re-solves work across requests.  The DELTA path needs the memo
+    // (reuse flows through marked memo entries); the registry's ORDER
+    // memory works memo-less, so the registry exists whenever
+    // incremental is on.
     std::optional<DeltaRegistry> slot_registry;
-    if (memo != nullptr && resolve_incremental(options.incremental)) {
+    if (resolve_incremental(options.incremental)) {
       slot_registry.emplace();
     }
 
@@ -229,10 +247,24 @@ struct SolverPool::Impl {
           job.promise.set_value(std::move(out));
           continue;
         }
+        // Order persistence: when the slot remembers the sifted order a
+        // previous same-signature solve ended with, seed this request's
+        // variable block from it — the parse places each block variable
+        // at its remembered rank (exactly as an explicit `.order` line
+        // would), so repeat traffic starts where sifting left off
+        // instead of re-climbing the reorder ramp.
+        const std::vector<std::uint32_t>* order_hint = nullptr;
+        if (slot_registry.has_value()) {
+          if (const std::optional<RelationSignature> sig =
+                  peek_relation_signature(job.text)) {
+            order_hint = slot_registry->find_order(sig->input_ranks,
+                                                   sig->output_ranks);
+          }
+        }
         // The slot recycled its variable block after the previous
         // request (reset_variables below), so this request parses into
         // variables 0..width-1; its handles die with this scope.
-        BooleanRelation r = read_relation(mgr, job.text);
+        BooleanRelation r = read_relation(mgr, job.text, order_hint);
         if (options.totalize) {
           r = r.totalized();
         }
@@ -271,13 +303,23 @@ struct SolverPool::Impl {
                                  : sum_of_bdd_sizes()));
           solve_options.subproblem_cache = slot_cache;
         }
-        if (slot_registry.has_value()) {
+        if (slot_registry.has_value() && memo != nullptr) {
           solve_options.delta_registry = &*slot_registry;
         }
         SolveResult solved = SearchEngine(r, solve_options).run();
+        const MemoSpace space = make_memo_space(r);
+        if (slot_registry.has_value()) {
+          // Remember the POST-solve order (whatever sifting settled on)
+          // for the next same-signature request.  An identity order is
+          // remembered too — it clears a stale hint a later sift moved
+          // away from (find_order treats empty as absent).
+          slot_registry->remember_order(space.input_ranks,
+                                        space.output_ranks,
+                                        relation_block_order(r));
+        }
         PoolResult out;
-        out.solution = make_portable_solution(make_memo_space(r),
-                                              solved.function, solved.cost);
+        out.solution =
+            make_portable_solution(space, solved.function, solved.cost);
         out.cost = solved.cost;
         out.stats = solved.stats;
         out.worker_id = id;
@@ -362,6 +404,22 @@ struct SolverPool::Impl {
         t.join();
       }
     }
+    // Tier-1 flush, AFTER the workers joined: every drained request's
+    // completions are in the memo, and no publisher runs concurrently
+    // with the export walk.
+    if (memo != nullptr && !options.memo_save_path.empty()) {
+      const std::uint64_t now_unix = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::seconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      const SnapshotSaveResult saved =
+          save_memo_snapshot(*memo, options.memo_save_path, now_unix);
+      const std::scoped_lock lock(snapshot_mutex);
+      snapshot.save_attempted = true;
+      snapshot.save_ok = saved.ok;
+      snapshot.entries_saved = saved.entries;
+      snapshot.save_error = saved.error;
+    }
   }
 
   PoolOptions options;
@@ -379,6 +437,10 @@ struct SolverPool::Impl {
 
   std::mutex shutdown_mutex;  ///< serializes shutdown() callers
   bool stopped = false;       ///< under shutdown_mutex
+
+  mutable std::mutex snapshot_mutex;
+  /// Under snapshot_mutex (the constructor's load writes pre-thread).
+  MemoSnapshotInfo snapshot;
 
   std::vector<std::thread> threads;
 };
@@ -413,6 +475,11 @@ const std::shared_ptr<GlobalMemo>& SolverPool::memo() const noexcept {
 
 std::uint64_t SolverPool::requests_served() const {
   return impl_->served.load();
+}
+
+MemoSnapshotInfo SolverPool::snapshot_info() const {
+  const std::scoped_lock lock(impl_->snapshot_mutex);
+  return impl_->snapshot;
 }
 
 std::size_t SolverPool::queue_depth() const noexcept {

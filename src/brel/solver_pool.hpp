@@ -116,11 +116,45 @@ struct PoolOptions {
   /// the decomposition, so only subtrees the edit touches are
   /// re-searched — the rest serve from their depth-indexed memo
   /// entries.  Registry entries are plain serialized data, so they
-  /// survive the slot's variable-block recycling unharmed.  Requires a
-  /// pool memo (no-op when the pool is memo-less); the BREL_INCREMENTAL
-  /// environment variable ("0"/"off", "1"/"on") overrides this setting
+  /// survive the slot's variable-block recycling unharmed.  The delta
+  /// path requires a pool memo (reuse flows through marked memo
+  /// entries); the registry's ORDER memory does not — a memo-less
+  /// incremental pool still seeds each request's variable order from
+  /// the sifted order the slot's previous same-signature solve ended
+  /// with, so repeat traffic skips the sifting ramp (reorder_swaps ≈ 0
+  /// on the second solve).  The BREL_INCREMENTAL environment variable
+  /// ("0"/"off", "1"/"on") overrides this setting
   /// (resolve_incremental).
   bool incremental = false;
+
+  /// Tier-1 persistence (memo_snapshot.hpp): restore this snapshot into
+  /// the pool memo at construction (empty = cold start; a missing or
+  /// partially corrupt file degrades to a partial/empty load, never a
+  /// construction failure — see snapshot_info()).  Ignored without a
+  /// pool memo.
+  std::string memo_load_path;
+
+  /// Write every export-eligible memo entry to this path when
+  /// shutdown() completes its drain (empty = no save).  The save runs
+  /// AFTER the workers joined, so the snapshot contains every entry the
+  /// drained requests completed.  Ignored without a pool memo.
+  std::string memo_save_path;
+};
+
+/// Lifecycle facts of the pool's tier-1 snapshot integration: the load
+/// attempted at construction and the save attempted at shutdown.  All
+/// zeros when no paths were configured (snapshot_info()).
+struct MemoSnapshotInfo {
+  bool load_attempted = false;
+  bool load_ok = false;               ///< full file parsed clean
+  std::size_t entries_loaded = 0;     ///< entries installed at start
+  std::size_t entries_skipped = 0;    ///< corrupt entries skipped
+  std::uint64_t loaded_saved_at = 0;  ///< snapshot's `.saved_at` header
+  std::string load_error;             ///< diagnostic when !load_ok
+  bool save_attempted = false;
+  bool save_ok = false;
+  std::size_t entries_saved = 0;  ///< entries written at shutdown
+  std::string save_error;
 };
 
 /// Service class of one request, honored when a slot pops its mailbox:
@@ -217,6 +251,9 @@ class SolverPool {
   [[nodiscard]] const std::shared_ptr<GlobalMemo>& memo() const noexcept;
   /// Requests fully served (successfully or exceptionally) so far.
   [[nodiscard]] std::uint64_t requests_served() const;
+  /// Tier-1 snapshot lifecycle facts: what the construction-time load
+  /// installed and (after shutdown) what the drain-time save wrote.
+  [[nodiscard]] MemoSnapshotInfo snapshot_info() const;
   /// Requests accepted but not yet picked up by a slot — the mailbox
   /// backlog a service front end feeds its admission control with
   /// (in-flight solves are not counted; track accepted-minus-answered

@@ -48,12 +48,14 @@ std::vector<std::uint32_t> parse_ranks(std::istringstream& tokens,
 
 }  // namespace
 
-BooleanRelation read_relation(BddManager& mgr, const std::string& text) {
+BooleanRelation read_relation(BddManager& mgr, const std::string& text,
+                              const std::vector<std::uint32_t>* order_hint) {
   std::istringstream in(text);
-  return read_relation(mgr, in);
+  return read_relation(mgr, in, order_hint);
 }
 
-BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
+BooleanRelation read_relation(BddManager& mgr, std::istream& in,
+                              const std::vector<std::uint32_t>* order_hint) {
   std::size_t num_inputs = 0;
   std::size_t num_outputs = 0;
   bool saw_inputs = false;
@@ -241,6 +243,21 @@ BooleanRelation read_relation(BddManager& mgr, std::istream& in) {
     }
     const std::uint32_t base =
         mgr.add_vars(static_cast<std::uint32_t>(total));
+    if (order_ranks.empty() && order_hint != nullptr &&
+        order_hint->size() == total) {
+      // No explicit `.order` in the text: fall back to the caller's
+      // remembered order (the warm-slot path).  A hint of the wrong
+      // width is a different-shaped relation — ignore, don't fail.
+      order_ranks = *order_hint;
+      std::vector<bool> seen(total, false);
+      for (const std::uint32_t rank : order_ranks) {
+        if (rank >= total || seen[rank]) {
+          order_ranks.clear();  // malformed hint: parse as if absent
+          break;
+        }
+        seen[rank] = true;
+      }
+    }
     if (!order_ranks.empty()) {
       // Install the writer's order on the still-empty fresh block before
       // any BDD of the request is built (see relation_io.hpp).
@@ -305,15 +322,11 @@ std::string write_relation_bdd(const BooleanRelation& r) {
   // `.order` sidecar: the manager's relative order over the relation's
   // block, emitted only when it deviates from the identity so that
   // never-reordered managers keep producing byte-identical output.
-  std::vector<std::uint32_t> by_level(vars);
-  std::sort(by_level.begin(), by_level.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              return r.manager().level_of_var(a) < r.manager().level_of_var(b);
-            });
-  if (by_level != vars) {
+  const std::vector<std::uint32_t> order = relation_block_order(r);
+  if (!order.empty()) {
     os << ".order";
-    for (const std::uint32_t v : by_level) {
-      os << ' ' << rank_of[v];
+    for (const std::uint32_t rank : order) {
+      os << ' ' << rank;
     }
     os << '\n';
   }
@@ -321,6 +334,88 @@ std::string write_relation_bdd(const BooleanRelation& r) {
   write_serialized_bdd(os, s);
   os << ".e\n";
   return os.str();
+}
+
+std::vector<std::uint32_t> relation_block_order(const BooleanRelation& r) {
+  std::vector<std::uint32_t> vars;
+  vars.reserve(r.num_inputs() + r.num_outputs());
+  vars.insert(vars.end(), r.inputs().begin(), r.inputs().end());
+  vars.insert(vars.end(), r.outputs().begin(), r.outputs().end());
+  std::sort(vars.begin(), vars.end());
+  std::vector<std::uint32_t> by_level(vars);
+  std::sort(by_level.begin(), by_level.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return r.manager().level_of_var(a) <
+                     r.manager().level_of_var(b);
+            });
+  if (by_level == vars) {
+    return {};  // identity order: no sidecar, no seed
+  }
+  // rank = position in ascending manager order (the `vars` list).
+  std::vector<std::uint32_t> order;
+  order.reserve(by_level.size());
+  for (const std::uint32_t v : by_level) {
+    const auto it = std::lower_bound(vars.begin(), vars.end(), v);
+    order.push_back(static_cast<std::uint32_t>(it - vars.begin()));
+  }
+  return order;
+}
+
+std::optional<RelationSignature> peek_relation_signature(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  RelationSignature sig;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head)) {
+      continue;
+    }
+    if (head == ".i") {
+      if (!(tokens >> num_inputs) || num_inputs == 0 ||
+          num_inputs > kMaxDeclaredVars) {
+        return std::nullopt;
+      }
+    } else if (head == ".o") {
+      if (!(tokens >> num_outputs) || num_outputs == 0 ||
+          num_outputs > kMaxDeclaredVars) {
+        return std::nullopt;
+      }
+    } else if (head == ".iv" || head == ".ov") {
+      auto& ranks = head == ".iv" ? sig.input_ranks : sig.output_ranks;
+      std::uint32_t rank = 0;
+      while (tokens >> rank) {
+        ranks.push_back(rank);
+      }
+    } else if (head == ".bdd" || head == ".r" || head == ".e") {
+      break;  // the header ends where the body starts
+    }
+  }
+  if (num_inputs == 0 || num_outputs == 0) {
+    return std::nullopt;
+  }
+  if (sig.input_ranks.empty()) {
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      sig.input_ranks.push_back(static_cast<std::uint32_t>(i));
+    }
+  } else if (sig.input_ranks.size() != num_inputs) {
+    return std::nullopt;
+  }
+  if (sig.output_ranks.empty()) {
+    for (std::size_t i = 0; i < num_outputs; ++i) {
+      sig.output_ranks.push_back(
+          static_cast<std::uint32_t>(num_inputs + i));
+    }
+  } else if (sig.output_ranks.size() != num_outputs) {
+    return std::nullopt;
+  }
+  return sig;
 }
 
 std::string write_relation(const BooleanRelation& r) {

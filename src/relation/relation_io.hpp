@@ -51,8 +51,11 @@
 /// manager's relative order over the relation's variables is not the
 /// identity, keeping identity-order outputs byte-identical to PR 5.
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "relation/relation.hpp"
 
@@ -60,12 +63,45 @@ namespace brel {
 
 /// Parse a relation from `text`, allocating fresh variables in `mgr`.
 /// Throws std::invalid_argument with a line number on malformed input.
-[[nodiscard]] BooleanRelation read_relation(BddManager& mgr,
-                                            const std::string& text);
+///
+/// `order_hint` (optional) is a caller-remembered block order in the
+/// `.order` grammar — the rank at each level, a permutation of
+/// 0..n+m-1.  It seeds the fresh block exactly as an `.order` sidecar
+/// would, but only for a compact `.bdd` body that carries NO explicit
+/// `.order` of its own (the text always wins) and only when its size
+/// matches the relation's width; otherwise it is ignored.  This is the
+/// warm-slot path: a pool slot re-serving a same-shaped request seeds
+/// the order its previous solve sifted into instead of re-discovering
+/// it (see solver_pool.hpp).
+[[nodiscard]] BooleanRelation read_relation(
+    BddManager& mgr, const std::string& text,
+    const std::vector<std::uint32_t>* order_hint = nullptr);
 
 /// Parse from a stream (same format).
-[[nodiscard]] BooleanRelation read_relation(BddManager& mgr,
-                                            std::istream& in);
+[[nodiscard]] BooleanRelation read_relation(
+    BddManager& mgr, std::istream& in,
+    const std::vector<std::uint32_t>* order_hint = nullptr);
+
+/// The input/output rank spaces a relation text declares, recoverable
+/// from the header alone (no manager, no BDD work): `.iv`/`.ov` when
+/// present, the positional defaults otherwise.  For a relation parsed
+/// from this text, the lists equal MemoSpace::input_ranks/output_ranks
+/// — the signature per-slot state (order memory, delta bases) is keyed
+/// by.  nullopt when the header is malformed or incomplete (the parse
+/// proper will fail with a diagnostic; peeking never throws).
+struct RelationSignature {
+  std::vector<std::uint32_t> input_ranks;
+  std::vector<std::uint32_t> output_ranks;
+};
+[[nodiscard]] std::optional<RelationSignature> peek_relation_signature(
+    const std::string& text);
+
+/// The manager's variable order over `r`'s block, as the `.order`
+/// grammar encodes it: the rank at each level, top to bottom.  Empty
+/// when the relative order is the identity (matching when
+/// write_relation_bdd omits the sidecar).
+[[nodiscard]] std::vector<std::uint32_t> relation_block_order(
+    const BooleanRelation& r);
 
 /// Serialize by enumerating input vertices (requires <= 16 inputs).  The
 /// output parses back to an equal relation.

@@ -29,6 +29,8 @@
 
 #include "benchgen/paper_relations.hpp"
 #include "benchgen/relation_suite.hpp"
+#include "brel/memo_exchange.hpp"
+#include "brel/memo_snapshot.hpp"
 #include "brel/search.hpp"
 #include "brel/server.hpp"
 #include "relation/relation_io.hpp"
@@ -90,10 +92,12 @@ std::string body_of(const std::string& reply) {
 /// Parse one "key value" line out of a STATS body; -1 when absent.
 long long stat_of(const std::string& stats, const std::string& key) {
   std::istringstream in(stats);
-  std::string k;
-  long long v;
-  while (in >> k >> v) {
-    if (k == key) return v;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string k;
+    long long v;
+    if ((fields >> k >> v) && k == key) return v;
   }
   return -1;
 }
@@ -411,6 +415,189 @@ TEST(ServerTest, PortableSolutionTextRoundTrips) {
   // Truncated: two outputs declared, none present.
   std::istringstream bad2(".cost 1\n.outputs 2\n");
   EXPECT_THROW((void)read_portable_solution(bad2), std::invalid_argument);
+}
+
+/// The `explored=` figure of an OK/TIMEOUT status line; -1 when absent.
+long long explored_of(const std::string& reply) {
+  const std::size_t pos = reply.find(" explored=");
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(reply.c_str() + pos + 10, nullptr, 10);
+}
+
+/// The canonical memo key of a relation text (any manager, any offset —
+/// that independence is what GlobalMemoTest pins).
+GlobalMemoKey key_of(const std::string& text) {
+  BddManager mgr{0};
+  const BooleanRelation r = read_relation(mgr, text);
+  return make_memo_key(make_memo_space(r), r.characteristic());
+}
+
+/// One of 256 distinct single-valued 2-in/2-out relations: input vertex
+/// v maps to output vertex (f >> 2v) & 3.  A parametric family this size
+/// makes consistent-hash ownership tests deterministic — some member of
+/// the family lands in any ring slice.
+std::string param_text(unsigned f) {
+  BddManager mgr{0};
+  RelationSpace space = make_space(mgr, 2, 2);
+  const char* verts[4] = {"00", "01", "10", "11"};
+  std::vector<std::pair<std::string, std::vector<std::string>>> rows;
+  for (unsigned v = 0; v < 4; ++v) {
+    rows.push_back({verts[v], {verts[(f >> (2 * v)) & 3u]}});
+  }
+  return write_relation_bdd(
+      BooleanRelation::from_table(mgr, space.inputs, space.outputs, rows));
+}
+
+TEST(ServerMemoExchangeTest, PullAndPushVerbsCarryTheExportPolicy) {
+  ServerOptions options = deterministic_server(1);
+  options.pool.share_memo = true;
+  Server server(options);
+  server.start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  const std::string text = fig1_text();
+  const GlobalMemoKey key = key_of(text);
+  const MemoFingerprint fp{sum_of_bdd_sizes().id(), false};
+
+  // A key the memo never saw answers MISS — even before the first
+  // solve (the preamble validates against the pool's static objective,
+  // not the memo's binding, so cold peers are reachable).
+  std::ostringstream miss;
+  miss << "MEMO_PULL\n";
+  write_memo_fingerprint(miss, fp);
+  write_memo_key(miss, key_of(suite_text(0)));
+  EXPECT_EQ(client.request(miss.str()), "MISS");
+
+  // Warm the memo, then PULL the canonical key: the reply carries the
+  // export-policy record whose solution is the solve's own.
+  const std::string solve_reply = client.request("SOLVE\n" + text);
+  ASSERT_EQ(verb_of(solve_reply), "OK");
+  std::ostringstream pull;
+  pull << "MEMO_PULL\n";
+  write_memo_fingerprint(pull, fp);
+  write_memo_key(pull, key);
+  const std::string pull_reply = client.request(pull.str());
+  ASSERT_EQ(verb_of(pull_reply), "OK");
+  std::istringstream entry_in(body_of(pull_reply));
+  const MemoExportEntry entry = read_memo_entry(entry_in);
+  EXPECT_EQ(entry.key, key);
+  EXPECT_EQ(entry.solution, reference_solution(text, options.pool.solver));
+
+  // A mismatched fingerprint is refused before the key is even read.
+  std::ostringstream clash;
+  clash << "MEMO_PULL\n";
+  write_memo_fingerprint(clash, MemoFingerprint{"some-other-objective", true});
+  write_memo_key(clash, key);
+  EXPECT_EQ(verb_of(client.request(clash.str())), "ERROR");
+
+  // PUSH the pulled record into a second, cold server: its next solve
+  // of the same relation is a root hit at zero exploration with a
+  // bit-identical body.
+  Server receiver(options);
+  receiver.start();
+  Client client_b(receiver.port());
+  ASSERT_TRUE(client_b.connected());
+  std::ostringstream push;
+  push << "MEMO_PUSH\n";
+  write_memo_fingerprint(push, fp);
+  write_memo_entry(push, entry);
+  EXPECT_EQ(client_b.request(push.str()), "OK installed");
+  const std::string warm_reply = client_b.request("SOLVE\n" + text);
+  ASSERT_EQ(verb_of(warm_reply), "OK");
+  EXPECT_EQ(explored_of(warm_reply), 0);
+  EXPECT_EQ(body_of(warm_reply), body_of(solve_reply));
+
+  // A smuggled non-export shape is rejected by the codec, not
+  // installed: flip the record's shape token and push it.
+  std::ostringstream record;
+  write_memo_entry(record, entry);
+  std::string smuggled = record.str();
+  const std::size_t shape_at = smuggled.find(' ') + 1;
+  smuggled.replace(shape_at, smuggled.find(' ', shape_at) - shape_at,
+                   "truncated");
+  std::ostringstream bad_push;
+  bad_push << "MEMO_PUSH\n";
+  write_memo_fingerprint(bad_push, fp);
+  bad_push << smuggled;
+  EXPECT_EQ(verb_of(client_b.request(bad_push.str())), "ERROR");
+
+  const std::string stats = body_of(client_b.request("STATS"));
+  EXPECT_EQ(stat_of(stats, "peer_pushes_received"), 1);
+  EXPECT_EQ(stat_of(stats, "memo_hits_peer"), 1);
+}
+
+TEST(ServerMemoExchangeTest, PeeredServerPullsOwnedRootsAndGossipsBack) {
+  ServerOptions options_a = deterministic_server(1);
+  options_a.pool.share_memo = true;
+  Server a(options_a);
+  a.start();
+  const std::string addr_a = "127.0.0.1:" + std::to_string(a.port());
+
+  ServerOptions options_b = options_a;
+  options_b.memo_peers = {addr_a};
+  Server b(options_b);
+  b.start();
+  const std::string addr_b = "127.0.0.1:" + std::to_string(b.port());
+
+  // Ring oracle: the same member list b's exchange was built from
+  // computes the same ownership (that agreement is the whole design).
+  GlobalMemo scratch;
+  PeerExchangeOptions ring;
+  ring.self = addr_b;
+  ring.peers = {addr_a};
+  MemoExchange oracle(scratch, ring);
+
+  // Two relations b does NOT own — their root misses must leave for a.
+  std::string pulled_text;  // warmed on a first: b's miss pulls a hit
+  std::string gossip_text;  // solved cold on b: completion pushes to a
+  for (unsigned f = 0; f < 256 && gossip_text.empty(); ++f) {
+    const std::string text = param_text(f);
+    if (oracle.owns(key_of(text))) continue;
+    (pulled_text.empty() ? pulled_text : gossip_text) = text;
+  }
+  ASSERT_FALSE(pulled_text.empty());
+  ASSERT_FALSE(gossip_text.empty());
+
+  Client client_a(a.port());
+  Client client_b(b.port());
+  ASSERT_TRUE(client_a.connected());
+  ASSERT_TRUE(client_b.connected());
+
+  // Warm a, then solve the same relation on b: the root miss faults
+  // through b's exchange tier and comes back as a peer hit at zero
+  // exploration, bit-identical to a's answer.
+  const std::string reply_a = client_a.request("SOLVE\n" + pulled_text);
+  ASSERT_EQ(verb_of(reply_a), "OK");
+  const std::string reply_b = client_b.request("SOLVE\n" + pulled_text);
+  ASSERT_EQ(verb_of(reply_b), "OK");
+  EXPECT_EQ(explored_of(reply_b), 0);
+  EXPECT_EQ(body_of(reply_b), body_of(reply_a));
+  const std::string stats_b = body_of(client_b.request("STATS"));
+  EXPECT_GE(stat_of(stats_b, "peer_pulls"), 1);
+  EXPECT_GE(stat_of(stats_b, "peer_pull_hits"), 1);
+  EXPECT_GE(stat_of(stats_b, "memo_hits_peer"), 1);
+
+  // A cold solve on b of an a-owned key gossips the completion to its
+  // owner: a receives the push (async — poll briefly), after which a
+  // serves the relation it never solved at zero exploration.
+  const std::string cold_b = client_b.request("SOLVE\n" + gossip_text);
+  ASSERT_EQ(verb_of(cold_b), "OK");
+  EXPECT_GT(explored_of(cold_b), 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  long long pushes_received = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    pushes_received =
+        stat_of(body_of(client_a.request("STATS")), "peer_pushes_received");
+    if (pushes_received >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_GE(pushes_received, 1);
+  const std::string warm_a = client_a.request("SOLVE\n" + gossip_text);
+  ASSERT_EQ(verb_of(warm_a), "OK");
+  EXPECT_EQ(explored_of(warm_a), 0);
+  EXPECT_EQ(body_of(warm_a), body_of(cold_b));
 }
 
 }  // namespace

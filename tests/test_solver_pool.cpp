@@ -652,5 +652,50 @@ TEST(SolverPoolTest, PoolRejectsMemoWarmedUnderAnotherObjective) {
   EXPECT_THROW(SolverPool{pool_options}, std::invalid_argument);
 }
 
+TEST(SolverPoolTest, OrderMemorySkipsSiftingRampOnRepeatTraffic) {
+  // An incremental slot remembers the variable order its previous
+  // same-signature solve sifted into and seeds the next parse with it,
+  // so repeat traffic skips the sifting ramp entirely.
+  //
+  // The chained-equality relation y_i == x_i is the classic order
+  // pathology: with the text order x0..x{n-1} y0..y{n-1} its
+  // characteristic needs ~2^n nodes, interleaved ~3n — so the cold
+  // parse lands far above the Auto trigger and the solve sifts, while
+  // a warm parse seeded with the sifted order stays far below it.
+  constexpr std::uint32_t kPairs = 8;
+  BddManager author{0};
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> outputs;
+  const std::uint32_t x0 = author.add_vars(kPairs);
+  const std::uint32_t y0 = author.add_vars(kPairs);
+  Bdd chi = author.one();
+  for (std::uint32_t i = 0; i < kPairs; ++i) {
+    inputs.push_back(x0 + i);
+    outputs.push_back(y0 + i);
+    chi = chi & !(author.var(x0 + i) ^ author.var(y0 + i));
+  }
+  const BooleanRelation r(author, inputs, outputs, chi);
+  // Identity order in the authoring manager: the text carries no
+  // `.order` sidecar, so any good order must come from the slot's memory.
+  ASSERT_TRUE(author.has_identity_order());
+  const std::string text = write_relation_bdd(r);
+
+  PoolOptions options;
+  options.workers = 1;         // both requests hit the same slot
+  options.share_memo = false;  // a root memo hit would skip the solve
+  options.incremental = true;  // arms the slot's order memory
+  options.solver = deterministic_options(2);
+  options.solver.reorder = ReorderMode::Auto;
+  options.solver.reorder_trigger = 600;  // under the ~2^9-node cold parse
+  SolverPool pool(options);
+
+  const PoolResult cold = pool.submit(text).get();
+  const PoolResult warm = pool.submit(text).get();
+  EXPECT_GT(cold.stats.reorder_swaps, 0u);
+  EXPECT_EQ(warm.stats.reorder_swaps, 0u);
+  // Order memory changes where variables sit, never what is computed.
+  EXPECT_EQ(cold.solution, warm.solution);
+}
+
 }  // namespace
 }  // namespace brel

@@ -17,6 +17,10 @@
 //     --check             re-parse each request in a fresh manager and
 //                         verify the returned solution is compatible
 //                         (exit 1 on any incompatibility)
+//     --restart-check     assert the server is serving WARM: every OK
+//                         reply must report explored=0 (a root memo hit,
+//                         e.g. after a restart from --memo-load); exit 1
+//                         when any reply explored anything
 //
 // Request bodies: the positional files, or — when none are given — the
 // built-in 17-instance synthetic suite (benchgen/relation_suite.hpp),
@@ -56,6 +60,7 @@ struct LoadOptions {
   long deadline_ms = 0;     ///< 0 = none
   std::string priority;     ///< "" = header carries no priority token
   bool check = false;
+  bool restart_check = false;
   std::vector<std::string> files;
 };
 
@@ -67,6 +72,7 @@ struct Tally {
   std::uint64_t error = 0;      ///< ERROR replies
   std::uint64_t transport = 0;  ///< connect/send/recv failures
   std::uint64_t incompatible = 0;
+  std::uint64_t explored_cold = 0;  ///< OK replies with explored > 0
   std::vector<std::uint64_t> latencies_us;  ///< answered (OK/TIMEOUT) only
 };
 
@@ -76,7 +82,7 @@ struct Tally {
                "                    [--requests=N] [--duration-s=S] [--rps=R]\n"
                "                    [--deadline-ms=N]\n"
                "                    [--priority=interactive|batch] [--check]\n"
-               "                    [file.br|file.bdd]...\n");
+               "                    [--restart-check] [file.br|file.bdd]...\n");
   std::exit(code);
 }
 
@@ -110,6 +116,8 @@ LoadOptions parse_args(int argc, char** argv) {
       options.priority = v;
     } else if (arg == "--check") {
       options.check = true;
+    } else if (arg == "--restart-check") {
+      options.restart_check = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(2);
@@ -236,6 +244,21 @@ void worker(const LoadOptions& options, const std::vector<std::string>& bodies,
     if (verb == "OK" || verb == "TIMEOUT") {
       verb == "OK" ? ++tally.ok : ++tally.timeout;
       tally.latencies_us.push_back(us);
+      if (options.restart_check && verb == "OK") {
+        // `explored=N` on the status line counts subrelations the solve
+        // actually explored; a warm restart serves every suite instance
+        // from its restored root memo entry — explored must be 0.
+        const std::size_t pos = status_line.find(" explored=");
+        const std::uint64_t explored =
+            pos == std::string::npos
+                ? static_cast<std::uint64_t>(-1)
+                : std::strtoull(status_line.c_str() + pos + 10, nullptr, 10);
+        if (explored != 0) {
+          ++tally.explored_cold;
+          std::fprintf(stderr, "request %zu: COLD (explored=%llu)\n", id,
+                       static_cast<unsigned long long>(explored));
+        }
+      }
       if (options.check && nl != std::string::npos) {
         try {
           if (!compatible(body, reply.substr(nl + 1))) {
@@ -299,6 +322,7 @@ int main(int argc, char** argv) {
     total.error += t.error;
     total.transport += t.transport;
     total.incompatible += t.incompatible;
+    total.explored_cold += t.explored_cold;
     total.latencies_us.insert(total.latencies_us.end(),
                               t.latencies_us.begin(), t.latencies_us.end());
   }
@@ -327,7 +351,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.latencies_us.empty()
                                                   ? 0
                                                   : total.latencies_us.back()));
+  if (options.restart_check) {
+    std::printf("restart_check: cold=%llu of %llu OK replies\n",
+                static_cast<unsigned long long>(total.explored_cold),
+                static_cast<unsigned long long>(total.ok));
+  }
   // BUSY/TIMEOUT/SHUTDOWN are the server doing its job under load;
-  // transport failures and incompatible solutions are OUR failures.
-  return (total.transport == 0 && total.incompatible == 0) ? 0 : 1;
+  // transport failures, incompatible solutions, and (under
+  // --restart-check) cold replies are OUR failures.
+  return (total.transport == 0 && total.incompatible == 0 &&
+          total.explored_cold == 0)
+             ? 0
+             : 1;
 }

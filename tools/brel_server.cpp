@@ -29,6 +29,12 @@
 //     --no-memo               disable the cross-solve memo
 //     --incremental           delta-driven re-solve across requests
 //     --totalize              repair partial request relations
+//     --memo-load=PATH        restore a tier-1 memo snapshot at start
+//     --memo-save=PATH        write a memo snapshot after the drain
+//     --memo-peers=H:P,...    tier-2 memo ring: the other members
+//     --memo-self=H:P         this member's ring identity (default:
+//                             the bound host:port)
+//     --memo-pull-timeout-ms=N  MEMO_PULL round-trip deadline (250)
 
 #include <chrono>
 #include <csignal>
@@ -59,7 +65,10 @@ void on_signal(int) { g_stop = 1; }
                "                   [--cost=size|size2|cubes|lits|balance]\n"
                "                   [--max-relations=N] [--max-depth=N]\n"
                "                   [--no-bound] [--no-memo] [--incremental]\n"
-               "                   [--totalize]\n");
+               "                   [--totalize] [--memo-load=PATH]\n"
+               "                   [--memo-save=PATH] [--memo-peers=H:P,...]\n"
+               "                   [--memo-self=H:P]\n"
+               "                   [--memo-pull-timeout-ms=N]\n");
   std::exit(code);
 }
 
@@ -124,6 +133,27 @@ int main(int argc, char** argv) {
       options.pool.incremental = true;
     } else if (arg == "--totalize") {
       options.pool.totalize = true;
+    } else if (const char* v = value_of("--memo-load=")) {
+      options.pool.memo_load_path = v;
+    } else if (const char* v = value_of("--memo-save=")) {
+      options.pool.memo_save_path = v;
+    } else if (const char* v = value_of("--memo-peers=")) {
+      // Comma-separated host:port list.
+      std::string rest = v;
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string item = rest.substr(0, comma);
+        if (!item.empty()) {
+          options.memo_peers.push_back(item);
+        }
+        if (comma == std::string::npos) break;
+        rest.erase(0, comma + 1);
+      }
+    } else if (const char* v = value_of("--memo-self=")) {
+      options.memo_self = v;
+    } else if (const char* v = value_of("--memo-pull-timeout-ms=")) {
+      options.memo_pull_timeout_ms =
+          static_cast<int>(std::strtol(v, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(2);
@@ -178,6 +208,21 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(m.request_errors),
       static_cast<unsigned long long>(m.protocol_errors),
       static_cast<unsigned long long>(m.connections_opened), m.uptime_seconds);
+  if (!options.pool.memo_load_path.empty() ||
+      !options.pool.memo_save_path.empty() || !options.memo_peers.empty()) {
+    std::printf(
+        "# memo tiers: snapshot_loaded=%llu snapshot_saved=%llu "
+        "hits_run=%llu hits_snapshot=%llu hits_peer=%llu "
+        "peer_pulls=%llu peer_pull_hits=%llu peer_pushes=%llu\n",
+        static_cast<unsigned long long>(m.snapshot_entries_loaded),
+        static_cast<unsigned long long>(m.snapshot_entries_saved),
+        static_cast<unsigned long long>(m.memo_hits_run),
+        static_cast<unsigned long long>(m.memo_hits_snapshot),
+        static_cast<unsigned long long>(m.memo_hits_peer),
+        static_cast<unsigned long long>(m.peer_pulls),
+        static_cast<unsigned long long>(m.peer_pull_hits),
+        static_cast<unsigned long long>(m.peer_pushes));
+  }
   // The drain contract: everything admitted was answered.
   if (m.accepted != m.answered) {
     std::fprintf(stderr, "brel_server: DRAIN LOST %llu request(s)\n",
