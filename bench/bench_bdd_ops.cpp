@@ -16,16 +16,43 @@
 // overhead in isolation); the *_build benches reconstruct function trees
 // on a fresh manager (kernel + unique-table interplay, cold caches).
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
+#include <new>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "bdd/bdd.hpp"
 #include "bench_util.hpp"
+#include "benchgen/paper_relations.hpp"
+#include "brel/global_memo.hpp"
+
+// [memo-key-begin]
+// Process-wide allocation counter, fed by replacing the global
+// operator new (the array and sized-delete forms route through these
+// two by default).  The memo_key section uses DELTAS of this counter to
+// assert that a hash-only probe allocates nothing — an absolute count
+// would be meaningless in a process that also runs every other bench.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+// [memo-key-end]
 
 namespace {
 
@@ -435,6 +462,124 @@ void report_per_op(bench::JsonWriter* json) {
 }
 // [per-op-stats-end]
 
+// [memo-key-begin]
+/// Canonical memo-key cost triangle: what a GlobalMemo map operation
+/// pays per probe across the three key regimes —
+///   hash_probe:   hash-only shard probe on an existing handle (the
+///                 steady-state miss path; must not allocate at all),
+///   handle_create: make_memo_handle (cached per-node hash walk + one
+///                 shared_ptr; the per-generated-child cost),
+///   materialize:  LazyMemoKey::get() building the arena form (paid
+///                 once per key that ever publishes or verifies),
+///   pr9_key_build: serialize + arena pack + the 64-bit FNV walk — the
+///                 work the PRE-lazy design paid on EVERY probe.
+/// The point of the lazy split is visible as hash_probe + handle_create
+/// being far below pr9_key_build.
+void report_memo_key(bench::JsonWriter* json) {
+  BddManager mgr{0};
+  std::mt19937 rng{57};
+  const RelationSpace rspace = make_space(mgr, 4, 4);
+  const BooleanRelation proto(mgr, rspace.inputs, rspace.outputs,
+                              mgr.one());
+  const auto space =
+      std::make_shared<const MemoSpace>(make_memo_space(proto));
+  constexpr std::size_t kPool = 64;
+  std::vector<Bdd> pool;
+  pool.reserve(kPool);
+  for (std::size_t i = 0; i < kPool; ++i) {
+    pool.push_back(random_function(mgr, rng, 8, 4));
+  }
+
+  const auto time_loop = [](std::uint64_t ops, const auto& body) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start)
+               .count() /
+           static_cast<double>(ops);
+  };
+
+  // Hash-only probes of an empty memo through pre-built handles: every
+  // probe is a miss, and the miss path must serialize and allocate
+  // NOTHING (hash_probe_allocs is an exact-zero acceptance field).
+  GlobalMemo memo;
+  std::vector<MemoKeyHandle> handles;
+  handles.reserve(kPool);
+  for (const Bdd& chi : pool) {
+    handles.push_back(make_memo_handle(space, chi));
+  }
+  constexpr std::uint64_t kProbeRounds = 2000;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const double hash_probe_ns =
+      time_loop(kProbeRounds * kPool, [&] {
+        for (std::uint64_t round = 0; round < kProbeRounds; ++round) {
+          for (const MemoKeyHandle& handle : handles) {
+            (void)memo.lookup_at(handle, 1);
+          }
+        }
+      });
+  const std::uint64_t hash_probe_allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+
+  // Handle creation: the cached canonical-hash walk plus one
+  // shared_ptr — the whole per-generated-child key cost now.
+  constexpr std::uint64_t kCreateRounds = 200;
+  std::vector<MemoKeyHandle> fresh;
+  fresh.reserve(kPool);
+  const double handle_create_ns =
+      time_loop(kCreateRounds * kPool, [&] {
+        for (std::uint64_t round = 0; round < kCreateRounds; ++round) {
+          fresh.clear();
+          for (const Bdd& chi : pool) {
+            fresh.push_back(make_memo_handle(space, chi));
+          }
+        }
+      });
+
+  // Materialization: the arena build a key pays once when it first
+  // publishes or verifies a candidate hit.
+  const double materialize_ns = time_loop(kPool, [&] {
+    for (const MemoKeyHandle& handle : fresh) {
+      (void)handle->get();
+    }
+  });
+
+  // The pre-lazy per-probe cost: serialize chi, pack the arena, walk
+  // the 64-bit FNV — what EVERY map operation used to pay.
+  constexpr std::uint64_t kBuildRounds = 51;  // odd: the XOR sink survives
+  std::uint64_t sink = 0;
+  const double pr9_key_build_ns =
+      time_loop(kBuildRounds * kPool, [&] {
+        for (std::uint64_t round = 0; round < kBuildRounds; ++round) {
+          for (const Bdd& chi : pool) {
+            sink ^= memo_key_hash(make_memo_key(*space, chi));
+          }
+        }
+      });
+
+  std::printf(
+      "\nmemo_key (canonical key regimes, %zu keys):\n"
+      "  hash_probe     %10.1f ns/probe   %llu allocs (must be 0)\n"
+      "  handle_create  %10.1f ns/handle\n"
+      "  materialize    %10.1f ns/key\n"
+      "  pr9_key_build  %10.1f ns/probe   (fnv sink %llx)\n",
+      kPool, hash_probe_ns,
+      static_cast<unsigned long long>(hash_probe_allocs), handle_create_ns,
+      materialize_ns, pr9_key_build_ns,
+      static_cast<unsigned long long>(sink));
+  if (json != nullptr) {
+    json->begin_object("memo_key");
+    json->field_num("hash_probe_ns", hash_probe_ns);
+    json->field_int("hash_probe_allocs", hash_probe_allocs);
+    json->field_num("handle_create_ns", handle_create_ns);
+    json->field_num("materialize_ns", materialize_ns);
+    json->field_num("pr9_key_build_ns", pr9_key_build_ns);
+    json->end_object();
+  }
+}
+// [memo-key-end]
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -475,6 +620,9 @@ int main(int argc, char** argv) {
   // [per-op-stats-begin]
   report_per_op(&json);
   // [per-op-stats-end]
+  // [memo-key-begin]
+  report_memo_key(&json);
+  // [memo-key-end]
   json.end_object();
 
   if (!json_path.empty()) {

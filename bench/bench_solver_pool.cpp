@@ -40,6 +40,7 @@
 #include "bench_util.hpp"
 #include "benchgen/relation_suite.hpp"
 #include "brel/lock_stats.hpp"
+#include "brel/memo_backend.hpp"
 #include "brel/search.hpp"
 #include "brel/solver_pool.hpp"
 #include "relation/relation_io.hpp"
@@ -117,10 +118,13 @@ int main(int argc, char** argv) {
   std::size_t warm_hits = 0;
   double cold_cpu = 0.0;
   double warm_cpu = 0.0;
+  double cold_key_build_ms = 0.0;
+  double warm_key_build_ms = 0.0;
   for (const bool warm : {false, true}) {
     std::size_t explored = 0;
     std::size_t hits = 0;
     double cost = 0.0;
+    const MemoKeyBuildStats keys_before = memo_key_build_stats();
     bench::Stopwatch timer;
     std::vector<std::future<PoolResult>> futures;
     for (const std::string& text : texts) {
@@ -138,11 +142,18 @@ int main(int argc, char** argv) {
       }
     }
     const double cpu = timer.seconds();
-    std::printf("%-8s %12zu %12.0f %12zu %12.3f\n", warm ? "warm" : "cold",
-                explored, cost, hits, cpu);
+    // Wall time spent materializing canonical keys this pass (lazy
+    // handles build only on first publish / hit verification — a warm
+    // pass, all root hits, should build next to nothing).
+    const double key_ms =
+        static_cast<double>(memo_key_build_stats().ns - keys_before.ns) /
+        1e6;
+    std::printf("%-8s %12zu %12.0f %12zu %12.3f  (key build %.3f ms)\n",
+                warm ? "warm" : "cold", explored, cost, hits, cpu, key_ms);
     (warm ? warm_explored : cold_explored) = explored;
     (warm ? warm_cost : cold_cost) = cost;
     (warm ? warm_cpu : cold_cpu) = cpu;
+    (warm ? warm_key_build_ms : cold_key_build_ms) = key_ms;
     if (warm) {
       warm_hits = hits;
     }
@@ -176,6 +187,8 @@ int main(int argc, char** argv) {
   json.field_num("warm_cost", warm_cost);
   json.field_num("cold_cpu_s", cold_cpu);
   json.field_num("warm_cpu_s", warm_cpu);
+  json.field_num("cold_key_build_ms", cold_key_build_ms);
+  json.field_num("warm_key_build_ms", warm_key_build_ms);
   json.field_int("memo_entries", warm_pool.memo()->size());
   json.field_int("memo_hits", warm_pool.memo()->hits());
   json.field_int("memo_probes", warm_pool.memo()->probes());
@@ -201,6 +214,7 @@ int main(int argc, char** argv) {
     scaling.solver = solver;
     scaling.share_memo = false;  // every request pays full exploration
     LockStatsRegistry::instance().reset();
+    const MemoKeyBuildStats round_keys_before = memo_key_build_stats();
     SolverPool pool(scaling);
     bench::Stopwatch timer;
     std::vector<std::future<PoolResult>> futures;
@@ -256,6 +270,13 @@ int main(int argc, char** argv) {
     json.field_num("lock_wait_inject_ms",
                    static_cast<double>(inject_wait) / 1e6);
     json.field_num("lock_wait_pool_ms", static_cast<double>(pool_wait) / 1e6);
+    // Memo-less rounds must build NO keys at all (the engines skip the
+    // whole memo-chain path when no GlobalMemo is configured), so this
+    // reads 0.000 here and nonzero only in the warm_vs_cold section.
+    json.field_num("key_build_ms",
+                   static_cast<double>(memo_key_build_stats().ns -
+                                       round_keys_before.ns) /
+                       1e6);
     json.end_element();
     // The contention bar: blocked-acquire time as a share of the round's
     // aggregate worker-seconds.  Only judged on multi-core hosts (with

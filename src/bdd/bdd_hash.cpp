@@ -1,0 +1,209 @@
+/// \file bdd_hash.cpp
+/// Per-node memoized canonical hashing (see bdd_hash.hpp for the hash
+/// definition and the lockstep contract with the arena-side walk).
+///
+/// The cache is keyed by node index and guarded by the same stamp idiom
+/// as the GC mark array: `chash_stamp_[idx] == chash_epoch_` means the
+/// cached value is current.  The epoch is bumped whenever node indices
+/// can be reused (garbage_collect, sifting) or the rank map changes —
+/// hashes themselves are function-determined and survive reorders, but a
+/// freed-and-reallocated index must not inherit the old function's hash.
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "bdd/bdd_hash.hpp"
+
+namespace brel {
+
+using detail::Edge;
+using detail::edge_complemented;
+using detail::edge_index;
+using detail::edge_regular;
+using detail::kOne;
+
+void BddManager::chash_invalidate() noexcept {
+  if (++chash_epoch_ == 0) {  // wrap: clear stamps, restart above 0
+    std::fill(chash_stamp_.begin(), chash_stamp_.end(), 0u);
+    chash_epoch_ = 1;
+  }
+  // Min-support-var values are function-determined like the hashes, so
+  // they share the hashes' lifetime: valid until an index can be reused.
+  chash_minvar_.clear();
+}
+
+namespace {
+
+/// Rank of a variable under the space's map; the empty span is the
+/// identity map.  A variable outside the map (or unranked, 0xFFFFFFFF)
+/// means the caller hashed a function whose support leaks out of the
+/// memo space — the same misuse make_memo_key would produce a malformed
+/// key for, caught here in debug builds.
+inline std::uint32_t rank_of_var(std::span<const std::uint32_t> rank_of,
+                                 std::uint32_t var) noexcept {
+  if (rank_of.empty()) {
+    return var;
+  }
+  assert(var < rank_of.size() && rank_of[var] != 0xFFFFFFFFu &&
+         "canonical_hash: variable not ranked by the memo space");
+  return rank_of[var];
+}
+
+}  // namespace
+
+bool BddManager::chash_cached(std::uint32_t idx) const noexcept {
+  return idx < chash_stamp_.size() && chash_stamp_[idx] == chash_epoch_;
+}
+
+void BddManager::chash_store(std::uint32_t idx, CanonicalHash128 h,
+                             bool flip) {
+  if (idx >= chash_stamp_.size()) {
+    // cofactor_rec can grow the store mid-walk; size for the current
+    // node count so the resize amortizes like the store itself.
+    chash_.resize(nodes_.size());
+    chash_flip_.resize(nodes_.size());
+    chash_stamp_.resize(nodes_.size(), 0u);
+  }
+  chash_[idx] = h;
+  chash_flip_[idx] = flip ? 1u : 0u;
+  chash_stamp_[idx] = chash_epoch_;
+}
+
+/// Identity-order walk: the in-store DAG is the canonical form, so the
+/// record hash of a node is node_hash over its own (var, hi, lo) — an
+/// iterative post-order over the uncached cone, exactly the node set
+/// serialize_bdd's fast path would emit.  Flip is always 0 here (stored
+/// then-edges are never complemented).
+CanonicalHash128 BddManager::chash_identity(
+    std::uint32_t root_idx, std::span<const std::uint32_t> rank_of) {
+  chash_stack_.clear();
+  chash_stack_.push_back(root_idx);
+  while (!chash_stack_.empty()) {
+    const std::uint32_t idx = chash_stack_.back();
+    if (chash_cached(idx)) {
+      chash_stack_.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[idx];
+    const std::uint32_t hi_idx = edge_index(n.hi);
+    const std::uint32_t lo_idx = edge_index(n.lo);
+    const bool hi_done = chash_cached(hi_idx);
+    const bool lo_done = chash_cached(lo_idx);
+    if (hi_done && lo_done) {
+      chash_stack_.pop_back();
+      const CanonicalHash128 h = chash::node_hash(
+          rank_of_var(rank_of, n.var),
+          chash::edge_hash(chash_[hi_idx], edge_complemented(n.hi)),
+          chash::edge_hash(chash_[lo_idx], edge_complemented(n.lo)));
+      chash_store(idx, h, /*flip=*/false);
+      continue;
+    }
+    if (!hi_done) {
+      chash_stack_.push_back(hi_idx);
+    }
+    if (!lo_done) {
+      chash_stack_.push_back(lo_idx);
+    }
+  }
+  return chash_[root_idx];
+}
+
+/// Reordered walk: mirror serialize_bdd's canon recursion — peel the
+/// minimum support VARIABLE id with the cofactor kernel and flip the
+/// record when the canonical then-edge comes out complemented — but fold
+/// hashes instead of emitting nodes.  Cached per regular node index as
+/// (record hash, flip), so the recursion is O(new cone) like the walk it
+/// mirrors; depth is bounded by the support size.
+CanonicalHash128 BddManager::chash_reordered(
+    Edge e, std::span<const std::uint32_t> rank_of, bool& flip_out) {
+  const Edge er = edge_regular(e);
+  if (er == kOne) {
+    flip_out = false;
+    return chash::kOneHash;
+  }
+  const std::uint32_t idx = edge_index(er);
+  if (chash_cached(idx)) {
+    flip_out = chash_flip_[idx] != 0;
+    return chash_[idx];
+  }
+  // min support var: smallest variable ID in the cone (the top variable
+  // of the identity-order form), memoized on regular node index and
+  // cleared with the hash cache (chash_invalidate).
+  std::uint32_t v;
+  {
+    const auto min_support_var = [&](auto&& self, Edge x) -> std::uint32_t {
+      const std::uint32_t xi = edge_index(x);
+      if (xi == 0) {
+        return detail::kTerminalVar;
+      }
+      if (const auto it = chash_minvar_.find(xi); it != chash_minvar_.end()) {
+        return it->second;
+      }
+      const Node n = nodes_[xi];
+      std::uint32_t m = n.var;
+      m = std::min(m, self(self, n.hi));
+      m = std::min(m, self(self, n.lo));
+      chash_minvar_.emplace(xi, m);
+      return m;
+    };
+    v = min_support_var(min_support_var, er);
+  }
+  const Edge e0 = cofactor_rec(er, v, false);
+  const Edge e1 = cofactor_rec(er, v, true);
+  bool c1 = false;
+  bool c0 = false;
+  const CanonicalHash128 h1 = chash_reordered(e1, rank_of, c1);
+  const CanonicalHash128 h0 = chash_reordered(e0, rank_of, c0);
+  c1 ^= edge_complemented(e1);
+  c0 ^= edge_complemented(e0);
+  const bool flip = c1;  // canonical: the then-edge stays regular
+  const CanonicalHash128 h =
+      chash::node_hash(rank_of_var(rank_of, v), h1,
+                       chash::edge_hash(h0, c0 != flip));
+  chash_store(idx, h, flip);
+  flip_out = flip;
+  return h;
+}
+
+CanonicalHash128 BddManager::canonical_hash(const Bdd& f) {
+  return canonical_hash(f, {}, kIdentityHashSpace);
+}
+
+CanonicalHash128 BddManager::canonical_hash(
+    const Bdd& f, std::span<const std::uint32_t> rank_of,
+    std::uint64_t space_token) {
+  if (f.manager() != this) {
+    throw std::invalid_argument("canonical_hash: foreign or null handle");
+  }
+  assert_owning_thread();
+  if (space_token == 0 || space_token != chash_space_token_) {
+    chash_invalidate();
+    chash_space_token_ = space_token;
+  }
+  if (chash_stamp_.size() < nodes_.size()) {
+    chash_.resize(nodes_.size());
+    chash_flip_.resize(nodes_.size());
+    chash_stamp_.resize(nodes_.size(), 0u);
+  }
+  // The terminal's record hash re-seeds after every epoch bump.
+  chash_[0] = chash::kOneHash;
+  chash_flip_[0] = 0;
+  chash_stamp_[0] = chash_epoch_;
+
+  const Edge e = f.raw_edge();
+  bool flip = false;
+  CanonicalHash128 h;
+  if (detail::edge_is_constant(e)) {
+    h = chash::kOneHash;
+  } else if (order_is_identity_) {
+    h = chash_identity(edge_index(e), rank_of);
+  } else {
+    h = chash_reordered(edge_regular(e), rank_of, flip);
+  }
+  return chash::edge_hash(h, flip != edge_complemented(e));
+}
+
+}  // namespace brel

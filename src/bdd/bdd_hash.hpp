@@ -1,0 +1,113 @@
+#pragma once
+/// \file bdd_hash.hpp
+/// 128-bit canonical structural hashing for BDD subgraphs.
+///
+/// `CanonicalHash128` identifies a Boolean function by hashing its
+/// canonical serialized form (the identity-order form serialize_bdd
+/// emits) WITHOUT building that form: the hash of a node is a pure
+/// function of its canonical record — (rank-mapped variable, hash of the
+/// then-cofactor, hash of the else-cofactor) — so it can be computed
+/// bottom-up over the live node store and cached per node.  Two managers
+/// in arbitrary dynamic orders, or a manager and a materialized
+/// `GlobalMemoKey` arena, produce the same hash for the same function
+/// under the same rank map.  That makes the hash usable as a memo probe
+/// key with no serialization on the probe path (global_memo.hpp's
+/// two-phase probe); a 128-bit collision is never trusted — the memo
+/// verifies any candidate hit against the materialized key.
+///
+/// The primitives here are shared by the manager-side walk
+/// (BddManager::canonical_hash, bdd_hash.cpp) and the arena-side walk
+/// (memo_key_hash128, memo_backend.cpp); the two MUST stay in lockstep —
+/// test_memo_keys.cpp pins their agreement across reorders.
+
+#include <cstdint>
+
+namespace brel {
+
+/// Order-independent structural hash of a canonical BDD (or of a whole
+/// memo key, after folding the rank lists in).  Plain data; the zero
+/// value never collides with a computed hash in practice and is used as
+/// "absent" by callers.
+struct CanonicalHash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend constexpr bool operator==(const CanonicalHash128&,
+                                   const CanonicalHash128&) = default;
+};
+
+namespace chash {
+
+/// splitmix64 finalizer — the diffusion step under every combinator.
+[[nodiscard]] inline constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Two-lane accumulator: lane b folds in lane a after every word, so the
+/// two 64-bit halves never degenerate into shifted copies of each other.
+struct Accumulator {
+  std::uint64_t a = 0x243F6A8885A308D3ull;  // pi fractional words
+  std::uint64_t b = 0x13198A2E03707344ull;
+
+  constexpr void feed(std::uint64_t w) noexcept {
+    a = mix64(a ^ w);
+    b = mix64(b + (w ^ 0xA5A5A5A5A5A5A5A5ull) + a);
+  }
+
+  [[nodiscard]] constexpr CanonicalHash128 digest() const noexcept {
+    return CanonicalHash128{a, b};
+  }
+};
+
+/// Complement-edge transform.  Deliberately NOT an involution and fully
+/// diffused: complement(h) shares no algebraic relation with h, so
+/// hash(!f) cannot be predicted from hash(f) and double complement never
+/// arises (edges are canonical — the transform is applied at most once
+/// per edge, driven by the serialized complement bit).
+[[nodiscard]] inline constexpr CanonicalHash128 complement(
+    CanonicalHash128 h) noexcept {
+  return CanonicalHash128{mix64(h.lo ^ 0x452821E638D01377ull),
+                          mix64(h.hi + 0xBE5466CF34E90C6Cull)};
+}
+
+/// Hash of a canonical serialized EDGE given the hash of its regular
+/// node record and the edge's complement bit.
+[[nodiscard]] inline constexpr CanonicalHash128 edge_hash(
+    CanonicalHash128 regular, bool complemented) noexcept {
+  return complemented ? complement(regular) : regular;
+}
+
+/// Hash of the ONE terminal (serialized node id 0).
+[[nodiscard]] inline constexpr CanonicalHash128 one_hash() noexcept {
+  Accumulator h;
+  h.feed(0xB7E151628AED2A6Bull);
+  return h.digest();
+}
+inline constexpr CanonicalHash128 kOneHash = one_hash();
+
+/// Hash of one canonical node record: the rank-mapped variable plus the
+/// EDGE hashes (complement already applied) of the canonical then/else
+/// children.  In the canonical form the then-edge is never complemented,
+/// so `hi` is always a regular-node hash; `lo` may carry a complement.
+[[nodiscard]] inline constexpr CanonicalHash128 node_hash(
+    std::uint32_t rank, CanonicalHash128 hi, CanonicalHash128 lo) noexcept {
+  Accumulator h;
+  h.feed(rank);
+  h.feed(hi.lo);
+  h.feed(hi.hi);
+  h.feed(lo.lo);
+  h.feed(lo.hi);
+  return h.digest();
+}
+
+}  // namespace chash
+
+/// Space token of the identity rank map (rank(v) == v), used by the
+/// rank-less canonical_hash overload.  Token 0 means "uncacheable"
+/// (every call invalidates); make_memo_space allocates tokens >= 2.
+inline constexpr std::uint64_t kIdentityHashSpace = 1;
+
+}  // namespace brel

@@ -7,15 +7,30 @@
 
 namespace brel {
 
+namespace {
+
+bool ranks_equal(const std::vector<std::uint32_t>& a,
+                 std::span<const std::uint32_t> b) noexcept {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
 const SerializedBdd* DeltaRegistry::find_base(
-    const GlobalMemoKey& key) const {
+    std::span<const std::uint32_t> input_ranks,
+    std::span<const std::uint32_t> output_ranks) const {
   for (const BaseEntry& base : bases_) {
-    if (base.has_chi && base.input_ranks == key.input_ranks &&
-        base.output_ranks == key.output_ranks) {
+    if (base.has_chi && ranks_equal(base.input_ranks, input_ranks) &&
+        ranks_equal(base.output_ranks, output_ranks)) {
       return &base.chi;
     }
   }
   return nullptr;
+}
+
+const SerializedBdd* DeltaRegistry::find_base(
+    const GlobalMemoKey& key) const {
+  return find_base(key.input_ranks(), key.output_ranks());
 }
 
 const std::vector<std::uint32_t>* DeltaRegistry::find_order(
@@ -31,12 +46,12 @@ const std::vector<std::uint32_t>* DeltaRegistry::find_order(
 }
 
 DeltaRegistry::BaseEntry& DeltaRegistry::entry_for(
-    const std::vector<std::uint32_t>& input_ranks,
-    const std::vector<std::uint32_t>& output_ranks) {
+    std::span<const std::uint32_t> input_ranks,
+    std::span<const std::uint32_t> output_ranks) {
   ++next_stamp_;
   for (BaseEntry& base : bases_) {
-    if (base.input_ranks == input_ranks &&
-        base.output_ranks == output_ranks) {
+    if (ranks_equal(base.input_ranks, input_ranks) &&
+        ranks_equal(base.output_ranks, output_ranks)) {
       base.stamp = next_stamp_;
       return base;
     }
@@ -50,16 +65,16 @@ DeltaRegistry::BaseEntry& DeltaRegistry::entry_for(
     bases_.erase(victim);
   }
   BaseEntry fresh;
-  fresh.input_ranks = input_ranks;
-  fresh.output_ranks = output_ranks;
+  fresh.input_ranks.assign(input_ranks.begin(), input_ranks.end());
+  fresh.output_ranks.assign(output_ranks.begin(), output_ranks.end());
   fresh.stamp = next_stamp_;
   bases_.push_back(std::move(fresh));
   return bases_.back();
 }
 
 void DeltaRegistry::remember(const GlobalMemoKey& key) {
-  BaseEntry& base = entry_for(key.input_ranks, key.output_ranks);
-  base.chi = key.chi;
+  BaseEntry& base = entry_for(key.input_ranks(), key.output_ranks());
+  base.chi = key.chi();
   base.has_chi = true;
 }
 

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "brel/global_memo.hpp"
@@ -50,6 +51,12 @@ class DeltaRegistry {
   /// and invalidated by the next remember().
   [[nodiscard]] const SerializedBdd* find_base(
       const GlobalMemoKey& key) const;
+  /// Rank-list form of find_base, for probers holding a HASHED lazy key
+  /// (the signature is in the MemoSpace; no materialization needed to
+  /// learn whether a base exists).
+  [[nodiscard]] const SerializedBdd* find_base(
+      std::span<const std::uint32_t> input_ranks,
+      std::span<const std::uint32_t> output_ranks) const;
 
   /// Record `key` (a solved root in canonical rank form) as the base
   /// for its spaces, replacing any previous base of the same spaces and
@@ -92,8 +99,8 @@ class DeltaRegistry {
 
   /// The entry for (input_ranks, output_ranks), created (with LRU
   /// eviction) if absent; refreshes the recency stamp.
-  BaseEntry& entry_for(const std::vector<std::uint32_t>& input_ranks,
-                       const std::vector<std::uint32_t>& output_ranks);
+  BaseEntry& entry_for(std::span<const std::uint32_t> input_ranks,
+                       std::span<const std::uint32_t> output_ranks);
 
   std::size_t capacity_;
   std::uint64_t next_stamp_ = 0;

@@ -53,14 +53,15 @@ struct Subproblem {
   /// handles.
   std::vector<detail::Edge> ancestors;
 
-  /// The same ancestor chain in the global memo's canonical serialized
-  /// key form (root → ... → itself, truncated at
-  /// SolverOptions::global_memo_depth).  The KEYS are shared (a child's
-  /// chain copies the parent's vector of shared_ptrs — O(depth) cheap
-  /// refcount bumps, never a key re-serialization); chains are short in
-  /// practice, a persistent cons-list is the upgrade path if deep trees
-  /// ever make the copies show.  Empty when no global memo is active.
-  std::vector<std::shared_ptr<const GlobalMemoKey>> memo_chain;
+  /// The same ancestor chain as lazy canonical-key handles (root → ... →
+  /// itself, truncated at SolverOptions::global_memo_depth).  The
+  /// HANDLES are shared (a child's chain copies the parent's vector of
+  /// shared_ptrs — O(depth) cheap refcount bumps, never a hash or key
+  /// rebuild); chains are short in practice, a persistent cons-list is
+  /// the upgrade path if deep trees ever make the copies show.  Empty
+  /// when no global memo is active — memo-less runs build no keys and
+  /// no hashes at all.
+  std::vector<MemoKeyHandle> memo_chain;
 
   /// Incremental-delta cofactor (delta_context.hpp): the XOR of this
   /// subproblem's characteristic against the corresponding base-run

@@ -10,6 +10,13 @@ namespace {
 
 constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
 
+// Process-global identity counters (see the member-block comment in the
+// header): created_seq values are the verification tokens handles carry
+// across memo instances, so they must be unique process-wide, not
+// per-memo.  begin_run() reads the same sequence for its watermark.
+std::atomic<std::uint64_t> g_run_counter{0};
+std::atomic<std::uint64_t> g_insert_seq{0};
+
 std::size_t round_up_pow2(std::size_t n) {
   std::size_t p = 1;
   while (p < n) {
@@ -61,15 +68,20 @@ GlobalMemo::GlobalMemo(std::size_t capacity, std::size_t shards)
   }
 }
 
-std::size_t GlobalMemo::shard_of(const GlobalMemoKey& key) const noexcept {
+std::size_t GlobalMemo::shard_of_hash(
+    const CanonicalHash128& h) const noexcept {
   if (shards_.size() == 1) {
     return 0;
   }
-  // Fibonacci-mix the FNV hash and pick TOP bits: the shard index must
-  // not correlate with the map's bucket index, which consumes the same
-  // hash from the bottom.
-  const std::uint64_t mixed = memo_key_hash(key) * 0x9E3779B97F4A7C15ull;
-  return static_cast<std::size_t>(mixed >> 56) & (shards_.size() - 1);
+  // TOP bits of the low word: the map's buckets consume the same word
+  // from the bottom (Hash128Hasher), and the word is already a
+  // splitmix64 digest, so the top byte is an independent uniform mix —
+  // no extra multiply needed.
+  return static_cast<std::size_t>(h.lo >> 56) & (shards_.size() - 1);
+}
+
+std::size_t GlobalMemo::shard_of(const GlobalMemoKey& key) const noexcept {
+  return shard_of_hash(memo_key_hash128(key));
 }
 
 std::size_t GlobalMemo::shard_size(std::size_t shard) const {
@@ -99,20 +111,61 @@ std::optional<MemoFingerprint> GlobalMemo::fingerprint() const {
   return fingerprint_;
 }
 
-std::optional<MemoHit> GlobalMemo::lookup_at(const GlobalMemoKey& key,
-                                             std::uint64_t depth) const {
-  const Shard& shard = *shards_[shard_of(key)];
-  shard.probes.fetch_add(1, std::memory_order_relaxed);
-  const std::scoped_lock lock(shard.mutex);
-  const auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
-    return std::nullopt;
+GlobalMemo::Shard::Map::iterator GlobalMemo::find_verified(
+    Shard& shard, std::unique_lock<TimedMutex>& lk,
+    const LazyMemoKey& handle) const {
+  for (;;) {
+    const auto it = shard.map.find(handle.hash);
+    if (it == shard.map.end()) {
+      // The common case: a hash-only miss.  Nothing was serialized.
+      return it;
+    }
+    Entry& entry = it->second;
+    if (handle.verified_seq.load(std::memory_order_relaxed) ==
+        entry.created_seq) {
+      // This handle already compared equal against this exact entry
+      // (created_seq is process-unique); skip even the word-compare.
+      return it;
+    }
+    if (handle.materialized()) {
+      if (handle.get() == *entry.key) {
+        handle.verified_seq.store(entry.created_seq,
+                                  std::memory_order_relaxed);
+        return it;
+      }
+      shard.collisions.fetch_add(1, std::memory_order_relaxed);
+      return shard.map.end();
+    }
+    // Candidate hit on a HASHED handle: materialize OUTSIDE the lock
+    // (manager work never runs under a shard mutex) and re-find — the
+    // entry may have been evicted or replaced while unlocked.
+    lk.unlock();
+    (void)handle.get();
+    lk.lock();
   }
+}
+
+GlobalMemo::Shard::Map::iterator GlobalMemo::find_verified(
+    Shard& shard, const CanonicalHash128& hash,
+    const GlobalMemoKey& key) const {
+  const auto it = shard.map.find(hash);
+  if (it == shard.map.end()) {
+    return it;
+  }
+  if (*it->second.key == key) {
+    return it;
+  }
+  shard.collisions.fetch_add(1, std::memory_order_relaxed);
+  return shard.map.end();
+}
+
+std::optional<MemoHit> GlobalMemo::serve(const Shard& shard,
+                                         const Entry& entry,
+                                         std::uint64_t depth) const {
   // Any probe that finds the key counts as interest: refresh recency
   // even for entries still too incomplete to serve, so an in-progress
   // subtree is not the first thing the capacity bound throws away.
-  touch(shard, it->second);
-  const Entry& entry = it->second;
+  touch(shard, entry);
   if (!entry.complete || !entry.solution.has_solution()) {
     return std::nullopt;
   }
@@ -129,6 +182,53 @@ std::optional<MemoHit> GlobalMemo::lookup_at(const GlobalMemoKey& key,
   shard.hits_by_origin[static_cast<std::size_t>(entry.origin)].fetch_add(
       1, std::memory_order_relaxed);
   return MemoHit{entry.solution, entry.complete_truncated};
+}
+
+std::optional<MemoHit> GlobalMemo::lookup_at(const MemoKeyHandle& key,
+                                             std::uint64_t depth) const {
+  Shard& shard = *shards_[shard_of_hash(key->hash)];
+  shard.probes.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lk(shard.mutex);
+  const auto it = find_verified(shard, lk, *key);
+  if (it == shard.map.end()) {
+    return std::nullopt;
+  }
+  return serve(shard, it->second, depth);
+}
+
+std::optional<MemoHit> GlobalMemo::lookup_at(const GlobalMemoKey& key,
+                                             std::uint64_t depth) const {
+  const CanonicalHash128 hash = memo_key_hash128(key);
+  Shard& shard = *shards_[shard_of_hash(hash)];
+  shard.probes.fetch_add(1, std::memory_order_relaxed);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = find_verified(shard, hash, key);
+  if (it == shard.map.end()) {
+    return std::nullopt;
+  }
+  return serve(shard, it->second, depth);
+}
+
+std::optional<PortableSolution> GlobalMemo::lookup(const MemoKeyHandle& key) {
+  if (auto hit = lookup_at(key, 0)) {
+    return std::move(hit->solution);
+  }
+  MemoBackend* const tier = fault_tier_.load(std::memory_order_acquire);
+  if (tier == nullptr) {
+    return std::nullopt;
+  }
+  // Root-miss fault: the wire needs the full canonical form, so this —
+  // and only this — miss path materializes.  Root probes are
+  // once-per-request; the interior hot path never reaches here.
+  auto faulted = tier->probe(key->get(), 0);
+  if (!faulted.has_value()) {
+    return std::nullopt;
+  }
+  Shard& shard = *shards_[shard_of_hash(key->hash)];
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  shard.hits_by_origin[static_cast<std::size_t>(MemoOrigin::kPeer)].fetch_add(
+      1, std::memory_order_relaxed);
+  return std::move(faulted->solution);
 }
 
 std::optional<PortableSolution> GlobalMemo::lookup(const GlobalMemoKey& key) {
@@ -165,42 +265,82 @@ MemoRunStamp GlobalMemo::begin_run() {
   // created_seq just above the start watermark — mark_complete then
   // falls back to the creator_run check and at worst SKIPS the mark,
   // the safe direction.
-  return MemoRunStamp{run_counter_.fetch_add(1) + 1, insert_seq_.load()};
+  return MemoRunStamp{g_run_counter.fetch_add(1) + 1, g_insert_seq.load()};
 }
 
-GlobalMemo::Entry* GlobalMemo::emplace_entry(Shard& shard,
-                                             const GlobalMemoKey& key,
-                                             std::uint64_t run_id,
-                                             MemoOrigin origin) {
+GlobalMemo::Entry* GlobalMemo::emplace_entry(
+    Shard& shard, const CanonicalHash128& hash,
+    std::shared_ptr<const GlobalMemoKey> key, std::uint64_t run_id,
+    MemoOrigin origin) {
   if (shard_capacity_ == 0) {
     return nullptr;
   }
   if (shard.map.size() >= shard_capacity_) {
     // LRU eviction, per shard: the victim is this shard's entry longest
     // untouched by any lookup/publish.
-    const GlobalMemoKey* victim = shard.lru.back();
+    shard.map.erase(shard.lru.back());
     shard.lru.pop_back();
-    shard.map.erase(*victim);
     shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
   Entry fresh;
+  fresh.key = std::move(key);
   fresh.origin = origin;
   fresh.creator_run = run_id;
-  fresh.created_seq = insert_seq_.fetch_add(1) + 1;
+  fresh.created_seq = g_insert_seq.fetch_add(1) + 1;
   fresh.lru = shard.lru.end();
-  const auto it = shard.map.emplace(key, std::move(fresh)).first;
-  shard.lru.push_front(&it->first);
+  const auto it = shard.map.emplace(hash, std::move(fresh)).first;
+  shard.lru.push_front(hash);
   it->second.lru = shard.lru.begin();
   return &it->second;
+}
+
+void GlobalMemo::publish(const MemoKeyHandle& key,
+                         const PortableSolution& solution,
+                         std::uint64_t run_id) {
+  Shard& shard = *shards_[shard_of_hash(key->hash)];
+  shard.publishes.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lk(shard.mutex);
+  for (;;) {
+    const auto it = find_verified(shard, lk, *key);
+    if (it != shard.map.end()) {
+      touch(shard, it->second);
+      if (improves(solution, it->second.solution)) {
+        it->second.solution = solution;
+      }
+      return;
+    }
+    if (shard.map.find(key->hash) != shard.map.end()) {
+      // The hash is held by a DIFFERENT key (find_verified counted the
+      // collision): first key wins, the publish is dropped.  Costs a
+      // memo entry, never correctness.
+      return;
+    }
+    if (key->materialized()) {
+      break;
+    }
+    // First insert of a HASHED handle: this is the one sanctioned
+    // materialization point of the publish path — outside the lock,
+    // re-checking for a raced insert after relocking.
+    lk.unlock();
+    (void)key->get();
+    lk.lock();
+  }
+  if (Entry* entry = emplace_entry(shard, key->hash, key->shared_key(),
+                                   run_id, MemoOrigin::kRun)) {
+    entry->solution = solution;
+    key->verified_seq.store(entry->created_seq, std::memory_order_relaxed);
+  }
 }
 
 void GlobalMemo::publish(const GlobalMemoKey& key,
                          const PortableSolution& solution,
                          std::uint64_t run_id) {
-  Shard& shard = *shards_[shard_of(key)];
+  const CanonicalHash128 hash = memo_key_hash128(key);
+  Shard& shard = *shards_[shard_of_hash(hash)];
   shard.publishes.fetch_add(1, std::memory_order_relaxed);
   const std::scoped_lock lock(shard.mutex);
-  if (const auto it = shard.map.find(key); it != shard.map.end()) {
+  if (const auto it = find_verified(shard, hash, key);
+      it != shard.map.end()) {
     // Improvements to present entries never evict; the completeness bit
     // is sticky (same-fingerprint runs only ever refine a completed
     // subtree result downward in cost).  Cost ties fall through to the
@@ -213,7 +353,12 @@ void GlobalMemo::publish(const GlobalMemoKey& key,
     }
     return;
   }
-  if (Entry* entry = emplace_entry(shard, key, run_id, MemoOrigin::kRun)) {
+  if (shard.map.find(hash) != shard.map.end()) {
+    return;  // collision: first key wins
+  }
+  if (Entry* entry =
+          emplace_entry(shard, hash, std::make_shared<const GlobalMemoKey>(key),
+                        run_id, MemoOrigin::kRun)) {
     entry->solution = solution;
   }
 }
@@ -227,9 +372,11 @@ void GlobalMemo::mark_complete(std::span<const MemoMark> marks,
   // eviction cannot invalidate what we hand the listener.
   std::vector<std::shared_ptr<const GlobalMemoKey>> fresh;
   for (const MemoMark& mark : marks) {
-    Shard& shard = *shards_[shard_of(*mark.key)];
+    const CanonicalHash128 hash = memo_key_hash128(*mark.key);
+    Shard& shard = *shards_[shard_of_hash(hash)];
     const std::scoped_lock lock(shard.mutex);
-    if (const auto it = shard.map.find(*mark.key); it != shard.map.end()) {
+    if (const auto it = find_verified(shard, hash, *mark.key);
+        it != shard.map.end()) {
       Entry& entry = it->second;
       // Only vouch for entries this run found already present or
       // created itself (possibly re-created after an eviction): an
@@ -299,9 +446,11 @@ bool GlobalMemo::install(const MemoExportEntry& record, MemoOrigin origin) {
   // recorded depth, or the root-exact truncated-at-0 shape.
   const std::uint64_t depth = record.root_exact ? 0 : record.complete_depth;
   const bool truncated = record.root_exact;
-  Shard& shard = *shards_[shard_of(record.key)];
+  const CanonicalHash128 hash = memo_key_hash128(record.key);
+  Shard& shard = *shards_[shard_of_hash(hash)];
   const std::scoped_lock lock(shard.mutex);
-  if (const auto it = shard.map.find(record.key); it != shard.map.end()) {
+  if (const auto it = find_verified(shard, hash, record.key);
+      it != shard.map.end()) {
     Entry& entry = it->second;
     touch(shard, entry);
     bool changed = false;
@@ -332,7 +481,12 @@ bool GlobalMemo::install(const MemoExportEntry& record, MemoOrigin origin) {
     }
     return changed;
   }
-  Entry* entry = emplace_entry(shard, record.key, 0, origin);
+  if (shard.map.find(hash) != shard.map.end()) {
+    return false;  // collision: first key wins
+  }
+  Entry* entry = emplace_entry(
+      shard, hash, std::make_shared<const GlobalMemoKey>(record.key), 0,
+      origin);
   if (entry == nullptr) {
     return false;
   }
@@ -352,9 +506,9 @@ void GlobalMemo::export_complete(
     std::vector<MemoExportEntry> batch;
     {
       const std::scoped_lock lock(shard->mutex);
-      for (const auto& [key, entry] : shard->map) {
+      for (const auto& [hash, entry] : shard->map) {
         if (exportable(entry)) {
-          batch.push_back(to_export(key, entry));
+          batch.push_back(to_export(entry));
         }
       }
     }
@@ -366,13 +520,14 @@ void GlobalMemo::export_complete(
 
 std::optional<MemoExportEntry> GlobalMemo::export_entry(
     const GlobalMemoKey& key) const {
-  const Shard& shard = *shards_[shard_of(key)];
+  const CanonicalHash128 hash = memo_key_hash128(key);
+  Shard& shard = *shards_[shard_of_hash(hash)];
   const std::scoped_lock lock(shard.mutex);
-  const auto it = shard.map.find(key);
+  const auto it = find_verified(shard, hash, key);
   if (it == shard.map.end() || !exportable(it->second)) {
     return std::nullopt;
   }
-  return to_export(it->first, it->second);
+  return to_export(it->second);
 }
 
 void GlobalMemo::set_fault_tier(MemoBackend* tier) {
@@ -422,6 +577,14 @@ std::uint64_t GlobalMemo::evictions() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->evictions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t GlobalMemo::collisions() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->collisions.load(std::memory_order_relaxed);
   }
   return total;
 }

@@ -21,16 +21,33 @@
 /// Lifetime/GC contract: entries are PLAIN DATA — no `Bdd` handles, no
 /// pinned edges, no reference counts.  Any manager may garbage-collect at
 /// any time without invalidating the memo, which is what lets managers
-/// outlive individual solves in the pool.  The price is O(|BDD|)
-/// serialization per probe/publish instead of O(1), which is why the
-/// engine gates memo traffic by `SolverOptions::global_memo_depth`.
+/// outlive individual solves in the pool.
+///
+/// TWO-PHASE PROBE (the hash-consed key fast path): the shard maps are
+/// keyed by the 128-bit canonical hash (memo_key_hash128), not by the
+/// serialized key itself.  The engines probe with a `MemoKeyHandle` — a
+/// LazyMemoKey carrying just the hash plus the live chi handle — so a
+/// MISS, the overwhelming majority of probes, costs one cached-hash
+/// lookup and serializes NOTHING.  Only a candidate hit (the hash is
+/// present) forces the full canonical key into existence, to verify the
+/// match: the stored entry keeps its materialized key
+/// (shared_ptr<const GlobalMemoKey>), the handle materializes its own
+/// OUTSIDE the shard lock, and a word-compare disambiguates.  A verified
+/// handle caches the entry's created_seq in `verified_seq`, so every
+/// re-probe and ancestor republish skips even the compare.  A hash
+/// collision against a DIFFERENT key (never observed for a 128-bit
+/// structural hash, but load-bearing for soundness) is counted and
+/// treated as a miss; publishes under a colliding hash are dropped
+/// (first key wins), so a collision can cost a memo hit but can never
+/// serve or corrupt a wrong solution.
 ///
 /// Concurrency: the table is SHARDED by canonical-key hash into
 /// independently locked shards (per-shard mutex, map, LRU list).  A probe
 /// or publish takes exactly one shard lock, so workers hashing to
 /// different shards never contend.  Keys and entries are value types, and
-/// no BDD manager is ever touched under a shard lock (serialization
-/// happens in the caller, on the caller's manager).  Counters
+/// no BDD manager is ever touched under a shard lock (hash-to-key
+/// materialization releases the shard lock around the manager work and
+/// re-finds after relocking).  Counters
 /// (probes/hits/publishes/evictions) are per-shard relaxed atomics folded
 /// lazily on read, off the locked path entirely — the `BddStats` idiom.
 /// Run ids and the entry-creation sequence are process-wide atomics: a
@@ -189,6 +206,14 @@ class GlobalMemo : public MemoBackend {
   /// own depth (see the protocol above).  Counts a hit only when it
   /// serves.  By-value so the record is immune to concurrent publish().
   /// LOCAL only — never faults to another tier (the hot interior path).
+  ///
+  /// The handle form is the two-phase probe (see the file comment): a
+  /// miss serializes nothing; a candidate hit verifies by materializing
+  /// the handle's key outside the shard lock.  The key form is the
+  /// compat path for callers that already hold a materialized key (the
+  /// exchange and snapshot tiers, tests) — identical semantics.
+  [[nodiscard]] std::optional<MemoHit> lookup_at(const MemoKeyHandle& key,
+                                                 std::uint64_t depth) const;
   [[nodiscard]] std::optional<MemoHit> lookup_at(const GlobalMemoKey& key,
                                                  std::uint64_t depth) const;
 
@@ -198,7 +223,11 @@ class GlobalMemo : public MemoBackend {
   /// import.  On a local miss this — and only this — path faults
   /// through the configured fault tier (set_fault_tier): a peer-owned
   /// entry is pulled, installed locally, and served; the next identical
-  /// root probe is a plain local hit.
+  /// root probe is a plain local hit.  The handle form materializes its
+  /// key only when a fault tier is actually configured (the wire needs
+  /// the full canonical form); a plain local root miss stays hash-only.
+  [[nodiscard]] std::optional<PortableSolution> lookup(
+      const MemoKeyHandle& key);
   [[nodiscard]] std::optional<PortableSolution> lookup(
       const GlobalMemoKey& key);
 
@@ -216,6 +245,14 @@ class GlobalMemo : public MemoBackend {
   /// completeness.  `run_id` (begin_run) records who created a newly
   /// inserted entry, which is what lets mark_complete tell its own
   /// re-created entries from a concurrent run's.
+  ///
+  /// The handle form materializes the key only on first insert (lazily,
+  /// outside the shard lock); improvements to a verified present entry
+  /// never touch the serialized form at all.  A publish whose hash is
+  /// held by a DIFFERENT key is dropped (first key wins; counted by
+  /// collisions()).
+  void publish(const MemoKeyHandle& key, const PortableSolution& solution,
+               std::uint64_t run_id = 0);
   void publish(const GlobalMemoKey& key, const PortableSolution& solution,
                std::uint64_t run_id = 0);
 
@@ -299,17 +336,33 @@ class GlobalMemo : public MemoBackend {
   [[nodiscard]] std::uint64_t publishes() const;
   /// Entries removed by the capacity bound's LRU policy so far.
   [[nodiscard]] std::uint64_t evictions() const;
+  /// Probes/publishes whose 128-bit hash matched an entry holding a
+  /// DIFFERENT canonical key (detected by the verify step; treated as a
+  /// miss / dropped publish).  Expected to stay 0 outside the forced-
+  /// collision tests — nonzero here in production means hash quality
+  /// trouble worth investigating, never a wrong answer.
+  [[nodiscard]] std::uint64_t collisions() const;
   /// Hits broken down by the serving entry's origin (run / snapshot /
   /// peer) — the per-tier accounting the STATS surface reports.
   [[nodiscard]] std::uint64_t hits_from(MemoOrigin origin) const;
 
  private:
-  struct KeyHash {
-    [[nodiscard]] std::size_t operator()(const GlobalMemoKey& key) const {
-      return static_cast<std::size_t>(memo_key_hash(key));
+  /// The map consumes the LOW word of the 128-bit canonical hash (its
+  /// buckets take the bottom bits); shard selection takes the TOP bits
+  /// of the same word, so the two never correlate.  The high word is
+  /// pure collision margin for the verify step.
+  struct Hash128Hasher {
+    [[nodiscard]] std::size_t operator()(
+        const CanonicalHash128& h) const noexcept {
+      return static_cast<std::size_t>(h.lo);
     }
   };
   struct Entry {
+    /// The verified canonical identity of this entry — shared with the
+    /// publishing handle, so insertion never copies the arena.  Needed
+    /// (beyond the map's hash key) to verify candidate hits and to
+    /// export: entries stay PLAIN DATA.
+    std::shared_ptr<const GlobalMemoKey> key;
     PortableSolution solution;
     bool complete = false;
     /// Depth the completeness claim covers (kAnyDepth = any prober);
@@ -324,23 +377,26 @@ class GlobalMemo : public MemoBackend {
     /// Position in the shard's lru (most-recently-touched at the
     /// front).  List iterators survive splices, so a const lookup can
     /// refresh recency without touching the entry itself.
-    std::list<const GlobalMemoKey*>::iterator lru;
+    std::list<CanonicalHash128>::iterator lru;
   };
 
   /// One independently locked slice of the table.  All shard mutexes
   /// share the "memo" lock-stats group, so contention reports aggregate
   /// across shards automatically.
   struct Shard {
+    using Map =
+        std::unordered_map<CanonicalHash128, Entry, Hash128Hasher>;
     mutable TimedMutex mutex{lock_names::kMemo};
-    std::unordered_map<GlobalMemoKey, Entry, KeyHash> map;
-    /// Recency order over this shard's keys (pointers into the
-    /// node-based map, stable across rehash); back() is the victim.
-    mutable std::list<const GlobalMemoKey*> lru;
+    Map map;
+    /// Recency order over this shard's hash keys (values, not pointers
+    /// — a CanonicalHash128 is two words); back() is the victim.
+    mutable std::list<CanonicalHash128> lru;
     // Folded lazily by the accessors; never read under the mutex.
     mutable std::atomic<std::uint64_t> hits{0};
     mutable std::atomic<std::uint64_t> probes{0};
     std::atomic<std::uint64_t> publishes{0};
     std::atomic<std::uint64_t> evictions{0};
+    mutable std::atomic<std::uint64_t> collisions{0};
     mutable std::atomic<std::uint64_t> hits_by_origin[kMemoOriginCount] = {};
   };
 
@@ -357,15 +413,43 @@ class GlobalMemo : public MemoBackend {
            (!entry.complete_truncated || entry.complete_depth == 0);
   }
   /// Tier-crossing form of an exportable entry (mutex held).
-  [[nodiscard]] static MemoExportEntry to_export(const GlobalMemoKey& key,
-                                                const Entry& entry) {
-    return MemoExportEntry{key, entry.solution, entry.complete_depth,
+  [[nodiscard]] static MemoExportEntry to_export(const Entry& entry) {
+    return MemoExportEntry{*entry.key, entry.solution, entry.complete_depth,
                            entry.complete_truncated};
   }
 
-  /// Insert-or-touch an entry for `key`, evicting per the LRU policy
-  /// (mutex held).  Returns nullptr when shard_capacity_ is 0.
-  Entry* emplace_entry(Shard& shard, const GlobalMemoKey& key,
+  /// Shard index for a canonical hash (stable for the memo's lifetime).
+  [[nodiscard]] std::size_t shard_of_hash(
+      const CanonicalHash128& h) const noexcept;
+
+  /// Resolve `handle` to its IDENTITY-VERIFIED entry, or map.end() on a
+  /// miss / collision (counted).  Entered with `lk` holding the shard
+  /// mutex; may RELEASE and re-acquire it to materialize the handle's
+  /// key (manager work never runs under a shard lock), re-finding after
+  /// relock since the entry may have moved.  On success the handle
+  /// caches the entry's created_seq so its next probe skips the
+  /// compare entirely.
+  Shard::Map::iterator find_verified(Shard& shard,
+                                     std::unique_lock<TimedMutex>& lk,
+                                     const LazyMemoKey& handle) const;
+
+  /// Key-form verify (compat path; mutex held, never released): the
+  /// caller already owns a materialized key, so a candidate hit is one
+  /// word-compare away.
+  Shard::Map::iterator find_verified(Shard& shard,
+                                     const CanonicalHash128& hash,
+                                     const GlobalMemoKey& key) const;
+
+  /// The completeness/depth gate shared by both lookup_at forms (mutex
+  /// held; `entry` already identity-verified).  Touches recency, counts
+  /// the hit, and copies the solution out.
+  std::optional<MemoHit> serve(const Shard& shard, const Entry& entry,
+                               std::uint64_t depth) const;
+
+  /// Insert-or-touch an entry for (`hash`, `key`), evicting per the LRU
+  /// policy (mutex held).  Returns nullptr when shard_capacity_ is 0.
+  Entry* emplace_entry(Shard& shard, const CanonicalHash128& hash,
+                       std::shared_ptr<const GlobalMemoKey> key,
                        std::uint64_t run_id, MemoOrigin origin);
 
   std::size_t capacity_;        ///< total bound across shards
@@ -385,10 +469,14 @@ class GlobalMemo : public MemoBackend {
   mutable std::mutex listener_mutex_;
   std::function<void(const GlobalMemoKey&)> complete_listener_;
 
-  // Process-wide identity counters; see the concurrency note above for
-  // why a global watermark is sound per shard.
-  std::atomic<std::uint64_t> run_counter_{0};
-  std::atomic<std::uint64_t> insert_seq_{0};
+  // The run-id and entry-creation sequence counters are PROCESS-GLOBAL
+  // (file-local atomics in global_memo.cpp), not members: created_seq
+  // values double as the verification tokens handles cache in
+  // LazyMemoKey::verified_seq, and a handle could outlive one memo and
+  // probe another (tests do; embedders may).  Process-unique tokens
+  // make a stale token merely cost a redundant compare, never validate
+  // against the wrong entry.  A global watermark is still a valid
+  // per-memo watermark for the mark_complete voucher.
 };
 
 }  // namespace brel

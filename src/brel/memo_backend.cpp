@@ -1,6 +1,8 @@
 #include "brel/memo_backend.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
@@ -39,7 +41,7 @@ struct Fnv {
     state ^= word;
     state *= 1099511628211ull;
   }
-  void feed_list(const std::vector<std::uint32_t>& list) noexcept {
+  void feed_list(std::span<const std::uint32_t> list) noexcept {
     feed(list.size());
     for (const std::uint32_t v : list) {
       feed(v);
@@ -47,10 +49,17 @@ struct Fnv {
   }
 };
 
+/// Space tokens start above kIdentityHashSpace (1); 0 stays "uncacheable".
+std::atomic<std::uint64_t> g_space_token{2};
+
+std::atomic<std::uint64_t> g_key_builds{0};
+std::atomic<std::uint64_t> g_key_build_ns{0};
+
 }  // namespace
 
 MemoSpace make_memo_space(const BooleanRelation& r) {
   MemoSpace space;
+  space.token = g_space_token.fetch_add(1, std::memory_order_relaxed);
   space.sorted_vars.reserve(r.num_inputs() + r.num_outputs());
   space.sorted_vars.insert(space.sorted_vars.end(), r.inputs().begin(),
                            r.inputs().end());
@@ -73,26 +82,156 @@ MemoSpace make_memo_space(const BooleanRelation& r) {
   return space;
 }
 
+GlobalMemoKey::GlobalMemoKey(const SerializedBdd& chi,
+                             std::span<const std::uint32_t> input_ranks,
+                             std::span<const std::uint32_t> output_ranks) {
+  const std::size_t n = chi.nodes.size();
+  if ((chi.root >> 1) > n) {
+    throw std::invalid_argument(
+        "GlobalMemoKey: root references an unknown node");
+  }
+  words_.reserve(4 + 3 * n + input_ranks.size() + output_ranks.size());
+  words_.push_back(static_cast<std::uint32_t>(n));
+  words_.push_back(chi.root);
+  words_.push_back(static_cast<std::uint32_t>(input_ranks.size()));
+  words_.push_back(static_cast<std::uint32_t>(output_ranks.size()));
+  for (std::size_t k = 0; k < n; ++k) {
+    const SerializedBdd::Node& node = chi.nodes[k];
+    // Child-before-parent (node k has id k + 1): the arena walkers
+    // index h[child_id] while building forward and must never read
+    // ahead.  serialize_bdd always emits this order; a corrupt snapshot
+    // key fails here, loudly.
+    if ((node.hi >> 1) > k || (node.lo >> 1) > k) {
+      throw std::invalid_argument(
+          "GlobalMemoKey: child id not smaller than parent id");
+    }
+    words_.push_back(node.var);
+    words_.push_back(node.hi);
+    words_.push_back(node.lo);
+  }
+  words_.insert(words_.end(), input_ranks.begin(), input_ranks.end());
+  words_.insert(words_.end(), output_ranks.begin(), output_ranks.end());
+}
+
+SerializedBdd GlobalMemoKey::chi() const {
+  SerializedBdd out;
+  const std::size_t n = node_count();
+  out.nodes.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.nodes.push_back(
+        SerializedBdd::Node{node_var(k), node_hi(k), node_lo(k)});
+    // num_vars is 1 + the largest node rank — exactly what remap_vars
+    // computed for the pre-arena key, so the translation is exact.
+    out.num_vars = std::max(out.num_vars, node_var(k) + 1);
+  }
+  out.root = chi_root();
+  return out;
+}
+
 GlobalMemoKey make_memo_key(const MemoSpace& space, const Bdd& chi) {
-  GlobalMemoKey key;
-  key.chi = remap_vars(serialize_bdd(chi), space.rank_of,
-                       MemoSpace::kUnranked);
-  key.input_ranks = space.input_ranks;
-  key.output_ranks = space.output_ranks;
-  return key;
+  const SerializedBdd canonical =
+      remap_vars(serialize_bdd(chi), space.rank_of, MemoSpace::kUnranked);
+  return GlobalMemoKey(canonical, space.input_ranks, space.output_ranks);
 }
 
 std::uint64_t memo_key_hash(const GlobalMemoKey& key) {
+  // Frozen feed sequence (see the header comment): identical word for
+  // word to the pre-arena implementation, which fed the SerializedBdd
+  // fields directly — snapshot `check=` values must not move.
   Fnv h;
-  h.feed(key.chi.nodes.size());
-  for (const SerializedBdd::Node& n : key.chi.nodes) {
-    h.feed((static_cast<std::uint64_t>(n.var) << 32) ^ n.hi);
-    h.feed(n.lo);
+  const std::size_t n = key.node_count();
+  h.feed(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    h.feed((static_cast<std::uint64_t>(key.node_var(k)) << 32) ^
+           key.node_hi(k));
+    h.feed(key.node_lo(k));
   }
-  h.feed(key.chi.root);
-  h.feed_list(key.input_ranks);
-  h.feed_list(key.output_ranks);
+  h.feed(key.chi_root());
+  h.feed_list(key.input_ranks());
+  h.feed_list(key.output_ranks());
   return h.state;
+}
+
+CanonicalHash128 memo_key_hash128(const GlobalMemoKey& key) {
+  // The arena walk: rebuild each node's structural hash bottom-up from
+  // its record, in lockstep with BddManager::canonical_hash (node vars
+  // here are already ranks).
+  const std::size_t n = key.node_count();
+  std::vector<CanonicalHash128> h(n + 1);
+  h[0] = chash::kOneHash;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t hi = key.node_hi(k);
+    const std::uint32_t lo = key.node_lo(k);
+    h[k + 1] = chash::node_hash(
+        key.node_var(k), chash::edge_hash(h[hi >> 1], (hi & 1u) != 0),
+        chash::edge_hash(h[lo >> 1], (lo & 1u) != 0));
+  }
+  const std::uint32_t root = key.chi_root();
+  return memo_key_hash128(
+      chash::edge_hash(h[root >> 1], (root & 1u) != 0), key.input_ranks(),
+      key.output_ranks());
+}
+
+CanonicalHash128 memo_key_hash128(
+    const CanonicalHash128& chi_hash,
+    std::span<const std::uint32_t> input_ranks,
+    std::span<const std::uint32_t> output_ranks) {
+  chash::Accumulator h;
+  h.feed(chi_hash.lo);
+  h.feed(chi_hash.hi);
+  h.feed(input_ranks.size());
+  for (const std::uint32_t r : input_ranks) {
+    h.feed(r);
+  }
+  h.feed(output_ranks.size());
+  for (const std::uint32_t r : output_ranks) {
+    h.feed(r);
+  }
+  return h.digest();
+}
+
+const GlobalMemoKey& LazyMemoKey::get() const {
+  if (key_ == nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    key_ = std::make_shared<const GlobalMemoKey>(
+        make_memo_key(*space_, chi_));
+    const auto end = std::chrono::steady_clock::now();
+    g_key_builds.fetch_add(1, std::memory_order_relaxed);
+    g_key_build_ns.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count(),
+        std::memory_order_relaxed);
+    // MATERIALIZED is a terminal state: drop the manager handle so the
+    // key is plain data from here on (and the chi DAG is unpinned).
+    chi_ = Bdd();
+    space_.reset();
+  }
+  return *key_;
+}
+
+std::shared_ptr<const GlobalMemoKey> LazyMemoKey::shared_key() const {
+  (void)get();
+  return key_;
+}
+
+MemoKeyHandle make_memo_handle(std::shared_ptr<const MemoSpace> space,
+                               const Bdd& chi) {
+  BddManager& mgr = *chi.manager();
+  const CanonicalHash128 chi_hash =
+      mgr.canonical_hash(chi, space->rank_of, space->token);
+  return std::make_shared<LazyMemoKey>(
+      memo_key_hash128(chi_hash, space->input_ranks, space->output_ranks),
+      chi, std::move(space));
+}
+
+MemoKeyBuildStats memo_key_build_stats() noexcept {
+  return MemoKeyBuildStats{g_key_builds.load(std::memory_order_relaxed),
+                           g_key_build_ns.load(std::memory_order_relaxed)};
+}
+
+void reset_memo_key_build_stats() noexcept {
+  g_key_builds.store(0, std::memory_order_relaxed);
+  g_key_build_ns.store(0, std::memory_order_relaxed);
 }
 
 PortableSolution make_portable_solution(const MemoSpace& space,

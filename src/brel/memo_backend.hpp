@@ -32,14 +32,18 @@
 /// depth, or truncated-at-0), so a restored memo answers probes
 /// bit-identically to the memo that was saved.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "bdd/bdd_hash.hpp"
 #include "bdd/bdd_transfer.hpp"
 #include "relation/relation.hpp"
 
@@ -57,6 +61,10 @@ struct MemoSpace {
   std::vector<std::uint32_t> rank_of;
   std::vector<std::uint32_t> input_ranks;   ///< ranks of inputs, in order
   std::vector<std::uint32_t> output_ranks;  ///< ranks of outputs, in order
+  /// Process-unique name of this rank map, handed to
+  /// BddManager::canonical_hash so its per-node cache knows when the
+  /// map changed (make_memo_space allocates; 0 = "uncacheable").
+  std::uint64_t token = 0;
 
   static constexpr std::uint32_t kUnranked = 0xFFFFFFFFu;
 };
@@ -67,12 +75,64 @@ struct MemoSpace {
 /// Canonical identity of one subproblem: rank-mapped characteristic plus
 /// the input/output split.  Equal keys mean structurally identical
 /// subrelations regardless of manager or variable offset.
-struct GlobalMemoKey {
-  SerializedBdd chi;  ///< node vars are ranks, not manager variables
-  std::vector<std::uint32_t> input_ranks;
-  std::vector<std::uint32_t> output_ranks;
+///
+/// Stored as fixed-width words in ONE contiguous arena —
+/// [node_count, chi_root, #iranks, #oranks | var,hi,lo per node |
+/// input ranks | output ranks] — so equality is a flat word compare and
+/// an in-memory key costs a single allocation.  Text remains the format
+/// at every snapshot/wire boundary: `chi()` reconstructs the exact
+/// SerializedBdd the pre-arena key held (num_vars is derivable — always
+/// 1 + the largest node rank), so `brelmemo 1` files and MEMO_PULL/PUSH
+/// frames are byte-identical to the pre-arena format.
+class GlobalMemoKey {
+ public:
+  GlobalMemoKey() : words_{0, 0, 0, 0} {}
+  /// Pack a rank-form serialized chi (node vars are RANKS) and the rank
+  /// lists.  Throws std::invalid_argument when the node list is not in
+  /// child-before-parent order or the root id is out of range — the
+  /// arena walkers (hash128, chi()) index by id and never re-validate.
+  GlobalMemoKey(const SerializedBdd& chi,
+                std::span<const std::uint32_t> input_ranks,
+                std::span<const std::uint32_t> output_ranks);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return words_.empty() ? 0 : words_[0];
+  }
+  [[nodiscard]] std::uint32_t chi_root() const noexcept {
+    return words_.empty() ? 0 : words_[1];
+  }
+  [[nodiscard]] std::uint32_t node_var(std::size_t k) const noexcept {
+    return words_[4 + 3 * k];
+  }
+  [[nodiscard]] std::uint32_t node_hi(std::size_t k) const noexcept {
+    return words_[4 + 3 * k + 1];
+  }
+  [[nodiscard]] std::uint32_t node_lo(std::size_t k) const noexcept {
+    return words_[4 + 3 * k + 2];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> input_ranks() const noexcept {
+    return words_.empty()
+               ? std::span<const std::uint32_t>{}
+               : std::span<const std::uint32_t>{words_}.subspan(
+                     4 + 3 * node_count(), words_[2]);
+  }
+  [[nodiscard]] std::span<const std::uint32_t> output_ranks()
+      const noexcept {
+    return words_.empty()
+               ? std::span<const std::uint32_t>{}
+               : std::span<const std::uint32_t>{words_}.subspan(
+                     4 + 3 * node_count() + words_[2], words_[3]);
+  }
+  /// Exact translator back to the text-boundary form.
+  [[nodiscard]] SerializedBdd chi() const;
 
   [[nodiscard]] bool operator==(const GlobalMemoKey&) const = default;
+
+  friend std::uint64_t memo_key_hash(const GlobalMemoKey& key);
+  friend CanonicalHash128 memo_key_hash128(const GlobalMemoKey& key);
+
+ private:
+  std::vector<std::uint32_t> words_;
 };
 
 /// Canonical key for a subrelation with characteristic `chi` living in
@@ -82,11 +142,104 @@ struct GlobalMemoKey {
                                           const Bdd& chi);
 
 /// 64-bit FNV-1a content hash of a canonical key.  One hash feeds three
-/// consumers that must agree on identity: the in-memory shard map
-/// (GlobalMemo::KeyHash), the shard-of-key mix, and the peer-exchange
-/// consistent-hash ring (memo_exchange.hpp) — a key owned by peer P
-/// hashes identically in every process.
+/// consumers that must agree on identity ACROSS PROCESSES AND VERSIONS:
+/// the snapshot entry checksum (memo_entry_checksum embeds it in
+/// `check=` fields on disk), the peer-exchange consistent-hash ring
+/// (memo_exchange.hpp — a key owned by peer P hashes identically in
+/// every process), and the MEMO_PULL/PUSH frames.  Its feed sequence is
+/// therefore frozen; the in-memory store keys on memo_key_hash128
+/// instead, which needs no serialized form.
 [[nodiscard]] std::uint64_t memo_key_hash(const GlobalMemoKey& key);
+
+/// 128-bit canonical hash of a whole key: the structural hash of chi
+/// (bdd_hash.hpp) folded with the rank lists.  The in-memory shard map,
+/// the shard mix, and the two-phase probe key on this value.  Two ways
+/// to compute it, guaranteed to agree:
+///   - from a live manager:  memo_key_hash128(canonical_hash(chi), space)
+///     — O(new nodes), nothing serialized;
+///   - from a materialized key: memo_key_hash128(key) — the arena walk.
+[[nodiscard]] CanonicalHash128 memo_key_hash128(const GlobalMemoKey& key);
+[[nodiscard]] CanonicalHash128 memo_key_hash128(
+    const CanonicalHash128& chi_hash,
+    std::span<const std::uint32_t> input_ranks,
+    std::span<const std::uint32_t> output_ranks);
+
+/// A canonical key in one of two states: HASHED (the 128-bit identity
+/// plus the live chi handle needed to materialize later) or MATERIALIZED
+/// (the arena form built, the chi handle dropped — pure plain data from
+/// then on).  The engines thread these through memo chains so the common
+/// case — probe misses and ancestor republishes — never serializes;
+/// get() materializes exactly once, on the first candidate hit to verify
+/// or on first publish.
+///
+/// Thread contract: materialization touches chi's manager, so get() on a
+/// HASHED handle may only run on that manager's owning thread.  Work
+/// migration respects this by materializing every chain handle on the
+/// victim's thread before the hand-off (the queue mutex is the barrier);
+/// once materialized, the handle is immutable plain data and concurrent
+/// get()/shared_key() are safe.  `verified_seq` is the only field
+/// written after sharing and is a relaxed atomic (a stale read only
+/// costs a redundant verification).
+class LazyMemoKey {
+ public:
+  /// HASHED state.  `chi` pins the characteristic until materialization.
+  LazyMemoKey(const CanonicalHash128& key_hash, Bdd chi,
+              std::shared_ptr<const MemoSpace> space)
+      : hash(key_hash), chi_(std::move(chi)), space_(std::move(space)) {}
+  /// MATERIALIZED from the start (hash computed via the arena walk).
+  explicit LazyMemoKey(GlobalMemoKey key)
+      : hash(memo_key_hash128(key)),
+        key_(std::make_shared<const GlobalMemoKey>(std::move(key))) {}
+  /// MATERIALIZED with an EXPLICIT hash.  This is the collision
+  /// injection seam for tests: a genuine 128-bit collision cannot be
+  /// constructed, so the forced-collision test lies about the hash here
+  /// and asserts the verify step still disambiguates.  Production code
+  /// never calls this with a hash that is not memo_key_hash128(key).
+  LazyMemoKey(const CanonicalHash128& key_hash, GlobalMemoKey key)
+      : hash(key_hash),
+        key_(std::make_shared<const GlobalMemoKey>(std::move(key))) {}
+
+  [[nodiscard]] bool materialized() const noexcept {
+    return key_ != nullptr;
+  }
+  /// The materialized key, building it on first call (see the thread
+  /// contract above).
+  [[nodiscard]] const GlobalMemoKey& get() const;
+  /// Shared ownership of the materialized key (materializes too) — what
+  /// GlobalMemo entries store, so insert never copies the arena.
+  [[nodiscard]] std::shared_ptr<const GlobalMemoKey> shared_key() const;
+
+  const CanonicalHash128 hash;
+  /// created_seq of the store entry this handle last verified equal
+  /// against (0 = never) — lets a re-publish skip the key compare.
+  mutable std::atomic<std::uint64_t> verified_seq{0};
+
+ private:
+  mutable std::shared_ptr<const GlobalMemoKey> key_;
+  mutable Bdd chi_;
+  mutable std::shared_ptr<const MemoSpace> space_;
+};
+
+/// How the engines refer to a canonical key: shared so one handle (and
+/// its one materialization) serves a subproblem, its ancestor chains,
+/// and the touched-key list alike.
+using MemoKeyHandle = std::shared_ptr<LazyMemoKey>;
+
+/// HASHED handle for the subrelation with characteristic `chi` in
+/// `space` — the probe-path constructor: one canonical_hash walk
+/// (amortized O(new nodes)), nothing serialized.
+[[nodiscard]] MemoKeyHandle make_memo_handle(
+    std::shared_ptr<const MemoSpace> space, const Bdd& chi);
+
+/// Process-wide materialization accounting: how many HASHED handles were
+/// ever materialized and the wall time spent doing it.  Feeds the
+/// `key_build_ms` bench field and the never-serializes-on-miss test.
+struct MemoKeyBuildStats {
+  std::uint64_t builds = 0;
+  std::uint64_t ns = 0;
+};
+[[nodiscard]] MemoKeyBuildStats memo_key_build_stats() noexcept;
+void reset_memo_key_build_stats() noexcept;
 
 /// A manager-independent multi-output solution: one rank-mapped
 /// serialized BDD per output, over the *input* ranks of its space.

@@ -82,24 +82,25 @@ std::uint64_t memo_entry_checksum(const MemoExportEntry& e) {
 }
 
 void write_memo_key(std::ostream& os, const GlobalMemoKey& key) {
-  os << ".iranks " << key.input_ranks.size();
-  for (const std::uint32_t r : key.input_ranks) {
+  const auto iranks = key.input_ranks();
+  os << ".iranks " << iranks.size();
+  for (const std::uint32_t r : iranks) {
     os << ' ' << r;
   }
   os << '\n';
-  os << ".oranks " << key.output_ranks.size();
-  for (const std::uint32_t r : key.output_ranks) {
+  const auto oranks = key.output_ranks();
+  os << ".oranks " << oranks.size();
+  for (const std::uint32_t r : oranks) {
     os << ' ' << r;
   }
   os << '\n';
-  os << ".chi " << key.chi.nodes.size() << '\n';
-  write_serialized_bdd(os, key.chi);
+  os << ".chi " << key.node_count() << '\n';
+  write_serialized_bdd(os, key.chi());
 }
 
 GlobalMemoKey read_memo_key(std::istream& in) {
-  GlobalMemoKey key;
-  key.input_ranks = read_rank_list(in, ".iranks");
-  key.output_ranks = read_rank_list(in, ".oranks");
+  const std::vector<std::uint32_t> iranks = read_rank_list(in, ".iranks");
+  const std::vector<std::uint32_t> oranks = read_rank_list(in, ".oranks");
   std::string keyword;
   std::size_t chi_nodes = 0;
   if (!(in >> keyword) || keyword != ".chi" || !(in >> chi_nodes)) {
@@ -112,8 +113,10 @@ GlobalMemoKey read_memo_key(std::istream& in) {
   // so its first getline sees a node line, not an empty remainder.
   std::string rest;
   std::getline(in, rest);
-  key.chi = read_serialized_bdd(in, chi_nodes);
-  return key;
+  // The arena constructor re-validates id order (child before parent) —
+  // a malformed key throws std::invalid_argument like every other parse
+  // failure here and costs exactly this entry.
+  return GlobalMemoKey(read_serialized_bdd(in, chi_nodes), iranks, oranks);
 }
 
 void write_memo_fingerprint(std::ostream& os, const MemoFingerprint& fp) {

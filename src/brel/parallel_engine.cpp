@@ -31,15 +31,18 @@ namespace {
 /// safe to hand across threads (see bdd_transfer.hpp).  The push-time
 /// best-first candidate and the cache ancestor chain do not travel — the
 /// thief re-seeds the priority and starts a fresh chain in its own cache.
-/// The global-memo key chain DOES travel: keys are manager-independent
-/// immutable values, and dropping the chain would detach the stolen
-/// subtree's discoveries from its ancestors' memo entries (a warm
+/// The global-memo key chain DOES travel: dropping it would detach the
+/// stolen subtree's discoveries from its ancestors' memo entries (a warm
 /// re-solve at the root would then return a worse cost than the run
 /// that warmed it whenever the best solution was found in stolen work).
+/// Chain handles are lazy (LazyMemoKey) and a HASHED handle pins a Bdd
+/// of the VICTIM's manager, so donate_work materializes every handle on
+/// the victim's thread before serializing the batch — what crosses the
+/// queue is plain data again, and the queue mutex is the barrier.
 struct InjectedSubproblem {
   SerializedBdd chi;
   std::size_t depth = 0;
-  std::vector<std::shared_ptr<const GlobalMemoKey>> memo_chain;
+  std::vector<MemoKeyHandle> memo_chain;
   /// Incremental-delta cofactor (delta_context.hpp), present iff the
   /// victim was tracking a delta; it migrates with the subtree so the
   /// thief keeps classifying (and short-circuiting) exactly as the
@@ -115,8 +118,8 @@ struct WorkerOutcome {
   /// not the worker — turns the fleet-wide union into completeness
   /// marks.
   std::vector<SearchContext::MemoTouch> memo_touched;
-  std::unordered_set<const GlobalMemoKey*> memo_hard_tainted;
-  std::unordered_set<const GlobalMemoKey*> memo_soft_tainted;
+  std::unordered_set<const LazyMemoKey*> memo_hard_tainted;
+  std::unordered_set<const LazyMemoKey*> memo_soft_tainted;
 };
 
 /// Serve pending steal requests from this worker's surplus: donate one
@@ -149,6 +152,13 @@ void donate_work(SharedState& shared, Frontier& frontier, BddManager& mgr,
     InjectedBatch batch;
     batch.reserve(picks.size());
     for (Subproblem& victim : picks) {
+      // Materialize every chain handle HERE, on the victim's thread: a
+      // HASHED handle pins a Bdd of this manager, which must not cross
+      // to the thief (see LazyMemoKey's thread contract).  Once
+      // materialized the handle is immutable plain data.
+      for (const MemoKeyHandle& key : victim.memo_chain) {
+        (void)key->get();
+      }
       std::optional<SerializedBdd> delta;
       if (!victim.delta.is_null()) {
         delta = mgr.serialize_bdd(victim.delta);
@@ -288,13 +298,15 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
   // layout, so every worker produces identical canonical forms.  Built
   // even without a memo: the space anchors the canonical equal-cost tie
   // order (canonically_before) for the incumbent and the merge.
-  std::optional<MemoSpace> memo_space;
-  memo_space.emplace(make_memo_space(root));
-  ctx.tie_space = &*memo_space;
+  const std::shared_ptr<const MemoSpace> memo_space =
+      std::make_shared<const MemoSpace>(make_memo_space(root));
+  ctx.tie_space = memo_space.get();
   if (options.global_memo != nullptr) {
     // The memo itself is shared (thread-safe, plain-data entries).
     ctx.memo = options.global_memo.get();
-    ctx.memo_space = &*memo_space;
+    ctx.memo_space = memo_space.get();
+    // Shared ref: HASHED key handles keep this worker's space alive.
+    ctx.memo_space_ref = memo_space;
     // One stamp for the whole fleet: the fleet is one producing run.
     ctx.memo_stamp = memo_stamp;
   }
@@ -332,9 +344,9 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
     if (ctx.memo_active(0)) {
       // The coordinator already probed the memo before spawning the
       // fleet (a root hit never starts threads), so worker 0 only seeds
-      // the publish chain here.
-      root_item.memo_chain.push_back(std::make_shared<const GlobalMemoKey>(
-          make_memo_key(*ctx.memo_space, root.characteristic())));
+      // the publish chain here — a hash-only handle, like any child key.
+      root_item.memo_chain.push_back(
+          make_memo_handle(ctx.memo_space_ref, root.characteristic()));
       ctx.memo_touched.push_back({root_item.memo_chain.back(), 0});
     }
     if (root_delta != nullptr) {
@@ -348,7 +360,7 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
       ctx.cache->improve(root_item.ancestors, quick, quick_cost);
     }
     if (ctx.memo != nullptr && !root_item.memo_chain.empty()) {
-      ctx.memo->publish(*root_item.memo_chain.front(),
+      ctx.memo->publish(root_item.memo_chain.front(),
                         make_portable_solution(*ctx.memo_space, quick,
                                                quick_cost),
                         ctx.memo_stamp.run_id);
@@ -414,6 +426,13 @@ void run_worker(std::size_t worker_id, BddManager& mgr,
                   *memo_space, out.best, out.best_cost));
   }
   out.stats = ctx.stats;
+  // Materialize every touched handle before it leaves this thread: the
+  // coordinator reads shared_key() for the completeness marks, and a
+  // still-HASHED handle (probe missed, nothing ever published under it)
+  // can only be built where its manager lives — here.
+  for (const SearchContext::MemoTouch& touch : ctx.memo_touched) {
+    (void)touch.key->get();
+  }
   out.memo_touched = std::move(ctx.memo_touched);
   out.memo_hard_tainted = std::move(ctx.memo_hard_tainted);
   out.memo_soft_tainted = std::move(ctx.memo_soft_tainted);
@@ -489,16 +508,16 @@ SolveResult ParallelEngine::run() {
   // memoized best of an identical earlier solve — return it directly.
   // The space and key outlive the probe: the incremental overlay below
   // and the end-of-run base registration reuse them.
-  std::optional<MemoSpace> memo_space;
-  std::optional<GlobalMemoKey> root_key;
+  std::shared_ptr<const MemoSpace> memo_space;
+  MemoKeyHandle root_key;
   if (options_.global_memo != nullptr) {
-    memo_space.emplace(make_memo_space(root_));
-    root_key.emplace(make_memo_key(*memo_space, root_.characteristic()));
+    memo_space = std::make_shared<const MemoSpace>(make_memo_space(root_));
+    root_key = make_memo_handle(memo_space, root_.characteristic());
     if (const std::optional<PortableSolution> entry =
-            options_.global_memo->lookup(*root_key)) {
+            options_.global_memo->lookup(root_key)) {
       if (options_.delta_registry != nullptr) {
         // A served root is as good as a drained one for the next diff.
-        options_.delta_registry->remember(*root_key);
+        options_.delta_registry->remember(root_key->get());
       }
       SolveResult result;
       result.function =
@@ -522,9 +541,12 @@ SolveResult ParallelEngine::run() {
   // materializes it onto the root, donations carry the per-subtree
   // cofactors from there.
   std::optional<SerializedBdd> root_delta;
-  if (options_.delta_registry != nullptr && root_key.has_value()) {
-    if (const SerializedBdd* base =
-            options_.delta_registry->find_base(*root_key)) {
+  if (options_.delta_registry != nullptr && memo_space != nullptr) {
+    // Rank-list overlay probe: a miss must not force the root key to
+    // materialize (that would serialize on the cold path the lazy keys
+    // exist to keep serialization-free).
+    if (const SerializedBdd* base = options_.delta_registry->find_base(
+            memo_space->input_ranks, memo_space->output_ranks)) {
       const Bdd base_chi =
           import_canonical_bdd(root_mgr, *memo_space, *base);
       root_delta =
@@ -641,8 +663,8 @@ SolveResult ParallelEngine::run() {
   // re-serialized, so one canonical key stays one object fleet-wide.
   if (options_.global_memo != nullptr && !result.stats.budget_exhausted) {
     std::vector<SearchContext::MemoTouch> touched;
-    std::unordered_set<const GlobalMemoKey*> hard_tainted;
-    std::unordered_set<const GlobalMemoKey*> soft_tainted;
+    std::unordered_set<const LazyMemoKey*> hard_tainted;
+    std::unordered_set<const LazyMemoKey*> soft_tainted;
     for (WorkerOutcome& outcome : outcomes) {
       touched.insert(touched.end(),
                      std::make_move_iterator(outcome.memo_touched.begin()),
@@ -664,8 +686,10 @@ SolveResult ParallelEngine::run() {
       if (options_.delta_registry != nullptr &&
           result.stats.fifo_overflow == 0) {
         // The root entry is now marked: this run's relation becomes the
-        // freshest base for the next nearly-identical request.
-        options_.delta_registry->remember(*root_key);
+        // freshest base for the next nearly-identical request.  The
+        // coordinator's handle materializes here at the latest (this
+        // thread owns the root manager, so the build is legal).
+        options_.delta_registry->remember(root_key->get());
       }
     }
   }

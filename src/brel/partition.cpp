@@ -28,13 +28,18 @@ SolveResult solve_partitioned(const BooleanRelation& r,
   // content-keyed root probes — it only explains the reuse in the stats,
   // exactly like the subtree-level overlay in search.cpp.
   Bdd delta;
-  std::optional<GlobalMemoKey> root_key;
+  std::shared_ptr<const MemoSpace> memo_space;
+  MemoKeyHandle root_key;
   if (options.delta_registry != nullptr && options.global_memo != nullptr) {
-    const MemoSpace space = make_memo_space(r);
-    root_key.emplace(make_memo_key(space, r.characteristic()));
-    if (const SerializedBdd* base =
-            options.delta_registry->find_base(*root_key)) {
-      delta = r.characteristic() ^ import_canonical_bdd(mgr, space, *base);
+    memo_space = std::make_shared<const MemoSpace>(make_memo_space(r));
+    // Lazy handle: the overlay probe goes through the rank lists, so a
+    // cold run (no remembered base) builds neither a key nor a hash walk
+    // beyond the O(new nodes) canonical hash.
+    root_key = make_memo_handle(memo_space, r.characteristic());
+    if (const SerializedBdd* base = options.delta_registry->find_base(
+            memo_space->input_ranks, memo_space->output_ranks)) {
+      delta =
+          r.characteristic() ^ import_canonical_bdd(mgr, *memo_space, *base);
     }
   }
 
@@ -109,9 +114,9 @@ SolveResult solve_partitioned(const BooleanRelation& r,
   // This run becomes the next base for its spaces — same drain condition
   // as the engine's (an interrupted run must not anchor future diffs to
   // a composition of degraded block results).
-  if (root_key.has_value() && !stats.budget_exhausted &&
+  if (root_key != nullptr && !stats.budget_exhausted &&
       stats.fifo_overflow == 0) {
-    options.delta_registry->remember(*root_key);
+    options.delta_registry->remember(root_key->get());
   }
 
   stats.runtime_seconds =

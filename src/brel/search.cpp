@@ -69,9 +69,9 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child, Bdd&& delta,
   // instead of losing the branch — never worse than the QuickSolver
   // safety net would have been.
   if (ctx.cache != nullptr) {
-    const std::optional<CachedSolution> prior =
+    const CachedSolution* const prior =
         ctx.cache->seen_before_or_insert(child.characteristic());
-    if (prior.has_value() && prior->has_solution()) {
+    if (prior != nullptr && prior->has_solution()) {
       ++ctx.stats.pruned_by_cache;
       ++ctx.stats.solutions_seen;
       // The memo (if any) must see this solution for the ancestors too —
@@ -94,19 +94,21 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child, Bdd&& delta,
   // worse than the safety net.  In-tree self-hits are impossible
   // (Property 5.4 again: the key is a faithful image of the
   // characteristic), so a cold solve is unaffected by an empty memo.
+  // The probe is HASH-ONLY (make_memo_handle): a miss costs one cached
+  // structural-hash walk and serializes nothing; only a candidate hit
+  // (or the publishes below) ever builds the canonical key.
   const std::size_t child_depth = parent.depth + 1;
   const bool delta_untouched = !delta.is_null() && delta.is_zero();
-  std::shared_ptr<const GlobalMemoKey> memo_key;
+  MemoKeyHandle memo_key;
   if (ctx.memo_active(child_depth)) {
-    memo_key = std::make_shared<const GlobalMemoKey>(
-        make_memo_key(*ctx.memo_space, child.characteristic()));
+    memo_key = make_memo_handle(ctx.memo_space_ref, child.characteristic());
     ctx.memo_touched.push_back({memo_key, child_depth});
     // lookup_at() only surfaces COMPLETE entries whose claim covers this
     // depth (subtrees some run of this configuration explored to its
     // natural end, or truncated exactly as our depth budget would), so a
     // truncated run's partial publishes can never prune us.
     if (const std::optional<MemoHit> hit = ctx.memo->lookup_at(
-            *memo_key, ctx.memo_probe_depth(child_depth))) {
+            memo_key, ctx.memo_probe_depth(child_depth))) {
       ++ctx.stats.memo_hits;
       ++ctx.stats.solutions_seen;
       if (ctx.delta_active && delta_untouched) {
@@ -123,9 +125,10 @@ void enqueue_child(SearchContext& ctx, BooleanRelation&& child, Bdd&& delta,
       }
       // Propagate the hit up the chain: the pruned branch's ancestors
       // (this run's root included) must memoize at least this well.
-      for (const std::shared_ptr<const GlobalMemoKey>& key :
-           parent.memo_chain) {
-        ctx.memo->publish(*key, hit->solution, ctx.memo_stamp.run_id);
+      // Chain handles were verified at their own publish/probe, so each
+      // republish is a token compare — no key work.
+      for (const MemoKeyHandle& key : parent.memo_chain) {
+        ctx.memo->publish(key, hit->solution, ctx.memo_stamp.run_id);
       }
       ctx.offer_solution(
           import_portable_solution(ctx.mgr, *ctx.memo_space, hit->solution),
@@ -220,16 +223,16 @@ void SearchContext::offer_solution(MultiFunction f) {
   offer_solution(std::move(f), solution_cost);
 }
 
-void SearchContext::publish_to_memo(
-    std::span<const std::shared_ptr<const GlobalMemoKey>> chain,
-    const MultiFunction& f, double solution_cost) {
+void SearchContext::publish_to_memo(std::span<const MemoKeyHandle> chain,
+                                    const MultiFunction& f,
+                                    double solution_cost) {
   if (memo == nullptr || chain.empty()) {
     return;
   }
   const PortableSolution portable =
       make_portable_solution(*memo_space, f, solution_cost);
-  for (const std::shared_ptr<const GlobalMemoKey>& key : chain) {
-    memo->publish(*key, portable, memo_stamp.run_id);
+  for (const MemoKeyHandle& key : chain) {
+    memo->publish(key, portable, memo_stamp.run_id);
   }
 }
 
@@ -242,35 +245,36 @@ void SearchContext::record_solution(const Subproblem& from, MultiFunction f,
   offer_solution(std::move(f), solution_cost);
 }
 
-void SearchContext::taint_hard(
-    std::span<const std::shared_ptr<const GlobalMemoKey>> chain) {
-  for (const std::shared_ptr<const GlobalMemoKey>& key : chain) {
+void SearchContext::taint_hard(std::span<const MemoKeyHandle> chain) {
+  for (const MemoKeyHandle& key : chain) {
     memo_hard_tainted.insert(key.get());
   }
 }
 
-void SearchContext::taint_soft(
-    std::span<const std::shared_ptr<const GlobalMemoKey>> chain) {
-  for (const std::shared_ptr<const GlobalMemoKey>& key : chain) {
+void SearchContext::taint_soft(std::span<const MemoKeyHandle> chain) {
+  for (const MemoKeyHandle& key : chain) {
     memo_soft_tainted.insert(key.get());
   }
 }
 
 std::vector<MemoMark> make_memo_marks(
     std::span<const SearchContext::MemoTouch> touched,
-    const std::unordered_set<const GlobalMemoKey*>& hard_tainted,
-    const std::unordered_set<const GlobalMemoKey*>& soft_tainted,
-    bool unlimited_depth, const GlobalMemoKey* root_key, bool allow_root) {
+    const std::unordered_set<const LazyMemoKey*>& hard_tainted,
+    const std::unordered_set<const LazyMemoKey*>& soft_tainted,
+    bool unlimited_depth, const LazyMemoKey* root_key, bool allow_root) {
   std::vector<MemoMark> marks;
   marks.reserve(touched.size());
+  // Marks carry materialized keys (the once-per-run cold path).  Every
+  // handle that can match a store entry was materialized at its first
+  // publish or verified hit, so shared_key() is a plain read here.
   for (const SearchContext::MemoTouch& t : touched) {
     if (hard_tainted.count(t.key.get()) == 0) {
       if (soft_tainted.count(t.key.get()) != 0) {
-        marks.push_back(
-            MemoMark{t.key, static_cast<std::uint64_t>(t.depth), true});
+        marks.push_back(MemoMark{t.key->shared_key(),
+                                 static_cast<std::uint64_t>(t.depth), true});
       } else {
         marks.push_back(MemoMark{
-            t.key,
+            t.key->shared_key(),
             unlimited_depth ? GlobalMemo::kAnyDepth
                             : static_cast<std::uint64_t>(t.depth),
             false});
@@ -279,7 +283,7 @@ std::vector<MemoMark> make_memo_marks(
       // Root exception (see the protocol in global_memo.hpp): whatever
       // cut the run's subtrees, the root entry IS the returned result —
       // truncated-at-0 serves exactly a re-solve of the same relation.
-      marks.push_back(MemoMark{t.key, 0, true});
+      marks.push_back(MemoMark{t.key->shared_key(), 0, true});
     }
   }
   return marks;
@@ -485,14 +489,17 @@ SearchEngine::SearchEngine(const BooleanRelation& root,
   }
   // The rank space is built unconditionally: besides keying the memo it
   // anchors the canonical equal-cost tie order, which must be identical
-  // between memo-less and memo-backed runs of the same relation.
-  memo_space_.emplace(make_memo_space(root_));
-  ctx_.tie_space = &*memo_space_;
+  // between memo-less and memo-backed runs of the same relation.  No
+  // KEYS (and no hashes) are ever built on memo-less runs, though — the
+  // rank tables are the only canonical-form work they pay for.
+  memo_space_ = std::make_shared<const MemoSpace>(make_memo_space(root_));
+  ctx_.tie_space = memo_space_.get();
   if (options_.global_memo != nullptr) {
     memo_ = options_.global_memo;
     memo_->bind(MemoFingerprint{ctx_.cost.id(), options_.exact});
     ctx_.memo = memo_.get();
-    ctx_.memo_space = &*memo_space_;
+    ctx_.memo_space = memo_space_.get();
+    ctx_.memo_space_ref = memo_space_;
     ctx_.memo_stamp = memo_->begin_run();
   }
 }
@@ -531,17 +538,18 @@ SolveResult SearchEngine::run() {
     // exploration.  On a miss the root key seeds every descendant's
     // publish chain, so by the end of this run the memo's root entry
     // equals the returned incumbent.
-    auto root_key = std::make_shared<const GlobalMemoKey>(
-        make_memo_key(*ctx_.memo_space, root_.characteristic()));
+    MemoKeyHandle root_key =
+        make_memo_handle(memo_space_, root_.characteristic());
     ctx_.memo_touched.push_back({root_key, 0});
     if (const std::optional<PortableSolution> entry =
-            ctx_.memo->lookup(*root_key)) {
+            ctx_.memo->lookup(root_key)) {
       ++ctx_.stats.memo_hits;
       ++ctx_.stats.solutions_seen;
       if (options_.delta_registry != nullptr) {
         // A served root is as good as a drained one for the next diff:
         // its interior entries are whatever its producing run marked.
-        options_.delta_registry->remember(*root_key);
+        // The hit verified the handle, so get() is already built.
+        options_.delta_registry->remember(root_key->get());
       }
       SolveResult result;
       result.function =
@@ -562,9 +570,11 @@ SolveResult SearchEngine::run() {
   // carry the change region down the decomposition.  Purely an overlay —
   // reuse itself happens through the ordinary memo probes above.
   if (options_.delta_registry != nullptr && !root_item.memo_chain.empty()) {
-    const GlobalMemoKey& root_key = *root_item.memo_chain.front();
-    if (const SerializedBdd* base =
-            options_.delta_registry->find_base(root_key)) {
+    // Signature-only base probe (the rank lists live in the memo space)
+    // — learning whether a base exists must not materialize the root
+    // key the memo miss above deliberately left hash-only.
+    if (const SerializedBdd* base = options_.delta_registry->find_base(
+            memo_space_->input_ranks, memo_space_->output_ranks)) {
       const Bdd base_chi =
           import_canonical_bdd(ctx_.mgr, *ctx_.memo_space, *base);
       root_item.delta = root_.characteristic() ^ base_chi;
@@ -605,7 +615,7 @@ SolveResult SearchEngine::run() {
     ctx_.cache->improve(root_item.ancestors, quick, quick_cost);
   }
   if (ctx_.memo != nullptr && !root_item.memo_chain.empty()) {
-    ctx_.memo->publish(*root_item.memo_chain.front(),
+    ctx_.memo->publish(root_item.memo_chain.front(),
                        make_portable_solution(*ctx_.memo_space, quick,
                                               quick_cost),
                        ctx_.memo_stamp.run_id);
@@ -652,8 +662,9 @@ SolveResult SearchEngine::run() {
     if (options_.delta_registry != nullptr &&
         ctx_.stats.fifo_overflow == 0) {
       // The root entry is now marked: this run's relation becomes the
-      // freshest base for the next nearly-identical request.
-      options_.delta_registry->remember(*ctx_.memo_touched.front().key);
+      // freshest base for the next nearly-identical request.  The root
+      // key was materialized by its quick-solution publish above.
+      options_.delta_registry->remember(ctx_.memo_touched.front().key->get());
     }
   }
 

@@ -69,9 +69,12 @@ struct SearchContext {
 
   /// Cross-solve memo (SolverOptions::global_memo); null when disabled.
   /// `memo_space` carries the rank tables of the current root relation
-  /// and is non-null whenever `memo` is.
+  /// and is non-null whenever `memo` is.  `memo_space_ref` shares
+  /// ownership of the SAME space for make_memo_handle (HASHED handles
+  /// keep the space alive until they materialize); set iff `memo` is.
   GlobalMemo* memo = nullptr;
   const MemoSpace* memo_space = nullptr;
+  std::shared_ptr<const MemoSpace> memo_space_ref = {};
 
   /// Rank space for the canonical equal-cost tie order (see
   /// canonically_before).  The engines always set it — memo or not — so
@@ -89,9 +92,11 @@ struct SearchContext {
 
   /// One memo key this run created, with the split depth it was created
   /// at — the raw material of the per-subtree completeness marks (see
-  /// the protocol in global_memo.hpp).
+  /// the protocol in global_memo.hpp).  The handle may still be HASHED
+  /// when the probe missed and nothing ever published it; every key
+  /// that reaches a publish or a verified hit is materialized by then.
   struct MemoTouch {
-    std::shared_ptr<const GlobalMemoKey> key;
+    MemoKeyHandle key;
     std::size_t depth = 0;
   };
 
@@ -111,11 +116,11 @@ struct SearchContext {
   /// SOFT-tainted when its subtree was cut only by the depth cap
   /// (directly, or by importing a depth-truncated memo entry): its
   /// entry is still exact for a prober at the same depth and is marked
-  /// depth-truncated.  Tracked by raw key address: within one run each
-  /// canonical key is one shared object (chains copy shared_ptrs), and
-  /// the pointers are kept alive by memo_touched.
-  std::unordered_set<const GlobalMemoKey*> memo_hard_tainted = {};
-  std::unordered_set<const GlobalMemoKey*> memo_soft_tainted = {};
+  /// depth-truncated.  Tracked by raw handle address: within one run
+  /// each canonical key is one shared LazyMemoKey (chains copy
+  /// shared_ptrs), and the pointers are kept alive by memo_touched.
+  std::unordered_set<const LazyMemoKey*> memo_hard_tainted = {};
+  std::unordered_set<const LazyMemoKey*> memo_soft_tainted = {};
 
   /// Incremental delta (delta_context.hpp): true while this run diffs
   /// against a remembered base relation and Subproblem::delta carries
@@ -142,10 +147,8 @@ struct SearchContext {
   }
 
   /// Hard/soft-taint every key on `chain` (see the taint sets above).
-  void taint_hard(
-      std::span<const std::shared_ptr<const GlobalMemoKey>> chain);
-  void taint_soft(
-      std::span<const std::shared_ptr<const GlobalMemoKey>> chain);
+  void taint_hard(std::span<const MemoKeyHandle> chain);
+  void taint_soft(std::span<const MemoKeyHandle> chain);
 
 
   /// Offer a compatible solution to the incumbent (does not touch the
@@ -166,9 +169,8 @@ struct SearchContext {
   /// solution: the offer is valid for the whole ancestor chain, so the
   /// ancestors' memo entries must see it too — otherwise a warm re-solve
   /// at the root could return a worse cost than the run that warmed it.
-  void publish_to_memo(
-      std::span<const std::shared_ptr<const GlobalMemoKey>> chain,
-      const MultiFunction& f, double solution_cost);
+  void publish_to_memo(std::span<const MemoKeyHandle> chain,
+                       const MultiFunction& f, double solution_cost);
 };
 
 /// Turn touched keys + taint sets into depth-indexed completeness marks
@@ -182,9 +184,9 @@ struct SearchContext {
 /// passes fleet-unioned taint sets).
 [[nodiscard]] std::vector<MemoMark> make_memo_marks(
     std::span<const SearchContext::MemoTouch> touched,
-    const std::unordered_set<const GlobalMemoKey*>& hard_tainted,
-    const std::unordered_set<const GlobalMemoKey*>& soft_tainted,
-    bool unlimited_depth, const GlobalMemoKey* root_key, bool allow_root);
+    const std::unordered_set<const LazyMemoKey*>& hard_tainted,
+    const std::unordered_set<const LazyMemoKey*>& soft_tainted,
+    bool unlimited_depth, const LazyMemoKey* root_key, bool allow_root);
 
 /// The comparability stamp the engines bind their caches with (see
 /// CacheFingerprint): the resolved cost identity, the exploration mode,
@@ -260,7 +262,9 @@ class SearchEngine {
   const SolverOptions options_;
   std::shared_ptr<SubproblemCache> cache_;  ///< keeps a shared cache alive
   std::shared_ptr<GlobalMemo> memo_;        ///< keeps a shared memo alive
-  std::optional<MemoSpace> memo_space_;     ///< rank tables for this root
+  /// Rank tables for this root — shared because HASHED key handles hold
+  /// a reference until they materialize.
+  std::shared_ptr<const MemoSpace> memo_space_;
   SearchContext ctx_;
   std::unique_ptr<Frontier> frontier_;
 };

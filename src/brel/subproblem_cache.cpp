@@ -43,19 +43,21 @@ void SubproblemCache::clear() {
   fingerprint_.reset();
 }
 
-std::optional<CachedSolution> SubproblemCache::seen_before_or_insert(
+const CachedSolution* SubproblemCache::seen_before_or_insert(
     const Bdd& chi) {
   const std::scoped_lock lock(mutex_);
   ++probes_;
   if (const auto it = cache_.find(chi.raw_edge()); it != cache_.end()) {
     ++hits_;
-    return it->second;  // snapshot: safe against concurrent improve()
+    // Node-stable reference (see the header): a hit no longer copies
+    // the memoized MultiFunction — hot probes allocate nothing.
+    return &it->second;
   }
   if (cache_.size() < capacity_) {
     cache_.emplace(chi.raw_edge(), CachedSolution{});
     keep_alive_.push_back(chi);  // handle copy serialized by mutex_
   }
-  return std::nullopt;
+  return nullptr;
 }
 
 void SubproblemCache::improve(std::span<const detail::Edge> chain,

@@ -133,12 +133,15 @@ class SubproblemCache {
   /// Drop every entry and pin (fingerprint included); counters survive.
   void clear();
 
-  /// Probe for `chi`.  Returns a snapshot of the existing entry when
-  /// `chi` was inserted before; otherwise inserts an empty entry
-  /// (capacity permitting) and returns nullopt.  By-value so a returned
-  /// record is immune to concurrent improve() calls.
-  [[nodiscard]] std::optional<CachedSolution> seen_before_or_insert(
-      const Bdd& chi);
+  /// Probe for `chi`.  Returns the existing entry when `chi` was
+  /// inserted before; otherwise inserts an empty entry (capacity
+  /// permitting) and returns nullptr.  The pointer is stable until
+  /// clear()/rebind_or_clear() (unordered_map references survive
+  /// inserts) — no per-hit copy of the memoized MultiFunction.  Read it
+  /// before the next improve() from another thread; under the
+  /// manager-serialization rule in the file comment the prober and the
+  /// improver are the same thread anyway.
+  [[nodiscard]] const CachedSolution* seen_before_or_insert(const Bdd& chi);
 
   /// Record `f` (with its cost under the current run's cost function) as
   /// a solution for every subrelation edge in `chain` — the ancestor

@@ -33,10 +33,9 @@ namespace {
 /// A distinct, hashable, manager-free key: the memo never interprets
 /// key contents, only compares and hashes them.
 GlobalMemoKey synthetic_key(std::uint32_t i) {
-  GlobalMemoKey key;
-  key.input_ranks = {i, i * 7919u + 1};
-  key.output_ranks = {i + 1};
-  return key;
+  const std::vector<std::uint32_t> iranks{i, i * 7919u + 1};
+  const std::vector<std::uint32_t> oranks{i + 1};
+  return GlobalMemoKey(SerializedBdd{}, iranks, oranks);
 }
 
 PortableSolution solution_with_cost(double cost) {

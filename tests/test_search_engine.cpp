@@ -300,22 +300,22 @@ TEST(SubproblemCacheTest, ImprovementsToPresentEntriesLandAtCapacity) {
   f.outputs.push_back(mgr.var(2));
   const detail::Edge chain[] = {inside.raw_edge(), outside.raw_edge()};
   cache.improve(chain, f, 10.0);
-  std::optional<CachedSolution> entry = cache.seen_before_or_insert(inside);
-  ASSERT_TRUE(entry.has_value() && entry->has_solution());
+  const CachedSolution* entry = cache.seen_before_or_insert(inside);
+  ASSERT_TRUE(entry != nullptr && entry->has_solution());
   EXPECT_DOUBLE_EQ(entry->cost, 10.0);
 
   // The better solution found later lands on the present entry...
   cache.improve(chain, f, 4.0);
   entry = cache.seen_before_or_insert(inside);
-  ASSERT_TRUE(entry.has_value());
+  ASSERT_TRUE(entry != nullptr);
   EXPECT_DOUBLE_EQ(entry->cost, 4.0);
   // ...a worse one does not regress it...
   cache.improve(chain, f, 7.0);
   entry = cache.seen_before_or_insert(inside);
-  ASSERT_TRUE(entry.has_value());
+  ASSERT_TRUE(entry != nullptr);
   EXPECT_DOUBLE_EQ(entry->cost, 4.0);
   // ...and the dropped edge stays unmemoized (skipped, not resurrected).
-  EXPECT_FALSE(cache.seen_before_or_insert(outside).has_value());
+  EXPECT_EQ(cache.seen_before_or_insert(outside), nullptr);
 }
 
 TEST(SubproblemCacheTest, BindRejectsMismatchedFingerprints) {

@@ -268,11 +268,9 @@ TEST(GlobalMemoTest, HotKeySurvivesColdKeyFlood) {
     for (std::uint32_t b = 0; b < 5; ++b) {
       chi = chi & mgr.literal(b, ((pattern >> b) & 1u) != 0);
     }
-    GlobalMemoKey key;
-    key.chi = serialize_bdd(chi);
-    key.input_ranks = {0, 1, 2, 3, 4};
-    key.output_ranks = {5};
-    return key;
+    const std::vector<std::uint32_t> iranks{0, 1, 2, 3, 4};
+    const std::vector<std::uint32_t> oranks{5};
+    return GlobalMemoKey(serialize_bdd(chi), iranks, oranks);
   };
   const auto hot = std::make_shared<const GlobalMemoKey>(key_for(0));
 

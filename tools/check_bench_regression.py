@@ -18,6 +18,13 @@ skipped with a note.
 
 Correctness figures (acceptance, *_explored, *_errors) are compared
 regardless of host: they must not depend on the machine.
+
+The memo-key fields ride the same rules: `memo_key.*_ns` (bench_bdd_ops)
+and `key_build_ms` / `*_key_build_ms` (bench_solver_pool) are
+lower-is-better timings via their suffixes, while
+`memo_key.hash_probe_allocs` is machine-independent and must stay
+exactly 0 — a hash-only probe that allocates means the lazy-key miss
+path regressed into materializing.
 """
 
 import json
@@ -28,7 +35,12 @@ import sys
 LOWER_IS_BETTER = ("_us", "_ns", "_ms", "_s", "cpu_s")
 HIGHER_IS_BETTER = ("requests_per_s", "per_s", "speedup", "efficiency")
 # Machine-independent counters that must never grow at all.
-EXACT_ZERO = ("protocol_errors", "warm_explored", "incompatible")
+EXACT_ZERO = (
+    "protocol_errors",
+    "warm_explored",
+    "incompatible",
+    "hash_probe_allocs",
+)
 
 
 def walk(prefix, node, out):
